@@ -1,0 +1,65 @@
+"""Ablation A — cost-model crossover sweep (design choice of §5.5).
+
+Sweeps join depth and partition count through the analytical cost models
+(Eqs. 8 and 11) and checks the planner's documented decision surface: small
+shallow queries go P2P, deep joins over many partitions go MapReduce, and
+the crossover moves to smaller clusters as queries get deeper.
+"""
+
+from repro.bench import print_series
+from repro.bench.harness import bench_cost_params
+from repro.core.costmodel import LevelSpec, estimate
+
+TABLE_BYTES = 4e6
+# Foreign-key join selectivity: the intermediate result roughly doubles per
+# level, so g = 2/S(T) (see AdaptiveEngine.levels_for).
+SELECTIVITY = 2.0 / TABLE_BYTES
+
+
+def levels(depth, partitions):
+    return [
+        LevelSpec(f"t{i}", TABLE_BYTES, SELECTIVITY, partitions)
+        for i in range(depth)
+    ]
+
+
+def run_experiment():
+    params = bench_cost_params()
+    rows = []
+    for depth in (1, 2, 3, 4):
+        for partitions in (5, 10, 20, 50, 100):
+            costs = estimate(params, levels(depth, partitions), TABLE_BYTES)
+            rows.append(
+                (depth, partitions, costs.p2p, costs.mapreduce,
+                 costs.cheaper_engine)
+            )
+    return rows
+
+
+def test_ablation_costmodel(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_series(
+        "Ablation A — cost-model decision surface",
+        ["joins", "partitions", "C_BP", "C_MR", "winner"],
+        rows,
+    )
+    by_key = {(depth, parts): winner for depth, parts, _, _, winner in rows}
+    # Shallow query on a small cluster: P2P.
+    assert by_key[(1, 5)] == "p2p"
+    # Deep join over a large cluster: MapReduce.
+    assert by_key[(4, 100)] == "mapreduce"
+    # Monotone decision surface: once MapReduce wins at some partition
+    # count, it keeps winning for larger ones (same depth).
+    for depth in (1, 2, 3, 4):
+        winners = [by_key[(depth, parts)] for parts in (5, 10, 20, 50, 100)]
+        if "mapreduce" in winners:
+            first = winners.index("mapreduce")
+            assert all(w == "mapreduce" for w in winners[first:])
+    # Deeper queries flip to MapReduce at equal-or-smaller partition counts.
+    def flip_point(depth):
+        for parts in (5, 10, 20, 50, 100):
+            if by_key[(depth, parts)] == "mapreduce":
+                return parts
+        return float("inf")
+
+    assert flip_point(4) <= flip_point(2)

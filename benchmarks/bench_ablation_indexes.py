@@ -1,0 +1,62 @@
+"""Ablation C — index priority Range > Column > Table (design choice §4.3).
+
+"In query processing, the priorities of indices are (Range Index > Column
+Index > Table Index). We will use the more accurate index whenever
+possible."  Measures how many peers a nation-constrained lookup touches
+under each index type.
+"""
+
+from repro.bench import print_series
+from repro.baton import BatonOverlay, ReplicatedOverlay
+from repro.core.indexer import DataIndexer
+
+NUM_PEERS = 20
+
+
+def build_indexer(publish_ranges, publish_columns):
+    overlay = ReplicatedOverlay(BatonOverlay())
+    for index in range(NUM_PEERS):
+        overlay.join(f"peer-{index}")
+    indexer = DataIndexer(overlay, cache_enabled=False)
+    for index in range(NUM_PEERS):
+        peer = f"peer-{index}"
+        indexer.publish_table("lineitem", peer)
+        if publish_columns:
+            indexer.publish_column("l_nationkey", peer, ["lineitem"])
+        if publish_ranges:
+            # Each peer hosts exactly one nation: min == max == its nation.
+            indexer.publish_range(
+                "lineitem", "l_nationkey", index % 25, index % 25, peer
+            )
+    return indexer
+
+
+def run_experiment():
+    rows = []
+    for label, ranges, columns in [
+        ("range index", True, True),
+        ("column index", False, True),
+        ("table index", False, False),
+    ]:
+        indexer = build_indexer(ranges, columns)
+        lookup = indexer.locate("lineitem", "l_nationkey", low=3, high=3)
+        rows.append((label, lookup.index_used, len(lookup.peers), lookup.hops))
+    return rows
+
+
+def test_ablation_indexes(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_series(
+        "Ablation C — peers touched per index type (20 peers, 1 nation)",
+        ["published", "index used", "peers touched", "BATON hops"],
+        rows,
+    )
+    by_label = {label: (used, peers) for label, used, peers, _ in rows}
+    # The range index pins the single owning peer.
+    assert by_label["range index"] == ("range", 1)
+    # The column index cannot discriminate values: every hosting peer.
+    assert by_label["column index"][0] == "column"
+    assert by_label["column index"][1] == NUM_PEERS
+    # The table index is the worst case ("the query processor needs to
+    # communicate with every peer that has part of the lineitem table").
+    assert by_label["table index"] == ("table", NUM_PEERS)

@@ -1,0 +1,91 @@
+"""Ablation D — partial indexing ([26], design choice in DESIGN.md).
+
+The partial indexing scheme trades index size for query cost: tables below
+the row threshold publish nothing into BATON, and lookups for them degrade
+to a broadcast.  Measures both sides of the trade on a network where most
+tables are small.
+"""
+
+from repro.bench import print_series
+from repro.core import BestPeerNetwork
+from repro.core.indexer import FULL_INDEX_POLICY, PartialIndexPolicy
+from repro.sqlengine import Column, ColumnType, TableSchema
+
+NUM_PEERS = 10
+
+
+def schemas():
+    tables = {}
+    # One big fact table and five small dimension tables.
+    tables["facts"] = TableSchema(
+        "facts",
+        [Column("id", ColumnType.INTEGER), Column("v", ColumnType.FLOAT)],
+        primary_key="id",
+    )
+    for i in range(5):
+        tables[f"dim{i}"] = TableSchema(
+            f"dim{i}",
+            [Column("id", ColumnType.INTEGER), Column("w", ColumnType.FLOAT)],
+            primary_key="id",
+        )
+    return tables
+
+
+def build(policy):
+    net = BestPeerNetwork(schemas(), index_policy=policy)
+    for index in range(NUM_PEERS):
+        peer_id = f"corp-{index}"
+        net.add_peer(peer_id)
+        data = {
+            "facts": [(index * 10**6 + i, float(i)) for i in range(200)]
+        }
+        for d in range(5):
+            data[f"dim{d}"] = [
+                (index * 10**6 + i, float(i)) for i in range(5)
+            ]
+        net.load_peer(peer_id, data)
+    return net
+
+
+def measure(net):
+    index_entries = sum(node.item_count for node in net.overlay.overlay.nodes())
+    fact_query = net.execute("SELECT COUNT(*) FROM facts", engine="basic")
+    dim_query = net.execute("SELECT COUNT(*) FROM dim0", engine="basic")
+    return {
+        "index_entries": index_entries,
+        "fact_rows": fact_query.scalar(),
+        "dim_rows": dim_query.scalar(),
+        "dim_peers": dim_query.peers_contacted,
+    }
+
+
+def run_experiment():
+    return {
+        "full": measure(build(FULL_INDEX_POLICY)),
+        "partial": measure(build(PartialIndexPolicy(min_table_rows=50))),
+    }
+
+
+def test_ablation_partial_index(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_series(
+        "Ablation D — partial indexing (10 peers, 1 big + 5 small tables)",
+        ["policy", "index entries", "dim lookup peers"],
+        [
+            ["full", results["full"]["index_entries"],
+             results["full"]["dim_peers"]],
+            ["partial (>=50 rows)", results["partial"]["index_entries"],
+             results["partial"]["dim_peers"]],
+        ],
+    )
+    # Same answers either way.
+    assert results["full"]["fact_rows"] == results["partial"]["fact_rows"]
+    assert results["full"]["dim_rows"] == results["partial"]["dim_rows"]
+    # The partial policy cuts the index size dramatically (five unindexed
+    # dimension tables x 3 columns x 10 peers)...
+    assert results["partial"]["index_entries"] < (
+        results["full"]["index_entries"] / 2
+    )
+    # ...at the price of broadcasting small-table lookups to every peer.
+    assert results["partial"]["dim_peers"] == NUM_PEERS
+    assert results["full"]["dim_peers"] == NUM_PEERS  # all host dim0 anyway

@@ -1,0 +1,51 @@
+"""Figure 10 — Q5 (multi-table join), BestPeer++ vs HadoopDB.
+
+Paper result: "Overall, HadoopDB performs better than BestPeer++ in
+evaluating this query" — the submitting peer joins *all* qualified tuples
+and becomes the bottleneck at 20 and 50 nodes, while HadoopDB spreads its
+four MapReduce jobs over every worker.
+"""
+
+from repro.bench import print_series
+from repro.bench.harness import CLUSTER_SIZES, latency_of, run_performance_comparison
+from repro.tpch import Q5
+
+
+def run_experiment():
+    return run_performance_comparison("Q5", Q5())
+
+
+def test_fig10_q5(benchmark):
+    points = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_series(
+        "Fig. 10 — Q5: multi-table join (4 tables, 4 HadoopDB jobs)",
+        ["nodes", "BestPeer++ (s)", "HadoopDB (s)"],
+        [
+            [
+                nodes,
+                latency_of(points, "BestPeer++", nodes),
+                latency_of(points, "HadoopDB", nodes),
+            ]
+            for nodes in CLUSTER_SIZES
+        ],
+    )
+    # "at a large scale (20 and 50 nodes), the query submitting peer becomes
+    # the bottleneck".
+    for nodes in (20, 50):
+        assert latency_of(points, "BestPeer++", nodes) > latency_of(
+            points, "HadoopDB", nodes
+        )
+    # At the small scale the P2P strategy is still competitive (Fig. 11
+    # shows it winning at 10 nodes).
+    assert latency_of(points, "BestPeer++", 10) < latency_of(
+        points, "HadoopDB", 10
+    )
+    # HadoopDB "utilizes all nodes to perform joins in parallel and hence
+    # has a better scalability".
+    bp_growth = latency_of(points, "BestPeer++", 50) / latency_of(
+        points, "BestPeer++", 10
+    )
+    hdb_growth = latency_of(points, "HadoopDB", 50) / latency_of(
+        points, "HadoopDB", 10
+    )
+    assert bp_growth > 2 * hdb_growth

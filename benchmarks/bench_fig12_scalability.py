@@ -1,0 +1,47 @@
+"""Figure 12 — throughput scalability of the supply-chain network.
+
+Paper result: "BestPeer++ achieves near linear scalability in both
+heavy-weight workload (i.e., retailer queries) and light-weight workload
+(i.e., supplier queries)" thanks to the single-peer optimization.
+"""
+
+from repro.bench import closed_loop_throughput, print_series
+from repro.bench.workloads import get_supply_chain
+
+PEER_COUNTS = (10, 20, 50)
+
+
+def run_experiment():
+    results = {}
+    for num_peers in PEER_COUNTS:
+        bench = get_supply_chain(num_peers)
+        clients = num_peers // 2
+        supplier_sample = bench.sample_role("supplier")
+        retailer_sample = bench.sample_role("retailer")
+        results[num_peers] = {
+            "supplier_qps": closed_loop_throughput(supplier_sample, clients),
+            "retailer_qps": closed_loop_throughput(retailer_sample, clients),
+        }
+    return results
+
+
+def test_fig12_scalability(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_series(
+        "Fig. 12 — throughput scalability (closed loop)",
+        ["peers", "supplier q/s", "retailer q/s"],
+        [
+            [n, results[n]["supplier_qps"], results[n]["retailer_qps"]]
+            for n in PEER_COUNTS
+        ],
+    )
+    for role in ("supplier_qps", "retailer_qps"):
+        # Near-linear: going 10 -> 50 peers must scale throughput by at
+        # least 4x (ideal is 5x).
+        assert results[50][role] > 4.0 * results[10][role]
+        # And monotonic in between.
+        assert results[10][role] < results[20][role] < results[50][role]
+    # Light-weight supplier queries sustain much higher throughput than
+    # heavy-weight retailer queries (19,000 vs 3,400 q/s in the paper).
+    for n in PEER_COUNTS:
+        assert results[n]["supplier_qps"] > 3.0 * results[n]["retailer_qps"]

@@ -1,0 +1,45 @@
+"""Figure 13 — supplier performance: latency vs throughput at 50 peers.
+
+Paper result: "the light-weight supplier queries achieve better performance
+with less than 1 second latency when throughput peaks" — the curve is flat
+until the supplier peers saturate, then latency hockey-sticks.
+"""
+
+from repro.bench import open_loop_sweep, print_series
+from repro.bench.workloads import get_supply_chain
+
+NUM_PEERS = 50
+
+
+def run_experiment():
+    bench = get_supply_chain(NUM_PEERS)
+    sample = bench.sample_role("supplier")
+    capacity = sample.capacity_qps
+    offered = [capacity * fraction for fraction in
+               (0.2, 0.4, 0.6, 0.8, 0.95, 1.1, 1.3)]
+    return sample, open_loop_sweep(sample, offered)
+
+
+def test_fig13_supplier(benchmark):
+    sample, points = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_series(
+        "Fig. 13 — supplier latency vs throughput (50 peers)",
+        ["offered q/s", "achieved q/s", "avg latency (s)"],
+        [[p.offered_qps, p.achieved_qps, p.avg_latency_s] for p in points],
+    )
+    below = [p for p in points if p.offered_qps < sample.capacity_qps]
+    above = [p for p in points if p.offered_qps > sample.capacity_qps]
+    # Well below saturation the offered load is fully served, and latency
+    # stays near the bare service time.  (Near the aggregate capacity the
+    # slowest individual peers saturate first — service times are
+    # heterogeneous — so only the clearly-unsaturated points are exact.)
+    for p in below[:2]:
+        assert abs(p.achieved_qps - p.offered_qps) < 1e-6 * p.offered_qps
+    assert below[0].avg_latency_s < 2 * sample.mean_service_time
+    # Past saturation: throughput stops increasing, latency explodes.
+    for p in above:
+        assert p.achieved_qps <= sample.capacity_qps * 1.001
+        assert p.avg_latency_s > 10 * below[0].avg_latency_s
+    # Latency is monotone in offered load.
+    latencies = [p.avg_latency_s for p in points]
+    assert latencies == sorted(latencies)

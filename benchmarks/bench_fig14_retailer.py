@@ -1,0 +1,45 @@
+"""Figure 14 — retailer performance: latency vs throughput at 50 peers.
+
+Paper result: "The heavy-weight retailer workload suffers from higher
+latency because of its higher computational demand" — same hockey-stick
+shape as Fig. 13 but with a much lower saturation throughput and higher
+latency than the supplier workload.
+"""
+
+from repro.bench import open_loop_sweep, print_series
+from repro.bench.workloads import get_supply_chain
+
+NUM_PEERS = 50
+
+
+def run_experiment():
+    bench = get_supply_chain(NUM_PEERS)
+    retailer = bench.sample_role("retailer")
+    supplier = bench.sample_role("supplier")
+    offered = [retailer.capacity_qps * fraction for fraction in
+               (0.2, 0.4, 0.6, 0.8, 0.95, 1.1, 1.3)]
+    return retailer, supplier, open_loop_sweep(retailer, offered)
+
+
+def test_fig14_retailer(benchmark):
+    retailer, supplier, points = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    print_series(
+        "Fig. 14 — retailer latency vs throughput (50 peers)",
+        ["offered q/s", "achieved q/s", "avg latency (s)"],
+        [[p.offered_qps, p.achieved_qps, p.avg_latency_s] for p in points],
+    )
+    # The heavy-weight workload peaks at a much lower throughput than the
+    # light-weight one (3,400 vs 19,000 q/s in the paper)...
+    assert retailer.capacity_qps < supplier.capacity_qps / 3
+    # ...and its single-query latency is much higher.
+    assert retailer.mean_service_time > 3 * supplier.mean_service_time
+    # Same saturation shape as Fig. 13.
+    below = [p for p in points if p.offered_qps < retailer.capacity_qps]
+    above = [p for p in points if p.offered_qps > retailer.capacity_qps]
+    for p in above:
+        assert p.achieved_qps <= retailer.capacity_qps * 1.001
+        assert p.avg_latency_s > 10 * below[0].avg_latency_s
+    latencies = [p.avg_latency_s for p in points]
+    assert latencies == sorted(latencies)

@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make ``src/`` importable without installation.
+
+The library is a normal src-layout package (``pip install -e .`` works where
+the ``wheel`` package is available); this shim only exists so the test suite
+and benchmarks run in pristine checkouts and offline environments.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

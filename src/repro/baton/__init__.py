@@ -1,0 +1,31 @@
+"""BATON: a BAlanced Tree Overlay Network (Jagadish, Ooi, Vu — VLDB'05).
+
+BestPeer++ organizes its normal peers in a BATON overlay and stores three
+kinds of distributed index in it (Section 4.3 of the paper).  This package
+implements the overlay itself:
+
+* :class:`~repro.baton.node.BatonNode` — one peer's view: its two ranges
+  (R0, the sub-domain it owns; R1, its subtree's domain), parent/child and
+  adjacent links, and per-level routing tables,
+* :class:`~repro.baton.tree.BatonOverlay` — join/leave, exact and range
+  search with O(log N) routing-hop counts, item storage and load balancing,
+* :class:`~repro.baton.replication.ReplicatedOverlay` — the two-tier partial
+  replication wrapper ([24] in the paper) that keeps index data available
+  when nodes fail.
+
+Keys are floats in a configurable domain; callers hash strings into the
+domain with :func:`~repro.baton.tree.string_to_key`.
+"""
+
+from repro.baton.node import BatonNode, Range
+from repro.baton.tree import BatonOverlay, SearchResult, string_to_key
+from repro.baton.replication import ReplicatedOverlay
+
+__all__ = [
+    "BatonNode",
+    "Range",
+    "BatonOverlay",
+    "SearchResult",
+    "string_to_key",
+    "ReplicatedOverlay",
+]

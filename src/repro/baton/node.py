@@ -1,0 +1,153 @@
+"""BATON tree nodes.
+
+Each node owns two ranges (Fig. 3 of the BestPeer++ paper):
+
+* ``R0`` — the sub-domain the node itself is responsible for, and
+* ``R1`` — the domain of the whole subtree rooted at the node.
+
+Nodes also carry the BATON link structure: parent, left/right child,
+left/right adjacent node (in-order predecessor/successor) and left/right
+routing tables holding the same-level neighbours at distances 1, 2, 4, ...
+(``log2 N`` entries per side).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import BatonRangeError
+
+
+@dataclass(frozen=True)
+class Range:
+    """A half-open interval ``[low, high)``."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise BatonRangeError(f"inverted range: [{self.low}, {self.high})")
+
+    def contains(self, key: float) -> bool:
+        return self.low <= key < self.high
+
+    def overlaps(self, other: "Range") -> bool:
+        return self.low < other.high and other.low < self.high
+
+    def covers(self, other: "Range") -> bool:
+        return self.low <= other.low and other.high <= self.high
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+    @property
+    def midpoint(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def __str__(self) -> str:
+        return f"[{self.low:.6g}, {self.high:.6g})"
+
+
+class BatonNode:
+    """One overlay participant.
+
+    ``node_id`` is the peer identifier (an opaque string).  ``level`` and
+    ``position`` locate the node in the balanced tree: the root is (0, 0)
+    and a node at (level, j) has children at (level+1, 2j) and
+    (level+1, 2j+1).
+    """
+
+    def __init__(self, node_id: str, r0: Range) -> None:
+        self.node_id = node_id
+        self.r0 = r0
+        self.level = 0
+        self.position = 0
+        self.parent: Optional[BatonNode] = None
+        self.left_child: Optional[BatonNode] = None
+        self.right_child: Optional[BatonNode] = None
+        self.adjacent_left: Optional[BatonNode] = None
+        self.adjacent_right: Optional[BatonNode] = None
+        # Routing tables: distance exponent i -> neighbour at position ± 2^i.
+        self.left_table: List[BatonNode] = []
+        self.right_table: List[BatonNode] = []
+        # Index entries this node is responsible for: key -> list of values.
+        self.items: Dict[float, list] = {}
+        self.online = True
+
+    # ------------------------------------------------------------------
+    # Ranges
+    # ------------------------------------------------------------------
+    @property
+    def r1(self) -> Range:
+        """The subtree range: union of R0 over the subtree.
+
+        In-order traversal visits contiguous sub-domains, so the subtree
+        range is simply [leftmost descendant's low, rightmost descendant's
+        high).
+        """
+        return Range(self._subtree_low(), self._subtree_high())
+
+    def _subtree_low(self) -> float:
+        node = self
+        while node.left_child is not None:
+            node = node.left_child
+        return node.r0.low
+
+    def _subtree_high(self) -> float:
+        node = self
+        while node.right_child is not None:
+            node = node.right_child
+        return node.r0.high
+
+    # ------------------------------------------------------------------
+    # Items
+    # ------------------------------------------------------------------
+    @property
+    def item_count(self) -> int:
+        return sum(len(values) for values in self.items.values())
+
+    def add_item(self, key: float, value: object) -> None:
+        if not self.r0.contains(key):
+            raise BatonRangeError(
+                f"node {self.node_id!r} (R0={self.r0}) is not responsible "
+                f"for key {key}"
+            )
+        self.items.setdefault(key, []).append(value)
+
+    def remove_item(self, key: float, value: object) -> bool:
+        """Remove one matching value; returns True if something was removed."""
+        values = self.items.get(key)
+        if not values:
+            return False
+        try:
+            values.remove(value)
+        except ValueError:
+            return False
+        if not values:
+            del self.items[key]
+        return True
+
+    def items_in_range(self, low: float, high: float) -> List[tuple]:
+        """(key, value) pairs with ``low <= key < high``."""
+        matches = []
+        for key in sorted(self.items):
+            if low <= key < high:
+                for value in self.items[key]:
+                    matches.append((key, value))
+        return matches
+
+    # ------------------------------------------------------------------
+    # Tree structure helpers
+    # ------------------------------------------------------------------
+    @property
+    def is_leaf(self) -> bool:
+        return self.left_child is None and self.right_child is None
+
+    def __repr__(self) -> str:
+        return (
+            f"BatonNode({self.node_id!r}, level={self.level}, "
+            f"pos={self.position}, R0={self.r0})"
+        )

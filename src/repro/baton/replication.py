@@ -1,0 +1,149 @@
+"""Two-tier partial replication over the BATON overlay.
+
+"BestPeer++ employs replication of index data in the BATON structure to
+ensure the correct retrieval of index data in the presence of failures.
+Specifically, we use the two-tier partial replication strategy" (Section
+4.3, citing [24]).
+
+The wrapper keeps, for every item stored at its responsible (primary) node,
+copies on the ``replica_factor`` nearest in-order neighbours (the secondary
+tier).  When the primary is offline the lookup is served from a replica;
+when a node permanently departs, re-replication restores the redundancy
+level.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import BatonError, ReplicaUnavailableError
+from repro.baton.node import BatonNode
+from repro.baton.tree import BatonOverlay, SearchResult
+
+
+class ReplicatedOverlay:
+    """A BATON overlay with neighbour replication and fail-over reads."""
+
+    def __init__(self, overlay: BatonOverlay, replica_factor: int = 2) -> None:
+        if replica_factor < 1:
+            raise BatonError(f"replica factor must be >= 1: {replica_factor}")
+        self.overlay = overlay
+        self.replica_factor = replica_factor
+        # replica copies: holder node id -> {key -> list of values}
+        self._replicas: Dict[str, Dict[float, List[object]]] = {}
+
+    # ------------------------------------------------------------------
+    # Membership passthrough
+    # ------------------------------------------------------------------
+    def join(self, node_id: str) -> BatonNode:
+        node = self.overlay.join(node_id)
+        self._replicas.setdefault(node_id, {})
+        self.rebuild_replicas()
+        return node
+
+    def leave(self, node_id: str) -> None:
+        self.overlay.leave(node_id)
+        self._replicas.pop(node_id, None)
+        self.rebuild_replicas()
+
+    def __len__(self) -> int:
+        return len(self.overlay)
+
+    # ------------------------------------------------------------------
+    # Failure model
+    # ------------------------------------------------------------------
+    def mark_offline(self, node_id: str) -> None:
+        self.overlay.node(node_id).online = False
+
+    def mark_online(self, node_id: str) -> None:
+        self.overlay.node(node_id).online = True
+
+    # ------------------------------------------------------------------
+    # Item operations with replication
+    # ------------------------------------------------------------------
+    def insert(self, key: float, value: object) -> int:
+        node, hops = self.overlay.find_responsible(key)
+        node.add_item(key, value)
+        for holder in self._replica_holders(node):
+            self._replicas.setdefault(holder.node_id, {}).setdefault(
+                key, []
+            ).append(value)
+            hops += 1  # one message per replica copy
+        return hops
+
+    def delete(self, key: float, value: object) -> Tuple[bool, int]:
+        node, hops = self.overlay.find_responsible(key)
+        removed = node.remove_item(key, value)
+        for holder in self._replica_holders(node):
+            copies = self._replicas.get(holder.node_id, {}).get(key)
+            if copies and value in copies:
+                copies.remove(value)
+                if not copies:
+                    del self._replicas[holder.node_id][key]
+            hops += 1
+        return removed, hops
+
+    def search(self, key: float) -> SearchResult:
+        """Exact lookup, served from a replica when the primary is offline."""
+        node, hops = self.overlay.find_responsible(key)
+        if node.online:
+            return SearchResult(
+                values=list(node.items.get(key, [])),
+                hops=hops,
+                node_ids=[node.node_id],
+            )
+        for holder in self._replica_holders(node):
+            if holder.online:
+                values = list(self._replicas.get(holder.node_id, {}).get(key, []))
+                return SearchResult(
+                    values=values, hops=hops + 1, node_ids=[holder.node_id]
+                )
+        raise ReplicaUnavailableError(
+            f"no online replica for key {key} (primary {node.node_id!r} down)"
+        )
+
+    # ------------------------------------------------------------------
+    # Re-replication
+    # ------------------------------------------------------------------
+    def rebuild_replicas(self) -> None:
+        """Recompute every replica set (run after membership changes)."""
+        self._replicas = {node_id: {} for node_id in self._node_ids()}
+        for node in self.overlay.nodes():
+            for holder in self._replica_holders(node):
+                store = self._replicas.setdefault(holder.node_id, {})
+                for key, values in node.items.items():
+                    store.setdefault(key, []).extend(values)
+
+    def replica_count(self, node_id: str) -> int:
+        """Number of replica values held *for other nodes* at ``node_id``."""
+        return sum(
+            len(values) for values in self._replicas.get(node_id, {}).values()
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _node_ids(self) -> List[str]:
+        return [node.node_id for node in self.overlay.nodes()]
+
+    def _replica_holders(self, node: BatonNode) -> List[BatonNode]:
+        """The in-order neighbours that hold copies of ``node``'s items."""
+        nodes = self.overlay.nodes()
+        if len(nodes) <= 1:
+            return []
+        index = next(
+            position
+            for position, candidate in enumerate(nodes)
+            if candidate is node
+        )
+        holders: List[BatonNode] = []
+        offset = 1
+        while len(holders) < self.replica_factor and offset < len(nodes):
+            right = index + offset
+            left = index - offset
+            if right < len(nodes):
+                holders.append(nodes[right])
+            if len(holders) < self.replica_factor and left >= 0:
+                holders.append(nodes[left])
+            offset += 1
+        return holders[: self.replica_factor]

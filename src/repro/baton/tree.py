@@ -1,0 +1,505 @@
+"""The BATON overlay: membership, routing, item storage, load balancing.
+
+The overlay keeps the tree balanced by admitting joins level-by-level (the
+effect of BATON's load-aware join protocol on a uniformly loaded network) and
+handles departures with the paper's two moves:
+
+* a *leaf* departure merges its sub-domain into an in-order neighbour,
+* an *internal* departure triggers the global adjustment: the last leaf in
+  level order is relocated to the vacant position ("moving a non-adjacent
+  leaf node from its original position", Section 4.3).
+
+Searches follow BATON routing — descend while the key is inside the subtree,
+otherwise jump along the same-level routing tables (distances 1, 2, 4, ...),
+falling back to parent links — and report the number of routing hops, which
+the BestPeer++ layer converts into network cost.  Hop counts are O(log N).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import BatonError, BatonRangeError
+from repro.baton.node import BatonNode, Range
+
+
+def string_to_key(text: str, domain: Range = Range(0.0, 1.0)) -> float:
+    """Hash a string to a stable key inside ``domain``.
+
+    Uses the first 8 bytes of SHA-1, so the mapping is deterministic across
+    runs and processes (unlike Python's salted ``hash``).
+    """
+    digest = hashlib.sha1(text.encode("utf-8")).digest()
+    fraction = int.from_bytes(digest[:8], "big") / float(1 << 64)
+    return domain.low + fraction * domain.width
+
+
+@dataclass
+class SearchResult:
+    """Outcome of an overlay lookup."""
+
+    values: List[object]
+    hops: int
+    node_ids: List[str] = field(default_factory=list)
+
+
+class BatonOverlay:
+    """A BATON tree of named peers over a float key domain."""
+
+    def __init__(self, domain: Range = Range(0.0, 1.0)) -> None:
+        if domain.width <= 0:
+            raise BatonRangeError(f"empty key domain: {domain}")
+        self.domain = domain
+        self.root: Optional[BatonNode] = None
+        self._nodes: Dict[str, BatonNode] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def node(self, node_id: str) -> BatonNode:
+        node = self._nodes.get(node_id)
+        if node is None:
+            raise BatonError(f"unknown overlay node: {node_id!r}")
+        return node
+
+    def nodes(self) -> List[BatonNode]:
+        """All nodes in in-order (ascending sub-domain) order."""
+        return list(self._in_order())
+
+    def height(self) -> int:
+        """Number of levels in the tree (0 for an empty overlay)."""
+        if self.root is None:
+            return 0
+        return 1 + max(node.level for node in self._nodes.values())
+
+    def _in_order(self) -> Iterator[BatonNode]:
+        def walk(node: Optional[BatonNode]) -> Iterator[BatonNode]:
+            if node is None:
+                return
+            yield from walk(node.left_child)
+            yield node
+            yield from walk(node.right_child)
+
+        yield from walk(self.root)
+
+    def check_invariants(self) -> None:
+        """Raise if structural invariants are violated (used by tests)."""
+        nodes = self.nodes()
+        if not nodes:
+            return
+        # In-order sub-domains tile the key domain contiguously.
+        if nodes[0].r0.low != self.domain.low:
+            raise BatonError("leftmost node does not start at domain low")
+        if nodes[-1].r0.high != self.domain.high:
+            raise BatonError("rightmost node does not end at domain high")
+        for before, after in zip(nodes, nodes[1:]):
+            if before.r0.high != after.r0.low:
+                raise BatonError(
+                    f"gap between {before.node_id} {before.r0} and "
+                    f"{after.node_id} {after.r0}"
+                )
+        # Balance: leaves only on the last two levels.
+        height = self.height()
+        for node in nodes:
+            if node.is_leaf and node.level < height - 2:
+                raise BatonError(
+                    f"unbalanced: leaf {node.node_id} at level {node.level} "
+                    f"in a tree of height {height}"
+                )
+        # Items stored at the responsible node.
+        for node in nodes:
+            for key in node.items:
+                if not node.r0.contains(key):
+                    raise BatonError(
+                        f"item {key} stored at wrong node {node.node_id}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Membership: join
+    # ------------------------------------------------------------------
+    def join(self, node_id: str) -> BatonNode:
+        """Add a peer to the overlay; returns its node."""
+        if node_id in self._nodes:
+            raise BatonError(f"node already in overlay: {node_id!r}")
+        if self.root is None:
+            node = BatonNode(node_id, self.domain)
+            self.root = node
+            self._nodes[node_id] = node
+            return node
+
+        parent = self._next_open_parent()
+        node = BatonNode(node_id, parent.r0)  # placeholder range, split below
+        node.parent = parent
+        node.level = parent.level + 1
+        if parent.left_child is None:
+            parent.left_child = node
+            node.position = parent.position * 2
+            self._split_range(parent, node, left_side=True)
+        else:
+            parent.right_child = node
+            node.position = parent.position * 2 + 1
+            self._split_range(parent, node, left_side=False)
+        self._nodes[node_id] = node
+        self._rebuild_links()
+        return node
+
+    def _next_open_parent(self) -> BatonNode:
+        """The first node in level order missing a child (keeps balance)."""
+        queue = [self.root]
+        while queue:
+            node = queue.pop(0)
+            if node.left_child is None or node.right_child is None:
+                return node
+            queue.append(node.left_child)
+            queue.append(node.right_child)
+        raise BatonError("unreachable: full binary tree has an open slot")
+
+    def _split_range(
+        self, parent: BatonNode, child: BatonNode, left_side: bool
+    ) -> None:
+        """Split the parent's R0 between itself and the new child.
+
+        A left child takes the lower half (it precedes the parent in-order),
+        a right child takes the upper half.  Items in the transferred
+        sub-range move to the child.
+        """
+        middle = parent.r0.midpoint
+        if left_side:
+            child.r0 = Range(parent.r0.low, middle)
+            parent.r0 = Range(middle, parent.r0.high)
+        else:
+            child.r0 = Range(middle, parent.r0.high)
+            parent.r0 = Range(parent.r0.low, middle)
+        moved = [key for key in parent.items if child.r0.contains(key)]
+        for key in moved:
+            for value in parent.items.pop(key):
+                child.items.setdefault(key, []).append(value)
+
+    # ------------------------------------------------------------------
+    # Membership: leave
+    # ------------------------------------------------------------------
+    def leave(self, node_id: str) -> None:
+        """Remove a peer, handing its sub-domain and items to neighbours."""
+        node = self.node(node_id)
+        if len(self._nodes) == 1:
+            self.root = None
+            del self._nodes[node_id]
+            return
+        if not node.is_leaf:
+            # Global adjustment: relocate the last level-order leaf into the
+            # vacant position, then remove the (now leaf-shaped) original.
+            replacement = self._last_leaf()
+            if replacement is node:
+                raise BatonError("internal node cannot be the last leaf")
+            self._detach_leaf(replacement)
+            self._substitute(node, replacement)
+        else:
+            self._detach_leaf(node)
+        del self._nodes[node_id]
+        self._rebuild_links()
+
+    def _last_leaf(self) -> BatonNode:
+        last = None
+        queue = [self.root]
+        while queue:
+            node = queue.pop(0)
+            last = node
+            if node.left_child is not None:
+                queue.append(node.left_child)
+            if node.right_child is not None:
+                queue.append(node.right_child)
+        if last is None or not last.is_leaf:
+            raise BatonError("tree has no leaves")  # pragma: no cover
+        return last
+
+    def _detach_leaf(self, leaf: BatonNode) -> None:
+        """Unlink a leaf, merging its sub-domain into an in-order neighbour."""
+        if not leaf.is_leaf:
+            raise BatonError(f"{leaf.node_id!r} is not a leaf")
+        nodes = self.nodes()
+        index = nodes.index(leaf)
+        # Prefer the in-order predecessor (extend its R0 upward); the
+        # leftmost node merges into its successor instead.
+        if index > 0:
+            heir = nodes[index - 1]
+            heir.r0 = Range(heir.r0.low, leaf.r0.high)
+        else:
+            heir = nodes[index + 1]
+            heir.r0 = Range(leaf.r0.low, heir.r0.high)
+        for key, values in leaf.items.items():
+            for value in values:
+                heir.items.setdefault(key, []).append(value)
+        leaf.items.clear()
+        parent = leaf.parent
+        if parent is None:
+            raise BatonError("cannot detach the root as a leaf")
+        if parent.left_child is leaf:
+            parent.left_child = None
+        else:
+            parent.right_child = None
+        leaf.parent = None
+
+    def _substitute(self, old: BatonNode, replacement: BatonNode) -> None:
+        """Install ``replacement`` at ``old``'s position, range and items."""
+        replacement.r0 = old.r0
+        replacement.items = dict(old.items)
+        replacement.level = old.level
+        replacement.position = old.position
+        replacement.parent = old.parent
+        replacement.left_child = old.left_child
+        replacement.right_child = old.right_child
+        if old.parent is not None:
+            if old.parent.left_child is old:
+                old.parent.left_child = replacement
+            else:
+                old.parent.right_child = replacement
+        if old.left_child is not None:
+            old.left_child.parent = replacement
+        if old.right_child is not None:
+            old.right_child.parent = replacement
+        if self.root is old:
+            self.root = replacement
+        old.parent = old.left_child = old.right_child = None
+        old.items = {}
+
+    # ------------------------------------------------------------------
+    # Links: adjacency and routing tables
+    # ------------------------------------------------------------------
+    def _rebuild_links(self) -> None:
+        nodes = self.nodes()
+        by_position: Dict[Tuple[int, int], BatonNode] = {}
+        for node in self._nodes.values():
+            by_position[(node.level, node.position)] = node
+        for index, node in enumerate(nodes):
+            node.adjacent_left = nodes[index - 1] if index > 0 else None
+            node.adjacent_right = (
+                nodes[index + 1] if index + 1 < len(nodes) else None
+            )
+        for node in self._nodes.values():
+            node.left_table = []
+            node.right_table = []
+            distance = 1
+            while distance <= node.position or distance + node.position < (
+                1 << node.level
+            ):
+                left = by_position.get((node.level, node.position - distance))
+                if left is not None:
+                    node.left_table.append(left)
+                right = by_position.get((node.level, node.position + distance))
+                if right is not None:
+                    node.right_table.append(right)
+                distance *= 2
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def find_responsible(
+        self, key: float, start_id: Optional[str] = None
+    ) -> Tuple[BatonNode, int]:
+        """Route from ``start_id`` (default: root) to the node owning ``key``.
+
+        Returns ``(node, hops)`` where hops counts inter-node messages.
+        """
+        if self.root is None:
+            raise BatonError("overlay is empty")
+        if not self.domain.contains(key):
+            raise BatonRangeError(f"key {key} outside domain {self.domain}")
+        current = self.node(start_id) if start_id is not None else self.root
+        hops = 0
+        safety = 4 * (len(self._nodes) + 2)
+        while not current.r0.contains(key):
+            nxt = self._next_hop(current, key)
+            current = nxt
+            hops += 1
+            safety -= 1
+            if safety <= 0:  # pragma: no cover - defensive
+                raise BatonError(f"routing did not converge for key {key}")
+        return current, hops
+
+    def _next_hop(self, current: BatonNode, key: float) -> BatonNode:
+        r1 = current.r1
+        if r1.contains(key):
+            # Descend into the child whose subtree holds the key.
+            if key < current.r0.low:
+                child = current.left_child
+            else:
+                child = current.right_child
+            if child is None:  # pragma: no cover - defensive
+                raise BatonError("R1 contains key but no child to descend")
+            return child
+        # Same-level jump via routing tables, farthest first, never
+        # overshooting the key.
+        if key < r1.low:
+            for neighbor in reversed(current.left_table):
+                if neighbor.r1.high > key:
+                    return neighbor
+            if current.adjacent_left is not None and current.parent is None:
+                return current.adjacent_left
+        else:
+            for neighbor in reversed(current.right_table):
+                if neighbor.r1.low <= key:
+                    return neighbor
+            if current.adjacent_right is not None and current.parent is None:
+                return current.adjacent_right
+        if current.parent is not None:
+            return current.parent
+        raise BatonError(  # pragma: no cover - defensive
+            f"no route toward key {key} from {current.node_id!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # Item operations
+    # ------------------------------------------------------------------
+    def insert(
+        self, key: float, value: object, start_id: Optional[str] = None
+    ) -> int:
+        """Store ``value`` under ``key``; returns routing hops."""
+        node, hops = self.find_responsible(key, start_id)
+        node.add_item(key, value)
+        return hops
+
+    def delete(
+        self, key: float, value: object, start_id: Optional[str] = None
+    ) -> Tuple[bool, int]:
+        """Remove one matching item; returns (removed, hops)."""
+        node, hops = self.find_responsible(key, start_id)
+        return node.remove_item(key, value), hops
+
+    def search(self, key: float, start_id: Optional[str] = None) -> SearchResult:
+        """Exact lookup of all values stored under ``key``."""
+        node, hops = self.find_responsible(key, start_id)
+        return SearchResult(
+            values=list(node.items.get(key, [])),
+            hops=hops,
+            node_ids=[node.node_id],
+        )
+
+    def range_search(
+        self, low: float, high: float, start_id: Optional[str] = None
+    ) -> SearchResult:
+        """All (key, value) items with ``low <= key < high``.
+
+        Routes to the node owning ``low`` then walks right-adjacent links,
+        which is exactly BATON's range query strategy.
+        """
+        if low >= high:
+            return SearchResult(values=[], hops=0)
+        low = max(low, self.domain.low)
+        if low >= self.domain.high:
+            return SearchResult(values=[], hops=0)
+        node, hops = self.find_responsible(low, start_id)
+        values: List[Tuple[float, object]] = []
+        node_ids: List[str] = []
+        while node is not None and node.r0.low < high:
+            matched = node.items_in_range(low, high)
+            if matched:
+                values.extend(matched)
+            node_ids.append(node.node_id)
+            node = node.adjacent_right
+            if node is not None:
+                hops += 1
+        return SearchResult(values=values, hops=hops, node_ids=node_ids)
+
+    # ------------------------------------------------------------------
+    # Load balancing
+    # ------------------------------------------------------------------
+    def balance_with_adjacent(self, node_id: str) -> bool:
+        """Even out item load between a node and its lighter adjacent node.
+
+        Implements the paper's first load-balancing scheme ("a node can
+        balance its load with adjacent nodes"): the boundary between the two
+        sub-domains moves so each side holds about half the items.  Returns
+        True if a transfer happened.
+        """
+        node = self.node(node_id)
+        candidates = [
+            neighbor
+            for neighbor in (node.adjacent_left, node.adjacent_right)
+            if neighbor is not None
+        ]
+        if not candidates:
+            return False
+        lightest = min(candidates, key=lambda n: n.item_count)
+        if node.item_count <= lightest.item_count + 1:
+            return False
+
+        keys = sorted(node.items)
+        target = (node.item_count + lightest.item_count) // 2
+        if lightest is node.adjacent_left:
+            # Shift low keys to the left neighbour: move the boundary up.
+            moved: List[float] = []
+            count = 0
+            for key in keys:
+                if node.item_count - count <= target:
+                    break
+                moved.append(key)
+                count += len(node.items[key])
+            if not moved:
+                return False
+            boundary = self._boundary_after(node, moved)
+            lightest.r0 = Range(lightest.r0.low, boundary)
+            node.r0 = Range(boundary, node.r0.high)
+            for key in moved:
+                for value in node.items.pop(key):
+                    lightest.items.setdefault(key, []).append(value)
+        else:
+            moved = []
+            count = 0
+            for key in reversed(keys):
+                if node.item_count - count <= target:
+                    break
+                moved.append(key)
+                count += len(node.items[key])
+            if not moved:
+                return False
+            boundary = min(moved)
+            lightest.r0 = Range(boundary, lightest.r0.high)
+            node.r0 = Range(node.r0.low, boundary)
+            for key in moved:
+                for value in node.items.pop(key):
+                    lightest.items.setdefault(key, []).append(value)
+        return True
+
+    def _boundary_after(self, node: BatonNode, moved_keys: List[float]) -> float:
+        """A boundary strictly above the moved keys but below the kept ones."""
+        kept = [key for key in node.items if key not in set(moved_keys)]
+        top_moved = max(moved_keys)
+        floor = min(kept) if kept else node.r0.high
+        return (top_moved + floor) / 2.0 if kept else floor
+
+    def global_rebalance(self) -> bool:
+        """The paper's second load-balancing scheme (§4.3), network-wide.
+
+        When adjacent balancing alone cannot fix a hot spot ("there is no
+        adjacent node available for load balancing"), BATON performs a
+        global adjustment.  The paper relocates a non-adjacent leaf; this
+        implementation achieves the same end state — load spread over the
+        whole network — by *diffusion*: repeated passes of pairwise
+        boundary shifts along the in-order chain until no pair can improve.
+        Boundary shifts preserve every structural invariant (no tree
+        restructuring is needed), at the price of more messages per
+        adjustment than the amortized O(log N) the paper cites.
+
+        Returns True if any item moved.
+        """
+        changed = False
+        # Each pass moves load one hop along the chain; spreading a hot spot
+        # across the whole network takes up to O(N) passes, with slack for
+        # uneven item sizes.
+        for _ in range(8 * max(1, len(self._nodes))):
+            moved_this_pass = False
+            for node in self.nodes():
+                if self.balance_with_adjacent(node.node_id):
+                    moved_this_pass = True
+                    changed = True
+            if not moved_this_pass:
+                break
+        return changed

@@ -1,0 +1,45 @@
+"""Benchmark harness for the paper's evaluation (§6).
+
+:mod:`~repro.bench.harness` builds calibrated BestPeer++ networks and
+HadoopDB clusters for the performance benchmark (Figs. 6-11);
+:mod:`~repro.bench.workloads` builds the supply-chain network and the
+closed/open-loop drivers of the throughput benchmark (Figs. 12-14);
+:mod:`~repro.bench.reporting` renders result tables.
+"""
+
+from repro.bench.harness import (
+    ROW_SCALE,
+    PerfPoint,
+    bench_compute_model,
+    bench_cost_params,
+    bench_mr_config,
+    bench_network_config,
+    get_bestpeer_network,
+    get_hadoopdb_cluster,
+    run_adaptive_comparison,
+    run_performance_comparison,
+)
+from repro.bench.workloads import (
+    SupplyChainBench,
+    closed_loop_throughput,
+    open_loop_sweep,
+)
+from repro.bench.reporting import format_table, print_series
+
+__all__ = [
+    "ROW_SCALE",
+    "PerfPoint",
+    "bench_compute_model",
+    "bench_network_config",
+    "bench_mr_config",
+    "bench_cost_params",
+    "get_bestpeer_network",
+    "get_hadoopdb_cluster",
+    "run_performance_comparison",
+    "run_adaptive_comparison",
+    "SupplyChainBench",
+    "closed_loop_throughput",
+    "open_loop_sweep",
+    "format_table",
+    "print_series",
+]

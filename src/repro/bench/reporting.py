@@ -1,0 +1,40 @@
+"""Plain-text rendering of benchmark results."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned ASCII table."""
+    formatted_rows = [
+        [_format_cell(cell) for cell in row] for row in rows
+    ]
+    widths = [len(header) for header in headers]
+    for row in formatted_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in formatted_rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def print_series(title: str, headers: Sequence[str], rows) -> None:
+    """Print one figure's data series under a title banner."""
+    banner = "=" * max(len(title), 8)
+    print(f"\n{banner}\n{title}\n{banner}")
+    print(format_table(headers, rows))
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell >= 100:
+            return f"{cell:,.1f}"
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,209 @@
+"""Throughput-benchmark workloads (Figs. 12-14, §6.2).
+
+Builds the supply-chain network — suppliers and retailers in equal numbers,
+each hosting one nation's data under the nation-key-extended schema, with
+range indexes on the nation key — and drives it two ways:
+
+* **closed loop** (Fig. 12): one test user per requesting peer issues
+  queries back-to-back; throughput scales with the number of peers because
+  every query hits exactly one target peer (the single-peer optimization),
+* **open loop** (Figs. 13-14): queries arrive at a configurable offered
+  rate; each target peer serves them FIFO.  Below saturation the latency is
+  flat; past it the queue grows and latency hockey-sticks, which is exactly
+  the average-latency-vs-throughput curve the paper plots.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.harness import (
+    SEED,
+    bench_compute_model,
+    bench_mr_config,
+    bench_network_config,
+)
+from repro.core import BestPeerNetwork
+from repro.tpch import (
+    COMMON_TABLES,
+    RETAILER_TABLES,
+    SUPPLIER_TABLES,
+    SupplyChainPartitioner,
+    TpchGenerator,
+    retailer_throughput_query,
+    supplier_throughput_query,
+)
+from repro.tpch.dbgen import NUM_NATIONS
+from repro.tpch.schema import NATION_KEY_COLUMNS, TABLE_NAMES, schema_for
+
+
+@dataclass
+class RoleSample:
+    """Measured single-query service times for one role's target peers."""
+
+    role: str  # which *data* is queried: "supplier" or "retailer"
+    service_times: List[float]
+
+    @property
+    def mean_service_time(self) -> float:
+        return sum(self.service_times) / len(self.service_times)
+
+    @property
+    def capacity_qps(self) -> float:
+        """Aggregate saturation throughput of all target peers."""
+        return sum(1.0 / s for s in self.service_times)
+
+
+class SupplyChainBench:
+    """The §6.2 supply-chain network plus its measurement machinery."""
+
+    def __init__(self, num_peers: int, seed: int = SEED) -> None:
+        if num_peers < 2 or num_peers % 2:
+            raise ValueError(
+                f"the supply chain needs an even number of peers: {num_peers}"
+            )
+        self.num_peers = num_peers
+        generator = TpchGenerator(seed=seed, scale=1.0)
+        self.partitioner = SupplyChainPartitioner(generator)
+        schemas = {
+            name: schema_for(name, with_nation_key=True) for name in TABLE_NAMES
+        }
+        self.network = BestPeerNetwork(
+            schemas,
+            secondary_indices=None,
+            mr_config=bench_mr_config(),
+            compute_model=bench_compute_model(),
+            network_config=bench_network_config(),
+        )
+        peer_ids = [f"peer-{i}" for i in range(num_peers)]
+        self.assignments = self.partitioner.assign(peer_ids)
+        for index, assignment in enumerate(self.assignments):
+            self.network.add_peer(
+                assignment.peer_id, tables=assignment.tables
+            )
+            data = self.partitioner.generate_for(assignment, index)
+            # "we also build a range index on the nation key column of each
+            # table in order to avoid accessing suppliers or retailers which
+            # do not host data of interest" (§6.2.2).
+            range_columns = {
+                table: [NATION_KEY_COLUMNS[table]]
+                for table in assignment.tables
+                if table not in COMMON_TABLES
+            }
+            self.network.load_peer(
+                assignment.peer_id, data, range_columns=range_columns
+            )
+        role = self.network.create_full_access_role("throughput")
+        self.network.create_user(
+            "tester", self.assignments[0].peer_id, role
+        )
+
+    # ------------------------------------------------------------------
+    # Single-query measurements
+    # ------------------------------------------------------------------
+    def sample_role(self, data_role: str) -> RoleSample:
+        """Measure one query against every peer of ``data_role``.
+
+        ``data_role="supplier"`` measures the light-weight supplier queries
+        (issued by retailer users); ``"retailer"`` the heavy-weight ones.
+        """
+        targets = [
+            assignment
+            for assignment in self.assignments
+            if assignment.role == data_role
+        ]
+        requesters = [
+            assignment
+            for assignment in self.assignments
+            if assignment.role != data_role
+        ]
+        service_times: List[float] = []
+        for index, target in enumerate(targets):
+            requester = requesters[index % len(requesters)]
+            if data_role == "supplier":
+                sql = supplier_throughput_query(target.nation_key)
+            else:
+                sql = retailer_throughput_query(target.nation_key)
+            execution = self.network.execute(
+                sql, peer_id=requester.peer_id, engine="basic", user="tester"
+            )
+            if execution.strategy != "single-peer":
+                raise AssertionError(
+                    "throughput queries must hit a single peer, got "
+                    f"{execution.strategy} ({execution.peers_contacted} peers)"
+                )
+            service_times.append(execution.latency_s)
+        return RoleSample(role=data_role, service_times=service_times)
+
+
+# ----------------------------------------------------------------------
+# Load models
+# ----------------------------------------------------------------------
+def closed_loop_throughput(sample: RoleSample, clients: int) -> float:
+    """Aggregate q/s of ``clients`` issuing queries back-to-back.
+
+    Each client completes ``1 / mean_service_time`` queries per second, and
+    targets are disjoint single peers, so throughput adds up until the
+    targets saturate.
+    """
+    per_client = 1.0 / sample.mean_service_time
+    return min(clients * per_client, sample.capacity_qps)
+
+
+@dataclass
+class LoadPoint:
+    """One point on the latency-vs-throughput curve."""
+
+    offered_qps: float
+    achieved_qps: float
+    avg_latency_s: float
+
+
+def open_loop_sweep(
+    sample: RoleSample,
+    offered_rates: Sequence[float],
+    round_duration_s: float = 1200.0,
+) -> List[LoadPoint]:
+    """Sweep offered load and model each target as a D/D/1 queue.
+
+    Below saturation (utilization < 1) latency is service time plus the
+    deterministic-queue waiting term; past saturation the backlog grows for
+    the whole 20-minute round (§6.2.1's round length) and the achieved
+    throughput caps at capacity.
+    """
+    points: List[LoadPoint] = []
+    targets = len(sample.service_times)
+    for offered in offered_rates:
+        per_peer_rate = offered / targets
+        total_completed = 0.0
+        weighted_latency = 0.0
+        for service in sample.service_times:
+            utilization = per_peer_rate * service
+            if utilization < 1.0:
+                completed = per_peer_rate * round_duration_s
+                # D/D/1 with deterministic arrivals has no queueing below
+                # saturation; add a contention term that grows smoothly as
+                # utilization approaches 1 (bursty arrivals in practice).
+                latency = service * (1.0 + 0.5 * utilization / (1.0 - utilization))
+            else:
+                completed = round_duration_s / service
+                backlog_wait = (utilization - 1.0) * round_duration_s / 2.0
+                latency = service + backlog_wait
+            total_completed += completed
+            weighted_latency += completed * latency
+        points.append(
+            LoadPoint(
+                offered_qps=offered,
+                achieved_qps=total_completed / round_duration_s,
+                avg_latency_s=weighted_latency / total_completed,
+            )
+        )
+    return points
+
+
+@lru_cache(maxsize=None)
+def get_supply_chain(num_peers: int) -> SupplyChainBench:
+    return SupplyChainBench(num_peers)

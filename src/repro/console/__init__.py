@@ -1,0 +1,18 @@
+"""The administrator console.
+
+"Through a web console interface, companies can easily configure their
+access control policies" (§1) and local administrators manage users and
+roles (§4.4).  This package is that surface, as a scriptable command console:
+define the global schema, launch peers, load data (inline or from CSV),
+define roles with value-range rules, create users, submit SQL through any
+engine, and inspect metrics/billing/maintenance — all against an in-process
+:class:`~repro.core.network.BestPeerNetwork`.
+
+Interactive:  ``python -m repro.console``
+Scripted:     ``python -m repro.console script.bp``
+Embedded:     ``Console().run_script([...])``
+"""
+
+from repro.console.commands import Console, ConsoleError
+
+__all__ = ["Console", "ConsoleError"]

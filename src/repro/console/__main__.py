@@ -1,0 +1,59 @@
+"""Console entry point: interactive REPL or script runner.
+
+Usage::
+
+    python -m repro.console              # interactive
+    python -m repro.console setup.bp     # run a command script
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.console.commands import Console, ConsoleError
+from repro.errors import ReproError
+
+
+def run_file(path: str) -> int:
+    console = Console()
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            try:
+                output = console.execute(line)
+            except ReproError as error:
+                print(f"{path}:{line_number}: error: {error}", file=sys.stderr)
+                return 1
+            if output:
+                print(output)
+    return 0
+
+
+def repl() -> int:
+    console = Console()
+    print("BestPeer++ console — type 'help' for commands, 'exit' to leave")
+    while True:
+        try:
+            line = input("bestpeer> ")
+        except EOFError:
+            print()
+            return 0
+        if line.strip() in ("exit", "quit"):
+            return 0
+        try:
+            output = console.execute(line)
+        except ReproError as error:
+            print(f"error: {error}")
+            continue
+        if output:
+            print(output)
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv:
+        return run_file(argv[0])
+    return repl()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,262 @@
+"""The bootstrap peer (§3).
+
+Run by the BestPeer++ service provider, the bootstrap peer is the network's
+entry point and administrator: it manages peer join/departure (§3.1), acts
+as the CA and the central metadata repository (global schema, peer list,
+role definitions, user registry, §2.2), and runs the maintenance daemon of
+Algorithm 1 — monitoring every normal peer through CloudWatch and scheduling
+auto fail-over and auto-scaling events (§3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.access_control import Role
+from repro.core.certificates import Certificate, CertificateAuthority
+from repro.core.config import DaemonConfig
+from repro.core.peer import NormalPeer
+from repro.errors import MembershipError
+from repro.sim.cloud import (
+    CloudProvider,
+    INSTANCE_LAUNCH_TIME_S,
+    InstanceState,
+)
+from repro.sqlengine.schema import TableSchema
+
+
+@dataclass
+class PeerRecord:
+    """Bookkeeping for one admitted peer."""
+
+    peer_id: str
+    certificate: Certificate
+    instance_id: str
+
+
+@dataclass
+class JoinGrant:
+    """What a newly admitted peer receives (§3.1)."""
+
+    certificate: Certificate
+    participants: List[str]
+    global_schemas: Dict[str, TableSchema]
+    roles: Dict[str, Role]
+
+
+@dataclass
+class FailoverEvent:
+    peer_id: str
+    old_instance_id: str
+    new_instance_id: str
+    duration_s: float
+    restored_rows: int
+
+
+@dataclass
+class ScalingEvent:
+    peer_id: str
+    action: str  # "upgrade" | "add-storage"
+    detail: str
+
+
+@dataclass
+class MaintenanceReport:
+    """Outcome of one daemon epoch (one pass of Algorithm 1)."""
+
+    failovers: List[FailoverEvent] = field(default_factory=list)
+    scalings: List[ScalingEvent] = field(default_factory=list)
+    released_instances: List[str] = field(default_factory=list)
+    notified_peers: int = 0
+
+
+class BootstrapPeer:
+    """The single provider-run coordinator instance."""
+
+    def __init__(
+        self,
+        cloud: CloudProvider,
+        global_schemas: Dict[str, TableSchema],
+        daemon_config: Optional[DaemonConfig] = None,
+        ca_secret: str = "bestpeer-ca",
+        admission_policy: Optional[Callable[[str], bool]] = None,
+    ) -> None:
+        self.cloud = cloud
+        self.instance = cloud.launch_instance(
+            instance_type="m1.large", instance_id="bootstrap"
+        )
+        self.ca = CertificateAuthority(ca_secret)
+        self.daemon_config = daemon_config or DaemonConfig()
+        self.global_schemas = dict(global_schemas)
+        self.roles: Dict[str, Role] = {}
+        # user -> peer that created the account ("The information of the
+        # users created at one peer is forwarded to the bootstrap peer and
+        # then broadcasted to other normal peers", §4.4).
+        self.user_registry: Dict[str, str] = {}
+        # §3.1: "If the join request is permitted by the service provider".
+        self.admission_policy = admission_policy
+        self._peers: Dict[str, PeerRecord] = {}
+        self._blacklist: List[PeerRecord] = []
+
+    # ------------------------------------------------------------------
+    # Roles (the provider "defines a standard set of roles", §4.4)
+    # ------------------------------------------------------------------
+    def define_role(self, role: Role) -> None:
+        self.roles[role.name] = role
+
+    # ------------------------------------------------------------------
+    # Membership (§3.1)
+    # ------------------------------------------------------------------
+    def register_peer(self, peer: NormalPeer, now: float = 0.0) -> JoinGrant:
+        """Admit a normal peer into the corporate network."""
+        if peer.peer_id in self._peers:
+            raise MembershipError(f"peer already joined: {peer.peer_id!r}")
+        if any(record.peer_id == peer.peer_id for record in self._blacklist):
+            raise MembershipError(f"peer is blacklisted: {peer.peer_id!r}")
+        if self.admission_policy is not None and not self.admission_policy(
+            peer.peer_id
+        ):
+            raise MembershipError(
+                f"the service provider rejected the join request of "
+                f"{peer.peer_id!r}"
+            )
+        certificate = self.ca.issue(peer.peer_id, now)
+        peer.certificate = certificate
+        self._peers[peer.peer_id] = PeerRecord(
+            peer_id=peer.peer_id,
+            certificate=certificate,
+            instance_id=peer.host,
+        )
+        return JoinGrant(
+            certificate=certificate,
+            participants=self.peer_list(),
+            global_schemas=dict(self.global_schemas),
+            roles=dict(self.roles),
+        )
+
+    def handle_departure(self, peer_id: str) -> None:
+        """Process a voluntary departure: blacklist, revoke, reclaim."""
+        record = self._peers.pop(peer_id, None)
+        if record is None:
+            raise MembershipError(f"unknown peer: {peer_id!r}")
+        self.ca.revoke(record.certificate)
+        self._blacklist.append(record)
+
+    def peer_list(self) -> List[str]:
+        return sorted(self._peers)
+
+    def is_member(self, peer_id: str) -> bool:
+        return peer_id in self._peers
+
+    def verify_certificate(self, certificate: Certificate) -> bool:
+        return self.ca.verify(certificate)
+
+    # ------------------------------------------------------------------
+    # User registry (§4.4)
+    # ------------------------------------------------------------------
+    def register_user(self, user: str, origin_peer_id: str) -> None:
+        if origin_peer_id not in self._peers:
+            raise MembershipError(
+                f"users must originate at a member peer: {origin_peer_id!r}"
+            )
+        self.user_registry[user] = origin_peer_id
+
+    # ------------------------------------------------------------------
+    # Algorithm 1: the maintenance daemon
+    # ------------------------------------------------------------------
+    def run_maintenance_epoch(
+        self, peers: Dict[str, NormalPeer]
+    ) -> MaintenanceReport:
+        """One pass of the daemon: monitor, fail-over, auto-scale, release.
+
+        ``peers`` maps peer id -> the live peer object (the in-process stand
+        -in for "asking the instance to recover"); the *decision* inputs come
+        exclusively from CloudWatch, as in the paper.
+        """
+        report = MaintenanceReport()
+        config = self.daemon_config
+        for peer_id in self.peer_list():
+            peer = peers.get(peer_id)
+            if peer is None:
+                continue
+            record = self._peers[peer_id]
+            if not self.cloud.cloudwatch.is_responsive(record.instance_id):
+                report.failovers.append(self._failover(record, peer))
+                continue
+            # Fold the peer's busy time since the last epoch into the
+            # CloudWatch CPU gauge the decisions below read.
+            peer.update_cpu_metric(config.epoch_s)
+            metrics = self.cloud.cloudwatch.metrics(record.instance_id)
+            if metrics["cpu_utilization"] > config.cpu_overload_threshold:
+                upgraded = self._upgrade(record, peer)
+                if upgraded is not None:
+                    report.scalings.append(upgraded)
+            if metrics["free_storage_gb"] < config.free_storage_threshold_gb:
+                self.cloud.add_storage(
+                    record.instance_id, config.storage_increment_gb
+                )
+                report.scalings.append(
+                    ScalingEvent(
+                        peer_id,
+                        "add-storage",
+                        f"+{config.storage_increment_gb} GB",
+                    )
+                )
+        # "At the end of each maintenance epoch, the bootstrap releases the
+        # resources in the blacklist and notifies the changes."
+        for record in self._blacklist:
+            try:
+                instance = self.cloud.describe_instance(record.instance_id)
+            except Exception:
+                continue
+            if instance.state is not InstanceState.TERMINATED:
+                if instance.state is InstanceState.CRASHED:
+                    instance.state = InstanceState.RUNNING  # reclaimable
+                self.cloud.terminate_instance(record.instance_id)
+                report.released_instances.append(record.instance_id)
+        self._blacklist.clear()
+        report.notified_peers = len(self._peers)
+        return report
+
+    def _failover(self, record: PeerRecord, peer: NormalPeer) -> FailoverEvent:
+        """Fail-over one crashed peer (lines 6-10 of Algorithm 1)."""
+        old_instance_id = record.instance_id
+        snapshot = self.cloud.latest_snapshot(old_instance_id)
+        new_instance = self.cloud.launch_instance(
+            instance_type=peer.instance.instance_type.name,
+            storage_gb=peer.instance.storage_gb,
+            security_group=peer.instance.security_group,
+        )
+        duration = (
+            self.daemon_config.detection_delay_s + INSTANCE_LAUNCH_TIME_S
+        )
+        restored_rows = 0
+        if snapshot is not None:
+            duration += self.cloud.restore_duration_s(snapshot)
+        # Blacklist the failed instance; it is released at epoch end.
+        self._blacklist.append(
+            PeerRecord(record.peer_id, record.certificate, old_instance_id)
+        )
+        record.instance_id = new_instance.instance_id
+        peer.rebind_instance(new_instance)
+        if snapshot is not None:
+            peer.restore_from_payload(snapshot.payload)
+            restored_rows = snapshot.payload.total_rows
+        return FailoverEvent(
+            peer_id=record.peer_id,
+            old_instance_id=old_instance_id,
+            new_instance_id=new_instance.instance_id,
+            duration_s=duration,
+            restored_rows=restored_rows,
+        )
+
+    def _upgrade(
+        self, record: PeerRecord, peer: NormalPeer
+    ) -> Optional[ScalingEvent]:
+        current = peer.instance.instance_type.name
+        bigger = self.cloud.scale_up_type(current)
+        if bigger is None:
+            return None
+        self.cloud.resize_instance(record.instance_id, bigger)
+        return ScalingEvent(record.peer_id, "upgrade", f"{current} -> {bigger}")

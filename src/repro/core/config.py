@@ -1,0 +1,78 @@
+"""BestPeer++ configuration.
+
+Collects the tunables of §6.1.2 (MemTable capacity, concurrent fetch
+threads), the pay-as-you-go pricing ratios of §5.2 (α, β, γ), and the
+thresholds of the bootstrap peer's monitoring daemon (Algorithm 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import BestPeerError
+
+
+@dataclass(frozen=True)
+class PricingConfig:
+    """Pay-as-you-go cost ratios (Equation 1).
+
+    ``alpha`` — local disk usage ($/byte), ``beta`` — network usage
+    ($/byte), ``gamma`` — processing-node rental ($/second).
+    """
+
+    alpha: float = 1e-10
+    beta: float = 5e-10
+    gamma: float = 0.08 / 3600.0  # an m1.small's hourly price, per second
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0 or self.beta < 0 or self.gamma < 0:
+            raise BestPeerError("pricing ratios must be non-negative")
+
+    def basic_cost(self, nbytes: int, seconds: float) -> float:
+        """Equation (1): C = (α + β)·N + γ·t."""
+        if nbytes < 0 or seconds < 0:
+            raise BestPeerError("cost inputs must be non-negative")
+        return (self.alpha + self.beta) * nbytes + self.gamma * seconds
+
+
+@dataclass(frozen=True)
+class BestPeerConfig:
+    """Normal-peer and engine configuration."""
+
+    # §6.1.2: "maximum memory consumed by the MemTable to be 100 MB".
+    memtable_capacity_bytes: int = 100 * 1024 * 1024
+    # §6.1.2: "20 concurrent threads for fetching data from remote peers".
+    fetch_threads: int = 20
+    # Bloom-join: equi-join optimization of §5.2.
+    bloom_join_enabled: bool = True
+    bloom_filter_bits_per_key: int = 10
+    bloom_filter_hashes: int = 4
+    # Index entry cache (§5.2: peers cache index entries in memory).
+    index_cache_enabled: bool = True
+    pricing: PricingConfig = field(default_factory=PricingConfig)
+
+    def __post_init__(self) -> None:
+        if self.memtable_capacity_bytes <= 0:
+            raise BestPeerError("MemTable capacity must be positive")
+        if self.fetch_threads < 1:
+            raise BestPeerError("need at least one fetch thread")
+        if self.bloom_filter_bits_per_key < 1 or self.bloom_filter_hashes < 1:
+            raise BestPeerError("bloom filter parameters must be positive")
+
+
+@dataclass(frozen=True)
+class DaemonConfig:
+    """Thresholds for Algorithm 1 (auto fail-over / auto-scaling)."""
+
+    cpu_overload_threshold: float = 0.85
+    free_storage_threshold_gb: float = 1.0
+    storage_increment_gb: float = 5.0
+    # How often the daemon wakes up, and how long failure detection takes.
+    epoch_s: float = 60.0
+    detection_delay_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.cpu_overload_threshold <= 1:
+            raise BestPeerError("CPU threshold must be in (0, 1]")
+        if self.epoch_s <= 0:
+            raise BestPeerError("epoch must be positive")

@@ -1,0 +1,244 @@
+"""The pay-as-you-go cost models (Equations 1-11, §5.2-§5.5).
+
+Notation (Table 3): a processing graph has levels L (deepest) down to 1;
+level ``i`` joins in table ``T_i`` with size ``S(T_i)``, selectivity
+``g(i)`` and ``t(T_i)`` partitions.  The intermediate result entering level
+``i`` has size ``s(i+1)``; the recurrence
+
+    s(i) = s(i+1) · S(T_i) · g(i)                                   (4)
+
+gives  s(i) = Π_{j=L..i} S(T_j) g(j)                                 (5).
+
+The **P2P engine** (replicated join) broadcasts each level's intermediate
+result to every partition of the new table:
+
+    W_BP(i) = t(T_i) · Π_{j=L..i} S(T_j) g(j)                        (6)
+    C_BP    = (α + β_BP) · Σ_i W_BP(i)                               (8)
+
+The **MapReduce engine** (symmetric hash join) shuffles each tuple once per
+level but pays a per-job constant φ:
+
+    W_MR(i) = s(i+1) + S(T_i) + φ                                    (9)
+    C_MR    = (α + β_MR) · [Σ_i Π_j S g + Σ_i S(T_i) + φ(L-1)]      (11)
+
+"Comparing between two cost models, we can observe that table size and
+query complexity are the key factors ... With more levels of join, and
+larger size of tables, the query planner tends to choose the MapReduce
+method."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import BestPeerError
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Runtime parameters of the cost models (Table 3).
+
+    ``alpha`` — local I/O cost ratio (per byte),
+    ``beta_bp`` / ``beta_mr`` — network cost ratios of the two engines,
+    ``gamma`` — processing-node cost per second (Eq. 1),
+    ``phi`` — the constant per-job MapReduce overhead (bytes-equivalent),
+    ``mu`` — bytes one processing node handles per second (Eq. 2).
+    """
+
+    alpha: float = 1e-8
+    beta_bp: float = 1e-8
+    beta_mr: float = 1.2e-8  # MR shuffles through disk + HTTP: slightly costlier
+    gamma: float = 0.08 / 3600.0
+    phi: float = 1.2e9  # ~12 s of startup at mu bytes/s
+    mu: float = 1e8
+
+    def __post_init__(self) -> None:
+        for name in ("alpha", "beta_bp", "beta_mr", "gamma", "phi", "mu"):
+            if getattr(self, name) < 0:
+                raise BestPeerError(f"{name} must be non-negative")
+        if self.mu == 0:
+            raise BestPeerError("mu must be positive")
+
+
+@dataclass(frozen=True)
+class LevelSpec:
+    """One join level, ordered from L (first) downwards.
+
+    ``table_size`` — S(T_i) in bytes, ``selectivity`` — g(i),
+    ``partitions`` — t(T_i).
+    """
+
+    table: str
+    table_size: float
+    selectivity: float
+    partitions: int
+
+    def __post_init__(self) -> None:
+        if self.table_size < 0:
+            raise BestPeerError("table size cannot be negative")
+        if not 0 <= self.selectivity <= 1:
+            raise BestPeerError(
+                f"selectivity must be in [0, 1]: {self.selectivity}"
+            )
+        if self.partitions < 1:
+            raise BestPeerError("a table has at least one partition")
+
+
+def basic_cost(params: CostParams, nbytes: float, pricing_beta: Optional[float] = None) -> float:
+    """Equation (2): C_basic = (α + β)·N + γ·N/μ."""
+    if nbytes < 0:
+        raise BestPeerError("byte count cannot be negative")
+    beta = params.beta_bp if pricing_beta is None else pricing_beta
+    return (params.alpha + beta) * nbytes + params.gamma * nbytes / params.mu
+
+
+def intermediate_sizes(
+    levels: Sequence[LevelSpec], base_size: float = 1.0
+) -> List[float]:
+    """s(i) for every level, Eq. (5): s(i) = Π_{j=L..i} S(T_j)·g(j).
+
+    ``levels[0]`` is level L; the returned list aligns with ``levels``.
+    ``base_size`` seeds the recurrence — the paper's literal form uses the
+    empty product (1), which loses the size of the level-(L+1) scan feeding
+    the first join; passing the filtered base-table size there makes s(i)
+    track actual intermediate-result bytes.
+    """
+    if base_size <= 0:
+        raise BestPeerError(f"base size must be positive: {base_size}")
+    sizes: List[float] = []
+    running = float(base_size)
+    for level in levels:
+        running *= level.table_size * level.selectivity
+        sizes.append(running)
+    return sizes
+
+
+def p2p_workloads(
+    levels: Sequence[LevelSpec], base_size: float = 1.0
+) -> List[float]:
+    """W_BP(i) per level, Eq. (6)."""
+    return [
+        level.partitions * size
+        for level, size in zip(levels, intermediate_sizes(levels, base_size))
+    ]
+
+
+def p2p_cost(
+    params: CostParams, levels: Sequence[LevelSpec], base_size: float = 1.0
+) -> float:
+    """C_BP, Eq. (8)."""
+    _require_levels(levels)
+    return (params.alpha + params.beta_bp) * sum(
+        p2p_workloads(levels, base_size)
+    )
+
+
+def mapreduce_workloads(
+    params: CostParams, levels: Sequence[LevelSpec], base_size: float = 1.0
+) -> List[float]:
+    """W_MR(i) per level, Eq. (9): s(i+1) + S(T_i) + φ."""
+    sizes = intermediate_sizes(levels, base_size)
+    workloads: List[float] = []
+    for index, level in enumerate(levels):
+        incoming = sizes[index - 1] if index > 0 else base_size
+        workloads.append(incoming + level.table_size + params.phi)
+    return workloads
+
+
+def mapreduce_cost(
+    params: CostParams, levels: Sequence[LevelSpec], base_size: float = 1.0
+) -> float:
+    """C_MR, Eq. (11).
+
+    One deviation from the equation as printed: the startup constant is
+    charged once *per job* (φ·L) rather than φ·(L−1).  The printed form
+    gives single-job queries zero startup overhead, which contradicts the
+    measured behaviour the paper itself reports ("Hadoop requires
+    approximately 10-15 sec to launch all map tasks", §6.1.6) — every job,
+    including the first, pays it.
+    """
+    _require_levels(levels)
+    sizes = intermediate_sizes(levels, base_size)
+    total = (
+        sum(sizes)
+        + sum(level.table_size for level in levels)
+        + params.phi * len(levels)
+    )
+    return (params.alpha + params.beta_mr) * total
+
+
+def _require_levels(levels: Sequence[LevelSpec]) -> None:
+    if not levels:
+        raise BestPeerError("cost models need at least one level")
+
+
+@dataclass
+class CostEstimate:
+    """Both engines' predicted costs for one query."""
+
+    p2p: float
+    mapreduce: float
+
+    @property
+    def cheaper_engine(self) -> str:
+        return "p2p" if self.p2p <= self.mapreduce else "mapreduce"
+
+
+def estimate(
+    params: CostParams, levels: Sequence[LevelSpec], base_size: float = 1.0
+) -> CostEstimate:
+    """Evaluate both cost models over the same processing graph."""
+    return CostEstimate(
+        p2p=p2p_cost(params, levels, base_size),
+        mapreduce=mapreduce_cost(params, levels, base_size),
+    )
+
+
+class FeedbackCalibrator:
+    """The statistics module's feedback loop (§5.5).
+
+    "the statistics module is extended with a feedback-loop mechanism
+    capable of adjusting the query parameter based on recently measured
+    values."  After each query it compares predicted vs. measured cost and
+    nudges the engine's network ratio with exponential smoothing.
+    """
+
+    def __init__(self, params: CostParams, smoothing: float = 0.3) -> None:
+        if not 0 < smoothing <= 1:
+            raise BestPeerError(f"smoothing must be in (0, 1]: {smoothing}")
+        self.params = params
+        self.smoothing = smoothing
+        self.observations: List[float] = []
+
+    def observe(self, engine: str, predicted: float, measured: float) -> CostParams:
+        """Record one (predicted, measured) pair and recalibrate.
+
+        Returns the updated :class:`CostParams`; also stored on ``params``.
+        """
+        if predicted <= 0 or measured <= 0:
+            return self.params
+        ratio = measured / predicted
+        self.observations.append(ratio)
+        adjust = 1.0 + self.smoothing * (ratio - 1.0)
+        if engine == "p2p":
+            self.params = CostParams(
+                alpha=self.params.alpha,
+                beta_bp=self.params.beta_bp * adjust,
+                beta_mr=self.params.beta_mr,
+                gamma=self.params.gamma,
+                phi=self.params.phi,
+                mu=self.params.mu,
+            )
+        elif engine == "mapreduce":
+            self.params = CostParams(
+                alpha=self.params.alpha,
+                beta_bp=self.params.beta_bp,
+                beta_mr=self.params.beta_mr * adjust,
+                gamma=self.params.gamma,
+                phi=self.params.phi,
+                mu=self.params.mu,
+            )
+        else:
+            raise BestPeerError(f"unknown engine: {engine!r}")
+        return self.params

@@ -1,0 +1,520 @@
+"""The basic query processing engine: fetch and process (§5.2).
+
+The query submitted at peer P is evaluated in two steps:
+
+1. **fetching** — the query is decomposed into single-table subqueries
+   (selections/projections pushed down) which are sent to the data-owner
+   peers found through the BATON indexes; intermediate results are shuffled
+   back to P,
+2. **processing** — P stages the fetched tuples in MemTables, bulk-inserts
+   them into its local database, and evaluates the original query locally.
+
+Optimizations, as in the paper:
+
+* cached index entries avoid BATON traversals on repeat lookups,
+* **bloom join** reduces the bytes shipped for equi-joins: the base side's
+  join keys build a Bloom filter that is sent to the other side's owners,
+  which ship only (probably-)matching tuples,
+* the **single-peer optimization** (§6.2.3): when one normal peer hosts all
+  required data, the entire SQL goes to that peer and the processing phase
+  is skipped.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.bloom import build_filter
+from repro.core.execution import EngineContext, QueryExecution, makespan
+from repro.core.indexer import PeerLookup
+from repro.core.predicates import range_constraint
+from repro.errors import PeerUnavailableError, SqlCatalogError
+from repro.hadoopdb.driver import finalize_records, merge_partial_aggregates
+from repro.hadoopdb.sms import (
+    DistributedPlan,
+    SmsPlanner,
+    TableLocalPlan,
+    partial_aggregate_plan,
+)
+from repro.sqlengine.executor import compute_aggregates
+from repro.sqlengine.expr import RowLayout
+from repro.mapreduce.engine import records_byte_size
+from repro.sqlengine.database import Database
+from repro.sqlengine.expr import Between, BinaryOp, ColumnRef, Literal
+from repro.sqlengine.parser import SelectStmt, parse
+from repro.sqlengine.planner import _normalize_comparison, _split_conjuncts
+from repro.sqlengine.schema import Column, TableSchema
+from repro.sqlengine.table import MemTable
+
+
+class BasicEngine:
+    """Fetch-and-process execution from one query-submitting peer."""
+
+    def __init__(self, context: EngineContext) -> None:
+        self.context = context
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        sql: str,
+        user: Optional[str] = None,
+        timestamp: Optional[float] = None,
+    ) -> QueryExecution:
+        stmt = parse(sql)
+        plan = SmsPlanner(self.context.schemas).compile(stmt)
+
+        # Locate data owners for every table, using the best index available.
+        lookups = self._locate_tables(stmt, plan)
+        index_hops = sum(lookup.hops for lookup in lookups.values())
+
+        all_peers: Set[str] = set()
+        for lookup in lookups.values():
+            all_peers.update(lookup.peers)
+        self._require_online(all_peers)
+
+        if len(all_peers) == 1:
+            return self._single_peer(
+                sql, next(iter(all_peers)), index_hops, user, timestamp
+            )
+        if not plan.joins:
+            return self._single_table(plan, lookups, index_hops, user, timestamp)
+        return self._fetch_and_process(
+            sql, plan, lookups, index_hops, user, timestamp
+        )
+
+    # ------------------------------------------------------------------
+    # Single-table queries: push the whole subquery to every owner
+    # ------------------------------------------------------------------
+    def _single_table(
+        self,
+        plan: DistributedPlan,
+        lookups: Dict[str, PeerLookup],
+        index_hops: int,
+        user: Optional[str],
+        timestamp: Optional[float],
+    ) -> QueryExecution:
+        """Q1/Q2-style evaluation (§6.1.6-§6.1.7).
+
+        Selections/projections (and, for decomposable aggregates, *partial
+        aggregation*) run at the data-owner peers; the query-submitting peer
+        only merges partial results — no MemTable staging, no local re-scan.
+        """
+        context = self.context
+        lookup = lookups[plan.base.binding]
+        aggregate = plan.aggregate
+
+        # Partial-aggregate rows cannot be access-rewritten (they are
+        # derived values, not table columns), so the pushdown only applies
+        # when the user's role grants unrestricted reads on every referenced
+        # column at every owner; otherwise raw rows are fetched (and masked
+        # at the source) and aggregated at the query peer.
+        pushdown_ok = (
+            aggregate is not None
+            and aggregate.partials is not None
+            and self._pushdown_allowed(plan, lookup, user)
+        )
+        if pushdown_ok:
+            local_plan = partial_aggregate_plan(plan)
+            group_count = len(aggregate.group_exprs)
+            rows, durations, nbytes = self._fetch_table(
+                local_plan, lookup, user=None, timestamp=timestamp
+            )
+            groups: Dict[tuple, List[tuple]] = {}
+            order: List[tuple] = []
+            for row in rows:
+                key = tuple(row[:group_count])
+                bucket = groups.get(key)
+                if bucket is None:
+                    groups[key] = bucket = []
+                    order.append(key)
+                bucket.append(tuple(row[group_count:]))
+            if not groups and group_count == 0:
+                # Scalar aggregate over zero owners' rows still yields a row.
+                empty = tuple(
+                    None for p in aggregate.partials for _ in p.partial_sqls
+                )
+                groups[()] = [empty]
+                order.append(())
+            records = [
+                key + merge_partial_aggregates(aggregate.partials, groups[key])
+                for key in order
+            ]
+            columns = aggregate.group_names + [
+                call.to_sql().lower() for call in aggregate.aggregates
+            ]
+        elif aggregate is not None:
+            # Non-decomposable aggregates (COUNT DISTINCT) or restricted
+            # users: fetch raw rows (access-rewritten at the owners) and
+            # aggregate at the query peer.
+            rows, durations, nbytes = self._fetch_table(
+                plan.base, lookup, user, timestamp
+            )
+            layout = RowLayout(plan.base.columns)
+            groups = {}
+            order = []
+            for row in rows:
+                key = tuple(
+                    expr.evaluate(row, layout) for expr in aggregate.group_exprs
+                )
+                bucket = groups.get(key)
+                if bucket is None:
+                    groups[key] = bucket = []
+                    order.append(key)
+                bucket.append(row)
+            if not groups and not aggregate.group_exprs:
+                groups[()] = []
+                order.append(())
+            records = [
+                key
+                + compute_aggregates(aggregate.aggregates, groups[key], layout)
+                for key in order
+            ]
+            columns = aggregate.group_names + [
+                call.to_sql().lower() for call in aggregate.aggregates
+            ]
+        else:
+            # Pure selection (Q1): merge the owners' partial results.
+            rows, durations, nbytes = self._fetch_table(
+                plan.base, lookup, user, timestamp
+            )
+            records = rows
+            columns = list(plan.base.columns)
+
+        merge_seconds = context.compute_model.rows_seconds(
+            len(records), context.query_peer.compute_units
+        )
+        records, out_columns = finalize_records(plan, records, columns)
+        fetch_seconds = makespan(durations, context.config.fetch_threads)
+        latency = context.hop_cost_s(index_hops) + fetch_seconds + merge_seconds
+        return QueryExecution(
+            columns=out_columns,
+            records=records,
+            latency_s=latency,
+            strategy="fetch-and-process",
+            bytes_transferred=nbytes,
+            peers_contacted=len(lookup.peers),
+            index_hops=index_hops,
+            dollar_cost=context.config.pricing.basic_cost(nbytes, latency),
+            engine_details={
+                "fetch_s": fetch_seconds,
+                "merge_s": merge_seconds,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Single-peer optimization
+    # ------------------------------------------------------------------
+    def _single_peer(
+        self,
+        sql: str,
+        peer_id: str,
+        index_hops: int,
+        user: Optional[str],
+        timestamp: Optional[float],
+    ) -> QueryExecution:
+        context = self.context
+        owner = context.peer(peer_id)
+        execution = owner.execute_local(sql, query_timestamp=timestamp)
+        result_bytes = execution.result.byte_size
+        transfer = context.network.transfer(
+            owner.host, context.query_peer.host, result_bytes
+        )
+        latency = (
+            context.hop_cost_s(index_hops) + execution.seconds + transfer
+        )
+        return QueryExecution(
+            columns=execution.result.columns,
+            records=list(execution.result.rows),
+            latency_s=latency,
+            strategy="single-peer",
+            bytes_transferred=result_bytes,
+            peers_contacted=1,
+            index_hops=index_hops,
+            dollar_cost=context.config.pricing.basic_cost(result_bytes, latency),
+        )
+
+    # ------------------------------------------------------------------
+    # Fetch and process
+    # ------------------------------------------------------------------
+    def _fetch_and_process(
+        self,
+        sql: str,
+        plan: DistributedPlan,
+        lookups: Dict[str, PeerLookup],
+        index_hops: int,
+        user: Optional[str],
+        timestamp: Optional[float],
+    ) -> QueryExecution:
+        context = self.context
+
+        # Optional bloom join on the first equi-join: the base side is
+        # fetched first, its keys build the filter for the joined side.
+        bloom_filter = None
+        bloom_target_binding = None
+        bloom_joins = 0
+        local_plans = [plan.base] + [stage.right for stage in plan.joins]
+        fetched: Dict[str, List[tuple]] = {}
+        fetch_durations: List[float] = []
+        bytes_transferred = 0
+        peers_contacted: Set[str] = set()
+
+        if context.config.bloom_join_enabled and plan.joins:
+            first_stage = plan.joins[0]
+            base_rows, base_durations, base_bytes = self._fetch_table(
+                plan.base, lookups[plan.base.binding], user, timestamp
+            )
+            fetched[plan.base.binding] = base_rows
+            fetch_durations.extend(base_durations)
+            bytes_transferred += base_bytes
+            peers_contacted.update(lookups[plan.base.binding].peers)
+
+            key_position = plan.base.columns.index(first_stage.left_key)
+            keys = {
+                row[key_position] for row in base_rows if row[key_position] is not None
+            }
+            if keys:
+                bloom_filter = build_filter(
+                    keys,
+                    bits_per_key=context.config.bloom_filter_bits_per_key,
+                    num_hashes=context.config.bloom_filter_hashes,
+                )
+                bloom_target_binding = first_stage.right.binding
+                bloom_joins = 1
+
+        for local_plan in local_plans:
+            if local_plan.binding in fetched:
+                continue
+            if local_plan.binding == bloom_target_binding:
+                stage = plan.joins[0]
+                key_position = local_plan.columns.index(stage.right_key)
+                # Shipping the filter to every owner costs its size once per
+                # owner peer.
+                for peer_id in lookups[local_plan.binding].peers:
+                    bytes_transferred += bloom_filter.size_bytes
+                    fetch_durations.append(
+                        context.network.transfer(
+                            context.query_peer.host,
+                            context.peer(peer_id).host,
+                            bloom_filter.size_bytes,
+                        )
+                    )
+                rows, durations, nbytes = self._fetch_table(
+                    local_plan,
+                    lookups[local_plan.binding],
+                    user,
+                    timestamp,
+                    row_filter=lambda row: row[key_position] in bloom_filter,
+                )
+            else:
+                rows, durations, nbytes = self._fetch_table(
+                    local_plan, lookups[local_plan.binding], user, timestamp
+                )
+            fetched[local_plan.binding] = rows
+            fetch_durations.extend(durations)
+            bytes_transferred += nbytes
+            peers_contacted.update(lookups[local_plan.binding].peers)
+
+        fetch_seconds = makespan(fetch_durations, context.config.fetch_threads)
+
+        # Processing phase: stage into MemTables, bulk insert, run locally.
+        staging_db, spills, staging_rows = self._stage(plan, local_plans, fetched)
+        staging_seconds = context.compute_model.rows_seconds(
+            staging_rows, context.query_peer.compute_units
+        )
+        # Re-evaluate over the staged partitions with only the residual
+        # (multi-table) predicates — the single-table ones were already
+        # applied at the data owners, whose pruned projections may not even
+        # carry the filtered columns.
+        processing_stmt = dataclasses.replace(
+            plan.statement, where=plan.residual_where
+        )
+        final = staging_db.execute_select(processing_stmt)
+        processing_seconds = context.compute_model.seconds(
+            final.stats, context.query_peer.compute_units
+        )
+
+        latency = (
+            context.hop_cost_s(index_hops)
+            + fetch_seconds
+            + staging_seconds
+            + processing_seconds
+        )
+        return QueryExecution(
+            columns=final.columns,
+            records=list(final.rows),
+            latency_s=latency,
+            strategy="fetch-and-process",
+            bytes_transferred=bytes_transferred,
+            peers_contacted=len(peers_contacted),
+            index_hops=index_hops,
+            bloom_joins=bloom_joins,
+            memtable_spills=spills,
+            dollar_cost=context.config.pricing.basic_cost(
+                bytes_transferred, latency
+            ),
+            engine_details={
+                "fetch_s": fetch_seconds,
+                "staging_s": staging_seconds,
+                "processing_s": processing_seconds,
+            },
+        )
+
+    def _pushdown_allowed(
+        self,
+        plan: DistributedPlan,
+        lookup: PeerLookup,
+        user: Optional[str],
+    ) -> bool:
+        """Whole-query pushdown is safe only if no masking can apply."""
+        if user is None:
+            return True
+        table = plan.base.table
+        bare_columns = [
+            name.rsplit(".", 1)[-1] for name in plan.base.columns
+        ]
+        for peer_id in lookup.peers:
+            owner = self.context.peers.get(peer_id)
+            if owner is None or not owner.access.has_user(user):
+                return False
+            role = owner.access.role_of(user)
+            for column in bare_columns:
+                access_rule = role.rule_for(f"{table}.{column}")
+                if access_rule is None:
+                    return False
+                if "read" not in access_rule.privileges:
+                    return False
+                if access_rule.value_range is not None:
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Fetch helpers
+    # ------------------------------------------------------------------
+    def _fetch_table(
+        self,
+        local_plan: TableLocalPlan,
+        lookup: PeerLookup,
+        user: Optional[str],
+        timestamp: Optional[float],
+        row_filter=None,
+    ) -> Tuple[List[tuple], List[float], int]:
+        """Run a subquery at every owner peer; returns (rows, durations, bytes).
+
+        Each duration is one peer's (local execution + transfer) time; the
+        caller folds them through the fetch-thread pool.
+        """
+        context = self.context
+        rows: List[tuple] = []
+        durations: List[float] = []
+        total_bytes = 0
+        for peer_id in lookup.peers:
+            owner = context.peer(peer_id)
+            try:
+                execution = owner.execute_fetch(
+                    local_plan.table, local_plan.sql, user=user,
+                    query_timestamp=timestamp,
+                )
+            except SqlCatalogError:
+                if lookup.index_used != "broadcast":
+                    raise
+                # A broadcast probe may reach peers that never hosted the
+                # table; an empty answer is the correct outcome for them.
+                continue
+            shipped = execution.result.rows
+            if row_filter is not None:
+                shipped = [row for row in shipped if row_filter(row)]
+            nbytes = records_byte_size(shipped)
+            transfer = context.network.transfer(
+                owner.host, context.query_peer.host, nbytes
+            )
+            durations.append(execution.seconds + transfer)
+            total_bytes += nbytes
+            rows.extend(shipped)
+        return rows, durations, total_bytes
+
+    def _stage(
+        self,
+        plan: DistributedPlan,
+        local_plans: Sequence[TableLocalPlan],
+        fetched: Dict[str, List[tuple]],
+    ) -> Tuple[Database, int, int]:
+        """Build the staging database holding the fetched partitions.
+
+        Tables carry only the pruned column set; the original SQL references
+        exactly those columns by construction of the pushdown planner.
+        """
+        context = self.context
+        staging = Database(f"{context.query_peer.peer_id}-staging")
+        spills = 0
+        total_rows = 0
+        created: Set[str] = set()
+        for local_plan in local_plans:
+            if local_plan.table in created:
+                continue
+            created.add(local_plan.table)
+            global_schema = context.schemas[local_plan.table]
+            columns = [
+                global_schema.column(name.rsplit(".", 1)[-1])
+                for name in local_plan.columns
+            ]
+            staging.create_table(TableSchema(local_plan.table, columns))
+            memtable = MemTable(
+                staging.table(local_plan.table),
+                capacity_bytes=context.config.memtable_capacity_bytes,
+            )
+            rows = fetched[local_plan.binding]
+            memtable.extend(rows)
+            memtable.flush()
+            spills += memtable.spill_count
+            total_rows += len(rows)
+        return staging, spills, total_rows
+
+    # ------------------------------------------------------------------
+    # Index lookups
+    # ------------------------------------------------------------------
+    def _locate_tables(
+        self, stmt: SelectStmt, plan: DistributedPlan
+    ) -> Dict[str, PeerLookup]:
+        """One indexer lookup per table binding, range-constrained if possible."""
+        conjuncts = _split_conjuncts(stmt.where)
+        lookups: Dict[str, PeerLookup] = {}
+        # Under a partial indexing policy, unindexed tables degrade to a
+        # broadcast over the whole membership (just-in-time retrieval).
+        policy = getattr(self.context.indexer, "policy", None)
+        fallback = (
+            sorted(self.context.peers)
+            if policy is not None and policy.is_partial
+            else None
+        )
+        for local_plan in [plan.base] + [stage.right for stage in plan.joins]:
+            constraint = self._range_constraint(local_plan, conjuncts)
+            if constraint is None:
+                lookups[local_plan.binding] = self.context.indexer.locate(
+                    local_plan.table, fallback_peers=fallback
+                )
+            else:
+                column, low, high = constraint
+                lookups[local_plan.binding] = self.context.indexer.locate(
+                    local_plan.table, column, low, high,
+                    fallback_peers=fallback,
+                )
+        return lookups
+
+    def _range_constraint(
+        self, local_plan: TableLocalPlan, conjuncts
+    ) -> Optional[Tuple[str, object, object]]:
+        """The first ``col <op> literal`` constraint over this table."""
+        return range_constraint(self.context.schemas[local_plan.table], conjuncts)
+
+    # ------------------------------------------------------------------
+    # Availability (strong consistency, §3.2)
+    # ------------------------------------------------------------------
+    def _require_online(self, peer_ids: Set[str]) -> None:
+        for peer_id in sorted(peer_ids):
+            peer = self.context.peers.get(peer_id)
+            if peer is None or not peer.online:
+                raise PeerUnavailableError(peer_id)

@@ -1,0 +1,230 @@
+"""The parallel P2P engine: replicated joins over a processing graph (§5.3).
+
+Instead of shipping every qualified tuple to the query-submitting peer, each
+join level runs *at the data-owner peers of the joined table*: the (small)
+intermediate result is replicated to all ``t(T_i)`` owners, each of which
+joins it against its local partition — the replicated-join of Fig. 4.  The
+result parts stay distributed and feed the next level; the root finally
+collects the (much smaller) top-level stream, aggregates and projects.
+
+This trades network cost (the broadcast) for parallelism, exactly the
+trade-off the cost model (Eq. 8) prices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.execution import EngineContext, QueryExecution
+from repro.core.indexer import PeerLookup
+from repro.errors import BestPeerError, PeerUnavailableError
+from repro.hadoopdb.driver import finalize_records
+from repro.hadoopdb.sms import DistributedPlan, SmsPlanner
+from repro.mapreduce.engine import records_byte_size
+from repro.sim.clock import parallel_duration
+from repro.sqlengine.executor import compute_aggregates
+from repro.sqlengine.expr import RowLayout
+from repro.sqlengine.parser import parse
+
+
+@dataclass
+class _StreamPart:
+    """A slice of the intermediate result living at one peer."""
+
+    peer_id: str
+    rows: List[tuple]
+
+
+class ParallelP2PEngine:
+    """Replicated-join execution over the data-owner peers."""
+
+    def __init__(self, context: EngineContext) -> None:
+        self.context = context
+
+    def execute(
+        self,
+        sql: str,
+        user: Optional[str] = None,
+        timestamp: Optional[float] = None,
+    ) -> QueryExecution:
+        context = self.context
+        stmt = parse(sql)
+        plan = SmsPlanner(context.schemas).compile(stmt)
+
+        lookups: Dict[str, PeerLookup] = {}
+        index_hops = 0
+        for local_plan in [plan.base] + [stage.right for stage in plan.joins]:
+            lookup = context.indexer.locate(local_plan.table)
+            lookups[local_plan.binding] = lookup
+            index_hops += lookup.hops
+            self._require_online(lookup.peers)
+
+        bytes_transferred = 0
+        peers_contacted: Set[str] = set()
+        level_seconds: List[float] = []
+
+        # Level L: scan the base table at its owners; parts stay local.
+        stream: List[_StreamPart] = []
+        scan_durations = []
+        for peer_id in lookups[plan.base.binding].peers:
+            owner = context.peer(peer_id)
+            execution = owner.execute_fetch(
+                plan.base.table, plan.base.sql, user=user,
+                query_timestamp=timestamp,
+            )
+            stream.append(_StreamPart(peer_id, list(execution.result.rows)))
+            scan_durations.append(execution.seconds)
+            peers_contacted.add(peer_id)
+        level_seconds.append(parallel_duration(*scan_durations))
+        columns = list(plan.base.columns)
+
+        # One level per join: broadcast the stream to the owners of the new
+        # table, join locally in parallel.
+        for stage in plan.joins:
+            owners = lookups[stage.right.binding].peers
+            if not owners:
+                stream = []
+                columns = columns + stage.right.columns
+                continue
+            stream_rows = [row for part in stream for row in part.rows]
+            stream_bytes = records_byte_size(stream_rows)
+
+            left_layout = RowLayout(columns)
+            left_position = left_layout.resolve(stage.left_key)
+            right_layout = RowLayout(stage.right.columns)
+            right_position = right_layout.resolve(stage.right_key)
+            out_columns = columns + stage.right.columns
+            out_layout = RowLayout(out_columns)
+
+            join_durations = []
+            new_stream: List[_StreamPart] = []
+            for peer_id in owners:
+                owner = context.peer(peer_id)
+                peers_contacted.add(peer_id)
+                # Replicate the full intermediate result to this owner:
+                # one transfer per current part holder.
+                broadcast_seconds = 0.0
+                for part in stream:
+                    part_bytes = records_byte_size(part.rows)
+                    broadcast_seconds += context.network.transfer(
+                        context.peer(part.peer_id).host,
+                        owner.host,
+                        part_bytes,
+                    )
+                bytes_transferred += stream_bytes
+
+                execution = owner.execute_fetch(
+                    stage.right.table, stage.right.sql, user=user,
+                    query_timestamp=timestamp,
+                )
+                local_rows = execution.result.rows
+
+                buckets: Dict[object, List[tuple]] = {}
+                for row in local_rows:
+                    key = row[right_position]
+                    if key is not None:
+                        buckets.setdefault(key, []).append(row)
+                joined: List[tuple] = []
+                for left_row in stream_rows:
+                    key = left_row[left_position]
+                    for right_row in buckets.get(key, ()):
+                        combined = left_row + right_row
+                        if stage.residual is None or stage.residual.evaluate(
+                            combined, out_layout
+                        ) is True:
+                            joined.append(combined)
+                join_seconds = context.compute_model.rows_seconds(
+                    len(stream_rows) + len(local_rows) + len(joined),
+                    owner.compute_units,
+                )
+                join_durations.append(
+                    broadcast_seconds + execution.seconds + join_seconds
+                )
+                new_stream.append(_StreamPart(peer_id, joined))
+            level_seconds.append(parallel_duration(*join_durations))
+            stream = new_stream
+            columns = out_columns
+
+        # Root: collect the final stream at the query peer.
+        collect_durations = []
+        final_rows: List[tuple] = []
+        for part in stream:
+            part_bytes = records_byte_size(part.rows)
+            collect_durations.append(
+                context.network.transfer(
+                    context.peer(part.peer_id).host,
+                    context.query_peer.host,
+                    part_bytes,
+                )
+            )
+            bytes_transferred += part_bytes
+            final_rows.extend(part.rows)
+        level_seconds.append(parallel_duration(*collect_durations))
+
+        # Group-by level + every unassigned operator run at the root.
+        if plan.aggregate is not None:
+            final_rows, columns = self._aggregate(plan, final_rows, columns)
+        root_seconds = context.compute_model.rows_seconds(
+            len(final_rows), context.query_peer.compute_units
+        )
+        records, out_columns = finalize_records(plan, final_rows, columns)
+
+        latency = (
+            context.hop_cost_s(index_hops)
+            + sum(level_seconds)
+            + root_seconds
+        )
+        return QueryExecution(
+            columns=out_columns,
+            records=records,
+            latency_s=latency,
+            strategy="parallel-p2p",
+            bytes_transferred=bytes_transferred,
+            peers_contacted=len(peers_contacted),
+            index_hops=index_hops,
+            dollar_cost=context.config.pricing.basic_cost(
+                bytes_transferred, latency
+            ),
+            engine_details={
+                f"level_{i}_s": seconds
+                for i, seconds in enumerate(level_seconds)
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Aggregation at the root
+    # ------------------------------------------------------------------
+    def _aggregate(
+        self, plan: DistributedPlan, rows: List[tuple], columns: List[str]
+    ) -> Tuple[List[tuple], List[str]]:
+        aggregate = plan.aggregate
+        layout = RowLayout(columns)
+        groups: Dict[tuple, List[tuple]] = {}
+        order: List[tuple] = []
+        for row in rows:
+            key = tuple(
+                expr.evaluate(row, layout) for expr in aggregate.group_exprs
+            )
+            bucket = groups.get(key)
+            if bucket is None:
+                groups[key] = bucket = []
+                order.append(key)
+            bucket.append(row)
+        if not groups and not aggregate.group_exprs:
+            groups[()] = []
+            order.append(())
+        out_rows = [
+            key + compute_aggregates(aggregate.aggregates, groups[key], layout)
+            for key in order
+        ]
+        out_columns = aggregate.group_names + [
+            call.to_sql().lower() for call in aggregate.aggregates
+        ]
+        return out_rows, out_columns
+
+    def _require_online(self, peer_ids: Sequence[str]) -> None:
+        for peer_id in peer_ids:
+            peer = self.context.peers.get(peer_id)
+            if peer is None or not peer.online:
+                raise PeerUnavailableError(peer_id)

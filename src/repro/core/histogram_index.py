@@ -1,0 +1,159 @@
+"""Publishing histograms into BATON via iDistance (§5.1).
+
+"Then, the buckets (multi-dimensional hypercube) are mapped into one
+dimensional ranges using iDistance [12] and we index the buckets in BATON
+based on their ranges."
+
+Buckets are keyed by their iDistance value (scaled into the overlay's key
+domain); a region query maps the query hyper-rectangle onto the relevant
+iDistance partitions, range-searches the overlay and filters the returned
+buckets by actual overlap.  The planner can thus estimate selectivities
+from remotely stored buckets without contacting the data owners.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baton.node import Range
+from repro.baton.tree import BatonOverlay, string_to_key
+from repro.core.histogram import Bucket, Histogram, idistance_key
+from repro.errors import BestPeerError
+
+
+@dataclass(frozen=True)
+class PublishedBucket:
+    """One bucket entry stored in the overlay."""
+
+    table: str
+    columns: Tuple[str, ...]
+    lows: Tuple[float, ...]
+    highs: Tuple[float, ...]
+    count: int
+
+
+class HistogramIndex:
+    """Stores and retrieves histogram buckets in a BATON overlay."""
+
+    def __init__(self, overlay, key_span: float = 0.25) -> None:
+        """``overlay`` is a :class:`BatonOverlay` or a replicated wrapper.
+
+        Each table's buckets are mapped into a sub-interval of the overlay's
+        key domain starting at a hash of the table name and spanning
+        ``key_span`` of the domain (wrapping is avoided by modular placement
+        of partitions within the span).
+        """
+        if not 0 < key_span <= 1:
+            raise BestPeerError(f"key_span must be in (0, 1]: {key_span}")
+        self.overlay = overlay
+        self.key_span = key_span
+        # (table) -> (reference points, partition width, normalizer)
+        self._layouts: Dict[str, tuple] = {}
+
+    # ------------------------------------------------------------------
+    # Publication
+    # ------------------------------------------------------------------
+    def publish(self, table: str, histogram: Histogram) -> int:
+        """Index every bucket of ``histogram``; returns routing hops."""
+        table = table.lower()
+        reference_points = self._reference_points(histogram)
+        # The partition width must exceed any intra-partition distance.
+        diameter = self._diameter(histogram) or 1.0
+        partition_width = diameter * 1.01
+        self._layouts[table] = (
+            tuple(tuple(point) for point in reference_points),
+            partition_width,
+            partition_width * (len(reference_points) + 1),
+        )
+        hops = 0
+        for bucket in histogram.buckets:
+            key = self._bucket_key(table, bucket)
+            entry = PublishedBucket(
+                table=table,
+                columns=tuple(histogram.columns),
+                lows=bucket.lows,
+                highs=bucket.highs,
+                count=bucket.count,
+            )
+            hops += self.overlay.insert(key, entry)
+        return hops
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+    def fetch(self, table: str) -> Tuple[Histogram, int]:
+        """Reassemble a table's histogram from the overlay."""
+        table = table.lower()
+        layout = self._layouts.get(table)
+        if layout is None:
+            raise BestPeerError(f"no histogram published for {table!r}")
+        low, high = self._table_key_range(table)
+        result = self.overlay.range_search(low, high)
+        buckets = []
+        columns: Optional[Tuple[str, ...]] = None
+        for _, entry in result.values:
+            if not isinstance(entry, PublishedBucket) or entry.table != table:
+                continue
+            columns = entry.columns
+            buckets.append(Bucket(entry.lows, entry.highs, entry.count))
+        if columns is None:
+            raise BestPeerError(f"no buckets found for {table!r}")
+        return Histogram(list(columns), buckets), result.hops
+
+    def estimate_region(
+        self,
+        table: str,
+        lows: Optional[Dict[str, float]] = None,
+        highs: Optional[Dict[str, float]] = None,
+    ) -> Tuple[float, int]:
+        """EC(H, Q_R) computed from the published buckets."""
+        histogram, hops = self.fetch(table)
+        return histogram.region_count(lows, highs), hops
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _reference_points(self, histogram: Histogram) -> List[Tuple[float, ...]]:
+        """iDistance reference points: corners of the data bounding box."""
+        if not histogram.buckets:
+            return [tuple(0.0 for _ in histogram.columns)]
+        dims = len(histogram.columns)
+        lows = tuple(
+            min(bucket.lows[d] for bucket in histogram.buckets)
+            for d in range(dims)
+        )
+        highs = tuple(
+            max(bucket.highs[d] for bucket in histogram.buckets)
+            for d in range(dims)
+        )
+        # Two opposite corners keep the partition count (and therefore the
+        # key range) small while still spreading buckets.
+        return [lows, highs]
+
+    def _diameter(self, histogram: Histogram) -> float:
+        if not histogram.buckets:
+            return 1.0
+        dims = len(histogram.columns)
+        spans = []
+        for d in range(dims):
+            low = min(bucket.lows[d] for bucket in histogram.buckets)
+            high = max(bucket.highs[d] for bucket in histogram.buckets)
+            spans.append(high - low)
+        return math.sqrt(sum(span * span for span in spans))
+
+    def _bucket_key(self, table: str, bucket: Bucket) -> float:
+        reference_points, partition_width, normalizer = self._layouts[table]
+        raw = idistance_key(bucket.center(), reference_points, partition_width)
+        low, high = self._table_key_range(table)
+        return low + (raw / normalizer) * (high - low)
+
+    def _table_key_range(self, table: str) -> Tuple[float, float]:
+        domain = self.overlay.domain if hasattr(self.overlay, "domain") else (
+            self.overlay.overlay.domain
+        )
+        start = string_to_key(f"HIST:{table}", domain)
+        width = domain.width * self.key_span
+        high = min(start + width, domain.high)
+        return start, high

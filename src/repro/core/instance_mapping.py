@@ -1,0 +1,229 @@
+"""Instance-level schema matching (§4.1).
+
+"Besides schema-level mapping, BestPeer++ can also support instance-level
+mapping [19], which complements the mapping process when there is not
+sufficient schema information."
+
+Given sample rows of an unlabelled local table and samples of the global
+tables, the matcher scores every (local column, global column) pair by how
+compatible their *values* are — exact-value overlap for discrete data,
+range overlap for numeric data, plus a type-compatibility gate — and emits
+the best one-to-one assignment as a ready-to-review
+:class:`~repro.core.schema_mapping.TableMapping`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.schema_mapping import TableMapping
+from repro.errors import SchemaMappingError
+from repro.sqlengine.schema import TableSchema
+from repro.sqlengine.types import ColumnType
+
+
+@dataclass
+class ColumnMatch:
+    """One scored candidate correspondence."""
+
+    local_column: str
+    global_column: str
+    score: float
+
+
+@dataclass
+class InstanceMatchResult:
+    """The inferred mapping plus its evidence, for human review."""
+
+    global_table: str
+    mapping: TableMapping
+    matches: List[ColumnMatch]
+    unmatched_local: List[str]
+
+    @property
+    def confidence(self) -> float:
+        if not self.matches:
+            return 0.0
+        return sum(match.score for match in self.matches) / len(self.matches)
+
+
+def _value_profile(values: Sequence[object]):
+    """Summarize a column sample: (kind, subkind, distinct set, min, max)."""
+    non_null = [value for value in values if value is not None]
+    if not non_null:
+        return ("empty", "", set(), None, None)
+    if all(isinstance(value, (int, float)) and not isinstance(value, bool)
+           for value in non_null):
+        subkind = "int" if all(
+            isinstance(value, int) for value in non_null
+        ) else "float"
+        return (
+            "numeric",
+            subkind,
+            set(non_null),
+            min(non_null),
+            max(non_null),
+        )
+    return ("text", "", {str(value) for value in non_null}, None, None)
+
+
+def _pair_score(local_profile, global_profile) -> float:
+    """Similarity of two column samples in [0, 1]."""
+    local_kind, local_sub, local_values, local_low, local_high = local_profile
+    global_kind, global_sub, global_values, global_low, global_high = (
+        global_profile
+    )
+    if "empty" in (local_kind, global_kind):
+        return 0.0
+    if local_kind != global_kind:
+        return 0.0
+    # Jaccard overlap of distinct values catches identifiers and categories.
+    intersection = len(local_values & global_values)
+    union = len(local_values | global_values)
+    jaccard = intersection / union if union else 0.0
+    if local_kind == "text":
+        return jaccard
+    # Numeric columns: combine value overlap with range overlap, so columns
+    # sampled from the same distribution still match when exact values miss.
+    span = max(local_high, global_high) - min(local_low, global_low)
+    if span <= 0:
+        range_overlap = 1.0 if local_low == global_low else 0.0
+    else:
+        covered = min(local_high, global_high) - max(local_low, global_low)
+        range_overlap = max(0.0, covered) / span
+    score = 0.5 * jaccard + 0.5 * range_overlap
+    if local_sub != global_sub:
+        # Penalize int-vs-float mismatches so a float column prefers float
+        # targets when overlap scores tie (IDs stay with IDs).
+        score *= 0.75
+    return score
+
+
+class InstanceMatcher:
+    """Infers local->global column mappings from data samples."""
+
+    def __init__(
+        self,
+        global_schemas: Dict[str, TableSchema],
+        min_score: float = 0.1,
+        sample_limit: int = 200,
+    ) -> None:
+        if not 0 <= min_score <= 1:
+            raise SchemaMappingError(f"min_score must be in [0, 1]: {min_score}")
+        self._global_schemas = {
+            name.lower(): schema for name, schema in global_schemas.items()
+        }
+        self.min_score = min_score
+        self.sample_limit = sample_limit
+        # global table -> {column -> profile}
+        self._profiles: Dict[str, Dict[str, tuple]] = {}
+
+    # ------------------------------------------------------------------
+    # Reference samples
+    # ------------------------------------------------------------------
+    def register_global_sample(
+        self, global_table: str, rows: Sequence[Sequence[object]]
+    ) -> None:
+        """Provide sample rows of one global table (schema column order)."""
+        schema = self._global_schemas.get(global_table.lower())
+        if schema is None:
+            raise SchemaMappingError(
+                f"global schema has no table {global_table!r}"
+            )
+        sample = list(rows)[: self.sample_limit]
+        profiles = {}
+        for position, column in enumerate(schema.columns):
+            profiles[column.name] = _value_profile(
+                [row[position] for row in sample]
+            )
+        self._profiles[schema.name] = profiles
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def match(
+        self,
+        local_table: str,
+        local_columns: Sequence[str],
+        rows: Sequence[Sequence[object]],
+        global_table: Optional[str] = None,
+    ) -> InstanceMatchResult:
+        """Infer the mapping for one local table from its data.
+
+        With ``global_table=None`` the best-scoring registered global table
+        is chosen automatically.
+        """
+        if not self._profiles:
+            raise SchemaMappingError(
+                "no global samples registered; call register_global_sample()"
+            )
+        sample = list(rows)[: self.sample_limit]
+        local_profiles = {
+            column: _value_profile([row[index] for row in sample])
+            for index, column in enumerate(local_columns)
+        }
+        candidates = (
+            [global_table.lower()] if global_table is not None
+            else sorted(self._profiles)
+        )
+        best: Optional[InstanceMatchResult] = None
+        for candidate in candidates:
+            if candidate not in self._profiles:
+                raise SchemaMappingError(
+                    f"no sample registered for global table {candidate!r}"
+                )
+            result = self._match_against(
+                local_table, local_columns, local_profiles, candidate
+            )
+            if best is None or result.confidence > best.confidence:
+                best = result
+        return best
+
+    def _match_against(
+        self,
+        local_table: str,
+        local_columns: Sequence[str],
+        local_profiles: Dict[str, tuple],
+        global_table: str,
+    ) -> InstanceMatchResult:
+        global_profiles = self._profiles[global_table]
+        scored: List[ColumnMatch] = []
+        for local_column in local_columns:
+            for global_column, global_profile in global_profiles.items():
+                score = _pair_score(
+                    local_profiles[local_column], global_profile
+                )
+                if score >= self.min_score:
+                    scored.append(
+                        ColumnMatch(local_column, global_column, score)
+                    )
+        # Greedy one-to-one assignment, best score first.
+        scored.sort(key=lambda match: (-match.score, match.local_column,
+                                       match.global_column))
+        used_local = set()
+        used_global = set()
+        chosen: List[ColumnMatch] = []
+        for match in scored:
+            if match.local_column in used_local:
+                continue
+            if match.global_column in used_global:
+                continue
+            used_local.add(match.local_column)
+            used_global.add(match.global_column)
+            chosen.append(match)
+        mapping = TableMapping(
+            local_table=local_table,
+            global_table=global_table,
+            column_map={
+                match.local_column: match.global_column for match in chosen
+            },
+        )
+        return InstanceMatchResult(
+            global_table=global_table,
+            mapping=mapping,
+            matches=chosen,
+            unmatched_local=[
+                column for column in local_columns if column not in used_local
+            ],
+        )

@@ -1,0 +1,122 @@
+"""Network-wide query metrics.
+
+Production data platforms expose operational metrics; BestPeer++'s
+statistics module already collects per-query measurements for the cost
+model's feedback loop (§5.5), so this module gives them a queryable surface:
+per-engine counters, latency summaries, byte/price totals and a fixed-bucket
+latency histogram.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import BestPeerError
+
+# Latency histogram bucket upper bounds (seconds); the last is open-ended.
+DEFAULT_BUCKETS = (0.01, 0.1, 1.0, 10.0, 60.0, 600.0)
+
+
+@dataclass
+class EngineMetrics:
+    """Aggregated measurements for one engine."""
+
+    queries: int = 0
+    total_latency_s: float = 0.0
+    max_latency_s: float = 0.0
+    total_bytes: int = 0
+    total_dollars: float = 0.0
+    rows_returned: int = 0
+
+    @property
+    def mean_latency_s(self) -> float:
+        return self.total_latency_s / self.queries if self.queries else 0.0
+
+
+class MetricsRegistry:
+    """Collects per-query measurements, grouped by engine/strategy."""
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        if list(buckets) != sorted(buckets) or len(set(buckets)) != len(buckets):
+            raise BestPeerError("histogram buckets must be strictly increasing")
+        self.buckets = tuple(buckets)
+        self._engines: Dict[str, EngineMetrics] = {}
+        self._histogram: List[int] = [0] * (len(self.buckets) + 1)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, execution) -> None:
+        """Fold in one :class:`~repro.core.execution.QueryExecution`."""
+        metrics = self._engines.setdefault(execution.strategy, EngineMetrics())
+        metrics.queries += 1
+        metrics.total_latency_s += execution.latency_s
+        metrics.max_latency_s = max(metrics.max_latency_s, execution.latency_s)
+        metrics.total_bytes += execution.bytes_transferred
+        metrics.total_dollars += execution.dollar_cost
+        metrics.rows_returned += len(execution.records)
+        self._histogram[self._bucket_of(execution.latency_s)] += 1
+
+    def _bucket_of(self, latency_s: float) -> int:
+        for index, bound in enumerate(self.buckets):
+            if latency_s <= bound:
+                return index
+        return len(self.buckets)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    @property
+    def total_queries(self) -> int:
+        return sum(metrics.queries for metrics in self._engines.values())
+
+    def engine(self, strategy: str) -> EngineMetrics:
+        return self._engines.get(strategy, EngineMetrics())
+
+    def strategies(self) -> List[str]:
+        return sorted(self._engines)
+
+    def latency_histogram(self) -> Dict[str, int]:
+        """Bucket label -> count, e.g. ``"<=0.1s"`` and ``">600s"``."""
+        labelled: Dict[str, int] = {}
+        for index, bound in enumerate(self.buckets):
+            labelled[f"<={bound:g}s"] = self._histogram[index]
+        labelled[f">{self.buckets[-1]:g}s"] = self._histogram[-1]
+        return labelled
+
+    def percentile_latency(self, fraction: float) -> float:
+        """Upper bound of the bucket containing the given percentile."""
+        if not 0 < fraction <= 1:
+            raise BestPeerError(f"fraction must be in (0, 1]: {fraction}")
+        total = self.total_queries
+        if total == 0:
+            return 0.0
+        threshold = math.ceil(total * fraction)
+        seen = 0
+        for index, count in enumerate(self._histogram):
+            seen += count
+            if seen >= threshold:
+                if index < len(self.buckets):
+                    return self.buckets[index]
+                return math.inf
+        return math.inf  # pragma: no cover
+
+    def summary(self) -> str:
+        """A human-readable multi-line report."""
+        lines = [f"queries: {self.total_queries}"]
+        for strategy in self.strategies():
+            metrics = self._engines[strategy]
+            lines.append(
+                f"  {strategy}: n={metrics.queries} "
+                f"mean={metrics.mean_latency_s:.3f}s "
+                f"max={metrics.max_latency_s:.3f}s "
+                f"bytes={metrics.total_bytes:,} "
+                f"cost=${metrics.total_dollars:.6f}"
+            )
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        self._engines.clear()
+        self._histogram = [0] * (len(self.buckets) + 1)

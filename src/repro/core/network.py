@@ -1,0 +1,376 @@
+"""The BestPeerNetwork facade: one object that is "the service".
+
+Wires the simulated cloud, the BATON overlay, the bootstrap peer and the
+normal peers into the system a user of the paper's platform would see:
+
+* register the global schema, launch peers (each on its own dedicated
+  instance inside a security group, §2.1),
+* load each business's data (identity mapping by default; custom
+  :class:`~repro.core.schema_mapping.SchemaMapping` supported),
+* submit queries from any peer through any engine — ``basic``,
+  ``parallel``, ``mapreduce`` or ``adaptive``,
+* strong consistency under failures (§3.2): a query touching a crashed peer
+  *blocks* until the bootstrap's fail-over completes, then transparently
+  retries — it never returns partial data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.baton.replication import ReplicatedOverlay
+from repro.baton.tree import BatonOverlay
+from repro.core.access_control import Role, full_access_role
+from repro.core.adaptive import AdaptiveEngine, TableStatistics
+from repro.core.bootstrap import BootstrapPeer, MaintenanceReport
+from repro.core.config import BestPeerConfig, DaemonConfig
+from repro.core.costmodel import CostParams
+from repro.core.engine_basic import BasicEngine
+from repro.core.engine_mapreduce import BestPeerMapReduceEngine
+from repro.core.engine_parallel import ParallelP2PEngine
+from repro.core.execution import EngineContext, QueryExecution
+from repro.core.histogram import Histogram
+from repro.core.indexer import (
+    DataIndexer,
+    FULL_INDEX_POLICY,
+    PartialIndexPolicy,
+)
+from repro.core.metrics import MetricsRegistry
+from repro.core.peer import NormalPeer
+from repro.core.schema_mapping import SchemaMapping, identity_mapping
+from repro.errors import (
+    BestPeerError,
+    PeerUnavailableError,
+    QueryRejectedError,
+    ReplicaUnavailableError,
+)
+from repro.mapreduce.engine import MapReduceConfig
+from repro.sim.clock import SimClock
+from repro.sim.cloud import CloudProvider
+from repro.sim.compute import ComputeModel, DEFAULT_COMPUTE_MODEL
+from repro.sim.network import NetworkConfig, SimNetwork
+from repro.sqlengine.schema import TableSchema
+
+_MAX_QUERY_RETRIES = 3
+
+
+class BestPeerNetwork:
+    """A whole BestPeer++ deployment in one in-process object."""
+
+    def __init__(
+        self,
+        global_schemas: Dict[str, TableSchema],
+        secondary_indices: Optional[Dict[str, List[str]]] = None,
+        config: Optional[BestPeerConfig] = None,
+        daemon_config: Optional[DaemonConfig] = None,
+        mr_config: Optional[MapReduceConfig] = None,
+        cost_params: Optional[CostParams] = None,
+        compute_model: Optional[ComputeModel] = None,
+        network_config: Optional[NetworkConfig] = None,
+        index_policy: Optional["PartialIndexPolicy"] = None,
+    ) -> None:
+        self.clock = SimClock()
+        self.network = SimNetwork(network_config)
+        self.cloud = CloudProvider(self.network, self.clock)
+        self.overlay = ReplicatedOverlay(BatonOverlay())
+        self.config = config or BestPeerConfig()
+        self.mr_config = mr_config or MapReduceConfig()
+        self.cost_params = cost_params or CostParams()
+        self.compute_model = compute_model or DEFAULT_COMPUTE_MODEL
+        self.global_schemas = {
+            name.lower(): schema for name, schema in global_schemas.items()
+        }
+        self.secondary_indices = secondary_indices or {}
+        self.bootstrap = BootstrapPeer(
+            self.cloud, self.global_schemas, daemon_config
+        )
+        self.index_policy = index_policy or FULL_INDEX_POLICY
+        self.metrics = MetricsRegistry()
+        self.peers: Dict[str, NormalPeer] = {}
+        self.indexers: Dict[str, DataIndexer] = {}
+        self.statistics: Dict[str, TableStatistics] = {}
+        self._adaptive: Dict[str, AdaptiveEngine] = {}
+        # Cumulative fail-over blocking time, exposed for benchmarks.
+        self.total_blocked_s = 0.0
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def add_peer(
+        self,
+        peer_id: str,
+        instance_type: str = "m1.small",
+        tables: Optional[Sequence[str]] = None,
+        mapping: Optional[SchemaMapping] = None,
+    ) -> NormalPeer:
+        """Launch a BestPeer++ instance for a new business and admit it.
+
+        ``tables`` restricts which global tables this peer hosts (the
+        throughput benchmark's supplier/retailer sub-schemas); default is
+        all of them.
+        """
+        if peer_id in self.peers:
+            raise BestPeerError(f"peer already exists: {peer_id!r}")
+        instance = self.cloud.launch_instance(
+            instance_type=instance_type,
+            security_group=f"vpn-{peer_id}",
+        )
+        peer = NormalPeer(
+            peer_id, instance, config=self.config,
+            compute_model=self.compute_model,
+        )
+        hosted = [
+            name.lower() for name in (tables or self.global_schemas.keys())
+        ]
+        for name in hosted:
+            peer.create_table(
+                self.global_schemas[name],
+                self.secondary_indices.get(name, ()),
+            )
+        peer.set_schema_mapping(
+            mapping
+            or identity_mapping(self.global_schemas, tables=hosted)
+        )
+        self.bootstrap.register_peer(peer, now=self.clock.now)
+        self.overlay.join(peer_id)
+        self.peers[peer_id] = peer
+        self.indexers[peer_id] = DataIndexer(
+            self.overlay,
+            cache_enabled=self.config.index_cache_enabled,
+            policy=self.index_policy,
+        )
+        return peer
+
+    def depart_peer(self, peer_id: str) -> None:
+        """Voluntary departure (§3.1): blacklist, revoke, withdraw indexes."""
+        peer = self._peer(peer_id)
+        self.indexers[peer_id].unpublish_all(peer_id)
+        self.overlay.leave(peer_id)
+        self.bootstrap.handle_departure(peer_id)
+        del self.peers[peer_id]
+        del self.indexers[peer_id]
+        self._adaptive.pop(peer_id, None)
+        for indexer in self.indexers.values():
+            indexer.clear_cache()
+
+    # ------------------------------------------------------------------
+    # Data loading
+    # ------------------------------------------------------------------
+    def load_peer(
+        self,
+        peer_id: str,
+        data: Dict[str, List[tuple]],
+        range_columns: Optional[Dict[str, Sequence[str]]] = None,
+        backup: bool = True,
+    ) -> None:
+        """Initial-load a peer's partitions, publish indexes, snapshot.
+
+        ``range_columns`` selects the columns to build BATON range indexes
+        on (the throughput benchmark adds one on the nation key, §6.2.2).
+        """
+        peer = self._peer(peer_id)
+        for table, rows in data.items():
+            schema = self.global_schemas[table.lower()]
+            peer.load_initial(
+                table, schema.column_names, rows, now=self.clock.now
+            )
+            self._accumulate_statistics(peer, table.lower())
+        peer.publish_indices(self.indexers[peer_id], range_columns)
+        for indexer in self.indexers.values():
+            indexer.clear_cache()
+        if backup:
+            peer.backup_to(self.cloud)
+
+    def refresh_peer(
+        self,
+        peer_id: str,
+        table: str,
+        rows: List[tuple],
+        range_columns: Optional[Dict[str, Sequence[str]]] = None,
+        backup: bool = True,
+    ):
+        """Differential refresh of one table (the offline data flow, §4.2).
+
+        Re-extracts the table through the snapshot-differential loader,
+        republishes the peer's index entries (its min/max may have moved),
+        and takes a fresh EBS snapshot.  Returns the
+        :class:`~repro.core.loader.SnapshotDelta`.
+        """
+        peer = self._peer(peer_id)
+        schema = self.global_schemas[table.lower()]
+        delta = peer.refresh(
+            table, schema.column_names, rows, now=self.clock.now
+        )
+        indexer = self.indexers[peer_id]
+        indexer.unpublish_all(peer_id)
+        peer.publish_indices(indexer, range_columns)
+        for other in self.indexers.values():
+            other.clear_cache()
+        if backup:
+            peer.backup_to(self.cloud)
+        return delta
+
+    def build_histogram(
+        self, table: str, columns: Sequence[str], num_buckets: int = 16
+    ) -> Histogram:
+        """Build a global MHIST histogram over all peers' partitions."""
+        rows: List[tuple] = []
+        positions = None
+        for peer in self.peers.values():
+            if not peer.database.has_table(table):
+                continue
+            schema = peer.database.table(table).schema
+            if positions is None:
+                positions = [schema.column_index(column) for column in columns]
+            for row in peer.database.table(table).rows():
+                rows.append(tuple(row[position] for position in positions))
+        histogram = Histogram.build(columns, rows, num_buckets)
+        stats = self.statistics.get(table.lower())
+        if stats is not None:
+            stats.histogram = histogram
+        return histogram
+
+    def _accumulate_statistics(self, peer: NormalPeer, table: str) -> None:
+        table_stats = peer.database.table_stats(table)
+        entry = self.statistics.get(table)
+        if entry is None:
+            entry = TableStatistics(table, 0.0, 0)
+            self.statistics[table] = entry
+        entry.total_bytes += table_stats.byte_size
+        entry.row_count += table_stats.row_count
+
+    # ------------------------------------------------------------------
+    # Users and roles
+    # ------------------------------------------------------------------
+    def define_role(self, role: Role) -> None:
+        self.bootstrap.define_role(role)
+
+    def create_full_access_role(self, name: str = "R") -> Role:
+        """The benchmark's role R, granted full access to all tables."""
+        role = full_access_role(name, self.global_schemas.values())
+        self.bootstrap.define_role(role)
+        return role
+
+    def create_user(self, user: str, origin_peer_id: str, role: Role) -> None:
+        """Create a user at one peer and broadcast it network-wide (§4.4)."""
+        self.bootstrap.register_user(user, origin_peer_id)
+        for peer in self.peers.values():
+            peer.access.assign(user, role)
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        sql: str,
+        peer_id: Optional[str] = None,
+        engine: str = "basic",
+        user: Optional[str] = None,
+    ) -> QueryExecution:
+        """Submit a query at ``peer_id`` (default: first peer).
+
+        Handles the two §3.2/§5 failure semantics: a *rejected* query
+        (Definition 2 snapshot conflict) is resubmitted with a fresh
+        timestamp; an *unavailable* peer blocks the query until fail-over
+        completes, charging the wait to the query's latency.
+        """
+        if not self.peers:
+            raise BestPeerError("the network has no peers")
+        if peer_id is None:
+            peer_id = sorted(self.peers)[0]
+        runner = self._engine(peer_id, engine)
+
+        blocked_s = 0.0
+        for attempt in range(_MAX_QUERY_RETRIES + 1):
+            timestamp = self.clock.now
+            try:
+                execution = runner.execute(sql, user=user, timestamp=timestamp)
+            except QueryRejectedError:
+                if attempt == _MAX_QUERY_RETRIES:
+                    raise
+                # "it rejects the query and notifies the query processor,
+                # which will terminate the query and resubmit it" — the
+                # resubmission happens after the conflicting refresh, so its
+                # fresh timestamp covers every peer's snapshot.
+                latest_refresh = max(
+                    peer.last_refresh_at for peer in self.peers.values()
+                )
+                if latest_refresh > self.clock.now:
+                    self.clock.advance_to(latest_refresh)
+                continue
+            except (PeerUnavailableError, ReplicaUnavailableError):
+                if attempt == _MAX_QUERY_RETRIES:
+                    raise
+                # Strong consistency: block until the bootstrap daemon has
+                # failed the peer over, then retry.
+                report = self.run_maintenance()
+                waited = sum(event.duration_s for event in report.failovers)
+                blocked_s += waited
+                self.total_blocked_s += waited
+                continue
+            execution.latency_s += blocked_s
+            if blocked_s:
+                execution.engine_details["blocked_on_failover_s"] = blocked_s
+            self.clock.advance(execution.latency_s)
+            self.metrics.record(execution)
+            return execution
+        raise BestPeerError("unreachable")  # pragma: no cover
+
+    def _engine(self, peer_id: str, engine: str):
+        context = self._context(peer_id)
+        if engine == "basic":
+            return BasicEngine(context)
+        if engine == "parallel":
+            return ParallelP2PEngine(context)
+        if engine == "mapreduce":
+            return BestPeerMapReduceEngine(context, self.mr_config)
+        if engine == "adaptive":
+            adaptive = self._adaptive.get(peer_id)
+            if adaptive is None:
+                adaptive = AdaptiveEngine(
+                    context,
+                    params=self.cost_params,
+                    mr_config=self.mr_config,
+                    statistics=self.statistics,
+                )
+                self._adaptive[peer_id] = adaptive
+            return adaptive
+        raise BestPeerError(f"unknown engine: {engine!r}")
+
+    def _context(self, peer_id: str) -> EngineContext:
+        return EngineContext(
+            query_peer=self._peer(peer_id),
+            peers=self.peers,
+            indexer=self.indexers[peer_id],
+            network=self.network,
+            schemas=self.global_schemas,
+            config=self.config,
+            compute_model=self.compute_model,
+        )
+
+    # ------------------------------------------------------------------
+    # Failures and maintenance
+    # ------------------------------------------------------------------
+    def crash_peer(self, peer_id: str) -> None:
+        peer = self._peer(peer_id)
+        self.cloud.crash_instance(peer.host)
+        self.overlay.mark_offline(peer_id)
+
+    def run_maintenance(self) -> MaintenanceReport:
+        """One epoch of the bootstrap's Algorithm-1 daemon."""
+        report = self.bootstrap.run_maintenance_epoch(self.peers)
+        for event in report.failovers:
+            # The peer is back on a fresh instance; overlay-wise it is the
+            # same logical node.
+            self.overlay.mark_online(event.peer_id)
+        return report
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _peer(self, peer_id: str) -> NormalPeer:
+        peer = self.peers.get(peer_id)
+        if peer is None:
+            raise BestPeerError(f"unknown peer: {peer_id!r}")
+        return peer

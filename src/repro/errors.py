@@ -1,0 +1,97 @@
+"""Exception hierarchy for the BestPeer++ reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to discriminate on the specific subclass.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """A violation of simulation invariants (e.g., time moving backwards)."""
+
+
+class NetworkError(SimulationError):
+    """A message could not be delivered (unknown host, partitioned link)."""
+
+
+class CloudError(SimulationError):
+    """Cloud-adapter failure (unknown instance, double-terminate, ...)."""
+
+class InstanceNotFound(CloudError):
+    """The referenced cloud instance does not exist."""
+
+
+class InstanceStateError(CloudError):
+    """The instance is in the wrong state for the requested operation."""
+
+
+class SqlError(ReproError):
+    """Base class for errors raised by the embedded relational engine."""
+
+
+class SqlParseError(SqlError):
+    """The SQL text could not be parsed."""
+
+
+class SqlCatalogError(SqlError):
+    """Unknown or duplicate table/column/index."""
+
+
+class SqlTypeError(SqlError):
+    """A value does not conform to the declared column type."""
+
+
+class SqlExecutionError(SqlError):
+    """Runtime failure while executing a query plan."""
+
+
+class BatonError(ReproError):
+    """Base class for BATON overlay errors."""
+
+
+class BatonRangeError(BatonError):
+    """A key or range falls outside the overlay's value domain."""
+
+
+class ReplicaUnavailableError(BatonError):
+    """An item's primary is offline and no online replica holds a copy."""
+
+
+class MapReduceError(ReproError):
+    """Base class for MapReduce engine errors."""
+
+
+class HdfsError(MapReduceError):
+    """Simulated HDFS failure (missing file, missing block replica)."""
+
+
+class BestPeerError(ReproError):
+    """Base class for BestPeer++ core errors."""
+
+
+class MembershipError(BestPeerError):
+    """Join/departure protocol violation (bad certificate, blacklisted peer)."""
+
+
+class CertificateError(MembershipError):
+    """Certificate is missing, expired, revoked or forged."""
+
+
+class AccessControlError(BestPeerError):
+    """The user's role does not permit the requested access."""
+
+
+class SchemaMappingError(BestPeerError):
+    """Local-to-global schema mapping is missing or inconsistent."""
+
+
+class QueryRejectedError(BestPeerError):
+    """A peer rejected a query (snapshot timestamp newer than local data)."""
+
+
+class PeerUnavailableError(BestPeerError):
+    """A required peer is offline and fail-over has not completed yet."""

@@ -1,0 +1,225 @@
+"""The MapReduce engine: job tracker, task scheduling, shuffle, reduce.
+
+The engine actually executes the user's map and reduce functions (results
+are real); the *time* each phase takes is simulated from the cost model
+below.  The two constants that decide the paper's benchmark outcomes are
+``job_startup_s`` (Hadoop's task-launch overhead, §6.1.6) and
+``shuffle_notification_delay_s`` (the pull-based map-completion polling
+delay, §6.1.7).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import MapReduceError
+from repro.mapreduce.hdfs import Hdfs
+from repro.mapreduce.job import (
+    InputSplit,
+    JobResult,
+    MapReduceJob,
+    PhaseTimings,
+    SplitData,
+)
+from repro.sim.clock import parallel_duration
+from repro.sim.network import SimNetwork
+from repro.sqlengine.types import value_byte_size
+
+
+@dataclass(frozen=True)
+class MapReduceConfig:
+    """Engine cost parameters.
+
+    Defaults reflect the paper's observations: ~12 s job startup (within the
+    10-15 s range of §6.1.6), a per-task scheduling cost on the job tracker,
+    a ~1 s pull-based shuffle notification delay (§6.1.7), and a JVM-level
+    per-record processing cost.
+    """
+
+    job_startup_s: float = 12.0
+    per_task_schedule_s: float = 0.05
+    shuffle_notification_delay_s: float = 1.0
+    map_cpu_per_record_s: float = 4e-6
+    reduce_cpu_per_record_s: float = 4e-6
+    # One map slot and one reduce slot per worker, as configured in §6.1.3.
+    map_slots_per_host: int = 1
+
+    def __post_init__(self) -> None:
+        if self.job_startup_s < 0 or self.per_task_schedule_s < 0:
+            raise MapReduceError("startup costs must be non-negative")
+        if self.map_slots_per_host < 1:
+            raise MapReduceError("need at least one map slot per host")
+
+
+def records_byte_size(records: Sequence[object]) -> int:
+    """Approximate wire size of a record batch (tuples or scalars)."""
+    total = 0
+    for record in records:
+        if isinstance(record, tuple):
+            total += sum(value_byte_size(value) for value in record)
+        else:
+            total += value_byte_size(record)
+    return total
+
+
+class MapReduceEngine:
+    """Runs jobs over a set of worker hosts on the simulated network."""
+
+    def __init__(
+        self,
+        hosts: Sequence[str],
+        network: SimNetwork,
+        hdfs: Optional[Hdfs] = None,
+        config: Optional[MapReduceConfig] = None,
+    ) -> None:
+        if not hosts:
+            raise MapReduceError("a MapReduce cluster needs at least one host")
+        self.hosts = list(hosts)
+        self.network = network
+        self.hdfs = hdfs
+        self.config = config or MapReduceConfig()
+
+    # ------------------------------------------------------------------
+    # Job execution
+    # ------------------------------------------------------------------
+    def run_job(self, job: MapReduceJob) -> JobResult:
+        """Execute one job; returns real output with simulated timings."""
+        timings = PhaseTimings()
+        timings.startup_s = (
+            self.config.job_startup_s
+            + self.config.per_task_schedule_s
+            * (len(job.splits) + (job.num_reducers if job.reduce_fn else 0))
+        )
+
+        map_outputs, timings.map_s = self._run_map_phase(job)
+
+        if job.reduce_fn is None:
+            records = [value for _, outputs in map_outputs for _, value in outputs]
+            bytes_shuffled = 0
+            reduce_tasks = 0
+        else:
+            partitions, bytes_shuffled, timings.shuffle_s = self._shuffle(
+                job, map_outputs
+            )
+            records, timings.reduce_s = self._run_reduce_phase(job, partitions)
+            reduce_tasks = job.num_reducers
+
+        if job.output_path is not None:
+            if self.hdfs is None:
+                raise MapReduceError(
+                    f"job {job.name!r} writes to HDFS but none is mounted"
+                )
+            writer = self._reducer_host(0)
+            timings.hdfs_write_s = self.hdfs.write(
+                job.output_path, records, records_byte_size(records), writer
+            )
+
+        return JobResult(
+            job_name=job.name,
+            records=records,
+            timings=timings,
+            bytes_shuffled=bytes_shuffled,
+            map_tasks=len(job.splits),
+            reduce_tasks=reduce_tasks,
+        )
+
+    def run_chain(self, jobs: Sequence[MapReduceJob]) -> List[JobResult]:
+        """Run jobs sequentially ("processed sequentially", Section 7)."""
+        return [self.run_job(job) for job in jobs]
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+    def _run_map_phase(self, job: MapReduceJob):
+        """Run every map task; returns ([(host, [(k, v)])], phase duration).
+
+        Tasks on different hosts run in parallel; multiple splits landing on
+        the same host queue behind its map slots.
+        """
+        per_host_seconds: Dict[str, float] = {}
+        outputs: List[Tuple[str, List[Tuple[object, object]]]] = []
+        for split in job.splits:
+            data = split.fetch()
+            pairs: List[Tuple[object, object]] = []
+            for record in data.records:
+                pairs.extend(job.map_fn(record))
+            task_seconds = (
+                data.local_seconds
+                + len(data.records) * self.config.map_cpu_per_record_s
+            )
+            per_host_seconds[split.host] = (
+                per_host_seconds.get(split.host, 0.0) + task_seconds
+            )
+            outputs.append((split.host, pairs))
+        slots = self.config.map_slots_per_host
+        duration = parallel_duration(
+            *(seconds / slots for seconds in per_host_seconds.values())
+        )
+        return outputs, duration
+
+    def _shuffle(self, job: MapReduceJob, map_outputs):
+        """Partition intermediate pairs to reducers over the network."""
+        partitions: List[Dict[object, List[object]]] = [
+            {} for _ in range(job.num_reducers)
+        ]
+        # Group the wire transfers as (mapper host, reducer index) batches.
+        batch_bytes: Dict[Tuple[str, int], int] = {}
+        total_bytes = 0
+        for host, pairs in map_outputs:
+            for key, value in pairs:
+                reducer = self._partition_of(key, job.num_reducers)
+                partitions[reducer].setdefault(key, []).append(value)
+                pair_bytes = value_byte_size(key) + (
+                    records_byte_size([value])
+                )
+                batch_bytes[(host, reducer)] = (
+                    batch_bytes.get((host, reducer), 0) + pair_bytes
+                )
+                total_bytes += pair_bytes
+
+        per_reducer_seconds = [0.0] * job.num_reducers
+        for (host, reducer), nbytes in sorted(batch_bytes.items()):
+            per_reducer_seconds[reducer] += self.network.transfer(
+                host, self._reducer_host(reducer), nbytes
+            )
+        duration = (
+            self.config.shuffle_notification_delay_s
+            + parallel_duration(*per_reducer_seconds)
+        )
+        return partitions, total_bytes, duration
+
+    def _run_reduce_phase(self, job: MapReduceJob, partitions):
+        records: List[object] = []
+        per_reducer_seconds: List[float] = []
+        for partition in partitions:
+            input_count = sum(len(values) for values in partition.values())
+            reducer_records: List[object] = []
+            # Hadoop merge-sorts keys before reducing; keep that ordering
+            # (it makes merge-join reducers and test output deterministic).
+            for key in sorted(partition, key=_sortable):
+                reducer_records.extend(job.reduce_fn(key, partition[key]))
+            per_reducer_seconds.append(
+                (input_count + len(reducer_records))
+                * self.config.reduce_cpu_per_record_s
+            )
+            records.extend(reducer_records)
+        return records, parallel_duration(*per_reducer_seconds)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _reducer_host(self, reducer_index: int) -> str:
+        return self.hosts[reducer_index % len(self.hosts)]
+
+    @staticmethod
+    def _partition_of(key: object, num_reducers: int) -> int:
+        # A deterministic, process-stable partitioner (Python's built-in
+        # ``hash`` is salted for strings, so CRC32 over repr is used instead).
+        return zlib.crc32(repr(key).encode("utf-8")) % num_reducers
+
+
+def _sortable(key: object):
+    """Total order over heterogeneous keys for deterministic reducers."""
+    return (type(key).__name__, repr(key))

@@ -1,0 +1,47 @@
+"""Simulation substrate: simulated time, network fabric and cloud provider.
+
+The paper evaluates BestPeer++ on Amazon EC2.  This package provides the
+laptop-scale equivalent: a deterministic, single-process simulation in which
+
+* :class:`~repro.sim.clock.SimClock` plays the role of wall-clock time,
+* :class:`~repro.sim.network.SimNetwork` plays the role of the data-center
+  network (per-message latency plus bandwidth-limited transfer), and
+* :class:`~repro.sim.cloud.CloudProvider` plays the role of the EC2/RDS/EBS/
+  CloudWatch services used by the paper's Amazon Cloud Adapter.
+
+All components are seeded and deterministic so benchmark output is
+reproducible bit-for-bit.
+"""
+
+from repro.sim.clock import SimClock, parallel_duration, serial_duration
+from repro.sim.network import NetworkConfig, SimNetwork, TransferStats
+from repro.sim.cloud import (
+    CloudProvider,
+    CloudWatch,
+    EbsSnapshot,
+    Instance,
+    InstanceState,
+    InstanceType,
+    INSTANCE_TYPES,
+)
+from repro.sim.failure import FailureInjector
+from repro.sim.compute import ComputeModel, DEFAULT_COMPUTE_MODEL
+
+__all__ = [
+    "SimClock",
+    "serial_duration",
+    "parallel_duration",
+    "NetworkConfig",
+    "SimNetwork",
+    "TransferStats",
+    "CloudProvider",
+    "CloudWatch",
+    "EbsSnapshot",
+    "Instance",
+    "InstanceState",
+    "InstanceType",
+    "INSTANCE_TYPES",
+    "FailureInjector",
+    "ComputeModel",
+    "DEFAULT_COMPUTE_MODEL",
+]

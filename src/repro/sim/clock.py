@@ -1,0 +1,84 @@
+"""Simulated time.
+
+The whole platform runs in one Python process, so "how long did this query
+take" cannot be measured with a wall clock.  Instead every operation reports
+its *duration* in simulated seconds and the engines compose durations:
+
+* steps that happen one after another on the same node add up
+  (:func:`serial_duration`),
+* steps that happen concurrently on different nodes cost the maximum
+  (:func:`parallel_duration`).
+
+A :class:`SimClock` accumulates global simulated time for throughput
+experiments (Figs. 12-14 of the paper) where many queries share the cluster.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+def serial_duration(*durations: float) -> float:
+    """Total duration of steps executed back-to-back on one node."""
+    total = 0.0
+    for duration in durations:
+        if duration < 0:
+            raise SimulationError(f"negative duration: {duration}")
+        total += duration
+    return total
+
+
+def parallel_duration(*durations: float) -> float:
+    """Total duration of steps executed concurrently on different nodes.
+
+    The slowest participant determines when the step completes.  An empty
+    argument list is allowed and costs nothing (a fan-out to zero peers).
+    """
+    longest = 0.0
+    for duration in durations:
+        if duration < 0:
+            raise SimulationError(f"negative duration: {duration}")
+        if duration > longest:
+            longest = duration
+    return longest
+
+
+class SimClock:
+    """A monotonically advancing simulated clock.
+
+    The clock is deliberately tiny: the only invariant it protects is that
+    simulated time never moves backwards.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise SimulationError(f"clock cannot start before zero: {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward by ``seconds`` and return the new time."""
+        if seconds < 0:
+            raise SimulationError(f"cannot advance clock by {seconds}s")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move the clock forward to an absolute ``timestamp``.
+
+        Advancing to a time in the past is an error; advancing to the present
+        is a no-op (this makes event-loop code simpler).
+        """
+        if timestamp < self._now:
+            raise SimulationError(
+                f"cannot move clock backwards: now={self._now}, target={timestamp}"
+            )
+        self._now = float(timestamp)
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.6f})"

@@ -1,0 +1,47 @@
+"""Failure injection for fail-over experiments.
+
+"Machine failures in cloud environment are not uncommon" (Section 4.3); the
+bootstrap peer's daemon (Algorithm 1) must detect crashed instances and
+trigger automatic fail-over.  :class:`FailureInjector` deterministically
+schedules crashes so tests and benchmarks can exercise that path.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.sim.cloud import CloudProvider, InstanceState
+
+
+class FailureInjector:
+    """Deterministic, seeded crash scheduler over a :class:`CloudProvider`."""
+
+    def __init__(self, provider: CloudProvider, seed: int = 0) -> None:
+        self._provider = provider
+        self._rng = random.Random(seed)
+        self.crashed: List[str] = []
+
+    def crash(self, instance_id: str) -> None:
+        """Crash one specific instance."""
+        self._provider.crash_instance(instance_id)
+        self.crashed.append(instance_id)
+
+    def crash_random(self, candidates: Optional[List[str]] = None) -> Optional[str]:
+        """Crash one running instance chosen uniformly from ``candidates``.
+
+        If ``candidates`` is ``None``, any running instance may be chosen.
+        Returns the crashed instance id, or ``None`` if nothing was running.
+        """
+        running = [
+            instance.instance_id
+            for instance in self._provider.list_instances(InstanceState.RUNNING)
+        ]
+        if candidates is not None:
+            allowed = set(candidates)
+            running = [instance_id for instance_id in running if instance_id in allowed]
+        if not running:
+            return None
+        victim = self._rng.choice(sorted(running))
+        self.crash(victim)
+        return victim

@@ -1,0 +1,190 @@
+"""Simulated data-center network.
+
+The paper measured ~100 MB/s end-to-end bandwidth between EC2 small instances
+(`iperf`, Section 6.1.1).  We model each point-to-point transfer as
+
+    duration = latency + message_count * per_message_overhead + bytes / bandwidth
+
+and keep per-host and per-link counters so benchmarks can report bytes
+shipped (the quantity the bloom-join optimization reduces).
+
+Hosts are plain string identifiers.  The network supports partitions
+(cutting a host off entirely) which the fail-over tests use to simulate
+crashed instances that stop responding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set, Tuple
+
+from repro.errors import NetworkError
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Tunable parameters of the simulated network.
+
+    Defaults approximate the environment in Section 6.1.1 of the paper:
+    100 MB/s end-to-end bandwidth and sub-millisecond in-region latency.
+    """
+
+    latency_s: float = 0.0005
+    bandwidth_bytes_per_s: float = 100e6
+    per_message_overhead_s: float = 0.0001
+    loopback_bandwidth_bytes_per_s: float = 2e9
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise NetworkError("latency must be non-negative")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise NetworkError("bandwidth must be positive")
+        if self.per_message_overhead_s < 0:
+            raise NetworkError("per-message overhead must be non-negative")
+        if self.loopback_bandwidth_bytes_per_s <= 0:
+            raise NetworkError("loopback bandwidth must be positive")
+
+
+@dataclass
+class TransferStats:
+    """Aggregated transfer counters, exposed for benchmark reporting."""
+
+    messages: int = 0
+    bytes: int = 0
+    total_duration_s: float = 0.0
+
+    def record(self, nbytes: int, duration_s: float, messages: int) -> None:
+        self.messages += messages
+        self.bytes += nbytes
+        self.total_duration_s += duration_s
+
+
+class SimNetwork:
+    """A fully connected network of named hosts with cost accounting.
+
+    The network does not queue or deliver payloads itself — the in-process
+    components call each other directly — it *prices* each transfer and
+    tracks statistics.  This keeps the simulation simple while still making
+    network cost a first-class, measurable quantity.
+    """
+
+    def __init__(self, config: NetworkConfig | None = None) -> None:
+        self.config = config or NetworkConfig()
+        self._hosts: Set[str] = set()
+        self._partitioned: Set[str] = set()
+        self._link_stats: Dict[Tuple[str, str], TransferStats] = {}
+        self._host_stats: Dict[str, TransferStats] = {}
+        self.total = TransferStats()
+
+    # ------------------------------------------------------------------
+    # Host management
+    # ------------------------------------------------------------------
+    def add_host(self, host: str) -> None:
+        """Register a host; registering twice is an error (likely a bug)."""
+        if host in self._hosts:
+            raise NetworkError(f"host already registered: {host!r}")
+        self._hosts.add(host)
+        self._host_stats[host] = TransferStats()
+
+    def remove_host(self, host: str) -> None:
+        self._require_host(host)
+        self._hosts.discard(host)
+        self._partitioned.discard(host)
+
+    def has_host(self, host: str) -> bool:
+        return host in self._hosts
+
+    @property
+    def hosts(self) -> Set[str]:
+        return set(self._hosts)
+
+    # ------------------------------------------------------------------
+    # Partitions (used by failure injection)
+    # ------------------------------------------------------------------
+    def partition(self, host: str) -> None:
+        """Cut ``host`` off: all transfers to/from it fail until healed."""
+        self._require_host(host)
+        self._partitioned.add(host)
+
+    def heal(self, host: str) -> None:
+        self._require_host(host)
+        self._partitioned.discard(host)
+
+    def is_partitioned(self, host: str) -> bool:
+        return host in self._partitioned
+
+    # ------------------------------------------------------------------
+    # Transfers
+    # ------------------------------------------------------------------
+    def transfer(self, src: str, dst: str, nbytes: int, messages: int = 1) -> float:
+        """Price a transfer of ``nbytes`` from ``src`` to ``dst``.
+
+        Returns the simulated duration in seconds and records statistics.
+        A transfer where ``src == dst`` is a loopback: no latency, and the
+        much higher local-bus bandwidth applies.
+        """
+        self._require_host(src)
+        self._require_host(dst)
+        if nbytes < 0:
+            raise NetworkError(f"cannot transfer a negative byte count: {nbytes}")
+        if messages < 1:
+            raise NetworkError(f"a transfer needs at least one message: {messages}")
+        if src in self._partitioned or dst in self._partitioned:
+            unreachable = src if src in self._partitioned else dst
+            raise NetworkError(f"host is partitioned: {unreachable!r}")
+
+        if src == dst:
+            duration = nbytes / self.config.loopback_bandwidth_bytes_per_s
+        else:
+            duration = (
+                self.config.latency_s
+                + messages * self.config.per_message_overhead_s
+                + nbytes / self.config.bandwidth_bytes_per_s
+            )
+
+        self._record(src, dst, nbytes, duration, messages)
+        return duration
+
+    def broadcast(self, src: str, dsts: list, nbytes: int) -> float:
+        """Price sending the same payload from ``src`` to every host in ``dsts``.
+
+        The sends happen concurrently, so the duration is the max of the
+        individual transfers (they are identical here, but partitioned
+        receivers still raise).
+        """
+        longest = 0.0
+        for dst in dsts:
+            longest = max(longest, self.transfer(src, dst, nbytes))
+        return longest
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def link_stats(self, src: str, dst: str) -> TransferStats:
+        return self._link_stats.setdefault((src, dst), TransferStats())
+
+    def host_stats(self, host: str) -> TransferStats:
+        self._require_host(host)
+        return self._host_stats[host]
+
+    def reset_stats(self) -> None:
+        self._link_stats.clear()
+        for host in self._host_stats:
+            self._host_stats[host] = TransferStats()
+        self.total = TransferStats()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _require_host(self, host: str) -> None:
+        if host not in self._hosts:
+            raise NetworkError(f"unknown host: {host!r}")
+
+    def _record(
+        self, src: str, dst: str, nbytes: int, duration: float, messages: int
+    ) -> None:
+        self.link_stats(src, dst).record(nbytes, duration, messages)
+        self._host_stats[src].record(nbytes, duration, messages)
+        if dst != src:
+            self._host_stats[dst].record(nbytes, duration, messages)
+        self.total.record(nbytes, duration, messages)

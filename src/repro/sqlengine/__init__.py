@@ -1,0 +1,40 @@
+"""An embedded relational engine, built from scratch.
+
+Every BestPeer++ normal peer hosts "a dedicated MySQL database" and every
+HadoopDB worker hosts a PostgreSQL instance.  This package is the
+reproduction's stand-in for both: a small but real relational engine with
+
+* a typed catalogue (:mod:`~repro.sqlengine.schema`),
+* row storage with primary and secondary indexes
+  (:mod:`~repro.sqlengine.table`, :mod:`~repro.sqlengine.indexes`),
+* an expression language (:mod:`~repro.sqlengine.expr`),
+* a SQL parser for the dialect the paper's workloads need
+  (:mod:`~repro.sqlengine.parser`),
+* a rule-based planner with index selection (:mod:`~repro.sqlengine.planner`),
+* a pull-based executor with hash joins, aggregation, sorting
+  (:mod:`~repro.sqlengine.executor`), and
+* per-table statistics feeding histograms and the cost model
+  (:mod:`~repro.sqlengine.stats`).
+
+The public entry point is :class:`~repro.sqlengine.database.Database`.
+"""
+
+from repro.sqlengine.types import ColumnType
+from repro.sqlengine.schema import Column, TableSchema
+from repro.sqlengine.table import MemTable, Table
+from repro.sqlengine.database import Database, QueryResult
+from repro.sqlengine.parser import parse
+from repro.sqlengine.stats import ColumnStats, TableStats
+
+__all__ = [
+    "ColumnType",
+    "Column",
+    "TableSchema",
+    "Table",
+    "MemTable",
+    "Database",
+    "QueryResult",
+    "parse",
+    "ColumnStats",
+    "TableStats",
+]

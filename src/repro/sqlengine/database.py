@@ -1,0 +1,253 @@
+"""The public database facade.
+
+One :class:`Database` instance plays the role the local MySQL server plays on
+a BestPeer++ normal peer (or PostgreSQL on a HadoopDB worker): it owns a
+catalogue of tables and executes SQL text.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SqlCatalogError, SqlExecutionError
+from repro.sqlengine.subquery import contains_subquery, resolve_subqueries
+from repro.sqlengine.executor import ExecStats, Executor
+from repro.sqlengine.expr import RowLayout
+from repro.sqlengine.parser import (
+    CreateIndexStmt,
+    CreateTableStmt,
+    DeleteStmt,
+    DropTableStmt,
+    InsertStmt,
+    SelectStmt,
+    UpdateStmt,
+    parse,
+)
+from repro.sqlengine.planner import Planner, explain_plan
+from repro.sqlengine.schema import TableSchema
+from repro.sqlengine.stats import TableStats, collect_table_stats
+from repro.sqlengine.table import Table
+from repro.sqlengine.types import value_byte_size
+
+
+class QueryResult:
+    """Rows plus metadata returned by :meth:`Database.execute`."""
+
+    def __init__(
+        self,
+        columns: Sequence[str],
+        rows: List[Tuple[object, ...]],
+        stats: Optional[ExecStats] = None,
+        rowcount: int = 0,
+    ) -> None:
+        self.columns = [column.rsplit(".", 1)[-1] for column in columns]
+        self.qualified_columns = list(columns)
+        self.rows = rows
+        self.stats = stats or ExecStats()
+        # For INSERT/UPDATE/DELETE: the number of affected rows.
+        self.rowcount = rowcount if rowcount else len(rows)
+
+    @property
+    def byte_size(self) -> int:
+        """Approximate wire size of the result set."""
+        return sum(
+            value_byte_size(value) for row in self.rows for value in row
+        )
+
+    def scalar(self) -> object:
+        """The single value of a one-row, one-column result."""
+        if len(self.rows) != 1 or len(self.rows[0]) != 1:
+            raise SqlExecutionError(
+                f"scalar() needs a 1x1 result, got {len(self.rows)} rows"
+            )
+        return self.rows[0][0]
+
+    def column(self, name: str) -> List[object]:
+        """All values of one output column."""
+        lowered = name.lower()
+        try:
+            position = self.columns.index(lowered)
+        except ValueError:
+            raise SqlExecutionError(f"no output column {name!r}") from None
+        return [row[position] for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __repr__(self) -> str:
+        return f"QueryResult(columns={self.columns}, rows={len(self.rows)})"
+
+
+class Database:
+    """An embedded relational database with a SQL interface."""
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self._tables: Dict[str, Table] = {}
+
+    # ------------------------------------------------------------------
+    # Catalogue
+    # ------------------------------------------------------------------
+    def create_table(self, schema: TableSchema) -> Table:
+        if schema.name in self._tables:
+            raise SqlCatalogError(f"table already exists: {schema.name!r}")
+        table = Table(schema)
+        self._tables[schema.name] = table
+        return table
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        lowered = name.lower()
+        if lowered not in self._tables:
+            if if_exists:
+                return
+            raise SqlCatalogError(f"no such table: {name!r}")
+        del self._tables[lowered]
+
+    def table(self, name: str) -> Table:
+        lowered = name.lower()
+        table = self._tables.get(lowered)
+        if table is None:
+            raise SqlCatalogError(f"no such table: {name!r}")
+        return table
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table_names(self) -> List[str]:
+        return sorted(self._tables)
+
+    def table_stats(self, name: str) -> TableStats:
+        return collect_table_stats(self.table(name))
+
+    @property
+    def total_bytes(self) -> int:
+        """Approximate size of all stored data (feeds storage metrics)."""
+        return sum(table.byte_size for table in self._tables.values())
+
+    # ------------------------------------------------------------------
+    # SQL execution
+    # ------------------------------------------------------------------
+    def execute(self, sql: str) -> QueryResult:
+        """Parse and run one SQL statement."""
+        statement = parse(sql)
+        if isinstance(statement, SelectStmt):
+            return self.execute_select(statement)
+        if isinstance(statement, InsertStmt):
+            return self._execute_insert(statement)
+        if isinstance(statement, CreateTableStmt):
+            self.create_table(
+                TableSchema(statement.name, statement.columns, statement.primary_key)
+            )
+            return QueryResult([], [])
+        if isinstance(statement, CreateIndexStmt):
+            self.table(statement.table).create_index(
+                statement.name, statement.column, statement.unique
+            )
+            return QueryResult([], [])
+        if isinstance(statement, UpdateStmt):
+            return self._execute_update(statement)
+        if isinstance(statement, DeleteStmt):
+            return self._execute_delete(statement)
+        if isinstance(statement, DropTableStmt):
+            self.drop_table(statement.name, statement.if_exists)
+            return QueryResult([], [])
+        raise SqlExecutionError(f"unsupported statement: {type(statement).__name__}")
+
+    def explain(self, sql: str) -> str:
+        """The physical plan for a SELECT, as indented text."""
+        statement = parse(sql)
+        if not isinstance(statement, SelectStmt):
+            raise SqlExecutionError("EXPLAIN supports SELECT statements only")
+        statement = self._resolve_subqueries(statement)
+        plan = Planner(self._tables).plan(statement)
+        return explain_plan(plan)
+
+    def execute_select(self, statement: SelectStmt) -> QueryResult:
+        statement = self._resolve_subqueries(statement)
+        plan = Planner(self._tables).plan(statement)
+        layout, rows, stats = Executor(self._tables).execute(plan)
+        return QueryResult(layout.columns, rows, stats)
+
+    def _resolve_subqueries(self, statement: SelectStmt) -> SelectStmt:
+        """Execute uncorrelated IN-subqueries and inline their results."""
+        if not contains_subquery(statement.where) and not contains_subquery(
+            statement.having
+        ):
+            return statement
+
+        def run(sub_statement) -> list:
+            return list(self.execute_select(sub_statement).rows)
+
+        return dataclasses.replace(
+            statement,
+            where=resolve_subqueries(statement.where, run),
+            having=resolve_subqueries(statement.having, run),
+        )
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def _execute_insert(self, statement: InsertStmt) -> QueryResult:
+        table = self.table(statement.table)
+        if statement.columns:
+            positions = [
+                table.schema.column_index(column) for column in statement.columns
+            ]
+            width = len(table.schema.columns)
+            expanded = []
+            for row in statement.rows:
+                if len(row) != len(positions):
+                    raise SqlCatalogError(
+                        f"INSERT names {len(positions)} columns but supplies "
+                        f"{len(row)} values"
+                    )
+                values: List[object] = [None] * width
+                for position, value in zip(positions, row):
+                    values[position] = value
+                expanded.append(tuple(values))
+            rows = expanded
+        else:
+            rows = list(statement.rows)
+        table.insert_many(rows)
+        return QueryResult([], [], rowcount=len(rows))
+
+    def _execute_update(self, statement: UpdateStmt) -> QueryResult:
+        table = self.table(statement.table)
+        layout = RowLayout(
+            [f"{table.schema.name}.{column}" for column in table.schema.column_names]
+        )
+        assignments = [
+            (table.schema.column_index(column), expr)
+            for column, expr in statement.assignments
+        ]
+        updated = 0
+        for row_id in list(table.row_ids()):
+            row = table.row_by_id(row_id)
+            if statement.where is not None:
+                if statement.where.evaluate(row, layout) is not True:
+                    continue
+            values = list(row)
+            for position, expr in assignments:
+                values[position] = expr.evaluate(row, layout)
+            table.update_row(row_id, values)
+            updated += 1
+        return QueryResult([], [], rowcount=updated)
+
+    def _execute_delete(self, statement: DeleteStmt) -> QueryResult:
+        table = self.table(statement.table)
+        layout = RowLayout(
+            [f"{table.schema.name}.{column}" for column in table.schema.column_names]
+        )
+        if statement.where is None:
+            deleted = len(table)
+            table.truncate()
+        else:
+            where = statement.where
+            deleted = table.delete_where(
+                lambda row: where.evaluate(row, layout) is True
+            )
+        return QueryResult([], [], rowcount=deleted)

@@ -1,0 +1,411 @@
+"""Pull-based plan executor.
+
+Each plan node executes to a ``(RowLayout, rows)`` pair; rows are tuples.
+Execution gathers :class:`ExecStats` (base-table rows scanned, rows produced,
+index probes) which the distributed engines turn into simulated processing
+time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SqlExecutionError
+from repro.sqlengine.expr import (
+    ColumnRef,
+    Expr,
+    FuncCall,
+    RowLayout,
+)
+from repro.sqlengine.parser import OrderItem, SelectItem
+from repro.sqlengine.planner import (
+    DistinctNode,
+    FilterNode,
+    GroupByNode,
+    IndexAccess,
+    JoinNode,
+    LimitNode,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+)
+from repro.sqlengine.table import Table
+
+
+@dataclass
+class ExecStats:
+    """Work counters accumulated during plan execution."""
+
+    rows_scanned: int = 0
+    rows_output: int = 0
+    index_probes: int = 0
+    join_build_rows: int = 0
+    join_probe_rows: int = 0
+
+    def merge(self, other: "ExecStats") -> None:
+        self.rows_scanned += other.rows_scanned
+        self.rows_output += other.rows_output
+        self.index_probes += other.index_probes
+        self.join_build_rows += other.join_build_rows
+        self.join_probe_rows += other.join_probe_rows
+
+
+class Executor:
+    """Executes plan trees against a table catalogue."""
+
+    def __init__(self, catalog: Dict[str, Table]) -> None:
+        self._catalog = catalog
+
+    def execute(self, plan: object, stats: Optional[ExecStats] = None):
+        """Run ``plan``; returns ``(layout, rows, stats)``."""
+        stats = stats if stats is not None else ExecStats()
+        layout, rows = self._execute(plan, stats)
+        stats.rows_output = len(rows)
+        return layout, rows, stats
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _execute(self, plan: object, stats: ExecStats):
+        if isinstance(plan, ScanNode):
+            return self._execute_scan(plan, stats)
+        if isinstance(plan, FilterNode):
+            return self._execute_filter(plan, stats)
+        if isinstance(plan, JoinNode):
+            return self._execute_join(plan, stats)
+        if isinstance(plan, GroupByNode):
+            return self._execute_group_by(plan, stats)
+        if isinstance(plan, ProjectNode):
+            return self._execute_project(plan, stats)
+        if isinstance(plan, DistinctNode):
+            return self._execute_distinct(plan, stats)
+        if isinstance(plan, SortNode):
+            return self._execute_sort(plan, stats)
+        if isinstance(plan, LimitNode):
+            return self._execute_limit(plan, stats)
+        raise SqlExecutionError(f"unknown plan node: {type(plan).__name__}")
+
+    # ------------------------------------------------------------------
+    # Scans
+    # ------------------------------------------------------------------
+    def _execute_scan(self, node: ScanNode, stats: ExecStats):
+        table = self._catalog[node.table]
+        layout = RowLayout(
+            [f"{node.binding}.{column}" for column in table.schema.column_names]
+        )
+        rows: List[Tuple[object, ...]]
+        if node.index_access is not None:
+            rows = self._index_rows(table, node.index_access, stats)
+        else:
+            rows = list(table.rows())
+            stats.rows_scanned += len(table)
+        if node.predicate is not None:
+            predicate = node.predicate
+            rows = [
+                row for row in rows if predicate.evaluate(row, layout) is True
+            ]
+        return layout, rows
+
+    def _index_rows(
+        self, table: Table, access: IndexAccess, stats: ExecStats
+    ) -> List[Tuple[object, ...]]:
+        index = table.index_on(access.column)
+        if index is None:
+            raise SqlExecutionError(
+                f"planner chose a missing index on {access.column!r}"
+            )
+        if access.is_equality:
+            row_ids = index.lookup(access.eq_value)
+        else:
+            row_ids = list(
+                index.range_scan(
+                    access.low,
+                    access.high,
+                    access.low_inclusive,
+                    access.high_inclusive,
+                )
+            )
+        stats.index_probes += 1
+        stats.rows_scanned += len(row_ids)
+        return [table.row_by_id(row_id) for row_id in row_ids]
+
+    # ------------------------------------------------------------------
+    # Filter / Join
+    # ------------------------------------------------------------------
+    def _execute_filter(self, node: FilterNode, stats: ExecStats):
+        layout, rows = self._execute(node.child, stats)
+        predicate = node.predicate
+        return layout, [
+            row for row in rows if predicate.evaluate(row, layout) is True
+        ]
+
+    def _execute_join(self, node: JoinNode, stats: ExecStats):
+        left_layout, left_rows = self._execute(node.left, stats)
+        right_layout, right_rows = self._execute(node.right, stats)
+        layout = left_layout.concat(right_layout)
+
+        if node.equi_keys:
+            rows = self._hash_join(
+                node, left_layout, left_rows, right_layout, right_rows,
+                layout, stats,
+            )
+        else:
+            rows = self._nested_loop_join(
+                node, left_rows, right_layout, right_rows, layout, stats
+            )
+        return layout, rows
+
+    def _hash_join(
+        self, node, left_layout, left_rows, right_layout, right_rows,
+        layout, stats,
+    ):
+        left_positions = [
+            left_layout.resolve(left_key) for left_key, _ in node.equi_keys
+        ]
+        right_positions = [
+            right_layout.resolve(right_key) for _, right_key in node.equi_keys
+        ]
+        # Build on the right side (explicit JOIN order puts the new table on
+        # the right; for TPC-H style plans that is usually the smaller side).
+        buckets: Dict[Tuple[object, ...], List[Tuple[object, ...]]] = {}
+        for row in right_rows:
+            key = tuple(row[position] for position in right_positions)
+            if any(part is None for part in key):
+                continue
+            buckets.setdefault(key, []).append(row)
+        stats.join_build_rows += len(right_rows)
+
+        condition = node.condition
+        results: List[Tuple[object, ...]] = []
+        null_pad = (None,) * len(right_layout)
+        for left_row in left_rows:
+            stats.join_probe_rows += 1
+            key = tuple(left_row[position] for position in left_positions)
+            matched = False
+            if not any(part is None for part in key):
+                for right_row in buckets.get(key, ()):
+                    combined = left_row + right_row
+                    if condition is None or condition.evaluate(combined, layout) is True:
+                        results.append(combined)
+                        matched = True
+            if not matched and node.kind == "left":
+                results.append(left_row + null_pad)
+        return results
+
+    def _nested_loop_join(
+        self, node, left_rows, right_layout, right_rows, layout, stats
+    ):
+        condition = node.condition
+        results: List[Tuple[object, ...]] = []
+        null_pad = (None,) * len(right_layout)
+        for left_row in left_rows:
+            matched = False
+            for right_row in right_rows:
+                stats.join_probe_rows += 1
+                combined = left_row + right_row
+                if condition is None or condition.evaluate(combined, layout) is True:
+                    results.append(combined)
+                    matched = True
+            if not matched and node.kind == "left":
+                results.append(left_row + null_pad)
+        return results
+
+    # ------------------------------------------------------------------
+    # Group by / aggregation
+    # ------------------------------------------------------------------
+    def _execute_group_by(self, node: GroupByNode, stats: ExecStats):
+        child_layout, child_rows = self._execute(node.child, stats)
+
+        group_names = []
+        for expr in node.group_exprs:
+            if isinstance(expr, ColumnRef):
+                group_names.append(
+                    child_layout.columns[child_layout.resolve(expr.name)]
+                )
+            else:
+                group_names.append(expr.to_sql().lower())
+        agg_names = [aggregate.to_sql().lower() for aggregate in node.aggregates]
+        layout = RowLayout(group_names + agg_names)
+
+        groups: Dict[Tuple[object, ...], List[_AggState]] = {}
+        group_order: List[Tuple[object, ...]] = []
+        for row in child_rows:
+            key = tuple(
+                expr.evaluate(row, child_layout) for expr in node.group_exprs
+            )
+            states = groups.get(key)
+            if states is None:
+                states = [_AggState(aggregate) for aggregate in node.aggregates]
+                groups[key] = states
+                group_order.append(key)
+            for state in states:
+                state.accumulate(row, child_layout)
+
+        # A scalar aggregate over an empty input still yields one row.
+        if not groups and not node.group_exprs:
+            states = [_AggState(aggregate) for aggregate in node.aggregates]
+            groups[()] = states
+            group_order.append(())
+
+        rows = [
+            key + tuple(state.result() for state in groups[key])
+            for key in group_order
+        ]
+        return layout, rows
+
+    # ------------------------------------------------------------------
+    # Project / distinct / sort / limit
+    # ------------------------------------------------------------------
+    def _execute_project(self, node: ProjectNode, stats: ExecStats):
+        child_layout, child_rows = self._execute(node.child, stats)
+
+        output_names: List[str] = []
+        evaluators: List[Callable[[Tuple[object, ...]], object]] = []
+        for item in node.items:
+            if item.is_star:
+                for position, column in enumerate(child_layout.columns):
+                    if item.star_qualifier is not None and not column.startswith(
+                        item.star_qualifier + "."
+                    ):
+                        continue
+                    output_names.append(column)
+                    evaluators.append(_position_getter(position))
+                continue
+            expr = item.expr
+            output_names.append(item.output_name().lower())
+            evaluators.append(
+                lambda row, expr=expr: expr.evaluate(row, child_layout)
+            )
+
+        layout = RowLayout(output_names)
+        rows = [
+            tuple(evaluate(row) for evaluate in evaluators) for row in child_rows
+        ]
+        return layout, rows
+
+    def _execute_distinct(self, node: DistinctNode, stats: ExecStats):
+        layout, rows = self._execute(node.child, stats)
+        seen = set()
+        unique: List[Tuple[object, ...]] = []
+        for row in rows:
+            if row not in seen:
+                seen.add(row)
+                unique.append(row)
+        return layout, unique
+
+    def _execute_sort(self, node: SortNode, stats: ExecStats):
+        layout, rows = self._execute(node.child, stats)
+        # Stable multi-key sort: apply keys last-to-first.
+        for item in reversed(node.order_items):
+            expr = item.expr
+            rows = sorted(
+                rows,
+                key=lambda row: _sort_key(expr.evaluate(row, layout)),
+                reverse=not item.ascending,
+            )
+        return layout, rows
+
+    def _execute_limit(self, node: LimitNode, stats: ExecStats):
+        layout, rows = self._execute(node.child, stats)
+        return layout, rows[: node.limit]
+
+
+def _position_getter(position: int) -> Callable[[Tuple[object, ...]], object]:
+    return lambda row: row[position]
+
+
+class _MinType:
+    """Sorts before every other value; stands in for NULL (NULLS FIRST)."""
+
+    def __lt__(self, other) -> bool:
+        return not isinstance(other, _MinType)
+
+    def __gt__(self, other) -> bool:
+        return False
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _MinType)
+
+    def __hash__(self) -> int:
+        return 0
+
+
+_NULL_SORTS_FIRST = _MinType()
+
+
+def _sort_key(value: object):
+    return _NULL_SORTS_FIRST if value is None else value
+
+
+def compute_aggregates(
+    aggregates: Sequence[FuncCall],
+    rows: Sequence[Tuple[object, ...]],
+    layout: RowLayout,
+) -> Tuple[object, ...]:
+    """Evaluate aggregate calls over a group of rows.
+
+    Exposed for the distributed engines (BestPeer++'s MapReduce engine and
+    HadoopDB's SMS-generated reducers), which aggregate outside a local
+    GroupBy plan node.
+    """
+    states = [_AggState(aggregate) for aggregate in aggregates]
+    for row in rows:
+        for state in states:
+            state.accumulate(row, layout)
+    return tuple(state.result() for state in states)
+
+
+class _AggState:
+    """Incremental state for one aggregate function."""
+
+    def __init__(self, call: FuncCall) -> None:
+        self.call = call
+        self.name = call.name.lower()
+        self.count = 0
+        self.total: object = None
+        self.minimum: object = None
+        self.maximum: object = None
+        self.distinct_values: Optional[set] = set() if call.distinct else None
+
+    def accumulate(self, row: Tuple[object, ...], layout: RowLayout) -> None:
+        if self.call.star:
+            self.count += 1
+            return
+        if len(self.call.args) != 1:
+            raise SqlExecutionError(
+                f"{self.call.name.upper()} takes exactly one argument"
+            )
+        value = self.call.args[0].evaluate(row, layout)
+        if value is None:
+            return
+        if self.distinct_values is not None:
+            if value in self.distinct_values:
+                return
+            self.distinct_values.add(value)
+        self.count += 1
+        if self.name in ("sum", "avg"):
+            if not isinstance(value, (int, float)):
+                raise SqlExecutionError(
+                    f"{self.name.upper()} over non-numeric value {value!r}"
+                )
+            self.total = value if self.total is None else self.total + value
+        elif self.name == "min":
+            if self.minimum is None or value < self.minimum:
+                self.minimum = value
+        elif self.name == "max":
+            if self.maximum is None or value > self.maximum:
+                self.maximum = value
+
+    def result(self) -> object:
+        if self.name == "count":
+            return self.count
+        if self.name == "sum":
+            return self.total
+        if self.name == "avg":
+            return None if self.count == 0 else self.total / self.count
+        if self.name == "min":
+            return self.minimum
+        if self.name == "max":
+            return self.maximum
+        raise SqlExecutionError(f"unknown aggregate: {self.name!r}")

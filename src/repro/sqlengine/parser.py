@@ -1,0 +1,716 @@
+"""SQL parser for the dialect the paper's workloads use.
+
+Supported statements::
+
+    SELECT [DISTINCT] items FROM tables [JOIN ... ON ...]
+        [WHERE expr] [GROUP BY exprs] [HAVING expr]
+        [ORDER BY expr [ASC|DESC], ...] [LIMIT n]
+    INSERT INTO table VALUES (...), (...)
+    CREATE TABLE name (col TYPE [NOT NULL] [PRIMARY KEY], ...)
+    CREATE [UNIQUE] INDEX name ON table (column)
+    UPDATE table SET col = expr [, ...] [WHERE expr]
+    DELETE FROM table [WHERE expr]
+    DROP TABLE name
+
+The parser is a hand-written tokenizer + recursive-descent parser producing
+the statement dataclasses below; expressions reuse :mod:`repro.sqlengine.expr`
+nodes directly.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import SqlParseError
+from repro.sqlengine.expr import (
+    Between,
+    BinaryOp,
+    CaseWhen,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    InList,
+    InSubquery,
+    IsNull,
+    Like,
+    Literal,
+    UnaryOp,
+)
+from repro.sqlengine.schema import Column
+from repro.sqlengine.types import ColumnType
+
+
+# ----------------------------------------------------------------------
+# Statement AST
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SelectItem:
+    """One projection: an expression with an optional alias, or ``*``."""
+
+    expr: Optional[Expr]  # None means "*"
+    alias: Optional[str] = None
+    star_qualifier: Optional[str] = None  # for "t.*"
+
+    @property
+    def is_star(self) -> bool:
+        return self.expr is None
+
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        if self.expr is None:
+            return "*"
+        if isinstance(self.expr, ColumnRef):
+            return self.expr.name.rsplit(".", 1)[-1]
+        return self.expr.to_sql()
+
+
+@dataclass(frozen=True)
+class TableRef:
+    table: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        return (self.alias or self.table).lower()
+
+
+@dataclass(frozen=True)
+class Join:
+    table: TableRef
+    condition: Expr
+    kind: str = "inner"
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class SelectStmt:
+    items: Tuple[SelectItem, ...]
+    tables: Tuple[TableRef, ...]
+    joins: Tuple[Join, ...] = ()
+    where: Optional[Expr] = None
+    group_by: Tuple[Expr, ...] = ()
+    having: Optional[Expr] = None
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class InsertStmt:
+    table: str
+    rows: Tuple[Tuple[object, ...], ...]
+    columns: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class CreateTableStmt:
+    name: str
+    columns: Tuple[Column, ...]
+    primary_key: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class CreateIndexStmt:
+    name: str
+    table: str
+    column: str
+    unique: bool = False
+
+
+@dataclass(frozen=True)
+class UpdateStmt:
+    table: str
+    assignments: Tuple[Tuple[str, Expr], ...]
+    where: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class DeleteStmt:
+    table: str
+    where: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class DropTableStmt:
+    name: str
+    if_exists: bool = False
+
+
+Statement = object  # any of the dataclasses above
+
+
+# ----------------------------------------------------------------------
+# Tokenizer
+# ----------------------------------------------------------------------
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+\.\d+|\d+|\.\d+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*(?:\.(?:[A-Za-z_][A-Za-z_0-9]*|\*))?)
+  | (?P<op><=|>=|!=|<>|=|<|>|\+|-|\*|/|%|\(|\)|,|;)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select", "distinct", "from", "where", "group", "by", "having", "order",
+    "limit", "join", "inner", "left", "on", "and", "or", "not", "between",
+    "in", "like", "is", "null", "as", "asc", "desc", "insert", "into",
+    "values", "create", "table", "index", "unique", "primary", "key",
+    "update", "set", "delete", "drop", "exists", "if", "date",
+    "case", "when", "then", "else", "end",
+}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # "number" | "string" | "ident" | "keyword" | "op" | "eof"
+    text: str
+    position: int
+
+
+def _tokenize(sql: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(sql):
+        match = _TOKEN_RE.match(sql, position)
+        if match is None:
+            raise SqlParseError(
+                f"unexpected character {sql[position]!r} at offset {position}"
+            )
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        kind = match.lastgroup or "op"
+        text = match.group()
+        if kind == "ident" and text.lower() in _KEYWORDS and "." not in text:
+            kind = "keyword"
+            text = text.lower()
+        tokens.append(_Token(kind, text, match.start()))
+    tokens.append(_Token("eof", "", len(sql)))
+    return tokens
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+class _Parser:
+    def __init__(self, sql: str) -> None:
+        self._sql = sql
+        self._tokens = _tokenize(sql)
+        self._index = 0
+
+    # -- token helpers --------------------------------------------------
+    @property
+    def _current(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> _Token:
+        token = self._current
+        if token.kind != "eof":
+            self._index += 1
+        return token
+
+    def _check_keyword(self, *keywords: str) -> bool:
+        token = self._current
+        return token.kind == "keyword" and token.text in keywords
+
+    def _accept_keyword(self, *keywords: str) -> Optional[str]:
+        if self._check_keyword(*keywords):
+            return self._advance().text
+        return None
+
+    def _expect_keyword(self, keyword: str) -> None:
+        if not self._accept_keyword(keyword):
+            raise SqlParseError(
+                f"expected {keyword.upper()!r} at offset {self._current.position}, "
+                f"found {self._current.text!r}"
+            )
+
+    def _accept_op(self, op: str) -> bool:
+        token = self._current
+        if token.kind == "op" and token.text == op:
+            self._advance()
+            return True
+        return False
+
+    def _expect_op(self, op: str) -> None:
+        if not self._accept_op(op):
+            raise SqlParseError(
+                f"expected {op!r} at offset {self._current.position}, "
+                f"found {self._current.text!r}"
+            )
+
+    def _expect_ident(self) -> str:
+        token = self._current
+        if token.kind == "ident":
+            self._advance()
+            return token.text
+        # Non-reserved usage of soft keywords as identifiers (e.g. a table
+        # named "date") is not supported; keep the grammar strict.
+        raise SqlParseError(
+            f"expected an identifier at offset {token.position}, "
+            f"found {token.text!r}"
+        )
+
+    # -- entry point -----------------------------------------------------
+    def parse_statement(self) -> Statement:
+        if self._check_keyword("select"):
+            statement = self._parse_select()
+        elif self._check_keyword("insert"):
+            statement = self._parse_insert()
+        elif self._check_keyword("create"):
+            statement = self._parse_create()
+        elif self._check_keyword("update"):
+            statement = self._parse_update()
+        elif self._check_keyword("delete"):
+            statement = self._parse_delete()
+        elif self._check_keyword("drop"):
+            statement = self._parse_drop()
+        else:
+            raise SqlParseError(
+                f"cannot parse statement starting with {self._current.text!r}"
+            )
+        self._accept_op(";")
+        if self._current.kind != "eof":
+            raise SqlParseError(
+                f"trailing input at offset {self._current.position}: "
+                f"{self._current.text!r}"
+            )
+        return statement
+
+    # -- SELECT ----------------------------------------------------------
+    def _parse_select(self) -> SelectStmt:
+        self._expect_keyword("select")
+        distinct = self._accept_keyword("distinct") is not None
+
+        items = [self._parse_select_item()]
+        while self._accept_op(","):
+            items.append(self._parse_select_item())
+
+        self._expect_keyword("from")
+        tables = [self._parse_table_ref()]
+        joins: List[Join] = []
+        while True:
+            if self._accept_op(","):
+                tables.append(self._parse_table_ref())
+                continue
+            kind = "inner"
+            if self._accept_keyword("left"):
+                kind = "left"
+                self._accept_keyword("inner")  # tolerate nothing; LEFT JOIN
+                self._expect_keyword("join")
+            elif self._accept_keyword("inner"):
+                self._expect_keyword("join")
+            elif self._accept_keyword("join"):
+                pass
+            else:
+                break
+            table = self._parse_table_ref()
+            self._expect_keyword("on")
+            condition = self._parse_expr()
+            joins.append(Join(table, condition, kind))
+
+        where = None
+        if self._accept_keyword("where"):
+            where = self._parse_expr()
+
+        group_by: List[Expr] = []
+        if self._accept_keyword("group"):
+            self._expect_keyword("by")
+            group_by.append(self._parse_expr())
+            while self._accept_op(","):
+                group_by.append(self._parse_expr())
+
+        having = None
+        if self._accept_keyword("having"):
+            having = self._parse_expr()
+
+        order_by: List[OrderItem] = []
+        if self._accept_keyword("order"):
+            self._expect_keyword("by")
+            order_by.append(self._parse_order_item())
+            while self._accept_op(","):
+                order_by.append(self._parse_order_item())
+
+        limit = None
+        if self._accept_keyword("limit"):
+            token = self._advance()
+            if token.kind != "number" or "." in token.text:
+                raise SqlParseError(f"LIMIT expects an integer, got {token.text!r}")
+            limit = int(token.text)
+
+        return SelectStmt(
+            items=tuple(items),
+            tables=tuple(tables),
+            joins=tuple(joins),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def _parse_select_item(self) -> SelectItem:
+        token = self._current
+        if token.kind == "op" and token.text == "*":
+            self._advance()
+            return SelectItem(expr=None)
+        if token.kind == "ident" and token.text.endswith(".*"):
+            self._advance()
+            return SelectItem(expr=None, star_qualifier=token.text[:-2].lower())
+        expr = self._parse_expr()
+        alias = None
+        if self._accept_keyword("as"):
+            alias = self._expect_ident().lower()
+        elif self._current.kind == "ident" and "." not in self._current.text:
+            alias = self._advance().text.lower()
+        return SelectItem(expr=expr, alias=alias)
+
+    def _parse_table_ref(self) -> TableRef:
+        table = self._expect_ident().lower()
+        alias = None
+        if self._accept_keyword("as"):
+            alias = self._expect_ident().lower()
+        elif self._current.kind == "ident" and "." not in self._current.text:
+            alias = self._advance().text.lower()
+        return TableRef(table, alias)
+
+    def _parse_order_item(self) -> OrderItem:
+        expr = self._parse_expr()
+        ascending = True
+        if self._accept_keyword("desc"):
+            ascending = False
+        else:
+            self._accept_keyword("asc")
+        return OrderItem(expr, ascending)
+
+    # -- INSERT ----------------------------------------------------------
+    def _parse_insert(self) -> InsertStmt:
+        self._expect_keyword("insert")
+        self._expect_keyword("into")
+        table = self._expect_ident().lower()
+        columns: List[str] = []
+        if self._accept_op("("):
+            columns.append(self._expect_ident().lower())
+            while self._accept_op(","):
+                columns.append(self._expect_ident().lower())
+            self._expect_op(")")
+        self._expect_keyword("values")
+        rows = [self._parse_value_row()]
+        while self._accept_op(","):
+            rows.append(self._parse_value_row())
+        return InsertStmt(table=table, rows=tuple(rows), columns=tuple(columns))
+
+    def _parse_value_row(self) -> Tuple[object, ...]:
+        self._expect_op("(")
+        values = [self._parse_literal_value()]
+        while self._accept_op(","):
+            values.append(self._parse_literal_value())
+        self._expect_op(")")
+        return tuple(values)
+
+    def _parse_literal_value(self) -> object:
+        expr = self._parse_expr()
+        if isinstance(expr, Literal):
+            return expr.value
+        if isinstance(expr, UnaryOp) and expr.op == "-" and isinstance(
+            expr.operand, Literal
+        ):
+            return -expr.operand.value  # type: ignore[operator]
+        raise SqlParseError(
+            f"INSERT values must be literals, got {expr.to_sql()}"
+        )
+
+    # -- CREATE ----------------------------------------------------------
+    def _parse_create(self) -> Statement:
+        self._expect_keyword("create")
+        unique = self._accept_keyword("unique") is not None
+        if self._accept_keyword("index"):
+            return self._parse_create_index(unique)
+        if unique:
+            raise SqlParseError("UNIQUE is only valid for CREATE INDEX")
+        self._expect_keyword("table")
+        return self._parse_create_table()
+
+    def _parse_create_table(self) -> CreateTableStmt:
+        name = self._expect_ident().lower()
+        self._expect_op("(")
+        columns: List[Column] = []
+        primary_key: Optional[str] = None
+        while True:
+            column_name = self._expect_ident().lower()
+            column_type = self._parse_column_type()
+            nullable = True
+            while True:
+                if self._accept_keyword("not"):
+                    self._expect_keyword("null")
+                    nullable = False
+                elif self._accept_keyword("primary"):
+                    self._expect_keyword("key")
+                    if primary_key is not None:
+                        raise SqlParseError("multiple PRIMARY KEY declarations")
+                    primary_key = column_name
+                    nullable = False
+                else:
+                    break
+            columns.append(Column(column_name, column_type, nullable))
+            if not self._accept_op(","):
+                break
+        self._expect_op(")")
+        return CreateTableStmt(name, tuple(columns), primary_key)
+
+    def _parse_column_type(self) -> ColumnType:
+        token = self._current
+        if token.kind == "keyword" and token.text == "date":
+            self._advance()
+            return ColumnType.DATE
+        if token.kind != "ident":
+            raise SqlParseError(f"expected a type name, got {token.text!r}")
+        self._advance()
+        type_name = token.text.lower()
+        # Swallow optional length/precision arguments: VARCHAR(25), DECIMAL(15,2).
+        if self._accept_op("("):
+            while not self._accept_op(")"):
+                self._advance()
+        if type_name in ("integer", "int", "bigint", "smallint"):
+            return ColumnType.INTEGER
+        if type_name in ("float", "real", "double", "decimal", "numeric"):
+            return ColumnType.FLOAT
+        if type_name in ("text", "varchar", "char", "string"):
+            return ColumnType.TEXT
+        raise SqlParseError(f"unknown column type: {token.text!r}")
+
+    def _parse_create_index(self, unique: bool) -> CreateIndexStmt:
+        name = self._expect_ident().lower()
+        self._expect_keyword("on")
+        table = self._expect_ident().lower()
+        self._expect_op("(")
+        column = self._expect_ident().lower()
+        self._expect_op(")")
+        return CreateIndexStmt(name=name, table=table, column=column, unique=unique)
+
+    # -- UPDATE / DELETE / DROP -------------------------------------------
+    def _parse_update(self) -> UpdateStmt:
+        self._expect_keyword("update")
+        table = self._expect_ident().lower()
+        self._expect_keyword("set")
+        assignments: List[Tuple[str, Expr]] = []
+        while True:
+            column = self._expect_ident().lower()
+            self._expect_op("=")
+            assignments.append((column, self._parse_expr()))
+            if not self._accept_op(","):
+                break
+        where = None
+        if self._accept_keyword("where"):
+            where = self._parse_expr()
+        return UpdateStmt(table, tuple(assignments), where)
+
+    def _parse_delete(self) -> DeleteStmt:
+        self._expect_keyword("delete")
+        self._expect_keyword("from")
+        table = self._expect_ident().lower()
+        where = None
+        if self._accept_keyword("where"):
+            where = self._parse_expr()
+        return DeleteStmt(table, where)
+
+    def _parse_drop(self) -> DropTableStmt:
+        self._expect_keyword("drop")
+        self._expect_keyword("table")
+        if_exists = False
+        if self._accept_keyword("if"):
+            self._expect_keyword("exists")
+            if_exists = True
+        name = self._expect_ident().lower()
+        return DropTableStmt(name, if_exists)
+
+    # -- expressions -------------------------------------------------------
+    def _parse_expr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self._accept_keyword("or"):
+            left = BinaryOp("or", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_not()
+        while self._accept_keyword("and"):
+            left = BinaryOp("and", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> Expr:
+        if self._accept_keyword("not"):
+            return UnaryOp("not", self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> Expr:
+        left = self._parse_additive()
+        token = self._current
+        if token.kind == "op" and token.text in ("=", "!=", "<>", "<", "<=", ">", ">="):
+            self._advance()
+            op = "!=" if token.text == "<>" else token.text
+            return BinaryOp(op, left, self._parse_additive())
+        negated = False
+        if self._check_keyword("not"):
+            # Lookahead for NOT BETWEEN / NOT IN / NOT LIKE.
+            next_token = self._tokens[self._index + 1]
+            if next_token.kind == "keyword" and next_token.text in (
+                "between", "in", "like",
+            ):
+                self._advance()
+                negated = True
+        if self._accept_keyword("between"):
+            low = self._parse_additive()
+            self._expect_keyword("and")
+            high = self._parse_additive()
+            return Between(left, low, high, negated)
+        if self._accept_keyword("in"):
+            self._expect_op("(")
+            if self._check_keyword("select"):
+                subquery = self._parse_select()
+                self._expect_op(")")
+                return InSubquery(left, subquery, negated)
+            items = [self._parse_additive()]
+            while self._accept_op(","):
+                items.append(self._parse_additive())
+            self._expect_op(")")
+            return InList(left, tuple(items), negated)
+        if self._accept_keyword("like"):
+            token = self._advance()
+            if token.kind != "string":
+                raise SqlParseError("LIKE expects a string pattern")
+            return Like(left, _unquote(token.text), negated)
+        if self._accept_keyword("is"):
+            is_not = self._accept_keyword("not") is not None
+            self._expect_keyword("null")
+            return IsNull(left, negated=is_not)
+        return left
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while True:
+            if self._accept_op("+"):
+                left = BinaryOp("+", left, self._parse_multiplicative())
+            elif self._accept_op("-"):
+                left = BinaryOp("-", left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while True:
+            if self._accept_op("*"):
+                left = BinaryOp("*", left, self._parse_unary())
+            elif self._accept_op("/"):
+                left = BinaryOp("/", left, self._parse_unary())
+            elif self._accept_op("%"):
+                left = BinaryOp("%", left, self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self) -> Expr:
+        if self._accept_op("-"):
+            operand = self._parse_unary()
+            # Constant-fold negative numeric literals so they stay literals
+            # (index matching and INSERT treat them as plain values).
+            if isinstance(operand, Literal) and isinstance(
+                operand.value, (int, float)
+            ):
+                return Literal(-operand.value)
+            return UnaryOp("-", operand)
+        if self._accept_op("+"):
+            return self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        token = self._current
+        if token.kind == "number":
+            self._advance()
+            if "." in token.text:
+                return Literal(float(token.text))
+            return Literal(int(token.text))
+        if token.kind == "string":
+            self._advance()
+            return Literal(_unquote(token.text))
+        if token.kind == "keyword" and token.text == "null":
+            self._advance()
+            return Literal(None)
+        if token.kind == "keyword" and token.text == "date":
+            # DATE '1998-11-05' literal syntax.
+            self._advance()
+            literal = self._advance()
+            if literal.kind != "string":
+                raise SqlParseError("DATE expects a quoted string")
+            return Literal(_unquote(literal.text))
+        if token.kind == "keyword" and token.text == "case":
+            return self._parse_case()
+        if self._accept_op("("):
+            expr = self._parse_expr()
+            self._expect_op(")")
+            return expr
+        if token.kind == "ident":
+            self._advance()
+            if self._accept_op("("):
+                return self._parse_function_call(token.text)
+            return ColumnRef(token.text.lower())
+        raise SqlParseError(
+            f"unexpected token {token.text!r} at offset {token.position}"
+        )
+
+    def _parse_case(self) -> Expr:
+        """Searched (CASE WHEN c THEN r ...) or simple (CASE x WHEN v ...)."""
+        self._expect_keyword("case")
+        subject: Optional[Expr] = None
+        if not self._check_keyword("when"):
+            subject = self._parse_expr()
+        whens = []
+        while self._accept_keyword("when"):
+            condition = self._parse_expr()
+            if subject is not None:
+                condition = BinaryOp("=", subject, condition)
+            self._expect_keyword("then")
+            whens.append((condition, self._parse_expr()))
+        if not whens:
+            raise SqlParseError("CASE needs at least one WHEN clause")
+        default = None
+        if self._accept_keyword("else"):
+            default = self._parse_expr()
+        self._expect_keyword("end")
+        return CaseWhen(tuple(whens), default)
+
+    def _parse_function_call(self, name: str) -> Expr:
+        if self._current.kind == "op" and self._current.text == "*":
+            self._advance()
+            self._expect_op(")")
+            return FuncCall(name.lower(), (), star=True)
+        distinct = self._accept_keyword("distinct") is not None
+        args = [self._parse_expr()]
+        while self._accept_op(","):
+            args.append(self._parse_expr())
+        self._expect_op(")")
+        return FuncCall(name.lower(), tuple(args), distinct=distinct)
+
+
+def _unquote(text: str) -> str:
+    return text[1:-1].replace("''", "'")
+
+
+def parse(sql: str) -> Statement:
+    """Parse one SQL statement into its AST."""
+    if not sql or not sql.strip():
+        raise SqlParseError("empty SQL statement")
+    return _Parser(sql).parse_statement()

@@ -1,0 +1,100 @@
+"""Table schemas and column definitions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SqlCatalogError
+from repro.sqlengine.types import ColumnType
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column definition."""
+
+    name: str
+    column_type: ColumnType
+    nullable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SqlCatalogError(f"invalid column name: {self.name!r}")
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """A table definition: ordered columns plus an optional primary key."""
+
+    name: str
+    columns: Tuple[Column, ...]
+    primary_key: Optional[str] = None
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        primary_key: Optional[str] = None,
+    ) -> None:
+        if not name or not name.isidentifier():
+            raise SqlCatalogError(f"invalid table name: {name!r}")
+        columns = tuple(columns)
+        if not columns:
+            raise SqlCatalogError(f"table {name!r} needs at least one column")
+        seen = set()
+        for column in columns:
+            lowered = column.name.lower()
+            if lowered in seen:
+                raise SqlCatalogError(
+                    f"duplicate column {column.name!r} in table {name!r}"
+                )
+            seen.add(lowered)
+        if primary_key is not None and primary_key.lower() not in seen:
+            raise SqlCatalogError(
+                f"primary key {primary_key!r} is not a column of {name!r}"
+            )
+        object.__setattr__(self, "name", name.lower())
+        object.__setattr__(self, "columns", columns)
+        object.__setattr__(
+            self,
+            "primary_key",
+            primary_key.lower() if primary_key is not None else None,
+        )
+
+    @property
+    def column_names(self) -> List[str]:
+        return [column.name for column in self.columns]
+
+    def column(self, name: str) -> Column:
+        lowered = name.lower()
+        for column in self.columns:
+            if column.name.lower() == lowered:
+                return column
+        raise SqlCatalogError(f"no column {name!r} in table {self.name!r}")
+
+    def has_column(self, name: str) -> bool:
+        lowered = name.lower()
+        return any(column.name.lower() == lowered for column in self.columns)
+
+    def column_index(self, name: str) -> int:
+        lowered = name.lower()
+        for position, column in enumerate(self.columns):
+            if column.name.lower() == lowered:
+                return position
+        raise SqlCatalogError(f"no column {name!r} in table {self.name!r}")
+
+    def coerce_row(self, values: Sequence[object]) -> Tuple[object, ...]:
+        """Validate one row of values against the schema."""
+        if len(values) != len(self.columns):
+            raise SqlCatalogError(
+                f"table {self.name!r} expects {len(self.columns)} values, "
+                f"got {len(values)}"
+            )
+        coerced = []
+        for column, value in zip(self.columns, values):
+            if value is None and not column.nullable:
+                raise SqlCatalogError(
+                    f"column {column.name!r} of {self.name!r} is NOT NULL"
+                )
+            coerced.append(column.column_type.coerce(value))
+        return tuple(coerced)

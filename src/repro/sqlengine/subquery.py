@@ -1,0 +1,112 @@
+"""Uncorrelated subquery resolution.
+
+The engine supports ``expr IN (SELECT column FROM ...)`` for uncorrelated
+subqueries by a classic rewrite: the planner executes the subquery first and
+replaces the :class:`~repro.sqlengine.expr.InSubquery` node with a plain
+:class:`~repro.sqlengine.expr.InList` of the resulting values.  The rewrite
+happens once per outer statement, before planning, so nested occurrences in
+WHERE and HAVING are all covered.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional
+
+from repro.errors import SqlExecutionError
+from repro.sqlengine.expr import (
+    Between,
+    BinaryOp,
+    CaseWhen,
+    Expr,
+    FuncCall,
+    InList,
+    InSubquery,
+    IsNull,
+    Like,
+    Literal,
+    UnaryOp,
+)
+
+# Executes a SelectStmt and returns its rows (duck-typed to avoid importing
+# Database here).
+ExecuteFn = Callable[[object], List[tuple]]
+
+
+def resolve_subqueries(expr: Optional[Expr], execute: ExecuteFn) -> Optional[Expr]:
+    """Replace every InSubquery under ``expr`` with a literal InList."""
+    if expr is None:
+        return None
+    return _rewrite(expr, execute)
+
+
+def _rewrite(expr: Expr, execute: ExecuteFn) -> Expr:
+    if isinstance(expr, InSubquery):
+        rows = execute(expr.subquery)
+        if rows and len(rows[0]) != 1:
+            raise SqlExecutionError(
+                "an IN subquery must return exactly one column"
+            )
+        items = tuple(Literal(row[0]) for row in rows)
+        operand = _rewrite(expr.operand, execute)
+        if not items:
+            # SQL defines x IN (empty set) as FALSE and NOT IN as TRUE,
+            # regardless of x being NULL.
+            return Literal(bool(expr.negated))
+        return InList(operand, items, expr.negated)
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(
+            expr.op, _rewrite(expr.left, execute), _rewrite(expr.right, execute)
+        )
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, _rewrite(expr.operand, execute))
+    if isinstance(expr, Between):
+        return Between(
+            _rewrite(expr.operand, execute),
+            _rewrite(expr.low, execute),
+            _rewrite(expr.high, execute),
+            expr.negated,
+        )
+    if isinstance(expr, InList):
+        return InList(
+            _rewrite(expr.operand, execute),
+            tuple(_rewrite(item, execute) for item in expr.items),
+            expr.negated,
+        )
+    if isinstance(expr, Like):
+        return Like(_rewrite(expr.operand, execute), expr.pattern, expr.negated)
+    if isinstance(expr, IsNull):
+        return IsNull(_rewrite(expr.operand, execute), expr.negated)
+    if isinstance(expr, CaseWhen):
+        return CaseWhen(
+            tuple(
+                (_rewrite(condition, execute), _rewrite(result, execute))
+                for condition, result in expr.whens
+            ),
+            _rewrite(expr.default, execute) if expr.default else None,
+        )
+    if isinstance(expr, FuncCall):
+        return FuncCall(
+            expr.name,
+            tuple(_rewrite(arg, execute) for arg in expr.args),
+            star=expr.star,
+            distinct=expr.distinct,
+        )
+    return expr  # Literal, ColumnRef
+
+
+def contains_subquery(expr: Optional[Expr]) -> bool:
+    """True if any InSubquery node appears under ``expr``."""
+    if expr is None:
+        return False
+    found = False
+
+    def probe(subquery_stmt):
+        nonlocal found
+        found = True
+        return []
+
+    # Reuse the rewriter's traversal with a probe that records occurrences;
+    # the rewritten tree is discarded.
+    _rewrite(expr, probe)
+    return found

@@ -1,0 +1,225 @@
+"""Row storage: tables and MemTables.
+
+A :class:`Table` stores rows as tuples in insertion order with tombstoned
+deletes, maintains its primary/secondary indexes, and tracks approximate byte
+sizes so the distributed engines can price network transfers.
+
+A :class:`MemTable` is the bounded in-memory buffer the paper's query
+executor uses on the query-submitting peer: "the peer P creates a set of
+MemTables to hold the data retrieved from other peers and bulk inserts these
+data into the local MySQL when the MemTable is full" (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import SqlCatalogError, SqlExecutionError
+from repro.sqlengine.indexes import OrderedIndex
+from repro.sqlengine.schema import TableSchema
+from repro.sqlengine.types import value_byte_size
+
+
+class Table:
+    """Heap storage for one table plus its indexes."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: List[Optional[Tuple[object, ...]]] = []
+        self._live_count = 0
+        self._byte_size = 0
+        self.indexes: Dict[str, OrderedIndex] = {}
+        if schema.primary_key is not None:
+            self.create_index(
+                f"pk_{schema.name}", schema.primary_key, unique=True
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._live_count
+
+    @property
+    def byte_size(self) -> int:
+        """Approximate size of all live rows in bytes."""
+        return self._byte_size
+
+    def rows(self) -> Iterator[Tuple[object, ...]]:
+        """Iterate live rows in insertion order."""
+        for row in self._rows:
+            if row is not None:
+                yield row
+
+    def row_by_id(self, row_id: int) -> Tuple[object, ...]:
+        if row_id < 0 or row_id >= len(self._rows):
+            raise SqlExecutionError(f"row id out of range: {row_id}")
+        row = self._rows[row_id]
+        if row is None:
+            raise SqlExecutionError(f"row {row_id} was deleted")
+        return row
+
+    def row_ids(self) -> Iterator[int]:
+        for row_id, row in enumerate(self._rows):
+            if row is not None:
+                yield row_id
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, values: Sequence[object]) -> int:
+        """Insert one row; returns its row id."""
+        row = self.schema.coerce_row(values)
+        row_id = len(self._rows)
+        # Validate unique indexes before touching any state so a violation
+        # leaves the table unchanged.
+        for index in self.indexes.values():
+            if index.unique:
+                key = row[self.schema.column_index(index.column)]
+                if key is not None and index.lookup(key):
+                    raise SqlExecutionError(
+                        f"duplicate key {key!r} for unique index {index.name!r}"
+                    )
+        self._rows.append(row)
+        self._live_count += 1
+        self._byte_size += self._row_bytes(row)
+        for index in self.indexes.values():
+            index.insert(row[self.schema.column_index(index.column)], row_id)
+        return row_id
+
+    def insert_many(self, rows: Sequence[Sequence[object]]) -> List[int]:
+        return [self.insert(row) for row in rows]
+
+    def delete_row(self, row_id: int) -> None:
+        row = self.row_by_id(row_id)
+        for index in self.indexes.values():
+            index.remove(row[self.schema.column_index(index.column)], row_id)
+        self._rows[row_id] = None
+        self._live_count -= 1
+        self._byte_size -= self._row_bytes(row)
+
+    def delete_where(self, predicate: Callable[[Tuple[object, ...]], bool]) -> int:
+        """Delete all rows matching ``predicate``; returns the count."""
+        victims = [
+            row_id
+            for row_id, row in enumerate(self._rows)
+            if row is not None and predicate(row)
+        ]
+        for row_id in victims:
+            self.delete_row(row_id)
+        return len(victims)
+
+    def update_row(self, row_id: int, values: Sequence[object]) -> None:
+        old = self.row_by_id(row_id)
+        new = self.schema.coerce_row(values)
+        for index in self.indexes.values():
+            position = self.schema.column_index(index.column)
+            if index.unique and new[position] != old[position]:
+                if new[position] is not None and index.lookup(new[position]):
+                    raise SqlExecutionError(
+                        f"duplicate key {new[position]!r} for unique index "
+                        f"{index.name!r}"
+                    )
+        for index in self.indexes.values():
+            position = self.schema.column_index(index.column)
+            if old[position] != new[position]:
+                index.remove(old[position], row_id)
+                index.insert(new[position], row_id)
+        self._rows[row_id] = new
+        self._byte_size += self._row_bytes(new) - self._row_bytes(old)
+
+    def truncate(self) -> None:
+        self._rows.clear()
+        self._live_count = 0
+        self._byte_size = 0
+        for index in list(self.indexes.values()):
+            self.indexes[index.name] = OrderedIndex(
+                index.name, index.column, index.unique
+            )
+
+    # ------------------------------------------------------------------
+    # Indexes
+    # ------------------------------------------------------------------
+    def create_index(self, name: str, column: str, unique: bool = False) -> OrderedIndex:
+        if name in self.indexes:
+            raise SqlCatalogError(f"index already exists: {name!r}")
+        if not self.schema.has_column(column):
+            raise SqlCatalogError(
+                f"cannot index unknown column {column!r} of {self.schema.name!r}"
+            )
+        index = OrderedIndex(name, column, unique)
+        position = self.schema.column_index(column)
+        for row_id, row in enumerate(self._rows):
+            if row is not None:
+                index.insert(row[position], row_id)
+        self.indexes[name] = index
+        return index
+
+    def index_on(self, column: str) -> Optional[OrderedIndex]:
+        """Any index whose key is ``column``, preferring unique ones."""
+        lowered = column.lower()
+        best: Optional[OrderedIndex] = None
+        for index in self.indexes.values():
+            if index.column == lowered:
+                if index.unique:
+                    return index
+                best = best or index
+        return best
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _row_bytes(self, row: Tuple[object, ...]) -> int:
+        return sum(
+            column.column_type.byte_size(value)
+            for column, value in zip(self.schema.columns, row)
+        )
+
+
+class MemTable:
+    """A bounded in-memory staging buffer for fetched remote tuples.
+
+    When the buffer exceeds ``capacity_bytes`` it spills (bulk-inserts) into
+    the backing :class:`Table`.  The number of spills is observable so tests
+    can verify the bulk-insert behaviour the paper describes.
+    """
+
+    def __init__(self, backing: Table, capacity_bytes: int = 100 * 1024 * 1024) -> None:
+        if capacity_bytes <= 0:
+            raise SqlExecutionError(
+                f"MemTable capacity must be positive: {capacity_bytes}"
+            )
+        self.backing = backing
+        self.capacity_bytes = capacity_bytes
+        self._buffer: List[Tuple[object, ...]] = []
+        self._buffered_bytes = 0
+        self.spill_count = 0
+
+    @property
+    def buffered_rows(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def buffered_bytes(self) -> int:
+        return self._buffered_bytes
+
+    def append(self, values: Sequence[object]) -> None:
+        row = self.backing.schema.coerce_row(values)
+        self._buffer.append(row)
+        self._buffered_bytes += self.backing._row_bytes(row)
+        if self._buffered_bytes >= self.capacity_bytes:
+            self.flush()
+
+    def extend(self, rows: Sequence[Sequence[object]]) -> None:
+        for row in rows:
+            self.append(row)
+
+    def flush(self) -> int:
+        """Bulk-insert the buffer into the backing table; returns row count."""
+        flushed = len(self._buffer)
+        if flushed:
+            self.backing.insert_many(self._buffer)
+            self._buffer.clear()
+            self._buffered_bytes = 0
+            self.spill_count += 1
+        return flushed

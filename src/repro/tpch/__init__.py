@@ -1,0 +1,57 @@
+"""TPC-H workload substrate.
+
+The paper's performance benchmark (Section 6.1) runs five custom queries over
+TPC-H data generated with ``dbgen`` (1 GB per node); the throughput benchmark
+(Section 6.2) partitions the same schema into supplier/retailer sub-schemas by
+nation.  This package is the reproduction's ``dbgen``:
+
+* :mod:`~repro.tpch.schema` — the eight TPC-H tables plus the secondary
+  index set of the paper's Table 4,
+* :mod:`~repro.tpch.dbgen` — a deterministic, seeded generator producing
+  uniformly distributed rows with per-peer disjoint key ranges,
+* :mod:`~repro.tpch.queries` — the benchmark queries Q1-Q5 and the
+  supplier/retailer throughput queries,
+* :mod:`~repro.tpch.partition` — the nation-based supply-chain partitioning.
+"""
+
+from repro.tpch.schema import (
+    SECONDARY_INDICES,
+    TPCH_SCHEMAS,
+    create_tpch_tables,
+    schema_for,
+)
+from repro.tpch.dbgen import TpchGenerator
+from repro.tpch.queries import (
+    Q1,
+    Q2,
+    Q3,
+    Q4,
+    Q5,
+    retailer_throughput_query,
+    supplier_throughput_query,
+)
+from repro.tpch.partition import (
+    COMMON_TABLES,
+    RETAILER_TABLES,
+    SUPPLIER_TABLES,
+    SupplyChainPartitioner,
+)
+
+__all__ = [
+    "TPCH_SCHEMAS",
+    "SECONDARY_INDICES",
+    "schema_for",
+    "create_tpch_tables",
+    "TpchGenerator",
+    "Q1",
+    "Q2",
+    "Q3",
+    "Q4",
+    "Q5",
+    "supplier_throughput_query",
+    "retailer_throughput_query",
+    "SUPPLIER_TABLES",
+    "RETAILER_TABLES",
+    "COMMON_TABLES",
+    "SupplyChainPartitioner",
+]

@@ -1,0 +1,308 @@
+"""A deterministic, seeded TPC-H data generator (the reproduction's dbgen).
+
+"We generate the data sets using TPC-H dbgen tool and distribute 1 GB data
+per node" (§6.1.5).  Generating a literal gigabyte per simulated peer is
+pointless on a laptop; instead the generator is parameterized by ``scale``
+(rows per peer grow linearly with it) while preserving the properties the
+benchmark relies on:
+
+* values follow **uniform distributions** ("the values in TPC-H data sets
+  follow uniform distribution", §6.1.5) so every peer holds roughly the same
+  value range of every column,
+* key ranges are **disjoint across peers**, so the union of all peers'
+  partitions is a consistent database and cross-key joins resolve within one
+  peer's contribution,
+* foreign keys reference keys of the same peer's partition.
+
+At ``scale=1.0`` a peer holds 300 orders, ~1200 lineitems, 40 parts, 160
+partsupps, 30 customers and 10 suppliers (plus the 25-nation / 5-region
+dimension tables).
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.tpch.schema import NATION_KEY_COLUMNS, TABLE_NAMES
+
+# Key space reserved per peer and table; peers' keys never collide.
+KEY_STRIDE = 10_000_000
+
+_START_DATE = datetime.date(1992, 1, 1)
+_END_DATE = datetime.date(1998, 8, 2)
+_DATE_SPAN_DAYS = (_END_DATE - _START_DATE).days
+
+_MKT_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"]
+_ORDER_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+_SHIP_MODES = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"]
+_SHIP_INSTRUCTIONS = ["COLLECT COD", "DELIVER IN PERSON", "NONE", "TAKE BACK RETURN"]
+_CONTAINERS = ["JUMBO BOX", "LG CASE", "MED BAG", "SM PKG", "WRAP JAR"]
+_TYPES = ["ANODIZED BRASS", "BURNISHED COPPER", "ECONOMY TIN", "PLATED STEEL",
+          "POLISHED NICKEL", "PROMO ANODIZED", "STANDARD BRUSHED"]
+_BRANDS = [f"Brand#{m}{n}" for m in range(1, 6) for n in range(1, 6)]
+_NATION_NAMES = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+    "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN",
+    "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+]
+_REGION_NAMES = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+NUM_NATIONS = len(_NATION_NAMES)
+
+# Rows per peer at scale 1.0, proportioned like TPC-H (lineitem ~4x orders,
+# partsupp 4x part, orders 10x customer).
+_BASE_ROWS = {
+    "customer": 30,
+    "supplier": 10,
+    "part": 40,
+    "orders": 300,
+}
+_LINEITEMS_PER_ORDER = (1, 7)   # uniform, mean 4 as in TPC-H
+_PARTSUPPS_PER_PART = 4
+
+
+class TpchGenerator:
+    """Generates per-peer horizontal partitions of the TPC-H tables."""
+
+    def __init__(self, seed: int = 42, scale: float = 1.0) -> None:
+        if scale <= 0:
+            raise ValueError(f"scale must be positive: {scale}")
+        self.seed = seed
+        self.scale = scale
+
+    # ------------------------------------------------------------------
+    # Sizing
+    # ------------------------------------------------------------------
+    def rows_for(self, table: str) -> int:
+        """Expected row count for one peer's partition of ``table``."""
+        table = table.lower()
+        if table == "nation":
+            return NUM_NATIONS
+        if table == "region":
+            return len(_REGION_NAMES)
+        if table == "lineitem":
+            return self.rows_for("orders") * 4  # mean lineitems per order
+        if table == "partsupp":
+            return self.rows_for("part") * _PARTSUPPS_PER_PART
+        if table not in _BASE_ROWS:
+            raise KeyError(f"not a TPC-H table: {table!r}")
+        return max(1, round(_BASE_ROWS[table] * self.scale))
+
+    def key_base(self, peer_index: int) -> int:
+        """First key of a peer's reserved key range."""
+        return peer_index * KEY_STRIDE + 1
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def generate_peer(
+        self,
+        peer_index: int,
+        tables: Optional[Sequence[str]] = None,
+        nation_key: Optional[int] = None,
+        with_nation_key: bool = False,
+    ) -> Dict[str, List[tuple]]:
+        """Generate one peer's partition of every requested table.
+
+        ``nation_key`` pins all rows to one nation (the throughput
+        benchmark's "each normal peer only hosts data from a unique nation",
+        §6.2.1); ``with_nation_key`` appends the extra nation-key column the
+        paper adds for that benchmark.
+        """
+        wanted = [name.lower() for name in (tables or TABLE_NAMES)]
+        data: Dict[str, List[tuple]] = {}
+        for table in wanted:
+            generator = getattr(self, f"_gen_{table}")
+            rows = generator(peer_index, nation_key)
+            if with_nation_key and table not in ("supplier", "customer"):
+                nation = nation_key if nation_key is not None else 0
+                rows = [
+                    row + (self._nation_of(row, table, nation),) for row in rows
+                ]
+            data[table] = rows
+        return data
+
+    # -- dimension tables ------------------------------------------------
+    def _gen_region(self, peer_index: int, nation_key: Optional[int]):
+        return [
+            (key, name, f"region comment {key}")
+            for key, name in enumerate(_REGION_NAMES)
+        ]
+
+    def _gen_nation(self, peer_index: int, nation_key: Optional[int]):
+        return [
+            (key, name, key % len(_REGION_NAMES), f"nation comment {key}")
+            for key, name in enumerate(_NATION_NAMES)
+        ]
+
+    # -- fact tables -------------------------------------------------------
+    def _gen_supplier(self, peer_index: int, nation_key: Optional[int]):
+        rng = self._rng(peer_index, "supplier")
+        base = self.key_base(peer_index)
+        rows = []
+        for offset in range(self.rows_for("supplier")):
+            key = base + offset
+            nation = nation_key if nation_key is not None else rng.randrange(NUM_NATIONS)
+            rows.append(
+                (
+                    key,
+                    f"Supplier#{key:09d}",
+                    f"addr-{key}",
+                    nation,
+                    f"{nation:02d}-{rng.randrange(10**7):07d}",
+                    round(rng.uniform(-999.99, 9999.99), 2),
+                    f"supplier comment {key}",
+                )
+            )
+        return rows
+
+    def _gen_customer(self, peer_index: int, nation_key: Optional[int]):
+        rng = self._rng(peer_index, "customer")
+        base = self.key_base(peer_index)
+        rows = []
+        for offset in range(self.rows_for("customer")):
+            key = base + offset
+            nation = nation_key if nation_key is not None else rng.randrange(NUM_NATIONS)
+            rows.append(
+                (
+                    key,
+                    f"Customer#{key:09d}",
+                    f"addr-{key}",
+                    nation,
+                    f"{nation:02d}-{rng.randrange(10**7):07d}",
+                    round(rng.uniform(-999.99, 9999.99), 2),
+                    rng.choice(_MKT_SEGMENTS),
+                    f"customer comment {key}",
+                )
+            )
+        return rows
+
+    def _gen_part(self, peer_index: int, nation_key: Optional[int]):
+        rng = self._rng(peer_index, "part")
+        base = self.key_base(peer_index)
+        rows = []
+        for offset in range(self.rows_for("part")):
+            key = base + offset
+            rows.append(
+                (
+                    key,
+                    f"part {key}",
+                    f"Manufacturer#{1 + key % 5}",
+                    rng.choice(_BRANDS),
+                    rng.choice(_TYPES),
+                    rng.randrange(1, 51),
+                    rng.choice(_CONTAINERS),
+                    round(900 + (key % 1000) * 0.1 + rng.uniform(0, 100), 2),
+                    f"part comment {key}",
+                )
+            )
+        return rows
+
+    def _gen_partsupp(self, peer_index: int, nation_key: Optional[int]):
+        rng = self._rng(peer_index, "partsupp")
+        base = self.key_base(peer_index)
+        supplier_count = self.rows_for("supplier")
+        rows = []
+        for part_offset in range(self.rows_for("part")):
+            part_key = base + part_offset
+            for replica in range(_PARTSUPPS_PER_PART):
+                supplier_key = base + (part_offset + replica) % supplier_count
+                rows.append(
+                    (
+                        part_key,
+                        supplier_key,
+                        rng.randrange(1, 10000),
+                        round(rng.uniform(1.0, 1000.0), 2),
+                        f"partsupp comment {part_key}/{replica}",
+                    )
+                )
+        return rows
+
+    def _gen_orders(self, peer_index: int, nation_key: Optional[int]):
+        rng = self._rng(peer_index, "orders")
+        base = self.key_base(peer_index)
+        customer_count = self.rows_for("customer")
+        rows = []
+        for offset in range(self.rows_for("orders")):
+            key = base + offset
+            order_date = _START_DATE + datetime.timedelta(
+                days=rng.randrange(_DATE_SPAN_DAYS + 1)
+            )
+            rows.append(
+                (
+                    key,
+                    base + rng.randrange(customer_count),
+                    rng.choice(["O", "F", "P"]),
+                    round(rng.uniform(1000.0, 400000.0), 2),
+                    order_date.isoformat(),
+                    rng.choice(_ORDER_PRIORITIES),
+                    f"Clerk#{rng.randrange(1000):09d}",
+                    0,
+                    f"order comment {key}",
+                )
+            )
+        return rows
+
+    def _gen_lineitem(self, peer_index: int, nation_key: Optional[int]):
+        rng = self._rng(peer_index, "lineitem")
+        base = self.key_base(peer_index)
+        part_count = self.rows_for("part")
+        supplier_count = self.rows_for("supplier")
+        rows = []
+        for order in self._gen_orders(peer_index, nation_key):
+            order_key = order[0]
+            order_date = datetime.date.fromisoformat(order[4])
+            for line_number in range(1, rng.randint(*_LINEITEMS_PER_ORDER) + 1):
+                quantity = float(rng.randrange(1, 51))
+                ship_date = order_date + datetime.timedelta(
+                    days=rng.randrange(1, 122)
+                )
+                commit_date = order_date + datetime.timedelta(
+                    days=rng.randrange(30, 91)
+                )
+                receipt_date = ship_date + datetime.timedelta(
+                    days=rng.randrange(1, 31)
+                )
+                rows.append(
+                    (
+                        order_key,
+                        base + rng.randrange(part_count),
+                        base + rng.randrange(supplier_count),
+                        line_number,
+                        quantity,
+                        round(quantity * rng.uniform(900.0, 2100.0), 2),
+                        round(rng.uniform(0.0, 0.10), 2),
+                        round(rng.uniform(0.0, 0.08), 2),
+                        rng.choice(["A", "N", "R"]),
+                        rng.choice(["F", "O"]),
+                        ship_date.isoformat(),
+                        commit_date.isoformat(),
+                        receipt_date.isoformat(),
+                        rng.choice(_SHIP_INSTRUCTIONS),
+                        rng.choice(_SHIP_MODES),
+                        f"lineitem comment {order_key}/{line_number}",
+                    )
+                )
+        return rows
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _rng(self, peer_index: int, table: str) -> random.Random:
+        """One independent stream per (seed, peer, table).
+
+        ``orders`` and ``lineitem`` derive dates from the same stream seed so
+        a lineitem's ship date is always consistent with its order's date.
+        """
+        return random.Random((self.seed, peer_index, table).__repr__())
+
+    @staticmethod
+    def _nation_of(row: tuple, table: str, default_nation: int) -> int:
+        """Nation-key value for the appended throughput-benchmark column."""
+        if table == "nation":
+            return row[0]
+        if table == "region":
+            return default_nation
+        return default_nation

@@ -1,0 +1,87 @@
+"""Supply-chain partitioning for the throughput benchmark (§6.2.1).
+
+The TPC-H schema is split into two sub-schemas:
+
+* the **supplier schema**: ``supplier``, ``partsupp``, ``part``,
+* the **retailer schema**: ``lineitem``, ``orders``, ``customer``,
+
+with ``nation`` and ``region`` commonly owned by both.  Data is partitioned
+by nation — "we partition the TPC-H data sets into 25 data sets, one data set
+for each nation, and configure each normal peer to only host data from a
+unique nation" — and every table carries an added nation-key column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.tpch.dbgen import NUM_NATIONS, TpchGenerator
+
+SUPPLIER_TABLES = ["supplier", "partsupp", "part"]
+RETAILER_TABLES = ["lineitem", "orders", "customer"]
+COMMON_TABLES = ["nation", "region"]
+
+
+@dataclass(frozen=True)
+class PeerAssignment:
+    """One normal peer's role in the supply-chain network."""
+
+    peer_id: str
+    role: str  # "supplier" | "retailer"
+    nation_key: int
+
+    @property
+    def tables(self) -> List[str]:
+        owned = SUPPLIER_TABLES if self.role == "supplier" else RETAILER_TABLES
+        return owned + COMMON_TABLES
+
+
+class SupplyChainPartitioner:
+    """Assigns peers to supplier/retailer roles and generates their data.
+
+    The paper sets "the number of suppliers to be equal to the number of
+    retailers" — peers are assigned alternately.  Each peer hosts the data
+    of one nation; nation keys are assigned round-robin within each role.
+    """
+
+    def __init__(self, generator: Optional[TpchGenerator] = None) -> None:
+        self.generator = generator or TpchGenerator()
+
+    def assign(self, peer_ids: Sequence[str]) -> List[PeerAssignment]:
+        """Alternate supplier/retailer roles over the peer list."""
+        assignments: List[PeerAssignment] = []
+        supplier_count = 0
+        retailer_count = 0
+        for index, peer_id in enumerate(peer_ids):
+            if index % 2 == 0:
+                role = "supplier"
+                nation = supplier_count % NUM_NATIONS
+                supplier_count += 1
+            else:
+                role = "retailer"
+                nation = retailer_count % NUM_NATIONS
+                retailer_count += 1
+            assignments.append(PeerAssignment(peer_id, role, nation))
+        return assignments
+
+    def generate_for(self, assignment: PeerAssignment, peer_index: int):
+        """The nation-pinned data for one assigned peer.
+
+        Returns ``{table: rows}`` including the appended nation-key column
+        (for tables that do not already carry one).
+        """
+        return self.generator.generate_peer(
+            peer_index,
+            tables=assignment.tables,
+            nation_key=assignment.nation_key,
+            with_nation_key=True,
+        )
+
+    @staticmethod
+    def suppliers(assignments: Sequence[PeerAssignment]) -> List[PeerAssignment]:
+        return [a for a in assignments if a.role == "supplier"]
+
+    @staticmethod
+    def retailers(assignments: Sequence[PeerAssignment]) -> List[PeerAssignment]:
+        return [a for a in assignments if a.role == "retailer"]

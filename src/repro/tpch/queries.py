@@ -1,0 +1,131 @@
+"""The benchmark queries of Sections 6.1 and 6.2.
+
+"We implement the benchmark queries by ourselves since the TPC-H queries are
+complex and time-consuming queries which are not suitable for benchmarking
+corporate network applications" (§6.1.4).  Each helper returns SQL text; the
+default parameters are tuned so the selectivity matches the paper's intent
+(Q1 "yields approximately 3,000 tuples per normal peer" out of ~6M — i.e., a
+highly selective predicate served by the secondary indexes).
+"""
+
+from __future__ import annotations
+
+
+def Q1(ship_date: str = "1998-09-15", commit_date: str = "1998-07-01") -> str:
+    """Q1 — simple selection on LineItem (Fig. 6).
+
+    "evaluates a simple selection predicate on the l_shipdate and
+    l_commitdate attributes from the LineItem table."
+    """
+    return (
+        "SELECT l_orderkey, l_partkey, l_suppkey, l_linenumber, l_quantity "
+        "FROM lineitem "
+        f"WHERE l_shipdate > DATE '{ship_date}' "
+        f"AND l_commitdate > DATE '{commit_date}'"
+    )
+
+
+def Q2(ship_date: str = "1998-06-01") -> str:
+    """Q2 — simple aggregation on LineItem (Fig. 7).
+
+    "involves computing the total prices over the qualified tuples stored in
+    LineItem table."
+    """
+    return (
+        "SELECT SUM(l_extendedprice * (1 - l_discount)) AS total_price "
+        "FROM lineitem "
+        f"WHERE l_shipdate > DATE '{ship_date}'"
+    )
+
+
+def Q3(ship_date: str = "1998-03-01", order_date: str = "1998-06-01") -> str:
+    """Q3 — two-table join LineItem ⋈ Orders (Fig. 8).
+
+    "involves retrieving qualified tuples from joining two tables, i.e.,
+    LineItem and Orders."
+    """
+    return (
+        "SELECT l_orderkey, o_orderdate, o_shippriority, l_extendedprice "
+        "FROM orders, lineitem "
+        "WHERE o_orderkey = l_orderkey "
+        f"AND l_shipdate > DATE '{ship_date}' "
+        f"AND o_orderdate > DATE '{order_date}'"
+    )
+
+
+def Q4(min_size: int = 25) -> str:
+    """Q4 — join PartSupp ⋈ Part plus aggregation (Fig. 9)."""
+    return (
+        "SELECT ps_partkey, SUM(ps_supplycost * ps_availqty) AS total_value "
+        "FROM partsupp, part "
+        "WHERE ps_partkey = p_partkey "
+        f"AND p_size > {min_size} "
+        "GROUP BY ps_partkey"
+    )
+
+
+def Q5() -> str:
+    """Q5 — multi-table join plus aggregation (Fig. 10).
+
+    Four tables; HadoopDB "compiles this query into four MapReduce jobs with
+    the first three jobs performing the joins and the final job performing
+    the final aggregation."
+    """
+    return (
+        "SELECT s_nationkey, "
+        "SUM(l_extendedprice * (1 - l_discount)) AS revenue "
+        "FROM customer, orders, lineitem, supplier "
+        "WHERE c_custkey = o_custkey "
+        "AND l_orderkey = o_orderkey "
+        "AND l_suppkey = s_suppkey "
+        "AND c_nationkey = s_nationkey "
+        "GROUP BY s_nationkey "
+        "ORDER BY revenue DESC"
+    )
+
+
+PERFORMANCE_QUERIES = {
+    "Q1": Q1(),
+    "Q2": Q2(),
+    "Q3": Q3(),
+    "Q4": Q4(),
+    "Q5": Q5(),
+}
+
+
+def supplier_throughput_query(nation_key: int) -> str:
+    """The light-weight query against one supplier peer's data (§6.2.3).
+
+    Submitted by retailer-peer users; touches the supplier schema
+    (Supplier, PartSupp, Part) of a single nation, so the single-peer
+    optimization applies.
+    """
+    return (
+        "SELECT s_suppkey, s_name, SUM(ps_supplycost * ps_availqty) AS stock_value "
+        "FROM supplier, partsupp, part "
+        "WHERE s_suppkey = ps_suppkey "
+        "AND ps_partkey = p_partkey "
+        f"AND s_nationkey = {nation_key} "
+        f"AND ps_nationkey = {nation_key} "
+        f"AND p_nationkey = {nation_key} "
+        "GROUP BY s_suppkey, s_name"
+    )
+
+
+def retailer_throughput_query(nation_key: int) -> str:
+    """The heavy-weight query against one retailer peer's data (§6.2.3).
+
+    Submitted by supplier-peer users; joins the retailer schema (Customer,
+    Orders, LineItem) of a single nation.
+    """
+    return (
+        "SELECT c_custkey, c_name, "
+        "SUM(l_extendedprice * (1 - l_discount)) AS revenue "
+        "FROM customer, orders, lineitem "
+        "WHERE c_custkey = o_custkey "
+        "AND o_orderkey = l_orderkey "
+        f"AND c_nationkey = {nation_key} "
+        f"AND o_nationkey = {nation_key} "
+        f"AND l_nationkey = {nation_key} "
+        "GROUP BY c_custkey, c_name"
+    )

@@ -1,0 +1,199 @@
+"""The TPC-H global shared schema.
+
+"We use the original TPC-H schema as the shared global schema" (§6.1.4).
+Every peer contributes a horizontal partition of each table.  For the
+throughput benchmark the paper adds a nation-key column to each table
+("we modify the original TPC-H schema and add a nation key column in each
+table", §6.2.1) — pass ``with_nation_key=True`` to get that variant.
+
+``SECONDARY_INDICES`` reproduces the paper's Table 4: the secondary indexes
+built on selected columns during data loading (the exact table contents are
+reconstructed from the columns the five benchmark queries filter on).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.sqlengine import Column, ColumnType, Database, TableSchema
+
+_I = ColumnType.INTEGER
+_F = ColumnType.FLOAT
+_T = ColumnType.TEXT
+_D = ColumnType.DATE
+
+# (table, [(column, type)], primary_key)
+_TABLE_DEFS: List[Tuple[str, List[Tuple[str, ColumnType]], str]] = [
+    (
+        "region",
+        [("r_regionkey", _I), ("r_name", _T), ("r_comment", _T)],
+        "r_regionkey",
+    ),
+    (
+        "nation",
+        [
+            ("n_nationkey", _I),
+            ("n_name", _T),
+            ("n_regionkey", _I),
+            ("n_comment", _T),
+        ],
+        "n_nationkey",
+    ),
+    (
+        "supplier",
+        [
+            ("s_suppkey", _I),
+            ("s_name", _T),
+            ("s_address", _T),
+            ("s_nationkey", _I),
+            ("s_phone", _T),
+            ("s_acctbal", _F),
+            ("s_comment", _T),
+        ],
+        "s_suppkey",
+    ),
+    (
+        "customer",
+        [
+            ("c_custkey", _I),
+            ("c_name", _T),
+            ("c_address", _T),
+            ("c_nationkey", _I),
+            ("c_phone", _T),
+            ("c_acctbal", _F),
+            ("c_mktsegment", _T),
+            ("c_comment", _T),
+        ],
+        "c_custkey",
+    ),
+    (
+        "part",
+        [
+            ("p_partkey", _I),
+            ("p_name", _T),
+            ("p_mfgr", _T),
+            ("p_brand", _T),
+            ("p_type", _T),
+            ("p_size", _I),
+            ("p_container", _T),
+            ("p_retailprice", _F),
+            ("p_comment", _T),
+        ],
+        "p_partkey",
+    ),
+    (
+        "partsupp",
+        [
+            ("ps_partkey", _I),
+            ("ps_suppkey", _I),
+            ("ps_availqty", _I),
+            ("ps_supplycost", _F),
+            ("ps_comment", _T),
+        ],
+        # Composite (ps_partkey, ps_suppkey) in TPC-H; the engine indexes
+        # both columns separately instead (see SECONDARY_INDICES).
+        None,
+    ),
+    (
+        "orders",
+        [
+            ("o_orderkey", _I),
+            ("o_custkey", _I),
+            ("o_orderstatus", _T),
+            ("o_totalprice", _F),
+            ("o_orderdate", _D),
+            ("o_orderpriority", _T),
+            ("o_clerk", _T),
+            ("o_shippriority", _I),
+            ("o_comment", _T),
+        ],
+        "o_orderkey",
+    ),
+    (
+        "lineitem",
+        [
+            ("l_orderkey", _I),
+            ("l_partkey", _I),
+            ("l_suppkey", _I),
+            ("l_linenumber", _I),
+            ("l_quantity", _F),
+            ("l_extendedprice", _F),
+            ("l_discount", _F),
+            ("l_tax", _F),
+            ("l_returnflag", _T),
+            ("l_linestatus", _T),
+            ("l_shipdate", _D),
+            ("l_commitdate", _D),
+            ("l_receiptdate", _D),
+            ("l_shipinstruct", _T),
+            ("l_shipmode", _T),
+            ("l_comment", _T),
+        ],
+        None,
+    ),
+]
+
+# Nation-key column added per table for the throughput benchmark (§6.2.1).
+NATION_KEY_COLUMNS: Dict[str, str] = {
+    "region": "rn_nationkey",
+    "nation": "nn_nationkey",
+    "supplier": "s_nationkey",   # already present in the base schema
+    "customer": "c_nationkey",   # already present in the base schema
+    "part": "p_nationkey",
+    "partsupp": "ps_nationkey",
+    "orders": "o_nationkey",
+    "lineitem": "l_nationkey",
+}
+
+# Table 4 of the paper: secondary indexes built during data loading, on the
+# columns the benchmark queries filter or join on.
+SECONDARY_INDICES: Dict[str, List[str]] = {
+    "lineitem": ["l_shipdate", "l_commitdate", "l_orderkey", "l_suppkey"],
+    "orders": ["o_orderdate", "o_custkey"],
+    "part": ["p_size"],
+    "partsupp": ["ps_partkey", "ps_suppkey"],
+    "customer": ["c_nationkey"],
+    "supplier": ["s_nationkey"],
+}
+
+TABLE_NAMES = [name for name, _, _ in _TABLE_DEFS]
+
+
+def schema_for(table: str, with_nation_key: bool = False) -> TableSchema:
+    """Build the :class:`TableSchema` for one TPC-H table."""
+    for name, columns, primary_key in _TABLE_DEFS:
+        if name != table.lower():
+            continue
+        column_objects = [
+            Column(column_name, column_type)
+            for column_name, column_type in columns
+        ]
+        if with_nation_key:
+            extra = NATION_KEY_COLUMNS[name]
+            if all(column.name != extra for column in column_objects):
+                column_objects.append(Column(extra, _I))
+        return TableSchema(name, column_objects, primary_key)
+    raise KeyError(f"not a TPC-H table: {table!r}")
+
+
+TPCH_SCHEMAS: Dict[str, TableSchema] = {
+    name: schema_for(name) for name in TABLE_NAMES
+}
+
+
+def create_tpch_tables(
+    database: Database,
+    tables: List[str] = None,
+    with_nation_key: bool = False,
+    with_secondary_indices: bool = True,
+) -> None:
+    """Create (a subset of) the TPC-H tables in ``database``.
+
+    Mirrors the paper's loading process (§6.1.5): a primary index per table
+    on the primary key (automatic) plus the Table-4 secondary indexes.
+    """
+    for name in tables if tables is not None else TABLE_NAMES:
+        database.create_table(schema_for(name, with_nation_key))
+        if with_secondary_indices:
+            for column in SECONDARY_INDICES.get(name, []):
+                database.table(name).create_index(f"idx_{name}_{column}", column)

@@ -1,0 +1,60 @@
+"""Tests for the network-wide load-balancing adjustment."""
+
+import pytest
+
+from repro.baton import BatonOverlay
+
+
+def skewed_overlay(num_nodes=8, items=64):
+    """All items crammed into one node's sub-domain."""
+    overlay = BatonOverlay()
+    for i in range(num_nodes):
+        overlay.join(f"peer-{i}")
+    hot = overlay.nodes()[0]
+    low, high = hot.r0.low, hot.r0.high
+    for i in range(items):
+        key = low + (i + 0.5) * (high - low) / items
+        overlay.insert(key, f"item-{i}")
+    return overlay
+
+
+class TestGlobalRebalance:
+    def test_spreads_skewed_load(self):
+        overlay = skewed_overlay()
+        before = max(node.item_count for node in overlay.nodes())
+        assert overlay.global_rebalance()
+        after = max(node.item_count for node in overlay.nodes())
+        assert after < before
+        # The load is spread well beyond the two adjacent neighbours.
+        loaded = sum(1 for node in overlay.nodes() if node.item_count > 0)
+        assert loaded >= 4
+
+    def test_preserves_invariants_and_items(self):
+        overlay = skewed_overlay()
+        overlay.global_rebalance()
+        overlay.check_invariants()
+        total = sum(node.item_count for node in overlay.nodes())
+        assert total == 64
+
+    def test_items_remain_searchable(self):
+        overlay = skewed_overlay(num_nodes=6, items=30)
+        hot = overlay.nodes()[0]
+        keys = sorted(hot.items)
+        overlay.global_rebalance()
+        for key in keys:
+            assert overlay.search(key).values, f"lost item under key {key}"
+
+    def test_balanced_overlay_is_noop(self):
+        overlay = BatonOverlay()
+        for i in range(6):
+            overlay.join(f"peer-{i}")
+        for i in range(6):
+            overlay.insert((i + 0.5) / 6.0, i)
+        # Load already even-ish: one item per node region.
+        assert not overlay.global_rebalance()
+
+    def test_converges(self):
+        overlay = skewed_overlay()
+        overlay.global_rebalance()
+        # A second invocation finds nothing more to move.
+        assert not overlay.global_rebalance()

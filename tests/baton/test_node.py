@@ -1,0 +1,83 @@
+"""Tests for BATON node primitives (ranges, items)."""
+
+import pytest
+
+from repro.errors import BatonRangeError
+from repro.baton import BatonNode, Range
+
+
+class TestRange:
+    def test_contains_half_open(self):
+        r = Range(0.0, 1.0)
+        assert r.contains(0.0)
+        assert r.contains(0.999)
+        assert not r.contains(1.0)
+        assert not r.contains(-0.1)
+
+    def test_inverted_rejected(self):
+        with pytest.raises(BatonRangeError):
+            Range(1.0, 0.0)
+
+    def test_empty_allowed(self):
+        r = Range(0.5, 0.5)
+        assert r.width == 0.0
+        assert not r.contains(0.5)
+
+    def test_overlaps(self):
+        assert Range(0, 5).overlaps(Range(4, 10))
+        assert not Range(0, 5).overlaps(Range(5, 10))  # half-open: touching
+        assert Range(0, 10).overlaps(Range(3, 4))
+
+    def test_covers(self):
+        assert Range(0, 10).covers(Range(3, 4))
+        assert Range(0, 10).covers(Range(0, 10))
+        assert not Range(0, 10).covers(Range(5, 11))
+
+    def test_midpoint_width(self):
+        r = Range(2.0, 4.0)
+        assert r.midpoint == 3.0
+        assert r.width == 2.0
+
+    def test_str(self):
+        assert str(Range(0.0, 0.5)) == "[0, 0.5)"
+
+
+class TestNodeItems:
+    def test_add_and_count(self):
+        node = BatonNode("n1", Range(0.0, 1.0))
+        node.add_item(0.5, "a")
+        node.add_item(0.5, "b")
+        node.add_item(0.7, "c")
+        assert node.item_count == 3
+
+    def test_add_outside_range_rejected(self):
+        node = BatonNode("n1", Range(0.0, 0.5))
+        with pytest.raises(BatonRangeError):
+            node.add_item(0.7, "a")
+
+    def test_remove_item(self):
+        node = BatonNode("n1", Range(0.0, 1.0))
+        node.add_item(0.5, "a")
+        assert node.remove_item(0.5, "a")
+        assert node.item_count == 0
+        assert 0.5 not in node.items
+
+    def test_remove_missing_item(self):
+        node = BatonNode("n1", Range(0.0, 1.0))
+        assert not node.remove_item(0.5, "a")
+        node.add_item(0.5, "a")
+        assert not node.remove_item(0.5, "b")
+
+    def test_items_in_range_sorted(self):
+        node = BatonNode("n1", Range(0.0, 1.0))
+        node.add_item(0.9, "c")
+        node.add_item(0.1, "a")
+        node.add_item(0.5, "b")
+        matches = node.items_in_range(0.0, 0.8)
+        assert matches == [(0.1, "a"), (0.5, "b")]
+
+    def test_is_leaf(self):
+        node = BatonNode("n1", Range(0.0, 1.0))
+        assert node.is_leaf
+        node.left_child = BatonNode("n2", Range(0.0, 0.5))
+        assert not node.is_leaf

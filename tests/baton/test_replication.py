@@ -1,0 +1,114 @@
+"""Tests for two-tier partial replication over BATON."""
+
+import pytest
+
+from repro.errors import BatonError
+from repro.baton import BatonOverlay, ReplicatedOverlay
+
+
+def build(n, replica_factor=2):
+    replicated = ReplicatedOverlay(BatonOverlay(), replica_factor)
+    for i in range(n):
+        replicated.join(f"peer-{i}")
+    return replicated
+
+
+class TestConstruction:
+    def test_invalid_replica_factor(self):
+        with pytest.raises(BatonError):
+            ReplicatedOverlay(BatonOverlay(), 0)
+
+    def test_len_passthrough(self):
+        assert len(build(5)) == 5
+
+
+class TestReplication:
+    def test_insert_creates_replicas(self):
+        replicated = build(5)
+        replicated.insert(0.42, "v")
+        total_replicas = sum(
+            replicated.replica_count(f"peer-{i}") for i in range(5)
+        )
+        assert total_replicas == 2
+
+    def test_search_serves_from_primary_when_online(self):
+        replicated = build(5)
+        replicated.insert(0.42, "v")
+        result = replicated.search(0.42)
+        assert result.values == ["v"]
+
+    def test_search_fails_over_to_replica(self):
+        replicated = build(5)
+        replicated.insert(0.42, "v")
+        primary = replicated.overlay.find_responsible(0.42)[0]
+        replicated.mark_offline(primary.node_id)
+        result = replicated.search(0.42)
+        assert result.values == ["v"]
+        assert result.node_ids[0] != primary.node_id
+
+    def test_search_raises_when_all_replicas_down(self):
+        replicated = build(3, replica_factor=1)
+        replicated.insert(0.42, "v")
+        primary = replicated.overlay.find_responsible(0.42)[0]
+        replicated.mark_offline(primary.node_id)
+        for node in replicated.overlay.nodes():
+            replicated.mark_offline(node.node_id)
+        with pytest.raises(BatonError):
+            replicated.search(0.42)
+
+    def test_recovered_primary_serves_again(self):
+        replicated = build(5)
+        replicated.insert(0.42, "v")
+        primary = replicated.overlay.find_responsible(0.42)[0]
+        replicated.mark_offline(primary.node_id)
+        replicated.mark_online(primary.node_id)
+        result = replicated.search(0.42)
+        assert result.node_ids == [primary.node_id]
+
+    def test_delete_removes_replicas_too(self):
+        replicated = build(5)
+        replicated.insert(0.42, "v")
+        removed, _ = replicated.delete(0.42, "v")
+        assert removed
+        primary = replicated.overlay.find_responsible(0.42)[0]
+        replicated.mark_offline(primary.node_id)
+        assert replicated.search(0.42).values == []
+
+    def test_single_node_has_no_replicas(self):
+        replicated = build(1)
+        replicated.insert(0.42, "v")
+        assert replicated.replica_count("peer-0") == 0
+        assert replicated.search(0.42).values == ["v"]
+
+
+class TestMembershipRebuild:
+    def test_join_rebuilds_replicas(self):
+        replicated = build(3)
+        replicated.insert(0.42, "v")
+        replicated.join("late-joiner")
+        # After the rebuild, failure of the primary must still be survivable.
+        primary = replicated.overlay.find_responsible(0.42)[0]
+        replicated.mark_offline(primary.node_id)
+        assert replicated.search(0.42).values == ["v"]
+
+    def test_leave_rereplicates(self):
+        replicated = build(5)
+        replicated.insert(0.42, "v")
+        primary = replicated.overlay.find_responsible(0.42)[0]
+        # A replica holder departs; redundancy must be restored.
+        holders = [
+            node_id
+            for node_id in (f"peer-{i}" for i in range(5))
+            if node_id != primary.node_id
+            and replicated.replica_count(node_id) > 0
+        ]
+        replicated.leave(holders[0])
+        new_primary = replicated.overlay.find_responsible(0.42)[0]
+        replicated.mark_offline(new_primary.node_id)
+        assert replicated.search(0.42).values == ["v"]
+
+    def test_replica_factor_capped_by_population(self):
+        replicated = build(2, replica_factor=5)
+        replicated.insert(0.42, "v")
+        total = sum(replicated.replica_count(f"peer-{i}") for i in range(2))
+        assert total == 1  # only one other node exists

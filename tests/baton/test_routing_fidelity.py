@@ -1,0 +1,93 @@
+"""BATON routing-structure fidelity checks against the protocol's definition."""
+
+import math
+
+import pytest
+
+from repro.baton import BatonOverlay
+
+
+def build(n):
+    overlay = BatonOverlay()
+    for i in range(n):
+        overlay.join(f"peer-{i}")
+    return overlay
+
+
+class TestRoutingTables:
+    def test_entries_exist_for_every_populated_distance(self):
+        """A node links to every existing same-level node at distance 2^i."""
+        overlay = build(31)  # perfectly full: 5 levels
+        by_position = {
+            (node.level, node.position): node for node in overlay.nodes()
+        }
+        for node in overlay.nodes():
+            expected_left = []
+            expected_right = []
+            distance = 1
+            while distance < (1 << node.level) or distance <= node.position:
+                left = by_position.get((node.level, node.position - distance))
+                if left is not None:
+                    expected_left.append(left.node_id)
+                right = by_position.get((node.level, node.position + distance))
+                if right is not None:
+                    expected_right.append(right.node_id)
+                distance *= 2
+            assert [n.node_id for n in node.left_table] == expected_left
+            assert [n.node_id for n in node.right_table] == expected_right
+
+    def test_root_has_empty_tables(self):
+        overlay = build(7)
+        assert overlay.root.left_table == []
+        assert overlay.root.right_table == []
+
+    def test_tables_refreshed_after_leave(self):
+        overlay = build(15)
+        victim = overlay.nodes()[3].node_id
+        overlay.leave(victim)
+        for node in overlay.nodes():
+            for neighbor in node.left_table + node.right_table:
+                assert neighbor.node_id != victim
+                assert neighbor.node_id in overlay
+
+
+class TestInOrderSemantics:
+    def test_in_order_traversal_sorted_by_range(self):
+        overlay = build(20)
+        lows = [node.r0.low for node in overlay.nodes()]
+        assert lows == sorted(lows)
+
+    def test_r1_covers_r0_of_descendants(self):
+        overlay = build(20)
+        def descendants(node):
+            if node is None:
+                return []
+            return (
+                [node]
+                + descendants(node.left_child)
+                + descendants(node.right_child)
+            )
+        for node in overlay.nodes():
+            r1 = node.r1
+            for child in descendants(node):
+                assert r1.covers(child.r0)
+
+    def test_sibling_subtrees_disjoint(self):
+        overlay = build(20)
+        for node in overlay.nodes():
+            if node.left_child is not None and node.right_child is not None:
+                assert not node.left_child.r1.overlaps(node.right_child.r1)
+
+
+class TestHopComplexityUnderChurn:
+    def test_hops_stay_logarithmic_after_leaves(self):
+        overlay = build(40)
+        for i in range(0, 12, 3):
+            overlay.leave(f"peer-{i}")
+        worst = 0
+        for start in overlay.nodes():
+            for i in range(20):
+                key = (i + 0.5) / 20.0
+                _, hops = overlay.find_responsible(key, start.node_id)
+                worst = max(worst, hops)
+        assert worst <= 3 * math.ceil(math.log2(len(overlay)))

@@ -1,0 +1,281 @@
+"""Tests for the BATON overlay: membership, routing, items, balancing."""
+
+import math
+
+import pytest
+
+from repro.errors import BatonError, BatonRangeError
+from repro.baton import BatonOverlay, Range, string_to_key
+
+
+def build_overlay(n):
+    overlay = BatonOverlay()
+    for i in range(n):
+        overlay.join(f"peer-{i}")
+    return overlay
+
+
+class TestJoin:
+    def test_first_join_becomes_root(self):
+        overlay = build_overlay(1)
+        assert overlay.root.node_id == "peer-0"
+        assert overlay.root.r0 == Range(0.0, 1.0)
+
+    def test_duplicate_join_rejected(self):
+        overlay = build_overlay(1)
+        with pytest.raises(BatonError):
+            overlay.join("peer-0")
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 16, 31, 50])
+    def test_invariants_hold_while_growing(self, n):
+        overlay = build_overlay(n)
+        overlay.check_invariants()
+        assert len(overlay) == n
+
+    def test_tree_stays_balanced(self):
+        overlay = build_overlay(50)
+        # Height of a balanced binary tree with 50 nodes is 6.
+        assert overlay.height() == math.floor(math.log2(50)) + 1
+
+    def test_ranges_tile_domain(self):
+        overlay = build_overlay(10)
+        nodes = overlay.nodes()
+        assert nodes[0].r0.low == 0.0
+        assert nodes[-1].r0.high == 1.0
+        for a, b in zip(nodes, nodes[1:]):
+            assert a.r0.high == b.r0.low
+
+    def test_r1_is_subtree_union(self):
+        overlay = build_overlay(7)
+        root = overlay.root
+        assert root.r1 == Range(0.0, 1.0)
+        left = root.left_child
+        assert left.r1.low == 0.0
+        assert left.r1.high == root.r0.low
+
+
+class TestLinks:
+    def test_adjacent_links_follow_in_order(self):
+        overlay = build_overlay(8)
+        nodes = overlay.nodes()
+        for index, node in enumerate(nodes):
+            if index > 0:
+                assert node.adjacent_left is nodes[index - 1]
+            else:
+                assert node.adjacent_left is None
+            if index < len(nodes) - 1:
+                assert node.adjacent_right is nodes[index + 1]
+            else:
+                assert node.adjacent_right is None
+
+    def test_routing_table_distances_are_powers_of_two(self):
+        overlay = build_overlay(32)
+        for node in overlay.nodes():
+            for table, sign in ((node.left_table, -1), (node.right_table, 1)):
+                for neighbor in table:
+                    assert neighbor.level == node.level
+                    distance = abs(neighbor.position - node.position)
+                    assert distance & (distance - 1) == 0  # power of two
+
+    def test_routing_table_size_logarithmic(self):
+        overlay = build_overlay(64)
+        for node in overlay.nodes():
+            level_width = 1 << node.level
+            limit = math.ceil(math.log2(level_width)) + 1 if level_width > 1 else 1
+            assert len(node.left_table) <= limit
+            assert len(node.right_table) <= limit
+
+
+class TestRouting:
+    def test_search_from_root(self):
+        overlay = build_overlay(20)
+        node, hops = overlay.find_responsible(0.37)
+        assert node.r0.contains(0.37)
+
+    @pytest.mark.parametrize("n", [2, 5, 10, 20, 50])
+    def test_every_node_finds_every_key(self, n):
+        overlay = build_overlay(n)
+        keys = [i / 17.0 % 1.0 for i in range(17)]
+        for start in overlay.nodes():
+            for key in keys:
+                node, hops = overlay.find_responsible(key, start.node_id)
+                assert node.r0.contains(key)
+
+    def test_hops_logarithmic(self):
+        overlay = build_overlay(63)  # perfectly balanced: 6 levels
+        max_hops = 0
+        for start in overlay.nodes():
+            for i in range(40):
+                key = (i + 0.5) / 40.0
+                _, hops = overlay.find_responsible(key, start.node_id)
+                max_hops = max(max_hops, hops)
+        # BATON guarantees O(log N); allow a small constant factor.
+        assert max_hops <= 3 * math.ceil(math.log2(63))
+
+    def test_key_outside_domain_rejected(self):
+        overlay = build_overlay(3)
+        with pytest.raises(BatonRangeError):
+            overlay.find_responsible(1.5)
+
+    def test_empty_overlay_rejected(self):
+        with pytest.raises(BatonError):
+            BatonOverlay().find_responsible(0.5)
+
+    def test_unknown_start_rejected(self):
+        overlay = build_overlay(3)
+        with pytest.raises(BatonError):
+            overlay.find_responsible(0.5, "ghost")
+
+
+class TestItems:
+    def test_insert_then_search(self):
+        overlay = build_overlay(10)
+        overlay.insert(0.42, "value-a")
+        overlay.insert(0.42, "value-b")
+        result = overlay.search(0.42)
+        assert sorted(result.values) == ["value-a", "value-b"]
+
+    def test_search_missing_key(self):
+        overlay = build_overlay(10)
+        assert overlay.search(0.42).values == []
+
+    def test_delete(self):
+        overlay = build_overlay(10)
+        overlay.insert(0.42, "v")
+        removed, _ = overlay.delete(0.42, "v")
+        assert removed
+        assert overlay.search(0.42).values == []
+
+    def test_delete_missing(self):
+        overlay = build_overlay(10)
+        removed, _ = overlay.delete(0.42, "v")
+        assert not removed
+
+    def test_items_stored_at_responsible_node(self):
+        overlay = build_overlay(10)
+        for i in range(50):
+            overlay.insert(i / 50.0, f"item-{i}")
+        overlay.check_invariants()
+
+    def test_range_search(self):
+        overlay = build_overlay(10)
+        for i in range(10):
+            overlay.insert(i / 10.0, f"item-{i}")
+        result = overlay.range_search(0.25, 0.65)
+        values = sorted(value for _, value in result.values)
+        assert values == ["item-3", "item-4", "item-5", "item-6"]
+
+    def test_range_search_keys_sorted(self):
+        overlay = build_overlay(8)
+        for i in range(20):
+            overlay.insert((i * 7 % 20) / 20.0, i)
+        result = overlay.range_search(0.0, 1.0)
+        keys = [key for key, _ in result.values]
+        assert keys == sorted(keys)
+
+    def test_range_search_empty_range(self):
+        overlay = build_overlay(5)
+        assert overlay.range_search(0.6, 0.4).values == []
+
+    def test_range_search_clamps_to_domain(self):
+        overlay = build_overlay(5)
+        overlay.insert(0.1, "x")
+        result = overlay.range_search(-5.0, 0.5)
+        assert [value for _, value in result.values] == ["x"]
+
+
+class TestLeave:
+    def test_leaf_leave_merges_range(self):
+        overlay = build_overlay(10)
+        for i in range(30):
+            overlay.insert(i / 30.0, f"item-{i}")
+        leaf = next(node for node in overlay.nodes() if node.is_leaf)
+        overlay.leave(leaf.node_id)
+        overlay.check_invariants()
+        assert len(overlay) == 9
+        # No items lost.
+        total = sum(node.item_count for node in overlay.nodes())
+        assert total == 30
+
+    def test_internal_leave_triggers_global_adjustment(self):
+        overlay = build_overlay(10)
+        for i in range(30):
+            overlay.insert(i / 30.0, f"item-{i}")
+        internal = next(node for node in overlay.nodes() if not node.is_leaf)
+        overlay.leave(internal.node_id)
+        overlay.check_invariants()
+        assert len(overlay) == 9
+        total = sum(node.item_count for node in overlay.nodes())
+        assert total == 30
+
+    def test_root_leave(self):
+        overlay = build_overlay(5)
+        overlay.leave(overlay.root.node_id)
+        overlay.check_invariants()
+        assert len(overlay) == 4
+
+    def test_last_node_leave_empties_overlay(self):
+        overlay = build_overlay(1)
+        overlay.leave("peer-0")
+        assert len(overlay) == 0
+        assert overlay.root is None
+
+    def test_leave_unknown_rejected(self):
+        with pytest.raises(BatonError):
+            build_overlay(3).leave("ghost")
+
+    def test_churn_preserves_invariants(self):
+        overlay = build_overlay(12)
+        for i in range(24):
+            overlay.insert(i / 24.0, i)
+        # Alternate leaves and joins.
+        for round_number in range(6):
+            victim = overlay.nodes()[round_number % len(overlay)].node_id
+            overlay.leave(victim)
+            overlay.check_invariants()
+            overlay.join(f"new-{round_number}")
+            overlay.check_invariants()
+        total = sum(node.item_count for node in overlay.nodes())
+        assert total == 24
+
+
+class TestLoadBalancing:
+    def test_balance_moves_items_to_adjacent(self):
+        overlay = build_overlay(4)
+        # Pile items onto one node.
+        heavy = overlay.nodes()[1]
+        low, high = heavy.r0.low, heavy.r0.high
+        for i in range(20):
+            key = low + (i + 0.5) * (high - low) / 20.0
+            overlay.insert(key, i)
+        before = heavy.item_count
+        assert overlay.balance_with_adjacent(heavy.node_id)
+        overlay.check_invariants()
+        assert heavy.item_count < before
+        total = sum(node.item_count for node in overlay.nodes())
+        assert total == 20
+
+    def test_balance_noop_when_even(self):
+        overlay = build_overlay(4)
+        assert not overlay.balance_with_adjacent(overlay.nodes()[1].node_id)
+
+    def test_balance_single_node(self):
+        overlay = build_overlay(1)
+        assert not overlay.balance_with_adjacent("peer-0")
+
+
+class TestStringToKey:
+    def test_deterministic(self):
+        assert string_to_key("lineitem") == string_to_key("lineitem")
+
+    def test_in_domain(self):
+        for name in ["lineitem", "orders", "part", "supplier", "x" * 100]:
+            key = string_to_key(name)
+            assert 0.0 <= key < 1.0
+
+    def test_different_strings_differ(self):
+        assert string_to_key("lineitem") != string_to_key("orders")
+
+    def test_custom_domain(self):
+        key = string_to_key("lineitem", Range(10.0, 20.0))
+        assert 10.0 <= key < 20.0

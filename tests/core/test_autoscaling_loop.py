@@ -1,0 +1,98 @@
+"""Closed-loop auto-scaling: query load -> CPU gauge -> daemon upgrade."""
+
+import pytest
+
+from repro.core import BestPeerNetwork
+from repro.core.config import DaemonConfig
+from repro.errors import BestPeerError
+from repro.sim import ComputeModel
+from repro.sqlengine import Column, ColumnType, TableSchema
+
+
+def schemas():
+    return {
+        "t": TableSchema(
+            "t",
+            [Column("a", ColumnType.INTEGER), Column("b", ColumnType.FLOAT)],
+        )
+    }
+
+
+def busy_network(epoch_s=10.0):
+    # An expensive compute model so a few queries fill the epoch budget.
+    net = BestPeerNetwork(
+        schemas(),
+        daemon_config=DaemonConfig(epoch_s=epoch_s),
+        compute_model=ComputeModel(scan_s_per_row=0.01, emit_s_per_row=0.01),
+    )
+    net.add_peer("hot")
+    net.load_peer("hot", {"t": [(i, float(i)) for i in range(500)]})
+    return net
+
+
+class TestBusyAccounting:
+    def test_queries_accumulate_busy_time(self):
+        net = busy_network()
+        peer = net.peers["hot"]
+        net.execute("SELECT SUM(b) FROM t")
+        assert peer._busy_s_since_epoch > 0
+
+    def test_update_cpu_metric_resets_accumulator(self):
+        net = busy_network()
+        peer = net.peers["hot"]
+        net.execute("SELECT SUM(b) FROM t")
+        utilization = peer.update_cpu_metric(epoch_s=10.0)
+        assert 0 < utilization <= 1.0
+        assert peer._busy_s_since_epoch == 0.0
+
+    def test_utilization_capped_at_one(self):
+        net = busy_network()
+        peer = net.peers["hot"]
+        peer.record_busy(10_000.0)
+        assert peer.update_cpu_metric(epoch_s=1.0) == 1.0
+
+    def test_invalid_epoch_rejected(self):
+        net = busy_network()
+        with pytest.raises(BestPeerError):
+            net.peers["hot"].update_cpu_metric(0.0)
+
+    def test_idle_epoch_keeps_external_gauge(self):
+        net = busy_network()
+        peer = net.peers["hot"]
+        peer.instance.cpu_utilization = 0.93
+        peer.update_cpu_metric(epoch_s=10.0)
+        assert peer.instance.cpu_utilization == 0.93
+
+
+class TestClosedLoop:
+    def test_sustained_load_triggers_upgrade(self):
+        net = busy_network(epoch_s=10.0)
+        for _ in range(5):
+            net.execute("SELECT SUM(b) FROM t")
+        report = net.run_maintenance()
+        assert any(event.action == "upgrade" for event in report.scalings)
+        assert net.peers["hot"].instance.instance_type.name == "m1.medium"
+
+    def test_light_load_does_not_upgrade(self):
+        net = busy_network(epoch_s=10_000.0)
+        net.execute("SELECT COUNT(*) FROM t")
+        report = net.run_maintenance()
+        assert not any(event.action == "upgrade" for event in report.scalings)
+
+    def test_upgrade_makes_peer_faster(self):
+        net = busy_network(epoch_s=10.0)
+        slow = net.execute("SELECT SUM(b) FROM t").latency_s
+        for _ in range(5):
+            net.execute("SELECT SUM(b) FROM t")
+        net.run_maintenance()
+        fast = net.execute("SELECT SUM(b) FROM t").latency_s
+        assert fast < slow
+
+    def test_repeated_epochs_keep_scaling_until_load_fits(self):
+        net = busy_network(epoch_s=5.0)
+        for _ in range(3):
+            for _ in range(6):
+                net.execute("SELECT SUM(b) FROM t")
+            net.run_maintenance()
+        # m1.small -> m1.medium -> m1.large at least.
+        assert net.peers["hot"].instance.instance_type.compute_units >= 4.0

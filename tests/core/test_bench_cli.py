@@ -1,0 +1,30 @@
+"""Tests for the `python -m repro.bench` command-line interface."""
+
+import pytest
+
+from repro.bench.__main__ import FIGURES, main
+
+
+class TestBenchCli:
+    def test_list_prints_figures(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert out == sorted(FIGURES)
+
+    def test_all_nine_figures_registered(self):
+        assert sorted(FIGURES) == [
+            "fig06", "fig07", "fig08", "fig09", "fig10",
+            "fig11", "fig12", "fig13", "fig14",
+        ]
+
+    def test_unknown_figure_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+        assert "unknown figures" in capsys.readouterr().err
+
+    def test_single_figure_runs(self, capsys):
+        # fig12 at its smallest is the cheapest end-to-end figure.
+        assert main(["fig12"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 12" in out
+        assert "supplier q/s" in out

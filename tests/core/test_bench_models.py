@@ -1,0 +1,90 @@
+"""Tests for the benchmark harness's load models and reporting.
+
+These cover `repro.bench` as library code (the benchmarks themselves live
+under benchmarks/ and assert the paper shapes).
+"""
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.bench.workloads import (
+    RoleSample,
+    closed_loop_throughput,
+    open_loop_sweep,
+)
+
+
+def sample(service_times, role="supplier"):
+    return RoleSample(role=role, service_times=list(service_times))
+
+
+class TestRoleSample:
+    def test_mean_and_capacity(self):
+        s = sample([0.5, 1.0])
+        assert s.mean_service_time == pytest.approx(0.75)
+        assert s.capacity_qps == pytest.approx(2.0 + 1.0)
+
+
+class TestClosedLoop:
+    def test_throughput_scales_with_clients(self):
+        s = sample([0.1] * 10)
+        assert closed_loop_throughput(s, 2) == pytest.approx(20.0)
+        assert closed_loop_throughput(s, 5) == pytest.approx(50.0)
+
+    def test_capped_at_capacity(self):
+        s = sample([0.1] * 2)  # capacity 20 q/s
+        assert closed_loop_throughput(s, 1000) == pytest.approx(20.0)
+
+
+class TestOpenLoop:
+    def test_below_saturation_served_fully(self):
+        s = sample([0.1] * 4)  # capacity 40 q/s
+        [point] = open_loop_sweep(s, [10.0])
+        assert point.achieved_qps == pytest.approx(10.0)
+        assert point.avg_latency_s < 0.2
+
+    def test_past_saturation_caps_and_queues(self):
+        s = sample([0.1] * 4)
+        [point] = open_loop_sweep(s, [80.0], round_duration_s=100.0)
+        assert point.achieved_qps == pytest.approx(40.0)
+        assert point.avg_latency_s > 1.0
+
+    def test_latency_monotone_in_load(self):
+        s = sample([0.05, 0.1, 0.2, 0.1])
+        points = open_loop_sweep(s, [5.0, 15.0, 30.0, 60.0])
+        latencies = [p.avg_latency_s for p in points]
+        assert latencies == sorted(latencies)
+
+    def test_heterogeneous_peers_saturate_individually(self):
+        # One slow peer saturates long before the aggregate capacity.
+        s = sample([0.01, 1.0])
+        [point] = open_loop_sweep(s, [10.0], round_duration_s=100.0)
+        assert point.achieved_qps < 10.0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"],
+            [["a", 1.5], ["long-name", 123456.789]],
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        # All rows padded to equal width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456], [12345.6]])
+        assert "0.123" in text
+        assert "12,345.6" in text
+
+
+class TestSupplyChainValidation:
+    def test_odd_peer_count_rejected(self):
+        from repro.bench.workloads import SupplyChainBench
+
+        with pytest.raises(ValueError):
+            SupplyChainBench(5)
+        with pytest.raises(ValueError):
+            SupplyChainBench(0)

@@ -1,0 +1,66 @@
+"""Tests for the certificate authority."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.certificates import Certificate, CertificateAuthority
+from repro.errors import CertificateError
+
+
+@pytest.fixture
+def ca():
+    return CertificateAuthority()
+
+
+class TestIssue:
+    def test_issue_and_verify(self, ca):
+        cert = ca.issue("peer-1", now=10.0)
+        assert cert.peer_id == "peer-1"
+        assert cert.issued_at == 10.0
+        assert ca.verify(cert)
+
+    def test_serials_unique(self, ca):
+        a = ca.issue("peer-1")
+        b = ca.issue("peer-2")
+        assert a.serial != b.serial
+
+    def test_empty_peer_id_rejected(self, ca):
+        with pytest.raises(CertificateError):
+            ca.issue("")
+
+
+class TestVerify:
+    def test_forged_signature_rejected(self, ca):
+        cert = ca.issue("peer-1")
+        forged = dataclasses.replace(cert, signature="0" * 64)
+        assert not ca.verify(forged)
+
+    def test_tampered_peer_id_rejected(self, ca):
+        cert = ca.issue("peer-1")
+        tampered = dataclasses.replace(cert, peer_id="peer-evil")
+        assert not ca.verify(tampered)
+
+    def test_certificate_from_other_ca_rejected(self):
+        other = CertificateAuthority(secret="different")
+        cert = other.issue("peer-1")
+        assert not CertificateAuthority().verify(cert)
+
+
+class TestRevoke:
+    def test_revoked_certificate_fails_verification(self, ca):
+        cert = ca.issue("peer-1")
+        ca.revoke(cert)
+        assert ca.is_revoked(cert)
+        assert not ca.verify(cert)
+
+    def test_revoking_unknown_certificate_rejected(self, ca):
+        stranger = CertificateAuthority(secret="x").issue("peer-1")
+        with pytest.raises(CertificateError):
+            ca.revoke(stranger)
+
+    def test_other_certificates_unaffected(self, ca):
+        a = ca.issue("peer-1")
+        b = ca.issue("peer-2")
+        ca.revoke(a)
+        assert ca.verify(b)

@@ -1,0 +1,57 @@
+"""Validation tests for the configuration dataclasses."""
+
+import pytest
+
+from repro.core.config import BestPeerConfig, DaemonConfig, PricingConfig
+from repro.errors import BestPeerError
+
+
+class TestPricingConfig:
+    def test_defaults_sane(self):
+        pricing = PricingConfig()
+        assert pricing.basic_cost(0, 0.0) == 0.0
+
+    def test_equation_1(self):
+        pricing = PricingConfig(alpha=2.0, beta=3.0, gamma=4.0)
+        assert pricing.basic_cost(10, 2.0) == pytest.approx(50 + 8)
+
+    def test_negative_ratios_rejected(self):
+        with pytest.raises(BestPeerError):
+            PricingConfig(alpha=-1)
+        with pytest.raises(BestPeerError):
+            PricingConfig(gamma=-0.1)
+
+
+class TestBestPeerConfig:
+    def test_defaults_match_benchmark_settings(self):
+        config = BestPeerConfig()
+        assert config.memtable_capacity_bytes == 100 * 1024 * 1024  # §6.1.2
+        assert config.fetch_threads == 20  # §6.1.2
+        assert config.bloom_join_enabled
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(BestPeerError):
+            BestPeerConfig(memtable_capacity_bytes=0)
+        with pytest.raises(BestPeerError):
+            BestPeerConfig(fetch_threads=0)
+        with pytest.raises(BestPeerError):
+            BestPeerConfig(bloom_filter_bits_per_key=0)
+        with pytest.raises(BestPeerError):
+            BestPeerConfig(bloom_filter_hashes=0)
+
+
+class TestDaemonConfig:
+    def test_defaults(self):
+        config = DaemonConfig()
+        assert 0 < config.cpu_overload_threshold <= 1
+        assert config.epoch_s > 0
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(BestPeerError):
+            DaemonConfig(cpu_overload_threshold=0.0)
+        with pytest.raises(BestPeerError):
+            DaemonConfig(cpu_overload_threshold=1.5)
+
+    def test_invalid_epoch_rejected(self):
+        with pytest.raises(BestPeerError):
+            DaemonConfig(epoch_s=0.0)

@@ -1,0 +1,223 @@
+"""Tests for the administrator console."""
+
+import pytest
+
+from repro.console import Console, ConsoleError
+
+
+def booted_console():
+    console = Console()
+    console.run_script(
+        [
+            "schema CREATE TABLE item (id INTEGER PRIMARY KEY, "
+            "label TEXT, price FLOAT)",
+            "network create",
+            "peer add acme",
+            "peer add globex",
+            "load acme item 1,anvil,99.5;2,rope,5.0",
+            "load globex item 10,tnt,250.0",
+        ]
+    )
+    return console
+
+
+class TestLifecycle:
+    def test_full_setup_script(self):
+        console = booted_console()
+        assert len(console.network.peers) == 2
+
+    def test_comments_and_blanks_ignored(self):
+        console = Console()
+        assert console.execute("") == ""
+        assert console.execute("   # a comment") == ""
+
+    def test_unknown_command(self):
+        with pytest.raises(ConsoleError):
+            Console().execute("frobnicate now")
+
+    def test_network_before_schema_rejected(self):
+        with pytest.raises(ConsoleError):
+            Console().execute("network create")
+
+    def test_commands_before_network_rejected(self):
+        console = Console()
+        with pytest.raises(ConsoleError):
+            console.execute("peer add x")
+
+    def test_double_network_create_rejected(self):
+        console = booted_console()
+        with pytest.raises(ConsoleError):
+            console.execute("network create")
+
+    def test_schema_requires_create_table(self):
+        console = Console()
+        with pytest.raises(ConsoleError):
+            console.execute("schema SELECT 1 FROM t")
+
+
+class TestPeerCommands:
+    def test_peer_list(self):
+        output = booted_console().execute("peer list")
+        assert "acme" in output
+        assert "globex" in output
+        assert "m1.small" in output
+
+    def test_peer_add_with_options(self):
+        console = booted_console()
+        output = console.execute("peer add initech type=m1.large tables=item")
+        assert "initech" in output
+        assert console.network.peers["initech"].instance.instance_type.name == (
+            "m1.large"
+        )
+
+    def test_peer_depart(self):
+        console = booted_console()
+        console.execute("peer depart globex")
+        assert "globex" not in console.network.peers
+
+    def test_peer_crash_then_maintenance(self):
+        console = booted_console()
+        console.execute("peer crash acme")
+        output = console.execute("maintenance")
+        assert "failovers=1" in output
+
+
+class TestLoadAndQuery:
+    def test_inline_load_and_sql(self):
+        console = booted_console()
+        output = console.execute("sql SELECT COUNT(*) FROM item")
+        assert "3" in output.splitlines()[1]
+
+    def test_csv_load(self, tmp_path):
+        console = booted_console()
+        path = tmp_path / "items.csv"
+        path.write_text("100,widget,1.5\n101,gadget,2.5\n")
+        console.execute("peer add newco")
+        console.execute(f"load newco item {path}")
+        output = console.execute("sql SELECT COUNT(*) FROM item")
+        assert "5" in output.splitlines()[1]
+
+    def test_sql_with_engine_option(self):
+        console = booted_console()
+        output = console.execute("sql engine=mapreduce SELECT COUNT(*) FROM item")
+        assert "mapreduce" in output
+
+    def test_sql_output_truncated(self):
+        console = booted_console()
+        console.execute("peer add bulk")
+        rows = ";".join(f"{1000 + i},x,1.0" for i in range(30))
+        console.execute(f"load bulk item {rows}")
+        output = console.execute("sql SELECT id FROM item")
+        assert "more rows" in output
+
+    def test_null_rendering(self):
+        console = booted_console()
+        console.execute("peer add nully")
+        console.execute("load nully item 500,NULL,NULL")
+        output = console.execute("sql SELECT label, price FROM item WHERE id = 500")
+        assert "NULL | NULL" in output
+
+    def test_load_unknown_table_rejected(self):
+        console = booted_console()
+        with pytest.raises(ConsoleError):
+            console.execute("load acme widgets 1,2")
+
+
+class TestRolesAndUsers:
+    def test_full_role_and_user(self):
+        console = booted_console()
+        console.execute("role full analyst")
+        console.execute("user create alice acme analyst")
+        output = console.execute("sql user=alice SELECT label FROM item")
+        assert "anvil" in output
+
+    def test_range_restricted_role_masks_values(self):
+        console = booted_console()
+        console.run_script(
+            [
+                "role define sales item.id:r item.label:r item.price:rw:0..100",
+                "user create bob acme sales",
+            ]
+        )
+        output = console.execute(
+            "sql user=bob SELECT label, price FROM item ORDER BY label"
+        )
+        assert "tnt | NULL" in output     # 250.0 is out of range
+        assert "anvil | 99.5" in output
+
+    def test_bad_rule_syntax(self):
+        console = booted_console()
+        with pytest.raises(ConsoleError):
+            console.execute("role define broken item.price")
+        with pytest.raises(ConsoleError):
+            console.execute("role define broken item.price:x")
+        with pytest.raises(ConsoleError):
+            console.execute("role define broken item.price:r:5")
+
+    def test_user_with_unknown_role(self):
+        console = booted_console()
+        with pytest.raises(ConsoleError):
+            console.execute("user create eve acme ghost_role")
+
+
+class TestOperationalCommands:
+    def test_status(self):
+        output = booted_console().execute("status")
+        assert "peers: 2" in output
+        assert "acme" in output
+
+    def test_metrics_after_queries(self):
+        console = booted_console()
+        console.execute("sql SELECT COUNT(*) FROM item")
+        output = console.execute("metrics")
+        assert "queries: 1" in output
+
+    def test_billing(self):
+        output = booted_console().execute("billing 10")
+        assert "total for 10h" in output
+        assert "$" in output
+
+    def test_billing_requires_number(self):
+        with pytest.raises(ConsoleError):
+            booted_console().execute("billing soon")
+
+    def test_histogram(self):
+        output = booted_console().execute("histogram item price")
+        assert "buckets" in output
+
+    def test_help(self):
+        assert "schema CREATE TABLE" in booted_console().execute("help")
+
+    def test_explain(self):
+        console = booted_console()
+        output = console.execute("explain SELECT label FROM item WHERE id = 1")
+        assert "index eq id = 1" in output
+
+    def test_explain_unknown_peer(self):
+        with pytest.raises(ConsoleError):
+            booted_console().execute("explain peer=ghost SELECT 1 FROM item")
+
+
+class TestScriptRunner:
+    def test_main_runs_script_file(self, tmp_path, capsys):
+        from repro.console.__main__ import main
+
+        script = tmp_path / "setup.bp"
+        script.write_text(
+            "schema CREATE TABLE t (a INTEGER)\n"
+            "network create\n"
+            "peer add p\n"
+            "load p t 1;2;3\n"
+            "sql SELECT COUNT(*) FROM t\n"
+        )
+        assert main([str(script)]) == 0
+        out = capsys.readouterr().out
+        assert "3" in out
+
+    def test_main_reports_script_errors(self, tmp_path, capsys):
+        from repro.console.__main__ import main
+
+        script = tmp_path / "bad.bp"
+        script.write_text("peer add ghost\n")
+        assert main([str(script)]) == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,50 @@
+"""Tests for 32-bit Rabin fingerprinting."""
+
+from repro.core.fingerprint import (
+    fingerprint_bytes,
+    fingerprint_tuple,
+)
+
+
+class TestFingerprintBytes:
+    def test_deterministic(self):
+        assert fingerprint_bytes(b"hello") == fingerprint_bytes(b"hello")
+
+    def test_fits_in_32_bits(self):
+        for data in [b"", b"a", b"hello world" * 100]:
+            assert 0 <= fingerprint_bytes(data) < (1 << 32)
+
+    def test_different_inputs_differ(self):
+        assert fingerprint_bytes(b"hello") != fingerprint_bytes(b"world")
+
+    def test_sensitive_to_order(self):
+        assert fingerprint_bytes(b"ab") != fingerprint_bytes(b"ba")
+
+    def test_sensitive_to_length(self):
+        assert fingerprint_bytes(b"a") != fingerprint_bytes(b"a\x00")
+
+    def test_empty_input(self):
+        assert fingerprint_bytes(b"") == 0
+
+    def test_low_collision_rate_on_tuples(self):
+        values = {fingerprint_bytes(f"row-{i}".encode()) for i in range(10000)}
+        assert len(values) == 10000  # no collisions in a small sample
+
+
+class TestFingerprintTuple:
+    def test_deterministic(self):
+        row = (1, "x", 2.5, None)
+        assert fingerprint_tuple(row) == fingerprint_tuple(row)
+
+    def test_type_tagging(self):
+        # Same repr, different types must not collide.
+        assert fingerprint_tuple((1, "2")) != fingerprint_tuple(("1", 2))
+
+    def test_none_distinct_from_string_none(self):
+        assert fingerprint_tuple((None,)) != fingerprint_tuple(("None",))
+
+    def test_value_change_changes_fingerprint(self):
+        assert fingerprint_tuple((1, "a")) != fingerprint_tuple((1, "b"))
+
+    def test_column_order_matters(self):
+        assert fingerprint_tuple((1, 2)) != fingerprint_tuple((2, 1))

@@ -1,0 +1,82 @@
+"""Tests for BATON-indexed histograms (iDistance publication)."""
+
+import pytest
+import random
+
+from repro.baton import BatonOverlay
+from repro.core.histogram import Histogram
+from repro.core.histogram_index import HistogramIndex
+from repro.errors import BestPeerError
+
+
+def build_overlay(n=8):
+    overlay = BatonOverlay()
+    for i in range(n):
+        overlay.join(f"peer-{i}")
+    return overlay
+
+
+def uniform_histogram(n=2000, seed=4, buckets=16):
+    rng = random.Random(seed)
+    rows = [(rng.uniform(0, 100), rng.uniform(0, 50)) for _ in range(n)]
+    return Histogram.build(["x", "y"], rows, num_buckets=buckets), rows
+
+
+class TestPublishFetch:
+    def test_roundtrip_preserves_buckets(self):
+        histogram, _ = uniform_histogram()
+        index = HistogramIndex(build_overlay())
+        index.publish("lineitem", histogram)
+        fetched, hops = index.fetch("lineitem")
+        assert fetched.relation_size() == histogram.relation_size()
+        assert len(fetched.buckets) == len(histogram.buckets)
+        assert fetched.columns == histogram.columns
+
+    def test_fetch_unpublished_table_rejected(self):
+        index = HistogramIndex(build_overlay())
+        with pytest.raises(BestPeerError):
+            index.fetch("widgets")
+
+    def test_multiple_tables_do_not_collide(self):
+        h1, _ = uniform_histogram(seed=1)
+        h2, _ = uniform_histogram(seed=2, n=500, buckets=8)
+        index = HistogramIndex(build_overlay())
+        index.publish("lineitem", h1)
+        index.publish("orders", h2)
+        assert index.fetch("lineitem")[0].relation_size() == 2000
+        assert index.fetch("orders")[0].relation_size() == 500
+
+    def test_buckets_distributed_across_peers(self):
+        histogram, _ = uniform_histogram(buckets=32)
+        overlay = build_overlay(8)
+        index = HistogramIndex(overlay)
+        index.publish("lineitem", histogram)
+        holders = [node for node in overlay.nodes() if node.item_count > 0]
+        assert len(holders) >= 2  # not all buckets on one node
+
+    def test_invalid_key_span(self):
+        with pytest.raises(BestPeerError):
+            HistogramIndex(build_overlay(), key_span=0.0)
+
+
+class TestRemoteEstimation:
+    def test_region_estimate_matches_local(self):
+        histogram, rows = uniform_histogram()
+        index = HistogramIndex(build_overlay())
+        index.publish("lineitem", histogram)
+        remote, hops = index.estimate_region(
+            "lineitem", lows={"x": 0.0}, highs={"x": 50.0}
+        )
+        local = histogram.region_count(lows={"x": 0.0}, highs={"x": 50.0})
+        assert remote == pytest.approx(local)
+        assert hops >= 0
+
+    def test_estimate_accuracy_on_uniform_data(self):
+        histogram, rows = uniform_histogram(n=4000, buckets=32)
+        index = HistogramIndex(build_overlay())
+        index.publish("lineitem", histogram)
+        estimate, _ = index.estimate_region(
+            "lineitem", lows={"x": 25.0}, highs={"x": 75.0}
+        )
+        actual = sum(1 for x, _ in rows if 25.0 <= x <= 75.0)
+        assert estimate == pytest.approx(actual, rel=0.15)

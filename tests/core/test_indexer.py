@@ -1,0 +1,155 @@
+"""Tests for the BATON-backed data indexer."""
+
+import pytest
+
+from repro.baton import BatonOverlay, ReplicatedOverlay
+from repro.core.indexer import DataIndexer, PeerLookup
+from repro.errors import BestPeerError
+
+
+@pytest.fixture
+def overlay():
+    replicated = ReplicatedOverlay(BatonOverlay())
+    for i in range(8):
+        replicated.join(f"peer-{i}")
+    return replicated
+
+
+@pytest.fixture
+def indexer(overlay):
+    return DataIndexer(overlay)
+
+
+def publish_cluster(indexer):
+    """Three peers host lineitem; two host orders; ranges on l_shipdate."""
+    for peer, low, high in [
+        ("peer-0", "1992-01-01", "1994-12-31"),
+        ("peer-1", "1995-01-01", "1996-12-31"),
+        ("peer-2", "1997-01-01", "1998-12-31"),
+    ]:
+        indexer.publish_table("lineitem", peer)
+        indexer.publish_column("l_shipdate", peer, ["lineitem"])
+        indexer.publish_range("lineitem", "l_shipdate", low, high, peer)
+    for peer in ["peer-3", "peer-4"]:
+        indexer.publish_table("orders", peer)
+        indexer.publish_column("o_orderdate", peer, ["orders"])
+
+
+class TestTableIndex:
+    def test_publish_and_lookup(self, indexer):
+        publish_cluster(indexer)
+        peers, _, _ = indexer.peers_for_table("lineitem")
+        assert peers == {"peer-0", "peer-1", "peer-2"}
+
+    def test_missing_table_empty(self, indexer):
+        peers, _, _ = indexer.peers_for_table("widgets")
+        assert peers == set()
+
+    def test_tables_are_separate_keys(self, indexer):
+        publish_cluster(indexer)
+        peers, _, _ = indexer.peers_for_table("orders")
+        assert peers == {"peer-3", "peer-4"}
+
+
+class TestColumnIndex:
+    def test_lookup_by_column(self, indexer):
+        publish_cluster(indexer)
+        peers, _, _ = indexer.peers_for_column("l_shipdate")
+        assert peers == {"peer-0", "peer-1", "peer-2"}
+
+    def test_lookup_filtered_by_table(self, indexer):
+        publish_cluster(indexer)
+        indexer.publish_column("l_shipdate", "peer-5", ["other_table"])
+        peers, _, _ = indexer.peers_for_column("l_shipdate", table="lineitem")
+        assert "peer-5" not in peers
+
+
+class TestRangeIndex:
+    def test_range_lookup_prunes_peers(self, indexer):
+        publish_cluster(indexer)
+        lookup = indexer.locate("lineitem", "l_shipdate", low="1998-01-01")
+        assert lookup.index_used == "range"
+        assert lookup.peers == ["peer-2"]
+
+    def test_range_overlap_includes_boundaries(self, indexer):
+        publish_cluster(indexer)
+        lookup = indexer.locate(
+            "lineitem", "l_shipdate", low="1994-12-31", high="1995-01-01"
+        )
+        assert set(lookup.peers) == {"peer-0", "peer-1"}
+
+    def test_inverted_bounds_rejected(self, indexer):
+        with pytest.raises(BestPeerError):
+            indexer.publish_range("t", "c", 10, 5, "peer-0")
+
+
+class TestPriority:
+    """Range > Column > Table (§4.3)."""
+
+    def test_range_preferred_when_available(self, indexer):
+        publish_cluster(indexer)
+        lookup = indexer.locate("lineitem", "l_shipdate", low="1995-06-01")
+        assert lookup.index_used == "range"
+
+    def test_column_when_no_range_index(self, indexer):
+        publish_cluster(indexer)
+        lookup = indexer.locate("orders", "o_orderdate", low="1995-06-01")
+        assert lookup.index_used == "column"
+        assert set(lookup.peers) == {"peer-3", "peer-4"}
+
+    def test_table_when_no_constraint(self, indexer):
+        publish_cluster(indexer)
+        lookup = indexer.locate("lineitem")
+        assert lookup.index_used == "table"
+        assert len(lookup.peers) == 3
+
+    def test_table_fallback_for_unindexed_column(self, indexer):
+        publish_cluster(indexer)
+        lookup = indexer.locate("lineitem", "l_comment")
+        assert lookup.index_used == "table"
+
+
+class TestCache:
+    def test_second_lookup_hits_cache(self, indexer):
+        publish_cluster(indexer)
+        first = indexer.locate("lineitem")
+        second = indexer.locate("lineitem")
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert second.hops == 0
+
+    def test_publish_invalidates_cache(self, indexer):
+        publish_cluster(indexer)
+        indexer.locate("lineitem")
+        indexer.publish_table("lineitem", "peer-6")
+        lookup = indexer.locate("lineitem")
+        assert "peer-6" in lookup.peers
+
+    def test_cache_disabled(self, overlay):
+        indexer = DataIndexer(overlay, cache_enabled=False)
+        publish_cluster(indexer)
+        indexer.locate("lineitem")
+        assert not indexer.locate("lineitem").cache_hit
+
+    def test_clear_cache(self, indexer):
+        publish_cluster(indexer)
+        indexer.locate("lineitem")
+        indexer.clear_cache()
+        assert not indexer.locate("lineitem").cache_hit
+
+
+class TestUnpublish:
+    def test_departing_peer_entries_removed(self, indexer):
+        publish_cluster(indexer)
+        indexer.unpublish_all("peer-1")
+        peers, _, _ = indexer.peers_for_table("lineitem")
+        assert peers == {"peer-0", "peer-2"}
+        lookup = indexer.locate("lineitem", "l_shipdate", low="1995-06-01",
+                                high="1995-07-01")
+        assert lookup.peers == []
+
+    def test_other_peers_unaffected(self, indexer):
+        publish_cluster(indexer)
+        indexer.unpublish_all("peer-1")
+        peers, _, _ = indexer.peers_for_table("orders")
+        assert peers == {"peer-3", "peer-4"}

@@ -1,0 +1,108 @@
+"""Tests for the metrics registry."""
+
+import math
+
+import pytest
+
+from repro.core.execution import QueryExecution
+from repro.core.metrics import MetricsRegistry
+from repro.errors import BestPeerError
+
+
+def execution(strategy="fetch-and-process", latency=0.5, nbytes=100,
+              dollars=0.01, rows=3):
+    return QueryExecution(
+        columns=["a"],
+        records=[(i,) for i in range(rows)],
+        latency_s=latency,
+        strategy=strategy,
+        bytes_transferred=nbytes,
+        dollar_cost=dollars,
+    )
+
+
+class TestRecording:
+    def test_counters_accumulate(self):
+        registry = MetricsRegistry()
+        registry.record(execution(latency=1.0))
+        registry.record(execution(latency=3.0))
+        metrics = registry.engine("fetch-and-process")
+        assert metrics.queries == 2
+        assert metrics.mean_latency_s == pytest.approx(2.0)
+        assert metrics.max_latency_s == 3.0
+        assert metrics.total_bytes == 200
+        assert metrics.rows_returned == 6
+
+    def test_strategies_separated(self):
+        registry = MetricsRegistry()
+        registry.record(execution(strategy="mapreduce"))
+        registry.record(execution(strategy="single-peer"))
+        assert registry.strategies() == ["mapreduce", "single-peer"]
+        assert registry.total_queries == 2
+        assert registry.engine("mapreduce").queries == 1
+
+    def test_unknown_engine_zeroes(self):
+        assert MetricsRegistry().engine("nope").queries == 0
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.record(execution())
+        registry.reset()
+        assert registry.total_queries == 0
+
+
+class TestHistogram:
+    def test_bucket_assignment(self):
+        registry = MetricsRegistry(buckets=(1.0, 10.0))
+        registry.record(execution(latency=0.5))
+        registry.record(execution(latency=5.0))
+        registry.record(execution(latency=50.0))
+        histogram = registry.latency_histogram()
+        assert histogram == {"<=1s": 1, "<=10s": 1, ">10s": 1}
+
+    def test_percentiles(self):
+        registry = MetricsRegistry(buckets=(1.0, 10.0))
+        for _ in range(9):
+            registry.record(execution(latency=0.5))
+        registry.record(execution(latency=100.0))
+        assert registry.percentile_latency(0.5) == 1.0
+        assert math.isinf(registry.percentile_latency(1.0))
+
+    def test_percentile_on_empty(self):
+        assert MetricsRegistry().percentile_latency(0.99) == 0.0
+
+    def test_invalid_percentile(self):
+        with pytest.raises(BestPeerError):
+            MetricsRegistry().percentile_latency(0.0)
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(BestPeerError):
+            MetricsRegistry(buckets=(10.0, 1.0))
+        with pytest.raises(BestPeerError):
+            MetricsRegistry(buckets=(1.0, 1.0))
+
+
+class TestSummary:
+    def test_summary_mentions_engines(self):
+        registry = MetricsRegistry()
+        registry.record(execution(strategy="single-peer"))
+        text = registry.summary()
+        assert "single-peer" in text
+        assert "queries: 1" in text
+
+
+class TestNetworkIntegration:
+    def test_network_records_queries(self):
+        from repro.core import BestPeerNetwork
+        from repro.sqlengine import Column, ColumnType, TableSchema
+
+        schemas = {
+            "t": TableSchema("t", [Column("a", ColumnType.INTEGER)])
+        }
+        net = BestPeerNetwork(schemas)
+        net.add_peer("p")
+        net.load_peer("p", {"t": [(1,), (2,)]})
+        net.execute("SELECT COUNT(*) FROM t", engine="basic")
+        net.execute("SELECT a FROM t", engine="basic")
+        assert net.metrics.total_queries == 2
+        assert net.metrics.engine("single-peer").queries == 2

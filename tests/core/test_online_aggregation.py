@@ -1,0 +1,147 @@
+"""Tests for distributed online aggregation."""
+
+import math
+
+import pytest
+
+from repro.core import BestPeerNetwork
+from repro.core.online_aggregation import (
+    OnlineSumAggregator,
+    online_aggregate,
+)
+from repro.errors import BestPeerError
+from repro.tpch import SECONDARY_INDICES, TPCH_SCHEMAS, TpchGenerator
+
+
+class TestOnlineSumAggregator:
+    def test_final_estimate_is_exact(self):
+        aggregator = OnlineSumAggregator(4)
+        partials = [10.0, 20.0, 30.0, 40.0]
+        for partial in partials:
+            estimate = aggregator.observe(partial)
+        assert estimate.is_final
+        assert estimate.estimate == pytest.approx(100.0)
+        assert estimate.half_width == 0.0
+
+    def test_early_estimate_scales_up(self):
+        aggregator = OnlineSumAggregator(10)
+        estimate = aggregator.observe(5.0)
+        assert estimate.estimate == pytest.approx(50.0)
+        assert estimate.peers_observed == 1
+        assert not estimate.is_final
+
+    def test_single_observation_has_infinite_interval(self):
+        aggregator = OnlineSumAggregator(5)
+        estimate = aggregator.observe(5.0)
+        assert math.isinf(estimate.half_width)
+
+    def test_interval_shrinks_with_observations(self):
+        aggregator = OnlineSumAggregator(20)
+        widths = []
+        for i in range(19):
+            estimate = aggregator.observe(10.0 + (i % 3))
+            if estimate.peers_observed >= 2:
+                widths.append(estimate.half_width)
+        assert widths[-1] < widths[0]
+
+    def test_uniform_partials_give_tight_interval(self):
+        aggregator = OnlineSumAggregator(10)
+        for _ in range(5):
+            estimate = aggregator.observe(10.0)
+        assert estimate.half_width == pytest.approx(0.0)
+        assert estimate.estimate == pytest.approx(100.0)
+
+    def test_none_counts_as_zero(self):
+        aggregator = OnlineSumAggregator(2)
+        aggregator.observe(None)
+        estimate = aggregator.observe(10.0)
+        assert estimate.estimate == pytest.approx(10.0)
+
+    def test_bounds_bracket_estimate(self):
+        aggregator = OnlineSumAggregator(10)
+        aggregator.observe(5.0)
+        estimate = aggregator.observe(15.0)
+        assert estimate.low <= estimate.estimate <= estimate.high
+
+    def test_over_reporting_rejected(self):
+        aggregator = OnlineSumAggregator(1)
+        aggregator.observe(1.0)
+        with pytest.raises(BestPeerError):
+            aggregator.observe(2.0)
+
+    def test_reading_before_observations_rejected(self):
+        with pytest.raises(BestPeerError):
+            OnlineSumAggregator(3).current()
+
+    def test_invalid_params(self):
+        with pytest.raises(BestPeerError):
+            OnlineSumAggregator(0)
+        with pytest.raises(BestPeerError):
+            OnlineSumAggregator(3, confidence=0.5)
+
+
+@pytest.fixture(scope="module")
+def network():
+    net = BestPeerNetwork(TPCH_SCHEMAS, SECONDARY_INDICES)
+    generator = TpchGenerator(seed=23)
+    for index in range(6):
+        net.add_peer(f"corp-{index}")
+        net.load_peer(f"corp-{index}", generator.generate_peer(index))
+    return net
+
+
+SQL = "SELECT SUM(l_extendedprice) FROM lineitem WHERE l_discount < 0.05"
+
+
+class TestOnlineAggregateOverNetwork:
+    def test_final_estimate_matches_exact_answer(self, network):
+        exact = network.execute(SQL, engine="basic").scalar()
+        estimates = list(online_aggregate(network, SQL))
+        assert len(estimates) == 6
+        assert estimates[-1].is_final
+        assert estimates[-1].estimate == pytest.approx(exact)
+
+    def test_intermediate_estimates_converge(self, network):
+        exact = network.execute(SQL, engine="basic").scalar()
+        estimates = list(online_aggregate(network, SQL))
+        errors = [abs(e.estimate - exact) / exact for e in estimates]
+        # Uniform TPC-H data: even the first estimate is in the ballpark.
+        assert errors[0] < 0.5
+        assert errors[-1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_early_stop_on_target_error(self, network):
+        estimates = list(
+            online_aggregate(network, SQL, target_relative_error=0.2)
+        )
+        assert estimates[-1].relative_error <= 0.2
+        # With uniform data the target is hit before every peer reports.
+        assert len(estimates) < 6
+
+    def test_deterministic_given_seed(self, network):
+        a = [e.estimate for e in online_aggregate(network, SQL, seed=5)]
+        b = [e.estimate for e in online_aggregate(network, SQL, seed=5)]
+        assert a == b
+
+    def test_joins_rejected(self, network):
+        with pytest.raises(BestPeerError):
+            list(
+                online_aggregate(
+                    network,
+                    "SELECT SUM(l_extendedprice) FROM lineitem, orders "
+                    "WHERE l_orderkey = o_orderkey",
+                )
+            )
+
+    def test_group_by_rejected(self, network):
+        with pytest.raises(BestPeerError):
+            list(
+                online_aggregate(
+                    network,
+                    "SELECT l_returnflag, SUM(l_quantity) FROM lineitem "
+                    "GROUP BY l_returnflag",
+                )
+            )
+
+    def test_non_sum_rejected(self, network):
+        with pytest.raises(BestPeerError):
+            list(online_aggregate(network, "SELECT MAX(l_quantity) FROM lineitem"))

@@ -1,0 +1,123 @@
+"""Tests for the partial indexing scheme ([26]) with broadcast fallback."""
+
+import pytest
+
+from repro.baton import BatonOverlay, ReplicatedOverlay
+from repro.core import BestPeerNetwork
+from repro.core.indexer import (
+    DataIndexer,
+    FULL_INDEX_POLICY,
+    PartialIndexPolicy,
+)
+from repro.sqlengine import Column, ColumnType, TableSchema
+
+
+def schemas():
+    return {
+        "big": TableSchema(
+            "big",
+            [Column("id", ColumnType.INTEGER), Column("v", ColumnType.FLOAT)],
+            primary_key="id",
+        ),
+        "tiny": TableSchema(
+            "tiny",
+            [Column("id", ColumnType.INTEGER), Column("w", ColumnType.FLOAT)],
+            primary_key="id",
+        ),
+    }
+
+
+class TestPolicy:
+    def test_full_policy_admits_everything(self):
+        assert FULL_INDEX_POLICY.admits_table(0)
+        assert FULL_INDEX_POLICY.admits_column("anything")
+        assert not FULL_INDEX_POLICY.is_partial
+
+    def test_row_threshold(self):
+        policy = PartialIndexPolicy(min_table_rows=100)
+        assert policy.is_partial
+        assert not policy.admits_table(99)
+        assert policy.admits_table(100)
+
+    def test_column_allow_list(self):
+        policy = PartialIndexPolicy(indexed_columns=frozenset({"id"}))
+        assert policy.is_partial
+        assert policy.admits_column("ID")
+        assert not policy.admits_column("v")
+
+
+class TestBroadcastFallback:
+    def test_locate_falls_back_when_unindexed(self):
+        overlay = ReplicatedOverlay(BatonOverlay())
+        for i in range(4):
+            overlay.join(f"p{i}")
+        indexer = DataIndexer(overlay)
+        lookup = indexer.locate("big", fallback_peers=["p0", "p1", "p2", "p3"])
+        assert lookup.index_used == "broadcast"
+        assert lookup.peers == ["p0", "p1", "p2", "p3"]
+
+    def test_no_fallback_means_empty(self):
+        overlay = ReplicatedOverlay(BatonOverlay())
+        overlay.join("p0")
+        indexer = DataIndexer(overlay)
+        assert indexer.locate("big").peers == []
+
+
+class TestNetworkWithPartialIndexing:
+    @pytest.fixture
+    def network(self):
+        policy = PartialIndexPolicy(min_table_rows=50)
+        net = BestPeerNetwork(schemas(), index_policy=policy)
+        for index in range(3):
+            peer_id = f"corp-{index}"
+            net.add_peer(peer_id)
+            net.load_peer(
+                peer_id,
+                {
+                    "big": [
+                        (index * 1000 + i, float(i)) for i in range(100)
+                    ],
+                    "tiny": [(index * 1000 + i, float(i)) for i in range(3)],
+                },
+            )
+        return net
+
+    def test_small_table_not_indexed(self, network):
+        peers, _, _ = network.indexers["corp-0"].peers_for_table("tiny")
+        assert peers == set()
+        peers, _, _ = network.indexers["corp-0"].peers_for_table("big")
+        assert len(peers) == 3
+
+    def test_unindexed_table_still_queryable_via_broadcast(self, network):
+        result = network.execute("SELECT COUNT(*) FROM tiny", engine="basic")
+        assert result.scalar() == 9
+
+    def test_indexed_table_unaffected(self, network):
+        result = network.execute("SELECT COUNT(*) FROM big", engine="basic")
+        assert result.scalar() == 300
+
+    def test_join_across_indexed_and_unindexed(self, network):
+        result = network.execute(
+            "SELECT COUNT(*) FROM big, tiny WHERE big.id = tiny.id",
+            engine="basic",
+        )
+        assert result.scalar() == 9  # tiny ids are a subset of big ids
+
+    def test_index_size_reduced(self):
+        def entries(policy):
+            net = BestPeerNetwork(schemas(), index_policy=policy)
+            net.add_peer("p")
+            net.load_peer(
+                "p",
+                {
+                    "big": [(i, float(i)) for i in range(100)],
+                    "tiny": [(i + 500, 0.0) for i in range(3)],
+                },
+            )
+            return sum(
+                node.item_count for node in net.overlay.overlay.nodes()
+            )
+
+        full = entries(FULL_INDEX_POLICY)
+        partial = entries(PartialIndexPolicy(min_table_rows=50))
+        assert partial < full

@@ -1,0 +1,52 @@
+"""Smoke tests for the benchmark harness at tiny scale.
+
+The real figures run under ``pytest benchmarks/``; these keep the harness
+code covered by the fast test suite (2-node clusters, one query each).
+"""
+
+import pytest
+
+from repro.bench.harness import (
+    PerfPoint,
+    latency_of,
+    run_adaptive_comparison,
+    run_performance_comparison,
+)
+from repro.bench.workloads import SupplyChainBench, closed_loop_throughput
+from repro.tpch import Q1, Q3
+
+
+class TestPerformanceHarness:
+    def test_comparison_produces_both_systems(self):
+        points = run_performance_comparison("Q1", Q1(), cluster_sizes=(2,))
+        systems = {point.system for point in points}
+        assert systems == {"BestPeer++", "HadoopDB"}
+        for point in points:
+            assert point.latency_s > 0
+            assert point.nodes == 2
+
+    def test_latency_of_lookup(self):
+        points = [PerfPoint("X", "Q", 2, 1.5)]
+        assert latency_of(points, "X", 2) == 1.5
+        with pytest.raises(KeyError):
+            latency_of(points, "Y", 2)
+
+    def test_adaptive_comparison_runs_three_engines(self):
+        points = run_adaptive_comparison(Q3(), cluster_sizes=(2,))
+        assert {point.system for point in points} == {
+            "P2P engine", "MapReduce engine", "Adaptive engine",
+        }
+
+
+class TestThroughputHarness:
+    def test_supply_chain_round_trip(self):
+        bench = SupplyChainBench(4, seed=3)
+        supplier = bench.sample_role("supplier")
+        retailer = bench.sample_role("retailer")
+        assert len(supplier.service_times) == 2
+        assert len(retailer.service_times) == 2
+        # The heavy workload really is heavier.
+        assert retailer.mean_service_time > supplier.mean_service_time
+        assert closed_loop_throughput(supplier, 2) > closed_loop_throughput(
+            retailer, 2
+        )

@@ -1,0 +1,228 @@
+"""Full-stack integration scenarios across subsystems."""
+
+import pytest
+
+from repro.core import BestPeerNetwork, InstanceMatcher, SchemaMapping
+from repro.core.schema_mapping import TableMapping
+from repro.sqlengine import Column, ColumnType, Database, TableSchema
+from repro.tpch import (
+    Q2,
+    SECONDARY_INDICES,
+    TPCH_SCHEMAS,
+    TpchGenerator,
+    create_tpch_tables,
+)
+
+
+def simple_schemas():
+    return {
+        "product": TableSchema(
+            "product",
+            [
+                Column("p_id", ColumnType.INTEGER),
+                Column("p_name", ColumnType.TEXT),
+                Column("p_price", ColumnType.FLOAT),
+            ],
+            primary_key="p_id",
+        )
+    }
+
+
+class TestHeterogeneousSchemaMapping:
+    """Two companies with different local schemas share one global table."""
+
+    def test_mapped_data_queryable_network_wide(self):
+        net = BestPeerNetwork(simple_schemas())
+        # Company A: identity schema.
+        net.add_peer("acme")
+        net.load_peer("acme", {"product": [(1, "anvil", 99.0), (2, "rope", 5.0)]})
+
+        # Company B: a German ERP with different names and value terms.
+        mapping = SchemaMapping(simple_schemas())
+        mapping.add_table_mapping(
+            TableMapping(
+                local_table="artikel",
+                global_table="product",
+                column_map={"nr": "p_id", "bezeichnung": "p_name",
+                            "preis": "p_price"},
+                value_map={"p_name": {"amboss": "anvil"}},
+            )
+        )
+        net.add_peer("gmbh", mapping=mapping)
+        peer = net.peers["gmbh"]
+        peer.load_initial(
+            "artikel", ["nr", "bezeichnung", "preis"],
+            [(100, "amboss", 120.0), (101, "seil", 7.5)],
+            now=net.clock.now,
+        )
+        peer.publish_indices(net.indexers["gmbh"])
+        for indexer in net.indexers.values():
+            indexer.clear_cache()
+
+        result = net.execute(
+            "SELECT COUNT(*) FROM product WHERE p_name = 'anvil'",
+            engine="basic",
+        )
+        assert result.scalar() == 2  # one from each company, terms unified
+
+
+class TestDifferentialRefresh:
+    def test_refresh_propagates_to_queries(self):
+        net = BestPeerNetwork(simple_schemas())
+        net.add_peer("acme")
+        net.load_peer("acme", {"product": [(1, "anvil", 99.0)]})
+        before = net.execute("SELECT SUM(p_price) FROM product").scalar()
+        assert before == 99.0
+
+        delta = net.refresh_peer(
+            "acme", "product", [(1, "anvil", 89.0), (2, "rope", 5.0)]
+        )
+        assert len(delta.inserted) == 2  # price update = delete+insert
+        assert len(delta.deleted) == 1
+        after = net.execute("SELECT SUM(p_price) FROM product").scalar()
+        assert after == pytest.approx(94.0)
+
+    def test_refresh_survives_failover(self):
+        net = BestPeerNetwork(simple_schemas())
+        net.add_peer("acme")
+        net.load_peer("acme", {"product": [(1, "anvil", 99.0)]})
+        net.refresh_peer("acme", "product", [(1, "anvil", 50.0)])
+        net.crash_peer("acme")
+        result = net.execute("SELECT SUM(p_price) FROM product")
+        # The refresh-time backup was restored, not the original one.
+        assert result.scalar() == 50.0
+
+    def test_refresh_updates_range_index(self):
+        net = BestPeerNetwork(simple_schemas())
+        net.add_peer("acme")
+        net.add_peer("other")
+        net.load_peer(
+            "acme",
+            {"product": [(1, "a", 10.0)]},
+            range_columns={"product": ["p_price"]},
+        )
+        net.load_peer(
+            "other",
+            {"product": [(2, "b", 500.0)]},
+            range_columns={"product": ["p_price"]},
+        )
+        # Initially only "other" holds prices above 100.
+        lookup = net.indexers["acme"].locate("product", "p_price", low=100.0)
+        assert lookup.peers == ["other"]
+        # After acme's refresh introduces an expensive product, the range
+        # index must include it again.
+        net.refresh_peer(
+            "acme",
+            "product",
+            [(1, "a", 10.0), (3, "c", 900.0)],
+            range_columns={"product": ["p_price"]},
+        )
+        lookup = net.indexers["acme"].locate("product", "p_price", low=100.0)
+        assert lookup.peers == ["acme", "other"]
+
+
+class TestInstanceMatchingPipeline:
+    def test_inferred_mapping_feeds_the_loader(self):
+        net = BestPeerNetwork(simple_schemas())
+        net.add_peer("reference")
+        reference_rows = [(i, f"part-{i}", 10.0 + i) for i in range(50)]
+        net.load_peer("reference", {"product": reference_rows})
+
+        # A new business has a dump with opaque column names; infer the
+        # mapping from the data, then join with it.
+        matcher = InstanceMatcher(simple_schemas())
+        matcher.register_global_sample("product", reference_rows)
+        local_rows = [(i, f"part-{i}", 10.0 + i) for i in range(30, 70)]
+        result = matcher.match("dump_t42", ["c0", "c1", "c2"], local_rows)
+        assert result.global_table == "product"
+
+        mapping = SchemaMapping(simple_schemas())
+        mapping.add_table_mapping(result.mapping)
+        net.add_peer("newcomer", mapping=mapping)
+        peer = net.peers["newcomer"]
+        peer.load_initial("dump_t42", ["c0", "c1", "c2"],
+                          [(1000, "widget", 3.0)], now=net.clock.now)
+        peer.publish_indices(net.indexers["newcomer"])
+        for indexer in net.indexers.values():
+            indexer.clear_cache()
+        total = net.execute("SELECT COUNT(*) FROM product").scalar()
+        assert total == 51
+
+
+class TestAutoScalingEffect:
+    def test_upgraded_instance_answers_faster(self):
+        net = BestPeerNetwork(simple_schemas())
+        net.add_peer("busy")
+        rows = [(i, f"p{i}", float(i)) for i in range(2000)]
+        net.load_peer("busy", {"product": rows})
+
+        slow = net.execute("SELECT SUM(p_price) FROM product").latency_s
+
+        # The daemon sees an overloaded CPU and upgrades the instance.
+        net.peers["busy"].record_busy(10_000.0)  # sustained load this epoch
+        report = net.run_maintenance()
+        assert any(event.action == "upgrade" for event in report.scalings)
+
+        fast = net.execute("SELECT SUM(p_price) FROM product").latency_s
+        assert fast < slow  # more compute units -> faster local processing
+
+
+class TestChurnUnderQueries:
+    def test_engines_agree_with_oracle_through_churn(self):
+        net = BestPeerNetwork(TPCH_SCHEMAS, SECONDARY_INDICES)
+        generator = TpchGenerator(seed=31, scale=0.5)
+        for index in range(3):
+            net.add_peer(f"corp-{index}")
+            net.load_peer(f"corp-{index}", generator.generate_peer(index))
+
+        def oracle(peer_indices):
+            db = Database()
+            create_tpch_tables(db)
+            for position, index in enumerate(peer_indices):
+                for table, rows in generator.generate_peer(index).items():
+                    if table in ("nation", "region") and position > 0:
+                        continue
+                    db.table(table).insert_many(rows)
+            return db
+
+        sql = Q2(ship_date="1995-01-01")
+        assert net.execute(sql).scalar() == pytest.approx(
+            oracle([0, 1, 2]).execute(sql).scalar()
+        )
+
+        net.depart_peer("corp-1")
+        assert net.execute(sql).scalar() == pytest.approx(
+            oracle([0, 2]).execute(sql).scalar()
+        )
+
+        net.add_peer("corp-3")
+        net.load_peer("corp-3", generator.generate_peer(3))
+        for engine in ("basic", "mapreduce"):
+            assert net.execute(sql, engine=engine).scalar() == pytest.approx(
+                oracle([0, 2, 3]).execute(sql).scalar()
+            )
+
+
+class TestPayAsYouGoBilling:
+    def test_instance_hours_accrue(self):
+        net = BestPeerNetwork(simple_schemas())
+        net.add_peer("acme")
+        net.load_peer("acme", {"product": [(1, "a", 1.0)]})
+        instance = net.peers["acme"].instance
+        charge = net.cloud.bill(instance.instance_id, hours=24.0)
+        assert charge == pytest.approx(24.0 * 0.08)
+        assert instance.accumulated_cost_usd == pytest.approx(charge)
+
+    def test_query_costs_scale_with_data(self):
+        net = BestPeerNetwork(simple_schemas())
+        for peer_id, count in [("small", 10), ("big", 1000)]:
+            net.add_peer(peer_id)
+        net.load_peer("small", {"product": [(i, "x", 1.0) for i in range(10)]})
+        net.load_peer(
+            "big", {"product": [(10_000 + i, "x", 1.0) for i in range(1000)]}
+        )
+        cheap = net.execute(
+            "SELECT p_id FROM product WHERE p_id < 100", engine="basic"
+        )
+        pricey = net.execute("SELECT p_id FROM product", engine="basic")
+        assert pricey.dollar_cost > cheap.dollar_cost

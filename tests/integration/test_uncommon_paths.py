@@ -1,0 +1,134 @@
+"""Tests for less-travelled execution paths across the systems."""
+
+import pytest
+
+from repro.core import BestPeerNetwork
+from repro.errors import BestPeerError
+from repro.hadoopdb import HadoopDbCluster
+from repro.sqlengine import Database
+from repro.tpch import (
+    SECONDARY_INDICES,
+    TPCH_SCHEMAS,
+    TpchGenerator,
+    create_tpch_tables,
+)
+
+NUM_NODES = 3
+SEED = 37
+
+
+@pytest.fixture(scope="module")
+def trio():
+    generator = TpchGenerator(seed=SEED, scale=0.5)
+    net = BestPeerNetwork(TPCH_SCHEMAS, SECONDARY_INDICES)
+    cluster = HadoopDbCluster(NUM_NODES)
+    cluster.create_tables(TPCH_SCHEMAS.values(), SECONDARY_INDICES)
+    oracle = Database()
+    create_tpch_tables(oracle)
+    for index in range(NUM_NODES):
+        data = generator.generate_peer(index)
+        net.add_peer(f"corp-{index}")
+        net.load_peer(f"corp-{index}", data)
+        cluster.load_worker(index, data)
+        for table, rows in data.items():
+            if table in ("nation", "region") and index > 0:
+                continue
+            oracle.table(table).insert_many(rows)
+    return net, cluster, oracle
+
+
+COUNT_DISTINCT = "SELECT COUNT(DISTINCT l_suppkey) FROM lineitem"
+
+
+class TestNonDecomposableAggregates:
+    """COUNT(DISTINCT ...) cannot use partial aggregation — both systems
+    must fall back to shuffling raw rows and still be exact."""
+
+    def test_bestpeer_basic(self, trio):
+        net, _, oracle = trio
+        execution = net.execute(COUNT_DISTINCT, engine="basic")
+        assert execution.scalar() == oracle.execute(COUNT_DISTINCT).scalar()
+
+    def test_bestpeer_mapreduce(self, trio):
+        net, _, oracle = trio
+        execution = net.execute(COUNT_DISTINCT, engine="mapreduce")
+        assert execution.scalar() == oracle.execute(COUNT_DISTINCT).scalar()
+
+    def test_hadoopdb(self, trio):
+        _, cluster, oracle = trio
+        result = cluster.execute(COUNT_DISTINCT)
+        assert result.records[0][0] == oracle.execute(COUNT_DISTINCT).scalar()
+
+    def test_grouped_count_distinct(self, trio):
+        net, _, oracle = trio
+        sql = (
+            "SELECT l_returnflag, COUNT(DISTINCT l_suppkey) FROM lineitem "
+            "GROUP BY l_returnflag"
+        )
+        execution = net.execute(sql, engine="basic")
+        expected = oracle.execute(sql)
+        assert sorted(execution.records) == sorted(expected.rows)
+
+
+class TestEmptyResults:
+    def test_selective_predicate_matches_nothing(self, trio):
+        net, cluster, _ = trio
+        sql = "SELECT l_orderkey FROM lineitem WHERE l_quantity > 10000"
+        assert len(net.execute(sql, engine="basic").records) == 0
+        assert len(net.execute(sql, engine="mapreduce").records) == 0
+        assert len(cluster.execute(sql).records) == 0
+
+    def test_scalar_aggregate_over_empty_selection(self, trio):
+        net, cluster, _ = trio
+        sql = "SELECT SUM(l_quantity) FROM lineitem WHERE l_quantity > 10000"
+        assert net.execute(sql, engine="basic").scalar() is None
+        assert cluster.execute(sql).records[0][0] is None
+
+    def test_count_over_empty_selection_is_zero(self, trio):
+        net, _, _ = trio
+        sql = "SELECT COUNT(*) FROM lineitem WHERE l_quantity > 10000"
+        assert net.execute(sql, engine="basic").scalar() == 0
+
+    def test_join_with_empty_side(self, trio):
+        net, _, _ = trio
+        sql = (
+            "SELECT o_orderkey, l_quantity FROM orders, lineitem "
+            "WHERE o_orderkey = l_orderkey AND o_totalprice > 10000000"
+        )
+        assert len(net.execute(sql, engine="basic").records) == 0
+
+
+class TestQueryExecutionApi:
+    def test_column_and_scalar_errors(self, trio):
+        net, _, _ = trio
+        execution = net.execute(
+            "SELECT l_orderkey, l_quantity FROM lineitem", engine="basic"
+        )
+        with pytest.raises(BestPeerError):
+            execution.column("nope")
+        with pytest.raises(BestPeerError):
+            execution.scalar()
+        assert len(execution.column("l_quantity")) == len(execution)
+
+
+class TestRetryExhaustion:
+    def test_unrecoverable_peer_raises_after_retries(self):
+        net = BestPeerNetwork(TPCH_SCHEMAS, SECONDARY_INDICES)
+        net.add_peer("solo")
+        net.load_peer(
+            "solo", TpchGenerator(seed=1, scale=0.2).generate_peer(0),
+            backup=True,
+        )
+        # Crash the peer and break the cloud's ability to fail it over by
+        # crashing every replacement the daemon launches.
+        original_launch = net.cloud.launch_instance
+
+        def doomed_launch(*args, **kwargs):
+            instance = original_launch(*args, **kwargs)
+            net.cloud.crash_instance(instance.instance_id)
+            return instance
+
+        net.crash_peer("solo")
+        net.cloud.launch_instance = doomed_launch
+        with pytest.raises(Exception):
+            net.execute("SELECT COUNT(*) FROM lineitem", engine="basic")

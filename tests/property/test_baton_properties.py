@@ -1,0 +1,91 @@
+"""Property-based tests for the BATON overlay under churn."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baton import BatonOverlay
+
+
+# A churn script: joins, leaves (by index into live peers), item inserts.
+churn_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("join"), st.integers(0, 10**6)),
+        st.tuples(st.just("leave"), st.integers(0, 10**6)),
+        st.tuples(st.just("insert"), st.floats(min_value=0.0, max_value=0.999)),
+    ),
+    max_size=60,
+)
+
+
+def apply_ops(ops):
+    overlay = BatonOverlay()
+    overlay.join("seed-node")
+    items = []
+    joined = 0
+    for action, argument in ops:
+        if action == "join":
+            overlay.join(f"node-{joined}")
+            joined += 1
+        elif action == "leave" and len(overlay) > 1:
+            victims = overlay.nodes()
+            victim = victims[argument % len(victims)]
+            overlay.leave(victim.node_id)
+        elif action == "insert":
+            overlay.insert(argument, f"item-{len(items)}")
+            items.append(argument)
+    return overlay, items
+
+
+class TestChurnInvariants:
+    @settings(deadline=None, max_examples=60)
+    @given(churn_ops)
+    def test_structural_invariants_hold(self, ops):
+        overlay, _ = apply_ops(ops)
+        overlay.check_invariants()
+
+    @settings(deadline=None, max_examples=60)
+    @given(churn_ops)
+    def test_no_items_lost(self, ops):
+        overlay, items = apply_ops(ops)
+        stored = sum(node.item_count for node in overlay.nodes())
+        assert stored == len(items)
+
+    @settings(deadline=None, max_examples=40)
+    @given(churn_ops, st.floats(min_value=0.0, max_value=0.999))
+    def test_every_key_routable_from_every_node(self, ops, key):
+        overlay, _ = apply_ops(ops)
+        for start in overlay.nodes():
+            owner, _ = overlay.find_responsible(key, start.node_id)
+            assert owner.r0.contains(key)
+
+    @settings(deadline=None, max_examples=40)
+    @given(churn_ops)
+    def test_range_search_equals_filter(self, ops):
+        overlay, items = apply_ops(ops)
+        result = overlay.range_search(0.25, 0.75)
+        expected = sorted(key for key in items if 0.25 <= key < 0.75)
+        assert sorted(key for key, _ in result.values) == expected
+
+    @settings(deadline=None, max_examples=40)
+    @given(churn_ops)
+    def test_exact_search_finds_all_copies(self, ops):
+        overlay, items = apply_ops(ops)
+        if not items:
+            return
+        target = items[0]
+        expected = sum(1 for key in items if key == target)
+        assert len(overlay.search(target).values) == expected
+
+
+class TestStringKeyStability:
+    @given(st.text(min_size=0, max_size=64))
+    def test_string_to_key_in_domain(self, text):
+        from repro.baton import string_to_key
+
+        key = string_to_key(text)
+        assert 0.0 <= key < 1.0
+
+    @given(st.text(min_size=0, max_size=64))
+    def test_string_to_key_deterministic(self, text):
+        from repro.baton import string_to_key
+
+        assert string_to_key(text) == string_to_key(text)

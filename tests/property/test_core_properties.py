@@ -1,0 +1,178 @@
+"""Property-based tests for core invariants: bloom filters, fingerprints,
+snapshot diffs, histograms, makespan scheduling."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core import build_filter, fingerprint_tuple, snapshot_diff
+from repro.core.execution import makespan
+from repro.core.histogram import Histogram
+
+
+# ----------------------------------------------------------------------
+# Bloom filters: never a false negative
+# ----------------------------------------------------------------------
+values = st.lists(st.integers(-10**6, 10**6), min_size=1, max_size=200)
+
+
+class TestBloomProperties:
+    @given(values)
+    def test_no_false_negatives(self, inserted):
+        bloom = build_filter(inserted)
+        for value in inserted:
+            assert value in bloom
+
+    @given(
+        st.lists(
+            st.integers(-10**6, 10**6),
+            min_size=30,
+            max_size=200,
+            unique=True,
+        )
+    )
+    def test_false_positive_rate_bounded(self, inserted):
+        # Tiny filters (a handful of bits) legitimately have high FP rates;
+        # the bound below is for reasonably sized filters.
+        distinct = set(inserted)
+        bloom = build_filter(distinct, bits_per_key=10, num_hashes=4)
+        probes = range(2 * 10**6, 2 * 10**6 + 2000)
+        false_positives = sum(1 for probe in probes if probe in bloom)
+        # ~1% theoretical at 10 bits/key; allow generous slack.
+        assert false_positives < 150
+
+    @given(values)
+    def test_size_proportional_to_keys(self, inserted):
+        bloom = build_filter(inserted, bits_per_key=10)
+        assert bloom.size_bytes == (len(inserted) * 10 + 7) // 8
+
+
+# ----------------------------------------------------------------------
+# Rabin fingerprints over tuples
+# ----------------------------------------------------------------------
+cells = st.one_of(
+    st.none(),
+    st.integers(-10**9, 10**9),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=20),
+)
+tuples_ = st.lists(cells, max_size=6).map(tuple)
+
+
+class TestFingerprintProperties:
+    @given(tuples_)
+    def test_deterministic(self, row):
+        assert fingerprint_tuple(row) == fingerprint_tuple(row)
+
+    @given(tuples_)
+    def test_32_bits(self, row):
+        assert 0 <= fingerprint_tuple(row) < (1 << 32)
+
+    @given(tuples_, tuples_)
+    def test_equal_rows_equal_fingerprints(self, a, b):
+        if a == b and [type(x) for x in a] == [type(x) for x in b]:
+            assert fingerprint_tuple(a) == fingerprint_tuple(b)
+
+
+# ----------------------------------------------------------------------
+# Snapshot differential: applying the delta reproduces the new snapshot
+# ----------------------------------------------------------------------
+snapshot_rows = st.lists(
+    st.tuples(st.integers(0, 30), st.sampled_from(["a", "b", "c"])),
+    max_size=60,
+)
+
+
+class TestSnapshotDiffProperties:
+    @given(snapshot_rows, snapshot_rows)
+    def test_delta_transforms_old_into_new(self, old, new):
+        inserted, deleted = snapshot_diff(old, new)
+        result = Counter(old)
+        for row in deleted:
+            assert result[row] > 0, "delta deletes a row the old side lacks"
+            result[row] -= 1
+        result.update(inserted)
+        assert +result == Counter(new)
+
+    @given(snapshot_rows)
+    def test_identical_snapshots_empty_delta(self, rows):
+        assert snapshot_diff(rows, list(rows)) == ([], [])
+
+    @given(snapshot_rows, snapshot_rows)
+    def test_delta_is_minimal(self, old, new):
+        inserted, deleted = snapshot_diff(old, new)
+        overlap = Counter(old) & Counter(new)
+        assert len(deleted) == len(old) - sum(overlap.values())
+        assert len(inserted) == len(new) - sum(overlap.values())
+
+
+# ----------------------------------------------------------------------
+# Histograms
+# ----------------------------------------------------------------------
+points = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=1000, allow_nan=False),
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+    ),
+    max_size=300,
+)
+
+
+class TestHistogramProperties:
+    @given(points, st.integers(1, 32))
+    def test_counts_preserved(self, rows, buckets):
+        histogram = Histogram.build(["x", "y"], rows, num_buckets=buckets)
+        assert histogram.relation_size() == len(rows)
+
+    @given(points)
+    def test_region_count_bounded(self, rows):
+        histogram = Histogram.build(["x", "y"], rows, num_buckets=8)
+        count = histogram.region_count(lows={"x": 100.0}, highs={"x": 900.0})
+        assert 0.0 <= count <= len(rows) + 1e-9
+
+    @given(points)
+    def test_full_region_counts_everything(self, rows):
+        histogram = Histogram.build(["x", "y"], rows, num_buckets=8)
+        assert histogram.region_count() == pytest.approx(len(rows))
+
+    @given(points, st.floats(0, 1000), st.floats(0, 1000))
+    def test_selectivity_in_unit_interval(self, rows, low, high):
+        histogram = Histogram.build(["x", "y"], rows, num_buckets=8)
+        value = histogram.selectivity(
+            lows={"x": min(low, high)}, highs={"x": max(low, high)}
+        )
+        assert 0.0 <= value <= 1.0
+
+
+# ----------------------------------------------------------------------
+# Makespan scheduling (the fetch-thread model)
+# ----------------------------------------------------------------------
+durations = st.lists(
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False), max_size=40
+)
+
+
+class TestMakespanProperties:
+    @given(durations, st.integers(1, 40))
+    def test_bounds(self, tasks, workers):
+        span = makespan(tasks, workers)
+        if not tasks:
+            assert span == 0.0
+            return
+        assert span >= max(tasks) - 1e-9
+        assert span <= sum(tasks) + 1e-9
+
+    @given(durations)
+    def test_single_worker_is_serial(self, tasks):
+        assert makespan(tasks, 1) == pytest.approx(sum(tasks))
+
+    @given(durations)
+    def test_enough_workers_is_parallel(self, tasks):
+        span = makespan(tasks, max(1, len(tasks)))
+        expected = max(tasks) if tasks else 0.0
+        assert span == pytest.approx(expected)
+
+    @given(durations, st.integers(1, 20))
+    def test_more_workers_never_slower(self, tasks, workers):
+        assert makespan(tasks, workers + 1) <= makespan(tasks, workers) + 1e-9

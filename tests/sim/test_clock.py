@@ -1,0 +1,83 @@
+"""Tests for the simulated clock and duration composition helpers."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import SimClock, parallel_duration, serial_duration
+
+
+class TestSimClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert SimClock(5.0).now == 5.0
+
+    def test_cannot_start_negative(self):
+        with pytest.raises(SimulationError):
+            SimClock(-1.0)
+
+    def test_advance_moves_forward(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == 2.0
+
+    def test_advance_returns_new_time(self):
+        assert SimClock().advance(3.0) == 3.0
+
+    def test_advance_by_zero_is_allowed(self):
+        clock = SimClock(1.0)
+        clock.advance(0.0)
+        assert clock.now == 1.0
+
+    def test_advance_negative_rejected(self):
+        clock = SimClock()
+        with pytest.raises(SimulationError):
+            clock.advance(-0.1)
+
+    def test_advance_to_absolute_time(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_to_present_is_noop(self):
+        clock = SimClock(4.0)
+        clock.advance_to(4.0)
+        assert clock.now == 4.0
+
+    def test_advance_to_past_rejected(self):
+        clock = SimClock(4.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(3.9)
+
+    def test_repr_mentions_time(self):
+        assert "1.5" in repr(SimClock(1.5))
+
+
+class TestDurationComposition:
+    def test_serial_sums(self):
+        assert serial_duration(1.0, 2.0, 3.0) == 6.0
+
+    def test_serial_empty_is_zero(self):
+        assert serial_duration() == 0.0
+
+    def test_serial_rejects_negative(self):
+        with pytest.raises(SimulationError):
+            serial_duration(1.0, -2.0)
+
+    def test_parallel_takes_max(self):
+        assert parallel_duration(1.0, 5.0, 3.0) == 5.0
+
+    def test_parallel_empty_is_zero(self):
+        assert parallel_duration() == 0.0
+
+    def test_parallel_rejects_negative(self):
+        with pytest.raises(SimulationError):
+            parallel_duration(-1.0)
+
+    def test_fanout_then_merge_composes(self):
+        # A query that scans on three peers in parallel then merges serially.
+        scan = parallel_duration(0.2, 0.5, 0.3)
+        total = serial_duration(scan, 0.1)
+        assert total == pytest.approx(0.6)

@@ -1,0 +1,197 @@
+"""Tests for the simulated cloud provider (EC2/RDS/EBS/CloudWatch stand-in)."""
+
+import pytest
+
+from repro.errors import CloudError, InstanceNotFound, InstanceStateError
+from repro.sim import (
+    CloudProvider,
+    FailureInjector,
+    InstanceState,
+    INSTANCE_TYPES,
+    SimNetwork,
+)
+
+
+@pytest.fixture
+def cloud():
+    return CloudProvider(SimNetwork())
+
+
+class TestLaunchTerminate:
+    def test_launch_registers_host(self, cloud):
+        instance = cloud.launch_instance()
+        assert instance.state is InstanceState.RUNNING
+        assert cloud.network.has_host(instance.instance_id)
+
+    def test_launch_default_matches_paper(self, cloud):
+        # "Initially, each BestPeer++ instance is launched as a m1.small EC2
+        # instance (1 virtual core, 1.7 GB memory) with 5 GB storage space."
+        instance = cloud.launch_instance()
+        assert instance.instance_type.name == "m1.small"
+        assert instance.instance_type.memory_gb == 1.7
+        assert instance.storage_gb == 5.0
+
+    def test_launch_with_explicit_id(self, cloud):
+        instance = cloud.launch_instance(instance_id="peer-1")
+        assert instance.instance_id == "peer-1"
+
+    def test_duplicate_id_rejected(self, cloud):
+        cloud.launch_instance(instance_id="peer-1")
+        with pytest.raises(CloudError):
+            cloud.launch_instance(instance_id="peer-1")
+
+    def test_unknown_type_rejected(self, cloud):
+        with pytest.raises(CloudError):
+            cloud.launch_instance(instance_type="t2.nano")
+
+    def test_nonpositive_storage_rejected(self, cloud):
+        with pytest.raises(CloudError):
+            cloud.launch_instance(storage_gb=0)
+
+    def test_terminate_removes_host(self, cloud):
+        instance = cloud.launch_instance()
+        cloud.terminate_instance(instance.instance_id)
+        assert instance.state is InstanceState.TERMINATED
+        assert not cloud.network.has_host(instance.instance_id)
+
+    def test_double_terminate_rejected(self, cloud):
+        instance = cloud.launch_instance()
+        cloud.terminate_instance(instance.instance_id)
+        with pytest.raises(InstanceStateError):
+            cloud.terminate_instance(instance.instance_id)
+
+    def test_describe_unknown_instance(self, cloud):
+        with pytest.raises(InstanceNotFound):
+            cloud.describe_instance("i-999999")
+
+    def test_list_instances_filters_by_state(self, cloud):
+        a = cloud.launch_instance()
+        cloud.launch_instance()
+        cloud.terminate_instance(a.instance_id)
+        running = cloud.list_instances(InstanceState.RUNNING)
+        assert len(running) == 1
+        assert len(cloud.list_instances()) == 2
+
+
+class TestAutoScaling:
+    def test_resize_changes_type(self, cloud):
+        instance = cloud.launch_instance()
+        cloud.resize_instance(instance.instance_id, "m1.large")
+        assert instance.instance_type.name == "m1.large"
+        assert instance.instance_type.virtual_cores == 4
+
+    def test_scale_up_path(self, cloud):
+        assert cloud.scale_up_type("m1.small") == "m1.medium"
+        assert cloud.scale_up_type("m1.large") == "m1.xlarge"
+        assert cloud.scale_up_type("m1.xlarge") is None
+
+    def test_scale_up_unknown_type(self, cloud):
+        with pytest.raises(CloudError):
+            cloud.scale_up_type("t2.nano")
+
+    def test_add_storage(self, cloud):
+        instance = cloud.launch_instance(storage_gb=5.0)
+        cloud.add_storage(instance.instance_id, 10.0)
+        assert instance.storage_gb == 15.0
+
+    def test_add_nonpositive_storage_rejected(self, cloud):
+        instance = cloud.launch_instance()
+        with pytest.raises(CloudError):
+            cloud.add_storage(instance.instance_id, 0.0)
+
+    def test_resize_crashed_instance_rejected(self, cloud):
+        instance = cloud.launch_instance()
+        cloud.crash_instance(instance.instance_id)
+        with pytest.raises(InstanceStateError):
+            cloud.resize_instance(instance.instance_id, "m1.large")
+
+
+class TestSnapshots:
+    def test_snapshot_and_latest(self, cloud):
+        instance = cloud.launch_instance()
+        first = cloud.create_snapshot(instance.instance_id, 1000, payload="v1")
+        second = cloud.create_snapshot(instance.instance_id, 2000, payload="v2")
+        latest = cloud.latest_snapshot(instance.instance_id)
+        assert latest is second
+        assert latest.payload == "v2"
+        assert first.snapshot_id != second.snapshot_id
+
+    def test_no_snapshot_returns_none(self, cloud):
+        instance = cloud.launch_instance()
+        assert cloud.latest_snapshot(instance.instance_id) is None
+
+    def test_negative_snapshot_size_rejected(self, cloud):
+        instance = cloud.launch_instance()
+        with pytest.raises(CloudError):
+            cloud.create_snapshot(instance.instance_id, -1)
+
+    def test_restore_duration_grows_with_size(self, cloud):
+        instance = cloud.launch_instance()
+        small = cloud.create_snapshot(instance.instance_id, 1000)
+        large = cloud.create_snapshot(instance.instance_id, 10**9)
+        assert cloud.restore_duration_s(large) > cloud.restore_duration_s(small)
+
+
+class TestCloudWatch:
+    def test_running_instance_responsive(self, cloud):
+        instance = cloud.launch_instance()
+        assert cloud.cloudwatch.is_responsive(instance.instance_id)
+
+    def test_crashed_instance_unresponsive(self, cloud):
+        instance = cloud.launch_instance()
+        cloud.crash_instance(instance.instance_id)
+        assert not cloud.cloudwatch.is_responsive(instance.instance_id)
+
+    def test_metrics_expose_gauges(self, cloud):
+        instance = cloud.launch_instance(storage_gb=10.0)
+        instance.cpu_utilization = 0.75
+        instance.storage_used_gb = 4.0
+        metrics = cloud.cloudwatch.metrics(instance.instance_id)
+        assert metrics["cpu_utilization"] == 0.75
+        assert metrics["free_storage_gb"] == pytest.approx(6.0)
+
+
+class TestBilling:
+    def test_pay_as_you_go_accrues(self, cloud):
+        instance = cloud.launch_instance()
+        charge = cloud.bill(instance.instance_id, 10.0)
+        assert charge == pytest.approx(INSTANCE_TYPES["m1.small"].hourly_cost_usd * 10)
+        assert instance.accumulated_cost_usd == pytest.approx(charge)
+
+    def test_larger_instances_cost_more(self, cloud):
+        small = cloud.launch_instance("m1.small")
+        large = cloud.launch_instance("m1.large")
+        assert cloud.bill(large.instance_id, 1.0) > cloud.bill(small.instance_id, 1.0)
+
+    def test_negative_hours_rejected(self, cloud):
+        instance = cloud.launch_instance()
+        with pytest.raises(CloudError):
+            cloud.bill(instance.instance_id, -1.0)
+
+
+class TestFailureInjector:
+    def test_crash_specific_instance(self, cloud):
+        instance = cloud.launch_instance()
+        injector = FailureInjector(cloud)
+        injector.crash(instance.instance_id)
+        assert instance.state is InstanceState.CRASHED
+        assert cloud.network.is_partitioned(instance.instance_id)
+        assert injector.crashed == [instance.instance_id]
+
+    def test_crash_random_is_deterministic(self):
+        def run(seed):
+            provider = CloudProvider(SimNetwork())
+            ids = [provider.launch_instance().instance_id for _ in range(5)]
+            return FailureInjector(provider, seed=seed).crash_random(candidates=ids)
+
+        assert run(42) == run(42)
+
+    def test_crash_random_respects_candidates(self, cloud):
+        keep = cloud.launch_instance().instance_id
+        target = cloud.launch_instance().instance_id
+        victim = FailureInjector(cloud, seed=1).crash_random(candidates=[target])
+        assert victim == target
+        assert cloud.describe_instance(keep).state is InstanceState.RUNNING
+
+    def test_crash_random_with_nothing_running(self, cloud):
+        assert FailureInjector(cloud).crash_random() is None

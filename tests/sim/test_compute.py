@@ -1,0 +1,48 @@
+"""Tests for the shared per-node compute cost model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import ComputeModel, DEFAULT_COMPUTE_MODEL
+from repro.sqlengine.executor import ExecStats
+
+
+class TestSeconds:
+    def test_zero_work_costs_nothing(self):
+        assert DEFAULT_COMPUTE_MODEL.seconds(ExecStats()) == 0.0
+
+    def test_components_additive(self):
+        model = ComputeModel(
+            scan_s_per_row=1.0,
+            emit_s_per_row=2.0,
+            join_s_per_row=3.0,
+            index_probe_s=4.0,
+        )
+        stats = ExecStats(
+            rows_scanned=1,
+            rows_output=1,
+            index_probes=1,
+            join_build_rows=1,
+            join_probe_rows=1,
+        )
+        assert model.seconds(stats) == pytest.approx(1 + 2 + 3 * 2 + 4)
+
+    def test_compute_units_divide_time(self):
+        stats = ExecStats(rows_scanned=1000)
+        small = DEFAULT_COMPUTE_MODEL.seconds(stats, compute_units=1.0)
+        large = DEFAULT_COMPUTE_MODEL.seconds(stats, compute_units=4.0)
+        assert large == pytest.approx(small / 4)
+
+    def test_nonpositive_units_rejected(self):
+        with pytest.raises(SimulationError):
+            DEFAULT_COMPUTE_MODEL.seconds(ExecStats(), compute_units=0.0)
+
+    def test_rows_seconds(self):
+        model = ComputeModel(emit_s_per_row=0.5)
+        assert model.rows_seconds(10) == pytest.approx(5.0)
+        with pytest.raises(SimulationError):
+            model.rows_seconds(10, compute_units=-1)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(SimulationError):
+            ComputeModel(scan_s_per_row=-1.0)

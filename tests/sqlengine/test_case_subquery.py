@@ -1,0 +1,150 @@
+"""Tests for CASE WHEN expressions and uncorrelated IN-subqueries."""
+
+import pytest
+
+from repro.errors import SqlExecutionError, SqlParseError
+from repro.sqlengine import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE orders (id INTEGER PRIMARY KEY, total FLOAT, "
+        "status TEXT)"
+    )
+    database.execute(
+        "CREATE TABLE vip (customer TEXT, order_id INTEGER)"
+    )
+    database.execute(
+        "INSERT INTO orders VALUES (1, 50.0, 'open'), (2, 500.0, 'open'), "
+        "(3, 20.0, 'shipped'), (4, NULL, 'void')"
+    )
+    database.execute(
+        "INSERT INTO vip VALUES ('alice', 1), ('bob', 3)"
+    )
+    return database
+
+
+class TestSearchedCase:
+    def test_basic_branching(self, db):
+        result = db.execute(
+            "SELECT id, CASE WHEN total > 100 THEN 'big' "
+            "WHEN total > 30 THEN 'medium' ELSE 'small' END AS size "
+            "FROM orders WHERE total IS NOT NULL ORDER BY id"
+        )
+        assert result.column("size") == ["medium", "big", "small"]
+
+    def test_missing_else_yields_null(self, db):
+        result = db.execute(
+            "SELECT CASE WHEN total > 100 THEN 'big' END AS size "
+            "FROM orders ORDER BY id"
+        )
+        assert result.column("size") == [None, "big", None, None]
+
+    def test_null_condition_skipped(self, db):
+        # total IS NULL for id 4; `total > 100` evaluates NULL -> skipped.
+        result = db.execute(
+            "SELECT CASE WHEN total > 100 THEN 'x' ELSE 'y' END AS r "
+            "FROM orders WHERE id = 4"
+        )
+        assert result.scalar() == "y"
+
+    def test_case_in_where(self, db):
+        result = db.execute(
+            "SELECT id FROM orders WHERE "
+            "CASE WHEN status = 'void' THEN 0 ELSE 1 END = 1 ORDER BY id"
+        )
+        assert result.column("id") == [1, 2, 3]
+
+    def test_case_inside_aggregate(self, db):
+        # The conditional-count idiom.
+        result = db.execute(
+            "SELECT SUM(CASE WHEN status = 'open' THEN 1 ELSE 0 END) "
+            "FROM orders"
+        )
+        assert result.scalar() == 2
+
+    def test_simple_case_form(self, db):
+        result = db.execute(
+            "SELECT CASE status WHEN 'open' THEN 'o' WHEN 'shipped' THEN 's' "
+            "ELSE '?' END AS code FROM orders ORDER BY id"
+        )
+        assert result.column("code") == ["o", "o", "s", "?"]
+
+    def test_case_requires_when(self, db):
+        with pytest.raises(SqlParseError):
+            db.execute("SELECT CASE ELSE 1 END FROM orders")
+
+    def test_case_requires_end(self, db):
+        with pytest.raises(SqlParseError):
+            db.execute("SELECT CASE WHEN 1 = 1 THEN 2 FROM orders")
+
+    def test_to_sql_round_trip(self):
+        from repro.sqlengine.parser import parse
+
+        stmt = parse(
+            "SELECT CASE WHEN a > 1 THEN 'x' ELSE 'y' END FROM t"
+        )
+        text = stmt.items[0].expr.to_sql()
+        stmt2 = parse(f"SELECT {text} FROM t")
+        assert stmt2.items[0].expr.to_sql() == text
+
+
+class TestInSubquery:
+    def test_basic_membership(self, db):
+        result = db.execute(
+            "SELECT id FROM orders WHERE id IN (SELECT order_id FROM vip) "
+            "ORDER BY id"
+        )
+        assert result.column("id") == [1, 3]
+
+    def test_not_in(self, db):
+        result = db.execute(
+            "SELECT id FROM orders WHERE id NOT IN "
+            "(SELECT order_id FROM vip) ORDER BY id"
+        )
+        assert result.column("id") == [2, 4]
+
+    def test_subquery_with_where(self, db):
+        result = db.execute(
+            "SELECT id FROM orders WHERE id IN "
+            "(SELECT order_id FROM vip WHERE customer = 'alice')"
+        )
+        assert result.column("id") == [1]
+
+    def test_empty_subquery_is_false(self, db):
+        result = db.execute(
+            "SELECT id FROM orders WHERE id IN "
+            "(SELECT order_id FROM vip WHERE customer = 'nobody')"
+        )
+        assert len(result) == 0
+
+    def test_empty_not_in_is_true(self, db):
+        result = db.execute(
+            "SELECT COUNT(*) FROM orders WHERE id NOT IN "
+            "(SELECT order_id FROM vip WHERE customer = 'nobody')"
+        )
+        assert result.scalar() == 4
+
+    def test_nested_subqueries(self, db):
+        result = db.execute(
+            "SELECT customer FROM vip WHERE order_id IN "
+            "(SELECT id FROM orders WHERE id IN "
+            "(SELECT order_id FROM vip WHERE customer = 'bob'))"
+        )
+        assert result.column("customer") == ["bob"]
+
+    def test_multi_column_subquery_rejected(self, db):
+        with pytest.raises(SqlExecutionError):
+            db.execute(
+                "SELECT id FROM orders WHERE id IN "
+                "(SELECT customer, order_id FROM vip)"
+            )
+
+    def test_subquery_with_aggregate(self, db):
+        result = db.execute(
+            "SELECT id FROM orders WHERE total IN "
+            "(SELECT MAX(total) FROM orders)"
+        )
+        assert result.column("id") == [2]

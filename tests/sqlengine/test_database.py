@@ -1,0 +1,346 @@
+"""End-to-end SQL execution tests against the Database facade."""
+
+import pytest
+
+from repro.errors import SqlCatalogError, SqlExecutionError
+from repro.sqlengine import Database
+
+
+@pytest.fixture
+def db():
+    database = Database("test")
+    database.execute(
+        "CREATE TABLE emp (id INTEGER PRIMARY KEY, name TEXT, dept_id INTEGER, "
+        "salary FLOAT, hired DATE)"
+    )
+    database.execute(
+        "CREATE TABLE dept (id INTEGER PRIMARY KEY, dname TEXT)"
+    )
+    database.execute(
+        "INSERT INTO dept VALUES (1, 'eng'), (2, 'sales'), (3, 'empty')"
+    )
+    database.execute(
+        "INSERT INTO emp VALUES "
+        "(1, 'ann', 1, 100.0, '2020-01-05'), "
+        "(2, 'bob', 1, 80.0, '2020-03-01'), "
+        "(3, 'carol', 2, 120.0, '2019-06-15'), "
+        "(4, 'dave', 2, 90.0, '2021-02-20'), "
+        "(5, 'erin', NULL, NULL, '2022-08-08')"
+    )
+    return database
+
+
+class TestSelection:
+    def test_select_star(self, db):
+        result = db.execute("SELECT * FROM emp")
+        assert len(result) == 5
+        assert result.columns == ["id", "name", "dept_id", "salary", "hired"]
+
+    def test_where_filters(self, db):
+        result = db.execute("SELECT name FROM emp WHERE salary > 90")
+        assert sorted(result.column("name")) == ["ann", "carol"]
+
+    def test_null_never_matches(self, db):
+        result = db.execute("SELECT name FROM emp WHERE salary < 1000000")
+        assert "erin" not in result.column("name")
+
+    def test_is_null(self, db):
+        result = db.execute("SELECT name FROM emp WHERE salary IS NULL")
+        assert result.column("name") == ["erin"]
+
+    def test_between(self, db):
+        result = db.execute("SELECT name FROM emp WHERE salary BETWEEN 80 AND 100")
+        assert sorted(result.column("name")) == ["ann", "bob", "dave"]
+
+    def test_in_list(self, db):
+        result = db.execute("SELECT name FROM emp WHERE id IN (1, 3)")
+        assert sorted(result.column("name")) == ["ann", "carol"]
+
+    def test_like(self, db):
+        result = db.execute("SELECT name FROM emp WHERE name LIKE '%a%'")
+        assert sorted(result.column("name")) == ["ann", "carol", "dave"]
+
+    def test_date_comparison(self, db):
+        result = db.execute("SELECT name FROM emp WHERE hired > '2020-12-31'")
+        assert sorted(result.column("name")) == ["dave", "erin"]
+
+    def test_arithmetic_in_projection(self, db):
+        result = db.execute("SELECT salary * 2 AS double_pay FROM emp WHERE id = 1")
+        assert result.scalar() == 200.0
+
+    def test_projection_alias(self, db):
+        result = db.execute("SELECT name AS who FROM emp WHERE id = 1")
+        assert result.columns == ["who"]
+
+    def test_unknown_table_rejected(self, db):
+        with pytest.raises(SqlCatalogError):
+            db.execute("SELECT * FROM missing")
+
+    def test_unknown_column_rejected(self, db):
+        with pytest.raises((SqlCatalogError, SqlExecutionError)):
+            db.execute("SELECT zzz FROM emp")
+
+
+class TestIndexPaths:
+    def test_pk_equality_uses_index(self, db):
+        result = db.execute("SELECT name FROM emp WHERE id = 3")
+        assert result.column("name") == ["carol"]
+        assert result.stats.index_probes == 1
+        assert result.stats.rows_scanned == 1
+
+    def test_secondary_range_uses_index(self, db):
+        db.execute("CREATE INDEX idx_salary ON emp (salary)")
+        result = db.execute("SELECT name FROM emp WHERE salary >= 100")
+        assert sorted(result.column("name")) == ["ann", "carol"]
+        assert result.stats.index_probes == 1
+        assert result.stats.rows_scanned == 2
+
+    def test_between_uses_index(self, db):
+        db.execute("CREATE INDEX idx_hired ON emp (hired)")
+        result = db.execute(
+            "SELECT name FROM emp WHERE hired BETWEEN '2020-01-01' AND '2020-12-31'"
+        )
+        assert sorted(result.column("name")) == ["ann", "bob"]
+        assert result.stats.index_probes == 1
+
+    def test_unindexed_predicate_scans(self, db):
+        result = db.execute("SELECT name FROM emp WHERE name = 'ann'")
+        assert result.stats.index_probes == 0
+        assert result.stats.rows_scanned == 5
+
+    def test_index_plus_residual_predicate(self, db):
+        db.execute("CREATE INDEX idx_salary ON emp (salary)")
+        result = db.execute(
+            "SELECT name FROM emp WHERE salary >= 80 AND name LIKE '%o%'"
+        )
+        assert sorted(result.column("name")) == ["bob", "carol"]
+
+
+class TestJoins:
+    def test_comma_join(self, db):
+        result = db.execute(
+            "SELECT emp.name, dept.dname FROM emp, dept WHERE emp.dept_id = dept.id"
+        )
+        assert len(result) == 4
+        pairs = set(zip(result.column("name"), result.column("dname")))
+        assert ("ann", "eng") in pairs
+        assert ("carol", "sales") in pairs
+
+    def test_explicit_join(self, db):
+        result = db.execute(
+            "SELECT e.name, d.dname FROM emp e JOIN dept d ON e.dept_id = d.id"
+        )
+        assert len(result) == 4
+
+    def test_join_null_keys_never_match(self, db):
+        result = db.execute(
+            "SELECT e.name FROM emp e JOIN dept d ON e.dept_id = d.id"
+        )
+        assert "erin" not in result.column("name")
+
+    def test_left_join_pads_nulls(self, db):
+        result = db.execute(
+            "SELECT e.name, d.dname FROM emp e LEFT JOIN dept d ON e.dept_id = d.id"
+        )
+        assert len(result) == 5
+        by_name = dict(zip(result.column("name"), result.column("dname")))
+        assert by_name["erin"] is None
+
+    def test_join_with_extra_predicate(self, db):
+        result = db.execute(
+            "SELECT e.name FROM emp e JOIN dept d ON e.dept_id = d.id "
+            "WHERE d.dname = 'eng'"
+        )
+        assert sorted(result.column("name")) == ["ann", "bob"]
+
+    def test_three_way_join(self, db):
+        db.execute("CREATE TABLE loc (dept_id INTEGER, city TEXT)")
+        db.execute("INSERT INTO loc VALUES (1, 'sfo'), (2, 'nyc')")
+        result = db.execute(
+            "SELECT e.name, l.city FROM emp e, dept d, loc l "
+            "WHERE e.dept_id = d.id AND d.id = l.dept_id AND e.salary > 90"
+        )
+        pairs = set(zip(result.column("name"), result.column("city")))
+        assert pairs == {("ann", "sfo"), ("carol", "nyc")}
+
+    def test_non_equi_join(self, db):
+        result = db.execute(
+            "SELECT e1.name FROM emp e1, emp e2 "
+            "WHERE e1.salary > e2.salary AND e2.name = 'carol'"
+        )
+        assert result.column("name") == []
+
+    def test_cross_join_counts(self, db):
+        result = db.execute("SELECT e.id FROM emp e, dept d")
+        assert len(result) == 15
+
+
+class TestAggregation:
+    def test_count_star(self, db):
+        assert db.execute("SELECT COUNT(*) FROM emp").scalar() == 5
+
+    def test_count_column_skips_nulls(self, db):
+        assert db.execute("SELECT COUNT(salary) FROM emp").scalar() == 4
+
+    def test_sum_avg_min_max(self, db):
+        result = db.execute(
+            "SELECT SUM(salary), AVG(salary), MIN(salary), MAX(salary) FROM emp"
+        )
+        total, average, low, high = result.rows[0]
+        assert total == 390.0
+        assert average == pytest.approx(97.5)
+        assert low == 80.0
+        assert high == 120.0
+
+    def test_sum_of_empty_is_null(self, db):
+        result = db.execute("SELECT SUM(salary) FROM emp WHERE id > 100")
+        assert result.scalar() is None
+
+    def test_count_of_empty_is_zero(self, db):
+        result = db.execute("SELECT COUNT(*) FROM emp WHERE id > 100")
+        assert result.scalar() == 0
+
+    def test_group_by(self, db):
+        result = db.execute(
+            "SELECT dept_id, COUNT(*) AS n FROM emp "
+            "WHERE dept_id IS NOT NULL GROUP BY dept_id ORDER BY dept_id"
+        )
+        assert result.rows == [(1, 2), (2, 2)]
+
+    def test_group_by_with_sum_expression(self, db):
+        result = db.execute(
+            "SELECT dept_id, SUM(salary * 2) AS s FROM emp "
+            "WHERE dept_id = 1 GROUP BY dept_id"
+        )
+        assert result.rows == [(1, 360.0)]
+
+    def test_having(self, db):
+        result = db.execute(
+            "SELECT dept_id, AVG(salary) AS a FROM emp "
+            "WHERE dept_id IS NOT NULL GROUP BY dept_id HAVING AVG(salary) > 100"
+        )
+        assert result.rows == [(2, 105.0)]
+
+    def test_count_distinct(self, db):
+        db.execute("INSERT INTO emp VALUES (6, 'fred', 1, 100.0, '2020-01-01')")
+        assert db.execute("SELECT COUNT(DISTINCT salary) FROM emp").scalar() == 4
+
+    def test_aggregate_of_join(self, db):
+        result = db.execute(
+            "SELECT d.dname, COUNT(*) AS n FROM emp e, dept d "
+            "WHERE e.dept_id = d.id GROUP BY d.dname ORDER BY d.dname"
+        )
+        assert result.rows == [("eng", 2), ("sales", 2)]
+
+    def test_having_without_group_rejected(self, db):
+        with pytest.raises(SqlExecutionError):
+            db.execute("SELECT name FROM emp HAVING name > 'a'")
+
+
+class TestOrderLimitDistinct:
+    def test_order_by_asc(self, db):
+        result = db.execute(
+            "SELECT name FROM emp WHERE salary IS NOT NULL ORDER BY salary"
+        )
+        assert result.column("name") == ["bob", "dave", "ann", "carol"]
+
+    def test_order_by_desc(self, db):
+        result = db.execute(
+            "SELECT name FROM emp WHERE salary IS NOT NULL ORDER BY salary DESC"
+        )
+        assert result.column("name") == ["carol", "ann", "dave", "bob"]
+
+    def test_order_by_multiple_keys(self, db):
+        db.execute("INSERT INTO emp VALUES (6, 'aaa', 1, 100.0, '2020-01-01')")
+        result = db.execute(
+            "SELECT name FROM emp WHERE salary = 100 ORDER BY salary, name"
+        )
+        assert result.column("name") == ["aaa", "ann"]
+
+    def test_nulls_sort_first(self, db):
+        result = db.execute("SELECT name FROM emp ORDER BY salary")
+        assert result.column("name")[0] == "erin"
+
+    def test_limit(self, db):
+        result = db.execute("SELECT name FROM emp ORDER BY name LIMIT 2")
+        assert result.column("name") == ["ann", "bob"]
+
+    def test_distinct(self, db):
+        result = db.execute(
+            "SELECT DISTINCT dept_id FROM emp WHERE dept_id IS NOT NULL"
+        )
+        assert sorted(result.column("dept_id")) == [1, 2]
+
+    def test_order_by_alias(self, db):
+        result = db.execute(
+            "SELECT name, salary * 2 AS pay FROM emp "
+            "WHERE salary IS NOT NULL ORDER BY pay DESC LIMIT 1"
+        )
+        assert result.column("name") == ["carol"]
+
+
+class TestMutations:
+    def test_insert_rowcount(self, db):
+        result = db.execute("INSERT INTO dept VALUES (4, 'hr'), (5, 'it')")
+        assert result.rowcount == 2
+
+    def test_insert_with_column_list(self, db):
+        db.execute("INSERT INTO emp (id, name) VALUES (10, 'zed')")
+        row = db.execute("SELECT salary, name FROM emp WHERE id = 10").rows[0]
+        assert row == (None, "zed")
+
+    def test_update(self, db):
+        result = db.execute("UPDATE emp SET salary = salary + 10 WHERE dept_id = 1")
+        assert result.rowcount == 2
+        assert db.execute("SELECT salary FROM emp WHERE id = 1").scalar() == 110.0
+
+    def test_update_all_rows(self, db):
+        result = db.execute("UPDATE dept SET dname = 'x'")
+        assert result.rowcount == 3
+
+    def test_delete(self, db):
+        result = db.execute("DELETE FROM emp WHERE dept_id = 2")
+        assert result.rowcount == 2
+        assert db.execute("SELECT COUNT(*) FROM emp").scalar() == 3
+
+    def test_delete_all(self, db):
+        db.execute("DELETE FROM emp")
+        assert db.execute("SELECT COUNT(*) FROM emp").scalar() == 0
+
+    def test_drop_table(self, db):
+        db.execute("DROP TABLE dept")
+        assert not db.has_table("dept")
+
+    def test_drop_missing_table(self, db):
+        with pytest.raises(SqlCatalogError):
+            db.execute("DROP TABLE nope")
+        db.execute("DROP TABLE IF EXISTS nope")  # must not raise
+
+
+class TestResultApi:
+    def test_scalar_requires_1x1(self, db):
+        with pytest.raises(SqlExecutionError):
+            db.execute("SELECT * FROM emp").scalar()
+
+    def test_column_unknown_name(self, db):
+        with pytest.raises(SqlExecutionError):
+            db.execute("SELECT name FROM emp").column("zzz")
+
+    def test_byte_size_positive(self, db):
+        assert db.execute("SELECT * FROM emp").byte_size > 0
+
+    def test_iteration(self, db):
+        rows = list(db.execute("SELECT id FROM emp ORDER BY id"))
+        assert rows == [(1,), (2,), (3,), (4,), (5,)]
+
+    def test_table_stats(self, db):
+        stats = db.table_stats("emp")
+        assert stats.row_count == 5
+        assert stats.columns["salary"].null_count == 1
+        assert stats.columns["salary"].minimum == 80.0
+        assert stats.columns["salary"].maximum == 120.0
+        assert stats.columns["id"].distinct_count == 5
+        assert stats.avg_row_bytes > 0
+
+    def test_total_bytes(self, db):
+        assert db.total_bytes > 0

@@ -1,0 +1,79 @@
+"""Tests for the EXPLAIN plan renderer."""
+
+import pytest
+
+from repro.errors import SqlExecutionError
+from repro.sqlengine import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE r (id INTEGER PRIMARY KEY, k INTEGER, v FLOAT)"
+    )
+    database.execute("CREATE TABLE s (id INTEGER PRIMARY KEY, r_id INTEGER)")
+    database.execute("CREATE INDEX idx_k ON r (k)")
+    return database
+
+
+class TestExplain:
+    def test_full_scan(self, db):
+        text = db.explain("SELECT v FROM r")
+        assert "Scan r AS r (full scan)" in text
+        assert text.startswith("Project")
+
+    def test_index_equality(self, db):
+        text = db.explain("SELECT v FROM r WHERE id = 7")
+        assert "index eq id = 7" in text
+
+    def test_index_range(self, db):
+        text = db.explain("SELECT v FROM r WHERE k BETWEEN 1 AND 9")
+        assert "index range k in [1, 9]" in text
+
+    def test_open_range_bounds(self, db):
+        text = db.explain("SELECT v FROM r WHERE k > 5")
+        assert "index range k in [5, +inf]" in text
+
+    def test_hash_join(self, db):
+        text = db.explain("SELECT r.v FROM r, s WHERE r.id = s.r_id")
+        assert "HashJoin [inner] on r.id = s.r_id" in text
+        assert text.count("Scan") == 2
+
+    def test_nested_loop_join(self, db):
+        text = db.explain("SELECT r.v FROM r, s WHERE r.id > s.r_id")
+        assert "NestedLoopJoin" in text
+
+    def test_group_by_and_having(self, db):
+        text = db.explain(
+            "SELECT k, COUNT(*) FROM r GROUP BY k HAVING COUNT(*) > 2"
+        )
+        assert "GroupBy [k] computing [COUNT(*)]" in text
+        assert "Filter" in text
+
+    def test_sort_limit_distinct(self, db):
+        text = db.explain("SELECT DISTINCT v FROM r ORDER BY v DESC LIMIT 5")
+        lines = text.splitlines()
+        assert lines[0].startswith("Limit 5")
+        assert any("Sort [v DESC]" in line for line in lines)
+        assert any("Distinct" in line for line in lines)
+
+    def test_indentation_reflects_tree(self, db):
+        text = db.explain("SELECT r.v FROM r, s WHERE r.id = s.r_id")
+        lines = text.splitlines()
+        # Project at depth 0, join at 1, scans at 2.
+        assert not lines[0].startswith(" ")
+        assert lines[1].startswith("  HashJoin")
+        assert lines[2].startswith("    Scan")
+
+    def test_subquery_resolved_before_explain(self, db):
+        db.execute("INSERT INTO s VALUES (1, 10)")
+        text = db.explain(
+            "SELECT v FROM r WHERE id IN (SELECT r_id FROM s)"
+        )
+        assert "<subquery>" not in text
+        assert "10" in text  # inlined literal
+
+    def test_non_select_rejected(self, db):
+        with pytest.raises(SqlExecutionError):
+            db.explain("DELETE FROM r")

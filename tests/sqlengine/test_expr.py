@@ -1,0 +1,211 @@
+"""Dedicated tests for the expression module (beyond what SQL tests cover)."""
+
+import pytest
+
+from repro.errors import SqlExecutionError
+from repro.sqlengine.expr import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    FuncCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    RowLayout,
+    UnaryOp,
+    find_aggregates,
+)
+
+
+@pytest.fixture
+def layout():
+    return RowLayout(["t.a", "t.b", "u.a"])
+
+
+class TestRowLayout:
+    def test_qualified_resolution(self, layout):
+        assert layout.resolve("t.a") == 0
+        assert layout.resolve("u.a") == 2
+
+    def test_bare_resolution_when_unique(self, layout):
+        assert layout.resolve("b") == 1
+
+    def test_ambiguous_bare_rejected(self, layout):
+        with pytest.raises(SqlExecutionError):
+            layout.resolve("a")
+
+    def test_unknown_rejected(self, layout):
+        with pytest.raises(SqlExecutionError):
+            layout.resolve("zzz")
+
+    def test_concat(self, layout):
+        combined = layout.concat(RowLayout(["v.c"]))
+        assert combined.resolve("v.c") == 3
+
+    def test_has(self, layout):
+        assert layout.has("t.a")
+        assert not layout.has("zzz")
+
+
+class TestScalarFunctions:
+    def _eval(self, name, value):
+        call = FuncCall(name, (Literal(value),))
+        return call.evaluate((), RowLayout(["x"]))
+
+    def test_upper_lower(self):
+        assert self._eval("upper", "abc") == "ABC"
+        assert self._eval("lower", "ABC") == "abc"
+
+    def test_abs(self):
+        assert self._eval("abs", -5) == 5
+
+    def test_length(self):
+        assert self._eval("length", "hello") == 5
+
+    def test_null_propagates(self):
+        assert self._eval("upper", None) is None
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(SqlExecutionError):
+            self._eval("sqrt", 4)
+
+    def test_wrong_arity_rejected(self):
+        call = FuncCall("abs", (Literal(1), Literal(2)))
+        with pytest.raises(SqlExecutionError):
+            call.evaluate((), RowLayout(["x"]))
+
+
+class TestLikeEdgeCases:
+    def _match(self, value, pattern):
+        return Like(Literal(value), pattern).evaluate((), RowLayout(["x"]))
+
+    def test_percent_matches_empty(self):
+        assert self._match("abc", "abc%")
+        assert self._match("abc", "%abc")
+
+    def test_underscore_exactly_one(self):
+        assert self._match("cat", "c_t")
+        assert not self._match("caat", "c_t")
+
+    def test_regex_metacharacters_literal(self):
+        assert self._match("a.c", "a.c")
+        assert not self._match("abc", "a.c")
+        assert self._match("a+b", "a+b")
+
+    def test_not_like(self):
+        expr = Like(Literal("abc"), "x%", negated=True)
+        assert expr.evaluate((), RowLayout(["x"])) is True
+
+    def test_null_operand(self):
+        assert self._match(None, "%") is None
+
+    def test_non_string_coerced(self):
+        assert self._match(123, "12%")
+
+
+class TestNullSemantics:
+    def _eval(self, expr):
+        return expr.evaluate((), RowLayout(["x"]))
+
+    def test_comparison_with_null_is_null(self):
+        assert self._eval(BinaryOp("=", Literal(None), Literal(1))) is None
+        assert self._eval(BinaryOp("<", Literal(1), Literal(None))) is None
+
+    def test_arithmetic_with_null_is_null(self):
+        assert self._eval(BinaryOp("+", Literal(None), Literal(1))) is None
+
+    def test_between_with_null_bound(self):
+        expr = Between(Literal(5), Literal(None), Literal(10))
+        assert self._eval(expr) is None
+
+    def test_in_list_null_semantics(self):
+        # 1 IN (2, NULL) is NULL (the NULL might have been 1).
+        expr = InList(Literal(1), (Literal(2), Literal(None)))
+        assert self._eval(expr) is None
+        # 1 IN (1, NULL) is TRUE.
+        expr = InList(Literal(1), (Literal(1), Literal(None)))
+        assert self._eval(expr) is True
+        # 1 NOT IN (2, NULL) is NULL.
+        expr = InList(Literal(1), (Literal(2), Literal(None)), negated=True)
+        assert self._eval(expr) is None
+
+    def test_is_null_never_returns_null(self):
+        assert self._eval(IsNull(Literal(None))) is True
+        assert self._eval(IsNull(Literal(1))) is False
+        assert self._eval(IsNull(Literal(None), negated=True)) is False
+
+
+class TestErrors:
+    def test_division_by_zero(self):
+        with pytest.raises(SqlExecutionError):
+            BinaryOp("/", Literal(1), Literal(0)).evaluate((), RowLayout(["x"]))
+
+    def test_modulo_by_zero(self):
+        with pytest.raises(SqlExecutionError):
+            BinaryOp("%", Literal(1), Literal(0)).evaluate((), RowLayout(["x"]))
+
+    def test_incomparable_types(self):
+        with pytest.raises(SqlExecutionError):
+            BinaryOp("<", Literal(1), Literal("a")).evaluate((), RowLayout(["x"]))
+
+    def test_non_numeric_arithmetic(self):
+        with pytest.raises(SqlExecutionError):
+            BinaryOp("+", Literal("a"), Literal("b")).evaluate(
+                (), RowLayout(["x"])
+            )
+
+    def test_negating_text_rejected(self):
+        with pytest.raises(SqlExecutionError):
+            UnaryOp("-", Literal("a")).evaluate((), RowLayout(["x"]))
+
+    def test_non_boolean_logic_operand(self):
+        with pytest.raises(SqlExecutionError):
+            BinaryOp("and", Literal(1), Literal(True)).evaluate(
+                (), RowLayout(["x"])
+            )
+
+
+class TestToSqlRoundTrip:
+    """to_sql output must re-parse to an equivalent expression."""
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "a + b * 2",
+            "a BETWEEN 1 AND 10",
+            "a NOT IN (1, 2, 3)",
+            "name LIKE 'x%'",
+            "a IS NOT NULL",
+            "NOT (a = 1 OR b = 2)",
+            "SUM(a * (1 - b))",
+            "UPPER(name)",
+            "a = -5",
+        ],
+    )
+    def test_round_trip(self, sql):
+        from repro.sqlengine.parser import parse
+
+        stmt = parse(f"SELECT {sql} FROM t")
+        expr = stmt.items[0].expr
+        stmt2 = parse(f"SELECT {expr.to_sql()} FROM t")
+        assert stmt2.items[0].expr.to_sql() == expr.to_sql()
+
+
+class TestFindAggregates:
+    def test_finds_nested_aggregates(self):
+        from repro.sqlengine.parser import parse
+
+        stmt = parse("SELECT SUM(a) / COUNT(b) + MAX(c) FROM t")
+        aggregates = find_aggregates(stmt.items[0].expr)
+        assert sorted(call.name for call in aggregates) == ["count", "max", "sum"]
+
+    def test_no_aggregates(self):
+        assert find_aggregates(BinaryOp("+", ColumnRef("a"), Literal(1))) == []
+
+    def test_aggregate_inside_scalar_function_args(self):
+        from repro.sqlengine.parser import parse
+
+        stmt = parse("SELECT ABS(SUM(a)) FROM t")
+        aggregates = find_aggregates(stmt.items[0].expr)
+        assert len(aggregates) == 1

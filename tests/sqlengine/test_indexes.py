@@ -1,0 +1,103 @@
+"""Tests for the ordered index structure."""
+
+import pytest
+
+from repro.errors import SqlExecutionError
+from repro.sqlengine.indexes import OrderedIndex
+
+
+@pytest.fixture
+def index():
+    idx = OrderedIndex("idx", "value")
+    for row_id, key in enumerate([10, 20, 20, 30, 40]):
+        idx.insert(key, row_id)
+    return idx
+
+
+class TestInsertLookup:
+    def test_lookup_existing(self, index):
+        assert index.lookup(10) == [0]
+        assert sorted(index.lookup(20)) == [1, 2]
+
+    def test_lookup_missing(self, index):
+        assert index.lookup(25) == []
+
+    def test_lookup_none_is_empty(self, index):
+        assert index.lookup(None) == []
+
+    def test_none_keys_not_indexed(self):
+        idx = OrderedIndex("idx", "value")
+        idx.insert(None, 0)
+        assert len(idx) == 0
+
+    def test_len_counts_entries(self, index):
+        assert len(index) == 5
+
+    def test_unique_violation(self):
+        idx = OrderedIndex("idx", "value", unique=True)
+        idx.insert(1, 0)
+        with pytest.raises(SqlExecutionError):
+            idx.insert(1, 1)
+
+
+class TestRangeScan:
+    def test_inclusive_range(self, index):
+        assert sorted(index.range_scan(20, 30)) == [1, 2, 3]
+
+    def test_exclusive_low(self, index):
+        assert sorted(index.range_scan(20, 40, low_inclusive=False)) == [3, 4]
+
+    def test_exclusive_high(self, index):
+        assert sorted(index.range_scan(10, 20, high_inclusive=False)) == [0]
+
+    def test_open_low(self, index):
+        assert sorted(index.range_scan(None, 20)) == [0, 1, 2]
+
+    def test_open_high(self, index):
+        assert sorted(index.range_scan(30, None)) == [3, 4]
+
+    def test_fully_open(self, index):
+        assert sorted(index.range_scan()) == [0, 1, 2, 3, 4]
+
+    def test_empty_range(self, index):
+        assert list(index.range_scan(21, 29)) == []
+
+
+class TestRemove:
+    def test_remove_entry(self, index):
+        index.remove(20, 1)
+        assert index.lookup(20) == [2]
+
+    def test_remove_last_entry_drops_key(self, index):
+        index.remove(10, 0)
+        assert index.lookup(10) == []
+        assert index.min_key() == 20
+
+    def test_remove_missing_key_raises(self, index):
+        with pytest.raises(SqlExecutionError):
+            index.remove(99, 0)
+
+    def test_remove_wrong_row_id_raises(self, index):
+        with pytest.raises(SqlExecutionError):
+            index.remove(10, 99)
+
+    def test_remove_none_is_noop(self, index):
+        index.remove(None, 0)
+        assert len(index) == 5
+
+
+class TestBounds:
+    def test_min_max(self, index):
+        assert index.min_key() == 10
+        assert index.max_key() == 40
+
+    def test_empty_bounds(self):
+        idx = OrderedIndex("idx", "value")
+        assert idx.min_key() is None
+        assert idx.max_key() is None
+
+    def test_distinct_keys(self, index):
+        assert index.distinct_keys() == 4
+
+    def test_keys_sorted(self, index):
+        assert list(index.keys()) == [10, 20, 30, 40]

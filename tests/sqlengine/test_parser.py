@@ -1,0 +1,380 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import SqlParseError
+from repro.sqlengine import parse
+from repro.sqlengine.expr import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    FuncCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    UnaryOp,
+)
+from repro.sqlengine.parser import (
+    CreateIndexStmt,
+    CreateTableStmt,
+    DeleteStmt,
+    DropTableStmt,
+    InsertStmt,
+    SelectStmt,
+    UpdateStmt,
+)
+from repro.sqlengine.types import ColumnType
+
+
+class TestSelectBasics:
+    def test_select_star(self):
+        stmt = parse("SELECT * FROM t")
+        assert isinstance(stmt, SelectStmt)
+        assert stmt.items[0].is_star
+        assert stmt.tables[0].table == "t"
+
+    def test_select_columns(self):
+        stmt = parse("SELECT a, b FROM t")
+        assert [item.expr.name for item in stmt.items] == ["a", "b"]
+
+    def test_qualified_columns(self):
+        stmt = parse("SELECT t.a FROM t")
+        assert stmt.items[0].expr.name == "t.a"
+
+    def test_qualified_star(self):
+        stmt = parse("SELECT t.* FROM t")
+        assert stmt.items[0].is_star
+        assert stmt.items[0].star_qualifier == "t"
+
+    def test_alias_with_as(self):
+        stmt = parse("SELECT a AS x FROM t")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[0].output_name() == "x"
+
+    def test_alias_without_as(self):
+        stmt = parse("SELECT a x FROM t")
+        assert stmt.items[0].alias == "x"
+
+    def test_table_alias(self):
+        stmt = parse("SELECT l.a FROM lineitem l")
+        assert stmt.tables[0].alias == "l"
+        assert stmt.tables[0].binding == "l"
+
+    def test_table_alias_with_as(self):
+        stmt = parse("SELECT a FROM lineitem AS l")
+        assert stmt.tables[0].alias == "l"
+
+    def test_case_insensitive_keywords(self):
+        stmt = parse("select A fRoM T where B = 1")
+        assert isinstance(stmt, SelectStmt)
+        assert stmt.tables[0].table == "t"
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+
+    def test_semicolon_tolerated(self):
+        assert isinstance(parse("SELECT a FROM t;"), SelectStmt)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse("SELECT a FROM t extra stuff here")
+
+    def test_empty_statement_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse("   ")
+
+    def test_unknown_statement_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse("EXPLAIN SELECT 1")
+
+
+class TestWhereClause:
+    def test_comparison(self):
+        stmt = parse("SELECT a FROM t WHERE a > 5")
+        assert isinstance(stmt.where, BinaryOp)
+        assert stmt.where.op == ">"
+
+    def test_not_equal_variants(self):
+        assert parse("SELECT a FROM t WHERE a != 5").where.op == "!="
+        assert parse("SELECT a FROM t WHERE a <> 5").where.op == "!="
+
+    def test_and_or_precedence(self):
+        stmt = parse("SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        # OR binds loosest: (a=1) OR ((b=2) AND (c=3))
+        assert stmt.where.op == "or"
+        assert stmt.where.right.op == "and"
+
+    def test_parentheses_override(self):
+        stmt = parse("SELECT a FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        assert stmt.where.op == "and"
+
+    def test_between(self):
+        stmt = parse("SELECT a FROM t WHERE a BETWEEN 1 AND 10")
+        assert isinstance(stmt.where, Between)
+        assert not stmt.where.negated
+
+    def test_not_between(self):
+        stmt = parse("SELECT a FROM t WHERE a NOT BETWEEN 1 AND 10")
+        assert stmt.where.negated
+
+    def test_in_list(self):
+        stmt = parse("SELECT a FROM t WHERE a IN (1, 2, 3)")
+        assert isinstance(stmt.where, InList)
+        assert len(stmt.where.items) == 3
+
+    def test_not_in(self):
+        assert parse("SELECT a FROM t WHERE a NOT IN (1)").where.negated
+
+    def test_like(self):
+        stmt = parse("SELECT a FROM t WHERE a LIKE 'x%'")
+        assert isinstance(stmt.where, Like)
+        assert stmt.where.pattern == "x%"
+
+    def test_is_null_and_is_not_null(self):
+        assert isinstance(parse("SELECT a FROM t WHERE a IS NULL").where, IsNull)
+        stmt = parse("SELECT a FROM t WHERE a IS NOT NULL")
+        assert stmt.where.negated
+
+    def test_not_prefix(self):
+        stmt = parse("SELECT a FROM t WHERE NOT a = 1")
+        assert isinstance(stmt.where, UnaryOp)
+        assert stmt.where.op == "not"
+
+    def test_date_literal(self):
+        stmt = parse("SELECT a FROM t WHERE d > DATE '1998-11-05'")
+        assert stmt.where.right.value == "1998-11-05"
+
+    def test_string_escape(self):
+        stmt = parse("SELECT a FROM t WHERE s = 'it''s'")
+        assert stmt.where.right.value == "it's"
+
+    def test_arithmetic_precedence(self):
+        stmt = parse("SELECT a FROM t WHERE a = 1 + 2 * 3")
+        addition = stmt.where.right
+        assert addition.op == "+"
+        assert addition.right.op == "*"
+
+    def test_unary_minus_folds_to_literal(self):
+        stmt = parse("SELECT a FROM t WHERE a > -5")
+        assert stmt.where.right == Literal(-5)
+
+    def test_unary_minus_on_column_stays_unary(self):
+        stmt = parse("SELECT a FROM t WHERE -a > 5")
+        assert isinstance(stmt.where.left, UnaryOp)
+
+
+class TestJoins:
+    def test_comma_join(self):
+        stmt = parse("SELECT * FROM a, b WHERE a.x = b.y")
+        assert len(stmt.tables) == 2
+        assert stmt.joins == ()
+
+    def test_explicit_join(self):
+        stmt = parse("SELECT * FROM a JOIN b ON a.x = b.y")
+        assert len(stmt.joins) == 1
+        assert stmt.joins[0].kind == "inner"
+        assert stmt.joins[0].table.table == "b"
+
+    def test_inner_join_keyword(self):
+        stmt = parse("SELECT * FROM a INNER JOIN b ON a.x = b.y")
+        assert stmt.joins[0].kind == "inner"
+
+    def test_left_join(self):
+        stmt = parse("SELECT * FROM a LEFT JOIN b ON a.x = b.y")
+        assert stmt.joins[0].kind == "left"
+
+    def test_chained_joins(self):
+        stmt = parse(
+            "SELECT * FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y"
+        )
+        assert len(stmt.joins) == 2
+
+
+class TestGroupOrderLimit:
+    def test_group_by(self):
+        stmt = parse("SELECT a, COUNT(*) FROM t GROUP BY a")
+        assert len(stmt.group_by) == 1
+
+    def test_group_by_multiple(self):
+        stmt = parse("SELECT a, b, SUM(c) FROM t GROUP BY a, b")
+        assert len(stmt.group_by) == 2
+
+    def test_having(self):
+        stmt = parse("SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2")
+        assert stmt.having is not None
+
+    def test_order_by_default_asc(self):
+        stmt = parse("SELECT a FROM t ORDER BY a")
+        assert stmt.order_by[0].ascending
+
+    def test_order_by_desc(self):
+        stmt = parse("SELECT a FROM t ORDER BY a DESC, b ASC")
+        assert not stmt.order_by[0].ascending
+        assert stmt.order_by[1].ascending
+
+    def test_limit(self):
+        assert parse("SELECT a FROM t LIMIT 10").limit == 10
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(SqlParseError):
+            parse("SELECT a FROM t LIMIT 1.5")
+
+
+class TestFunctions:
+    def test_count_star(self):
+        stmt = parse("SELECT COUNT(*) FROM t")
+        call = stmt.items[0].expr
+        assert isinstance(call, FuncCall)
+        assert call.star
+
+    def test_sum_expression(self):
+        stmt = parse("SELECT SUM(price * qty) FROM t")
+        call = stmt.items[0].expr
+        assert call.name == "sum"
+        assert call.args[0].op == "*"
+
+    def test_count_distinct(self):
+        stmt = parse("SELECT COUNT(DISTINCT a) FROM t")
+        assert stmt.items[0].expr.distinct
+
+
+class TestInsert:
+    def test_basic_insert(self):
+        stmt = parse("INSERT INTO t VALUES (1, 'x', 2.5)")
+        assert isinstance(stmt, InsertStmt)
+        assert stmt.rows == ((1, "x", 2.5),)
+
+    def test_multi_row_insert(self):
+        stmt = parse("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+        assert len(stmt.rows) == 2
+
+    def test_insert_with_columns(self):
+        stmt = parse("INSERT INTO t (a, b) VALUES (1, 2)")
+        assert stmt.columns == ("a", "b")
+
+    def test_insert_null(self):
+        stmt = parse("INSERT INTO t VALUES (NULL)")
+        assert stmt.rows == ((None,),)
+
+    def test_insert_negative_number(self):
+        stmt = parse("INSERT INTO t VALUES (-5)")
+        assert stmt.rows == ((-5,),)
+
+    def test_insert_non_literal_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse("INSERT INTO t VALUES (a + 1)")
+
+
+class TestCreate:
+    def test_create_table(self):
+        stmt = parse(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, name VARCHAR(25) NOT NULL, "
+            "price DECIMAL(15,2), d DATE)"
+        )
+        assert isinstance(stmt, CreateTableStmt)
+        assert stmt.primary_key == "id"
+        types = [column.column_type for column in stmt.columns]
+        assert types == [
+            ColumnType.INTEGER,
+            ColumnType.TEXT,
+            ColumnType.FLOAT,
+            ColumnType.DATE,
+        ]
+        assert not stmt.columns[1].nullable
+        assert not stmt.columns[0].nullable  # PRIMARY KEY implies NOT NULL
+
+    def test_create_table_duplicate_pk_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse("CREATE TABLE t (a INT PRIMARY KEY, b INT PRIMARY KEY)")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse("CREATE TABLE t (a BLOB)")
+
+    def test_create_index(self):
+        stmt = parse("CREATE INDEX idx_ship ON lineitem (l_shipdate)")
+        assert isinstance(stmt, CreateIndexStmt)
+        assert stmt.table == "lineitem"
+        assert stmt.column == "l_shipdate"
+        assert not stmt.unique
+
+    def test_create_unique_index(self):
+        assert parse("CREATE UNIQUE INDEX i ON t (a)").unique
+
+    def test_unique_table_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse("CREATE UNIQUE TABLE t (a INT)")
+
+
+class TestUpdateDeleteDrop:
+    def test_update(self):
+        stmt = parse("UPDATE t SET a = 1, b = b + 1 WHERE c = 'x'")
+        assert isinstance(stmt, UpdateStmt)
+        assert stmt.assignments[0][0] == "a"
+        assert stmt.where is not None
+
+    def test_update_without_where(self):
+        assert parse("UPDATE t SET a = 1").where is None
+
+    def test_delete(self):
+        stmt = parse("DELETE FROM t WHERE a = 1")
+        assert isinstance(stmt, DeleteStmt)
+        assert stmt.table == "t"
+
+    def test_delete_all(self):
+        assert parse("DELETE FROM t").where is None
+
+    def test_drop_table(self):
+        stmt = parse("DROP TABLE t")
+        assert isinstance(stmt, DropTableStmt)
+        assert not stmt.if_exists
+
+    def test_drop_table_if_exists(self):
+        assert parse("DROP TABLE IF EXISTS t").if_exists
+
+
+class TestPaperQueries:
+    """The five benchmark queries of Section 6.1 must parse."""
+
+    def test_q1_selection(self):
+        stmt = parse(
+            "SELECT l_orderkey, l_partkey, l_suppkey, l_quantity "
+            "FROM LineItem WHERE l_shipdate > DATE '1998-11-05' "
+            "AND l_commitdate > DATE '1998-11-01'"
+        )
+        assert isinstance(stmt, SelectStmt)
+
+    def test_q2_aggregate(self):
+        stmt = parse(
+            "SELECT SUM(l_extendedprice * (1 - l_discount)) AS revenue "
+            "FROM LineItem WHERE l_shipdate > DATE '1998-11-05'"
+        )
+        assert stmt.items[0].alias == "revenue"
+
+    def test_q3_join(self):
+        stmt = parse(
+            "SELECT l_orderkey, o_orderdate, o_shippriority "
+            "FROM Orders, LineItem "
+            "WHERE o_orderkey = l_orderkey AND l_shipdate > DATE '1998-11-01'"
+        )
+        assert len(stmt.tables) == 2
+
+    def test_q4_join_aggregate(self):
+        stmt = parse(
+            "SELECT ps_partkey, SUM(ps_supplycost * ps_availqty) "
+            "FROM PartSupp, Part "
+            "WHERE ps_partkey = p_partkey AND p_size > 10 "
+            "GROUP BY ps_partkey"
+        )
+        assert len(stmt.group_by) == 1
+
+    def test_q5_multi_join(self):
+        stmt = parse(
+            "SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue "
+            "FROM Customer, Orders, LineItem, Supplier "
+            "WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey "
+            "AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey "
+            "GROUP BY n_name ORDER BY revenue DESC"
+        )
+        assert len(stmt.tables) == 4

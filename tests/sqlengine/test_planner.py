@@ -1,0 +1,149 @@
+"""Unit tests for the local query planner's plan shapes."""
+
+import pytest
+
+from repro.sqlengine import Column, ColumnType, Database, TableSchema
+from repro.sqlengine.parser import parse
+from repro.sqlengine.planner import (
+    DistinctNode,
+    FilterNode,
+    GroupByNode,
+    JoinNode,
+    LimitNode,
+    Planner,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+)
+
+
+@pytest.fixture
+def catalog():
+    db = Database()
+    db.execute(
+        "CREATE TABLE r (id INTEGER PRIMARY KEY, k INTEGER, v FLOAT)"
+    )
+    db.execute("CREATE TABLE s (id INTEGER PRIMARY KEY, r_id INTEGER)")
+    db.execute("CREATE INDEX idx_r_k ON r (k)")
+    return db._tables
+
+
+def plan_of(catalog, sql):
+    return Planner(catalog).plan(parse(sql))
+
+
+def unwrap(plan, *node_types):
+    """Descend through the given single-child node types."""
+    for node_type in node_types:
+        assert isinstance(plan, node_type), f"expected {node_type}, got {plan}"
+        plan = getattr(plan, "child", None)
+    return plan
+
+
+class TestScanPlans:
+    def test_plain_select_is_project_over_scan(self, catalog):
+        plan = plan_of(catalog, "SELECT v FROM r")
+        scan = unwrap(plan, ProjectNode)
+        assert isinstance(scan, ScanNode)
+        assert scan.index_access is None
+        assert scan.predicate is None
+
+    def test_equality_on_pk_uses_index(self, catalog):
+        plan = plan_of(catalog, "SELECT v FROM r WHERE id = 5")
+        scan = unwrap(plan, ProjectNode)
+        assert scan.index_access is not None
+        assert scan.index_access.is_equality
+        assert scan.index_access.eq_value == 5
+
+    def test_range_on_secondary_index(self, catalog):
+        plan = plan_of(catalog, "SELECT v FROM r WHERE k > 10")
+        scan = unwrap(plan, ProjectNode)
+        access = scan.index_access
+        assert access is not None
+        assert access.low == 10
+        assert not access.low_inclusive
+        assert access.high is None
+
+    def test_unindexed_column_scans(self, catalog):
+        plan = plan_of(catalog, "SELECT v FROM r WHERE v > 1.0")
+        scan = unwrap(plan, ProjectNode)
+        assert scan.index_access is None
+        assert scan.predicate is not None
+
+    def test_flipped_comparison_normalized(self, catalog):
+        plan = plan_of(catalog, "SELECT v FROM r WHERE 10 < k")
+        scan = unwrap(plan, ProjectNode)
+        assert scan.index_access.low == 10
+
+
+class TestJoinPlans:
+    def test_comma_join_becomes_hash_join(self, catalog):
+        plan = plan_of(
+            catalog, "SELECT r.v FROM r, s WHERE r.id = s.r_id"
+        )
+        join = unwrap(plan, ProjectNode)
+        assert isinstance(join, JoinNode)
+        assert join.equi_keys  # hash join, not nested loop
+        assert join.condition is None  # fully absorbed into equi keys
+
+    def test_non_equi_condition_kept_in_join(self, catalog):
+        plan = plan_of(catalog, "SELECT r.v FROM r, s WHERE r.id > s.r_id")
+        join = unwrap(plan, ProjectNode)
+        assert isinstance(join, JoinNode)
+        assert not join.equi_keys
+        assert join.condition is not None
+
+    def test_single_table_filters_pushed_below_join(self, catalog):
+        plan = plan_of(
+            catalog,
+            "SELECT r.v FROM r, s WHERE r.id = s.r_id AND r.k > 3",
+        )
+        join = unwrap(plan, ProjectNode)
+        left = join.left
+        assert isinstance(left, ScanNode)
+        assert left.index_access is not None  # k > 3 drives the index
+
+
+class TestAggregatePlans:
+    def test_group_by_node_inserted(self, catalog):
+        plan = plan_of(catalog, "SELECT k, COUNT(*) FROM r GROUP BY k")
+        group = unwrap(plan, ProjectNode)
+        assert isinstance(group, GroupByNode)
+        assert len(group.aggregates) == 1
+
+    def test_having_becomes_filter_above_group(self, catalog):
+        plan = plan_of(
+            catalog,
+            "SELECT k, COUNT(*) FROM r GROUP BY k HAVING COUNT(*) > 1",
+        )
+        having = unwrap(plan, ProjectNode)
+        assert isinstance(having, FilterNode)
+        assert isinstance(having.child, GroupByNode)
+
+    def test_scalar_aggregate_without_group(self, catalog):
+        plan = plan_of(catalog, "SELECT SUM(v) FROM r")
+        group = unwrap(plan, ProjectNode)
+        assert isinstance(group, GroupByNode)
+        assert group.group_exprs == ()
+
+
+class TestOrderingPlans:
+    def test_order_by_projected_column_sorts_above(self, catalog):
+        plan = plan_of(catalog, "SELECT v FROM r ORDER BY v")
+        assert isinstance(plan, SortNode)
+        assert isinstance(plan.child, ProjectNode)
+
+    def test_order_by_dropped_column_sorts_below(self, catalog):
+        plan = plan_of(catalog, "SELECT v FROM r ORDER BY k")
+        assert isinstance(plan, ProjectNode)
+        assert isinstance(plan.child, SortNode)
+
+    def test_limit_is_outermost(self, catalog):
+        plan = plan_of(catalog, "SELECT v FROM r ORDER BY v LIMIT 3")
+        assert isinstance(plan, LimitNode)
+        assert isinstance(plan.child, SortNode)
+
+    def test_distinct_above_project(self, catalog):
+        plan = plan_of(catalog, "SELECT DISTINCT v FROM r")
+        assert isinstance(plan, DistinctNode)
+        assert isinstance(plan.child, ProjectNode)

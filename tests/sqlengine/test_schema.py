@@ -1,0 +1,94 @@
+"""Tests for schema and column definitions."""
+
+import pytest
+
+from repro.errors import SqlCatalogError
+from repro.sqlengine import Column, ColumnType, TableSchema
+
+
+def simple_schema():
+    return TableSchema(
+        "users",
+        [
+            Column("id", ColumnType.INTEGER, nullable=False),
+            Column("name", ColumnType.TEXT),
+            Column("joined", ColumnType.DATE),
+        ],
+        primary_key="id",
+    )
+
+
+class TestColumn:
+    def test_valid_column(self):
+        column = Column("age", ColumnType.INTEGER)
+        assert column.name == "age"
+        assert column.nullable
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SqlCatalogError):
+            Column("bad name", ColumnType.INTEGER)
+        with pytest.raises(SqlCatalogError):
+            Column("", ColumnType.INTEGER)
+
+
+class TestTableSchema:
+    def test_basic_properties(self):
+        schema = simple_schema()
+        assert schema.name == "users"
+        assert schema.column_names == ["id", "name", "joined"]
+        assert schema.primary_key == "id"
+
+    def test_name_lowercased(self):
+        schema = TableSchema("Users", [Column("id", ColumnType.INTEGER)])
+        assert schema.name == "users"
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(SqlCatalogError):
+            TableSchema("t", [])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SqlCatalogError):
+            TableSchema(
+                "t",
+                [Column("a", ColumnType.INTEGER), Column("A", ColumnType.TEXT)],
+            )
+
+    def test_unknown_primary_key_rejected(self):
+        with pytest.raises(SqlCatalogError):
+            TableSchema("t", [Column("a", ColumnType.INTEGER)], primary_key="b")
+
+    def test_column_lookup(self):
+        schema = simple_schema()
+        assert schema.column("NAME").column_type is ColumnType.TEXT
+        assert schema.column_index("joined") == 2
+        assert schema.has_column("id")
+        assert not schema.has_column("zzz")
+
+    def test_unknown_column_lookup_raises(self):
+        with pytest.raises(SqlCatalogError):
+            simple_schema().column("zzz")
+        with pytest.raises(SqlCatalogError):
+            simple_schema().column_index("zzz")
+
+
+class TestCoerceRow:
+    def test_valid_row(self):
+        schema = simple_schema()
+        row = schema.coerce_row([1, "ann", "2020-01-01"])
+        assert row == (1, "ann", "2020-01-01")
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(SqlCatalogError):
+            simple_schema().coerce_row([1, "ann"])
+
+    def test_null_in_not_null_column_rejected(self):
+        with pytest.raises(SqlCatalogError):
+            simple_schema().coerce_row([None, "ann", "2020-01-01"])
+
+    def test_null_in_nullable_column_allowed(self):
+        row = simple_schema().coerce_row([1, None, None])
+        assert row == (1, None, None)
+
+    def test_values_are_coerced(self):
+        row = simple_schema().coerce_row(["5", 42, "2020-01-01"])
+        assert row == (5, "42", "2020-01-01")

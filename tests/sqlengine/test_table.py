@@ -1,0 +1,214 @@
+"""Tests for heap tables, indexes-on-tables, and MemTables."""
+
+import pytest
+
+from repro.errors import SqlCatalogError, SqlExecutionError
+from repro.sqlengine import Column, ColumnType, MemTable, Table, TableSchema
+
+
+def make_table(primary_key="id"):
+    schema = TableSchema(
+        "items",
+        [
+            Column("id", ColumnType.INTEGER, nullable=False),
+            Column("price", ColumnType.FLOAT),
+            Column("label", ColumnType.TEXT),
+        ],
+        primary_key=primary_key,
+    )
+    return Table(schema)
+
+
+class TestInsertAndRead:
+    def test_insert_and_iterate(self):
+        table = make_table()
+        table.insert([1, 9.5, "a"])
+        table.insert([2, 3.0, "b"])
+        assert len(table) == 2
+        assert list(table.rows()) == [(1, 9.5, "a"), (2, 3.0, "b")]
+
+    def test_insert_returns_row_id(self):
+        table = make_table()
+        assert table.insert([1, 1.0, "x"]) == 0
+        assert table.insert([2, 2.0, "y"]) == 1
+
+    def test_row_by_id(self):
+        table = make_table()
+        row_id = table.insert([1, 1.0, "x"])
+        assert table.row_by_id(row_id) == (1, 1.0, "x")
+
+    def test_row_by_id_out_of_range(self):
+        with pytest.raises(SqlExecutionError):
+            make_table().row_by_id(0)
+
+    def test_insert_many(self):
+        table = make_table()
+        ids = table.insert_many([[1, 1.0, "x"], [2, 2.0, "y"]])
+        assert ids == [0, 1]
+
+    def test_byte_size_tracks_rows(self):
+        table = make_table()
+        assert table.byte_size == 0
+        table.insert([1, 1.0, "x"])
+        first = table.byte_size
+        assert first > 0
+        table.insert([2, 2.0, "yyyy"])
+        assert table.byte_size > 2 * first - 4  # longer label costs more
+
+
+class TestPrimaryKey:
+    def test_pk_index_created_automatically(self):
+        table = make_table()
+        assert table.index_on("id") is not None
+        assert table.index_on("id").unique
+
+    def test_duplicate_pk_rejected(self):
+        table = make_table()
+        table.insert([1, 1.0, "x"])
+        with pytest.raises(SqlExecutionError):
+            table.insert([1, 2.0, "y"])
+
+    def test_failed_insert_leaves_table_unchanged(self):
+        table = make_table()
+        table.insert([1, 1.0, "x"])
+        size = table.byte_size
+        with pytest.raises(SqlExecutionError):
+            table.insert([1, 2.0, "y"])
+        assert len(table) == 1
+        assert table.byte_size == size
+
+    def test_no_pk_table_allows_duplicates(self):
+        table = make_table(primary_key=None)
+        table.insert([1, 1.0, "x"])
+        table.insert([1, 1.0, "x"])
+        assert len(table) == 2
+
+
+class TestDelete:
+    def test_delete_row(self):
+        table = make_table()
+        row_id = table.insert([1, 1.0, "x"])
+        table.insert([2, 2.0, "y"])
+        table.delete_row(row_id)
+        assert len(table) == 1
+        assert list(table.rows()) == [(2, 2.0, "y")]
+
+    def test_delete_updates_indexes(self):
+        table = make_table()
+        row_id = table.insert([1, 1.0, "x"])
+        table.delete_row(row_id)
+        assert table.index_on("id").lookup(1) == []
+
+    def test_double_delete_rejected(self):
+        table = make_table()
+        row_id = table.insert([1, 1.0, "x"])
+        table.delete_row(row_id)
+        with pytest.raises(SqlExecutionError):
+            table.delete_row(row_id)
+
+    def test_delete_where(self):
+        table = make_table()
+        table.insert_many([[1, 1.0, "x"], [2, 2.0, "y"], [3, 3.0, "x"]])
+        deleted = table.delete_where(lambda row: row[2] == "x")
+        assert deleted == 2
+        assert list(table.rows()) == [(2, 2.0, "y")]
+
+    def test_pk_reusable_after_delete(self):
+        table = make_table()
+        row_id = table.insert([1, 1.0, "x"])
+        table.delete_row(row_id)
+        table.insert([1, 5.0, "z"])  # must not raise
+        assert len(table) == 1
+
+    def test_truncate(self):
+        table = make_table()
+        table.insert_many([[1, 1.0, "x"], [2, 2.0, "y"]])
+        table.truncate()
+        assert len(table) == 0
+        assert table.byte_size == 0
+        assert table.index_on("id").lookup(1) == []
+
+
+class TestUpdate:
+    def test_update_row(self):
+        table = make_table()
+        row_id = table.insert([1, 1.0, "x"])
+        table.update_row(row_id, [1, 9.0, "z"])
+        assert table.row_by_id(row_id) == (1, 9.0, "z")
+
+    def test_update_maintains_index(self):
+        table = make_table()
+        row_id = table.insert([1, 1.0, "x"])
+        table.update_row(row_id, [7, 1.0, "x"])
+        assert table.index_on("id").lookup(1) == []
+        assert table.index_on("id").lookup(7) == [row_id]
+
+    def test_update_to_duplicate_pk_rejected(self):
+        table = make_table()
+        table.insert([1, 1.0, "x"])
+        row_id = table.insert([2, 2.0, "y"])
+        with pytest.raises(SqlExecutionError):
+            table.update_row(row_id, [1, 2.0, "y"])
+
+
+class TestSecondaryIndexes:
+    def test_create_index_over_existing_rows(self):
+        table = make_table()
+        table.insert_many([[1, 5.0, "x"], [2, 3.0, "y"], [3, 5.0, "z"]])
+        index = table.create_index("idx_price", "price")
+        assert sorted(index.lookup(5.0)) == [0, 2]
+
+    def test_create_index_unknown_column(self):
+        with pytest.raises(SqlCatalogError):
+            make_table().create_index("idx", "zzz")
+
+    def test_duplicate_index_name_rejected(self):
+        table = make_table()
+        table.create_index("idx", "price")
+        with pytest.raises(SqlCatalogError):
+            table.create_index("idx", "label")
+
+    def test_index_on_prefers_unique(self):
+        table = make_table()
+        table.create_index("idx_id2", "id")  # non-unique duplicate on same col
+        chosen = table.index_on("id")
+        assert chosen.unique
+
+    def test_index_on_missing_column_returns_none(self):
+        assert make_table().index_on("label") is None
+
+
+class TestMemTable:
+    def test_buffers_until_capacity(self):
+        table = make_table(primary_key=None)
+        mem = MemTable(table, capacity_bytes=10_000)
+        mem.append([1, 1.0, "x"])
+        assert len(table) == 0
+        assert mem.buffered_rows == 1
+
+    def test_spills_when_full(self):
+        table = make_table(primary_key=None)
+        mem = MemTable(table, capacity_bytes=64)
+        for i in range(10):
+            mem.append([i, float(i), "row"])
+        assert len(table) > 0
+        assert mem.spill_count >= 1
+
+    def test_flush_moves_all_rows(self):
+        table = make_table(primary_key=None)
+        mem = MemTable(table, capacity_bytes=10**9)
+        mem.extend([[1, 1.0, "x"], [2, 2.0, "y"]])
+        flushed = mem.flush()
+        assert flushed == 2
+        assert len(table) == 2
+        assert mem.buffered_rows == 0
+
+    def test_flush_empty_is_noop(self):
+        table = make_table(primary_key=None)
+        mem = MemTable(table)
+        assert mem.flush() == 0
+        assert mem.spill_count == 0
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(SqlExecutionError):
+            MemTable(make_table(), capacity_bytes=0)

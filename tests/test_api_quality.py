@@ -1,0 +1,60 @@
+"""Meta-tests: public-API hygiene across the whole library.
+
+These are cheap guards a production repo keeps green: every module, public
+class and public function carries a docstring, ``__all__`` exports resolve,
+and the package imports cleanly without side effects.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not name.rsplit(".", 1)[-1].startswith("_") or name.endswith("__main__")
+]
+MODULES = [name for name in MODULES if not name.endswith("__main__")]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_imports_and_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.__all__ lists {name!r}"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_callables_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name, member in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if getattr(member, "__module__", None) != module_name:
+            continue  # re-exports are documented at their home module
+        if inspect.isclass(member) or inspect.isfunction(member):
+            if not inspect.getdoc(member):
+                undocumented.append(name)
+    assert not undocumented, (
+        f"{module_name} has undocumented public members: {undocumented}"
+    )
+
+
+def test_version_is_exposed():
+    assert repro.__version__
+
+
+def test_top_level_all_resolves():
+    for name in repro.__all__:
+        assert hasattr(repro, name)

@@ -1,0 +1,157 @@
+"""Tests for the deterministic TPC-H generator."""
+
+import pytest
+
+from repro.sqlengine import Database
+from repro.tpch import TpchGenerator, create_tpch_tables
+from repro.tpch.dbgen import KEY_STRIDE, NUM_NATIONS
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return TpchGenerator(seed=7, scale=1.0)
+
+
+@pytest.fixture(scope="module")
+def peer0(gen):
+    return gen.generate_peer(0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = TpchGenerator(seed=7).generate_peer(0)
+        b = TpchGenerator(seed=7).generate_peer(0)
+        assert a == b
+
+    def test_different_seed_different_data(self):
+        a = TpchGenerator(seed=7).generate_peer(0)
+        b = TpchGenerator(seed=8).generate_peer(0)
+        assert a["lineitem"] != b["lineitem"]
+
+    def test_different_peers_different_data(self):
+        gen = TpchGenerator(seed=7)
+        assert gen.generate_peer(0)["orders"] != gen.generate_peer(1)["orders"]
+
+
+class TestSizing:
+    def test_row_counts_scale(self):
+        small = TpchGenerator(scale=1.0)
+        big = TpchGenerator(scale=2.0)
+        assert big.rows_for("orders") == 2 * small.rows_for("orders")
+        assert big.rows_for("lineitem") == 2 * small.rows_for("lineitem")
+
+    def test_dimension_tables_fixed_size(self, gen, peer0):
+        assert len(peer0["nation"]) == NUM_NATIONS
+        assert len(peer0["region"]) == 5
+
+    def test_proportions_match_tpch(self, gen):
+        assert gen.rows_for("lineitem") == 4 * gen.rows_for("orders")
+        assert gen.rows_for("partsupp") == 4 * gen.rows_for("part")
+
+    def test_lineitem_count_near_expected(self, gen, peer0):
+        expected = gen.rows_for("lineitem")
+        actual = len(peer0["lineitem"])
+        assert 0.7 * expected <= actual <= 1.3 * expected
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            TpchGenerator(scale=0)
+
+    def test_unknown_table_rejected(self, gen):
+        with pytest.raises(KeyError):
+            gen.rows_for("widgets")
+
+
+class TestKeyRanges:
+    def test_peer_keys_disjoint(self, gen):
+        keys0 = {row[0] for row in gen.generate_peer(0)["orders"]}
+        keys1 = {row[0] for row in gen.generate_peer(1)["orders"]}
+        assert not keys0 & keys1
+
+    def test_key_base_stride(self, gen):
+        assert gen.key_base(0) == 1
+        assert gen.key_base(3) == 3 * KEY_STRIDE + 1
+
+
+class TestReferentialIntegrity:
+    def test_lineitem_references_local_orders(self, peer0):
+        order_keys = {row[0] for row in peer0["orders"]}
+        for row in peer0["lineitem"]:
+            assert row[0] in order_keys
+
+    def test_lineitem_dates_consistent_with_order(self, peer0):
+        order_dates = {row[0]: row[4] for row in peer0["orders"]}
+        for row in peer0["lineitem"]:
+            assert row[10] > order_dates[row[0]]  # shipdate after orderdate
+
+    def test_orders_reference_local_customers(self, peer0):
+        customer_keys = {row[0] for row in peer0["customer"]}
+        for row in peer0["orders"]:
+            assert row[1] in customer_keys
+
+    def test_partsupp_references_local_parts_and_suppliers(self, peer0):
+        part_keys = {row[0] for row in peer0["part"]}
+        supplier_keys = {row[0] for row in peer0["supplier"]}
+        for row in peer0["partsupp"]:
+            assert row[0] in part_keys
+            assert row[1] in supplier_keys
+
+    def test_lineitem_references_local_parts_and_suppliers(self, peer0):
+        part_keys = {row[0] for row in peer0["part"]}
+        supplier_keys = {row[0] for row in peer0["supplier"]}
+        for row in peer0["lineitem"]:
+            assert row[1] in part_keys
+            assert row[2] in supplier_keys
+
+
+class TestValueDistributions:
+    def test_discounts_in_range(self, peer0):
+        for row in peer0["lineitem"]:
+            assert 0.0 <= row[6] <= 0.10
+
+    def test_part_sizes_uniform_1_to_50(self, peer0):
+        sizes = [row[5] for row in peer0["part"]]
+        assert min(sizes) >= 1
+        assert max(sizes) <= 50
+
+    def test_order_dates_in_tpch_window(self, peer0):
+        for row in peer0["orders"]:
+            assert "1992-01-01" <= row[4] <= "1998-08-02"
+
+    def test_nations_spread(self, peer0):
+        nations = {row[3] for row in peer0["customer"]}
+        assert len(nations) > 5  # uniform over 25 nations
+
+
+class TestNationPinning:
+    def test_nation_key_pins_all_rows(self, gen):
+        data = gen.generate_peer(0, nation_key=7)
+        assert all(row[3] == 7 for row in data["customer"])
+        assert all(row[3] == 7 for row in data["supplier"])
+
+    def test_with_nation_key_appends_column(self, gen):
+        data = gen.generate_peer(
+            0, tables=["lineitem", "part"], nation_key=3, with_nation_key=True
+        )
+        assert all(row[-1] == 3 for row in data["lineitem"])
+        assert all(row[-1] == 3 for row in data["part"])
+
+
+class TestLoadsIntoEngine:
+    def test_generated_rows_satisfy_schema(self, peer0):
+        db = Database()
+        create_tpch_tables(db)
+        for table, rows in peer0.items():
+            db.table(table).insert_many(rows)
+        count = db.execute("SELECT COUNT(*) FROM lineitem").scalar()
+        assert count == len(peer0["lineitem"])
+
+    def test_q1_selectivity_small_but_nonzero(self, peer0):
+        from repro.tpch import Q1
+
+        db = Database()
+        create_tpch_tables(db, tables=["lineitem"])
+        db.table("lineitem").insert_many(peer0["lineitem"])
+        result = db.execute(Q1())
+        fraction = len(result) / len(peer0["lineitem"])
+        assert 0 < fraction < 0.2  # highly selective, like the paper's Q1

@@ -1,0 +1,133 @@
+"""Tests for the benchmark queries and supply-chain partitioning."""
+
+import pytest
+
+from repro.sqlengine import Database, parse
+from repro.tpch import (
+    COMMON_TABLES,
+    Q1,
+    Q2,
+    Q3,
+    Q4,
+    Q5,
+    RETAILER_TABLES,
+    SUPPLIER_TABLES,
+    SupplyChainPartitioner,
+    TpchGenerator,
+    create_tpch_tables,
+    retailer_throughput_query,
+    supplier_throughput_query,
+)
+from repro.tpch.queries import PERFORMANCE_QUERIES
+
+
+@pytest.fixture(scope="module")
+def loaded_db():
+    db = Database()
+    create_tpch_tables(db)
+    data = TpchGenerator(seed=7).generate_peer(0)
+    for table, rows in data.items():
+        db.table(table).insert_many(rows)
+    return db
+
+
+class TestPerformanceQueries:
+    def test_all_five_parse(self):
+        for name, sql in PERFORMANCE_QUERIES.items():
+            parse(sql)
+
+    def test_q1_returns_selection_columns(self, loaded_db):
+        result = loaded_db.execute(Q1())
+        assert result.columns == [
+            "l_orderkey", "l_partkey", "l_suppkey", "l_linenumber", "l_quantity",
+        ]
+
+    def test_q1_uses_index(self, loaded_db):
+        result = loaded_db.execute(Q1())
+        assert result.stats.index_probes >= 1
+
+    def test_q2_returns_scalar_aggregate(self, loaded_db):
+        result = loaded_db.execute(Q2())
+        assert result.columns == ["total_price"]
+        assert result.scalar() > 0
+
+    def test_q3_join_produces_rows(self, loaded_db):
+        result = loaded_db.execute(Q3())
+        assert len(result) > 0
+        assert "o_orderdate" in result.columns
+
+    def test_q4_grouped_aggregate(self, loaded_db):
+        result = loaded_db.execute(Q4())
+        assert len(result) > 0
+        # Each part key appears once.
+        keys = result.column("ps_partkey")
+        assert len(keys) == len(set(keys))
+
+    def test_q5_revenue_sorted_descending(self, loaded_db):
+        result = loaded_db.execute(Q5())
+        revenues = result.column("revenue")
+        assert revenues == sorted(revenues, reverse=True)
+        assert len(result) > 0
+
+    def test_parameterized_dates_change_selectivity(self, loaded_db):
+        loose = len(loaded_db.execute(Q1(ship_date="1992-01-01",
+                                         commit_date="1992-01-01")))
+        tight = len(loaded_db.execute(Q1()))
+        assert loose > tight
+
+
+class TestThroughputQueries:
+    def test_queries_parse(self):
+        parse(supplier_throughput_query(0))
+        parse(retailer_throughput_query(0))
+
+    def test_supplier_query_on_partitioned_data(self):
+        db = Database()
+        create_tpch_tables(
+            db, tables=SUPPLIER_TABLES + COMMON_TABLES, with_nation_key=True
+        )
+        partitioner = SupplyChainPartitioner(TpchGenerator(seed=3))
+        assignment = partitioner.assign(["peer-0"])[0]
+        for table, rows in partitioner.generate_for(assignment, 0).items():
+            db.table(table).insert_many(rows)
+        result = db.execute(supplier_throughput_query(assignment.nation_key))
+        assert len(result) > 0
+        miss = db.execute(
+            supplier_throughput_query(assignment.nation_key + 1)
+        )
+        assert len(miss) == 0
+
+    def test_retailer_query_on_partitioned_data(self):
+        db = Database()
+        create_tpch_tables(
+            db, tables=RETAILER_TABLES + COMMON_TABLES, with_nation_key=True
+        )
+        partitioner = SupplyChainPartitioner(TpchGenerator(seed=3))
+        assignment = partitioner.assign(["s", "peer-r"])[1]
+        assert assignment.role == "retailer"
+        for table, rows in partitioner.generate_for(assignment, 1).items():
+            db.table(table).insert_many(rows)
+        result = db.execute(retailer_throughput_query(assignment.nation_key))
+        assert len(result) > 0
+
+
+class TestPartitioner:
+    def test_roles_alternate_evenly(self):
+        partitioner = SupplyChainPartitioner()
+        assignments = partitioner.assign([f"p{i}" for i in range(10)])
+        assert len(partitioner.suppliers(assignments)) == 5
+        assert len(partitioner.retailers(assignments)) == 5
+
+    def test_tables_by_role(self):
+        partitioner = SupplyChainPartitioner()
+        supplier, retailer = partitioner.assign(["a", "b"])
+        assert set(SUPPLIER_TABLES) <= set(supplier.tables)
+        assert set(RETAILER_TABLES) <= set(retailer.tables)
+        assert set(COMMON_TABLES) <= set(supplier.tables)
+        assert not set(RETAILER_TABLES) & set(supplier.tables)
+
+    def test_nation_keys_distinct_within_role_until_wrap(self):
+        partitioner = SupplyChainPartitioner()
+        assignments = partitioner.assign([f"p{i}" for i in range(20)])
+        supplier_nations = [a.nation_key for a in partitioner.suppliers(assignments)]
+        assert len(set(supplier_nations)) == len(supplier_nations)

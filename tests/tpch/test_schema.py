@@ -1,0 +1,71 @@
+"""Tests for the TPC-H schema definitions."""
+
+import pytest
+
+from repro.sqlengine import ColumnType, Database
+from repro.tpch import SECONDARY_INDICES, TPCH_SCHEMAS, create_tpch_tables, schema_for
+
+
+class TestSchemas:
+    def test_all_eight_tables_defined(self):
+        assert sorted(TPCH_SCHEMAS) == sorted(
+            [
+                "region", "nation", "supplier", "customer",
+                "part", "partsupp", "orders", "lineitem",
+            ]
+        )
+
+    def test_lineitem_columns(self):
+        schema = TPCH_SCHEMAS["lineitem"]
+        assert len(schema.columns) == 16
+        assert schema.column("l_shipdate").column_type is ColumnType.DATE
+        assert schema.column("l_extendedprice").column_type is ColumnType.FLOAT
+        assert schema.primary_key is None
+
+    def test_primary_keys(self):
+        assert TPCH_SCHEMAS["orders"].primary_key == "o_orderkey"
+        assert TPCH_SCHEMAS["customer"].primary_key == "c_custkey"
+        assert TPCH_SCHEMAS["partsupp"].primary_key is None  # composite in TPC-H
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(KeyError):
+            schema_for("widgets")
+
+    def test_nation_key_variant_appends_column(self):
+        schema = schema_for("lineitem", with_nation_key=True)
+        assert schema.has_column("l_nationkey")
+
+    def test_nation_key_variant_no_duplicate_for_supplier(self):
+        schema = schema_for("supplier", with_nation_key=True)
+        names = [column.name for column in schema.columns]
+        assert names.count("s_nationkey") == 1
+
+
+class TestSecondaryIndices:
+    def test_table4_reconstruction_covers_query_columns(self):
+        # The columns the five benchmark queries filter on must be indexed.
+        assert "l_shipdate" in SECONDARY_INDICES["lineitem"]
+        assert "l_commitdate" in SECONDARY_INDICES["lineitem"]
+        assert "o_orderdate" in SECONDARY_INDICES["orders"]
+        assert "p_size" in SECONDARY_INDICES["part"]
+        assert "ps_partkey" in SECONDARY_INDICES["partsupp"]
+
+    def test_create_tables_builds_indexes(self):
+        db = Database()
+        create_tpch_tables(db)
+        lineitem = db.table("lineitem")
+        assert lineitem.index_on("l_shipdate") is not None
+        assert lineitem.index_on("l_commitdate") is not None
+        orders = db.table("orders")
+        assert orders.index_on("o_orderkey").unique  # primary
+        assert orders.index_on("o_orderdate") is not None
+
+    def test_create_subset_of_tables(self):
+        db = Database()
+        create_tpch_tables(db, tables=["part", "partsupp"])
+        assert db.table_names() == ["part", "partsupp"]
+
+    def test_create_without_secondary_indices(self):
+        db = Database()
+        create_tpch_tables(db, with_secondary_indices=False)
+        assert db.table("lineitem").index_on("l_shipdate") is None
