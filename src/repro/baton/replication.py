@@ -10,11 +10,16 @@ copies on the ``replica_factor`` nearest in-order neighbours (the secondary
 tier).  When the primary is offline the lookup is served from a replica;
 when a node permanently departs, re-replication restores the redundancy
 level.
+
+Replica maintenance on membership changes is *incremental*: a join or leave
+only touches the in-order neighbourhood whose holder assignment (or item
+range) actually changed, not the whole network.  :meth:`rebuild_replicas`
+remains as the full-refresh fallback.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import BatonError, ReplicaUnavailableError
 from repro.baton.node import BatonNode
@@ -29,22 +34,37 @@ class ReplicatedOverlay:
             raise BatonError(f"replica factor must be >= 1: {replica_factor}")
         self.overlay = overlay
         self.replica_factor = replica_factor
-        # replica copies: holder node id -> {key -> list of values}
-        self._replicas: Dict[str, Dict[float, List[object]]] = {}
+        # replica copies: holder id -> {primary id -> {key -> values}}.
+        # Keying by primary is what makes incremental repair possible: one
+        # primary's contribution can be dropped without touching the copies
+        # the holder keeps for anyone else.
+        self._store: Dict[str, Dict[str, Dict[float, List[object]]]] = {}
+        # The holder assignment the store currently reflects.
+        self._assignment: Dict[str, List[str]] = {}
+        # Each primary's responsibility range at the last repair.  Items
+        # only move between nodes when ranges move (splits on join, merges
+        # and substitutions on leave), so a range diff finds exactly the
+        # primaries whose replicas are stale.
+        self._ranges: Dict[str, object] = {}
+        # Primaries re-copied by the last membership change (observability:
+        # incremental repair should keep this far below the network size).
+        self.last_repair_count = 0
 
     # ------------------------------------------------------------------
-    # Membership passthrough
+    # Membership
     # ------------------------------------------------------------------
     def join(self, node_id: str) -> BatonNode:
         node = self.overlay.join(node_id)
-        self._replicas.setdefault(node_id, {})
-        self.rebuild_replicas()
+        self._store.setdefault(node_id, {})
+        self._repair_membership()
         return node
 
     def leave(self, node_id: str) -> None:
         self.overlay.leave(node_id)
-        self._replicas.pop(node_id, None)
-        self.rebuild_replicas()
+        # Whatever the departed node held for others is gone with it; its
+        # primaries lost a holder, which the assignment diff repairs below.
+        self._store.pop(node_id, None)
+        self._repair_membership()
 
     def __len__(self) -> int:
         return len(self.overlay)
@@ -64,22 +84,26 @@ class ReplicatedOverlay:
     def insert(self, key: float, value: object) -> int:
         node, hops = self.overlay.find_responsible(key)
         node.add_item(key, value)
-        for holder in self._replica_holders(node):
-            self._replicas.setdefault(holder.node_id, {}).setdefault(
-                key, []
-            ).append(value)
+        for holder_id in self._assignment.get(node.node_id, []):
+            self._store.setdefault(holder_id, {}).setdefault(
+                node.node_id, {}
+            ).setdefault(key, []).append(value)
             hops += 1  # one message per replica copy
         return hops
 
     def delete(self, key: float, value: object) -> Tuple[bool, int]:
         node, hops = self.overlay.find_responsible(key)
         removed = node.remove_item(key, value)
-        for holder in self._replica_holders(node):
-            copies = self._replicas.get(holder.node_id, {}).get(key)
+        for holder_id in self._assignment.get(node.node_id, []):
+            copies = (
+                self._store.get(holder_id, {})
+                .get(node.node_id, {})
+                .get(key)
+            )
             if copies and value in copies:
                 copies.remove(value)
                 if not copies:
-                    del self._replicas[holder.node_id][key]
+                    del self._store[holder_id][node.node_id][key]
             hops += 1
         return removed, hops
 
@@ -92,11 +116,16 @@ class ReplicatedOverlay:
                 hops=hops,
                 node_ids=[node.node_id],
             )
-        for holder in self._replica_holders(node):
+        for holder_id in self._assignment.get(node.node_id, []):
+            holder = self.overlay.node(holder_id)
             if holder.online:
-                values = list(self._replicas.get(holder.node_id, {}).get(key, []))
+                values = list(
+                    self._store.get(holder_id, {})
+                    .get(node.node_id, {})
+                    .get(key, [])
+                )
                 return SearchResult(
-                    values=values, hops=hops + 1, node_ids=[holder.node_id]
+                    values=values, hops=hops + 1, node_ids=[holder_id]
                 )
         raise ReplicaUnavailableError(
             f"no online replica for key {key} (primary {node.node_id!r} down)"
@@ -106,19 +135,75 @@ class ReplicatedOverlay:
     # Re-replication
     # ------------------------------------------------------------------
     def rebuild_replicas(self) -> None:
-        """Recompute every replica set (run after membership changes)."""
-        self._replicas = {node_id: {} for node_id in self._node_ids()}
-        for node in self.overlay.nodes():
-            for holder in self._replica_holders(node):
-                store = self._replicas.setdefault(holder.node_id, {})
-                for key, values in node.items.items():
-                    store.setdefault(key, []).extend(values)
+        """Recompute every replica set from scratch (full refresh)."""
+        assignment = self._current_assignment()
+        self._store = {node_id: {} for node_id in assignment}
+        for primary_id, holder_ids in assignment.items():
+            self._copy_primary(primary_id, holder_ids)
+        self._assignment = assignment
+        self._ranges = self._current_ranges()
+        self.last_repair_count = len(assignment)
 
     def replica_count(self, node_id: str) -> int:
         """Number of replica values held *for other nodes* at ``node_id``."""
         return sum(
-            len(values) for values in self._replicas.get(node_id, {}).values()
+            len(values)
+            for primary_store in self._store.get(node_id, {}).values()
+            for values in primary_store.values()
         )
+
+    # ------------------------------------------------------------------
+    # Incremental repair
+    # ------------------------------------------------------------------
+    def _repair_membership(self) -> None:
+        """Repair replicas after one join/leave.
+
+        Two classes of primaries need re-copying: those whose *holder
+        assignment* changed (a new or vanished in-order neighbour), and
+        those whose *items* moved — a join splits the parent's range, a
+        leave merges a leaf's range into a neighbour or substitutes a
+        relocated leaf into the vacant position.  Items only ever move
+        because responsibility ranges move, so diffing each node's range
+        against the last repair finds exactly the stale primaries.  Both
+        diffs are O(n) id/range comparisons; item copying happens only for
+        the dirty neighbourhood.
+        """
+        assignment = self._current_assignment()
+        ranges = self._current_ranges()
+        dirty: Set[str] = {
+            primary_id
+            for primary_id, holder_ids in assignment.items()
+            if self._assignment.get(primary_id) != holder_ids
+            or self._ranges.get(primary_id) != ranges[primary_id]
+        }
+        # Departed primaries: purge their copies from surviving holders.
+        dirty.update(
+            primary_id
+            for primary_id in self._assignment
+            if primary_id not in assignment
+        )
+
+        for primary_id in dirty:
+            for holder_id in self._assignment.get(primary_id, []):
+                holder_store = self._store.get(holder_id)
+                if holder_store is not None:
+                    holder_store.pop(primary_id, None)
+            holder_ids = assignment.get(primary_id)
+            if holder_ids is None:
+                self._assignment.pop(primary_id, None)
+                self._ranges.pop(primary_id, None)
+                continue
+            self._copy_primary(primary_id, holder_ids)
+            self._assignment[primary_id] = list(holder_ids)
+            self._ranges[primary_id] = ranges[primary_id]
+        self.last_repair_count = len(dirty)
+
+    def _copy_primary(self, primary_id: str, holder_ids: List[str]) -> None:
+        node = self.overlay.node(primary_id)
+        for holder_id in holder_ids:
+            self._store.setdefault(holder_id, {})[primary_id] = {
+                key: list(values) for key, values in node.items.items()
+            }
 
     # ------------------------------------------------------------------
     # Internals
@@ -126,16 +211,33 @@ class ReplicatedOverlay:
     def _node_ids(self) -> List[str]:
         return [node.node_id for node in self.overlay.nodes()]
 
+    def _current_ranges(self) -> Dict[str, object]:
+        return {node.node_id: node.r0 for node in self.overlay.nodes()}
+
+    def _current_assignment(self) -> Dict[str, List[str]]:
+        nodes = self.overlay.nodes()
+        return {
+            node.node_id: [
+                holder.node_id for holder in self._holders_at(nodes, index)
+            ]
+            for index, node in enumerate(nodes)
+        }
+
     def _replica_holders(self, node: BatonNode) -> List[BatonNode]:
         """The in-order neighbours that hold copies of ``node``'s items."""
         nodes = self.overlay.nodes()
-        if len(nodes) <= 1:
-            return []
         index = next(
             position
             for position, candidate in enumerate(nodes)
             if candidate is node
         )
+        return self._holders_at(nodes, index)
+
+    def _holders_at(
+        self, nodes: List[BatonNode], index: int
+    ) -> List[BatonNode]:
+        if len(nodes) <= 1:
+            return []
         holders: List[BatonNode] = []
         offset = 1
         while len(holders) < self.replica_factor and offset < len(nodes):

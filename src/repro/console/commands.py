@@ -271,10 +271,15 @@ class Console:
 
     def _cmd_status(self, rest: str) -> str:
         net = self._require_network()
+        faults = net.metrics.faults
         lines = [
             f"peers: {len(net.peers)}",
             f"simulated time: {net.clock.now:.1f}s",
             f"bytes on the wire so far: {net.network.total.bytes:,}",
+            "faults absorbed: "
+            + ", ".join(
+                f"{name}={value}" for name, value in faults.as_dict().items()
+            ),
         ]
         for peer_id in sorted(net.peers):
             peer = net.peers[peer_id]

@@ -46,7 +46,7 @@ from repro.core.indexer import (
     PeerLookup,
 )
 from repro.core.instance_mapping import InstanceMatcher, InstanceMatchResult
-from repro.core.metrics import EngineMetrics, MetricsRegistry
+from repro.core.metrics import EngineMetrics, FaultCounters, MetricsRegistry
 from repro.core.loader import DataLoader, SnapshotDelta, snapshot_diff
 from repro.core.online_aggregation import (
     OnlineEstimate,
@@ -56,6 +56,13 @@ from repro.core.online_aggregation import (
 from repro.core.network import BestPeerNetwork
 from repro.core.peer import NormalPeer
 from repro.core.processing_graph import ProcessingGraph
+from repro.core.resilience import (
+    CircuitBreaker,
+    Deadline,
+    ResilienceContext,
+    ResilienceSession,
+    RetryPolicy,
+)
 from repro.core.schema_mapping import (
     MappingTemplate,
     SchemaMapping,
@@ -93,6 +100,12 @@ __all__ = [
     "FULL_INDEX_POLICY",
     "MetricsRegistry",
     "EngineMetrics",
+    "FaultCounters",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "Deadline",
+    "ResilienceContext",
+    "ResilienceSession",
     "DataLoader",
     "SnapshotDelta",
     "snapshot_diff",

@@ -69,6 +69,9 @@ class MaintenanceReport:
     scalings: List[ScalingEvent] = field(default_factory=list)
     released_instances: List[str] = field(default_factory=list)
     notified_peers: int = 0
+    # Peers that missed a heartbeat this epoch but have not yet crossed
+    # the suspicion threshold (miss-count failure detection).
+    suspected_peers: List[str] = field(default_factory=list)
 
 
 class BootstrapPeer:
@@ -98,6 +101,9 @@ class BootstrapPeer:
         self.admission_policy = admission_policy
         self._peers: Dict[str, PeerRecord] = {}
         self._blacklist: List[PeerRecord] = []
+        # Miss-count failure detector: consecutive missed heartbeats per
+        # peer; a fail-over triggers only at the suspicion threshold.
+        self._missed_heartbeats: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Roles (the provider "defines a standard set of roles", §4.4)
@@ -141,6 +147,7 @@ class BootstrapPeer:
         if record is None:
             raise MembershipError(f"unknown peer: {peer_id!r}")
         self.ca.revoke(record.certificate)
+        self._missed_heartbeats.pop(peer_id, None)
         self._blacklist.append(record)
 
     def peer_list(self) -> List[str]:
@@ -182,8 +189,19 @@ class BootstrapPeer:
                 continue
             record = self._peers[peer_id]
             if not self.cloud.cloudwatch.is_responsive(record.instance_id):
-                report.failovers.append(self._failover(record, peer))
+                # Miss-count failure detection: declare the peer failed only
+                # after ``suspicion_threshold`` consecutive missed
+                # heartbeats, so transient unreachability (message loss,
+                # short outages) does not trigger a spurious fail-over.
+                missed = self._missed_heartbeats.get(peer_id, 0) + 1
+                if missed >= config.suspicion_threshold:
+                    self._missed_heartbeats[peer_id] = 0
+                    report.failovers.append(self._failover(record, peer))
+                else:
+                    self._missed_heartbeats[peer_id] = missed
+                    report.suspected_peers.append(peer_id)
                 continue
+            self._missed_heartbeats[peer_id] = 0
             # Fold the peer's busy time since the last epoch into the
             # CloudWatch CPU gauge the decisions below read.
             peer.update_cpu_metric(config.epoch_s)

@@ -8,7 +8,9 @@ thresholds of the bootstrap peer's monitoring daemon (Algorithm 1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
+from repro.core.resilience import RetryPolicy
 from repro.errors import BestPeerError
 
 
@@ -50,6 +52,23 @@ class BestPeerConfig:
     # Index entry cache (§5.2: peers cache index entries in memory).
     index_cache_enabled: bool = True
     pricing: PricingConfig = field(default_factory=PricingConfig)
+    # Whole-query resubmission (snapshot rejections, unrecoverable peers).
+    # max_attempts=4 preserves the historical 3-retries-then-fail loop.
+    query_retry: RetryPolicy = field(default_factory=RetryPolicy)
+    # Sub-query fetch retries against one peer (drops, outages, timeouts).
+    fetch_retry: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(
+            max_attempts=8, base_backoff_s=0.02, max_backoff_s=2.0
+        )
+    )
+    # Per-peer circuit breaker: open after this many consecutive transient
+    # failures, probe again after the cooldown.
+    breaker_failure_threshold: int = 5
+    breaker_reset_timeout_s: float = 30.0
+    # Query-wide deadline propagated into every retry loop (None = none).
+    query_deadline_s: Optional[float] = None
+    # Seed for backoff jitter; fixed so chaos runs replay bit-for-bit.
+    retry_jitter_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.memtable_capacity_bytes <= 0:
@@ -58,6 +77,12 @@ class BestPeerConfig:
             raise BestPeerError("need at least one fetch thread")
         if self.bloom_filter_bits_per_key < 1 or self.bloom_filter_hashes < 1:
             raise BestPeerError("bloom filter parameters must be positive")
+        if self.breaker_failure_threshold < 1:
+            raise BestPeerError("breaker threshold must be >= 1")
+        if self.breaker_reset_timeout_s < 0:
+            raise BestPeerError("breaker cooldown must be non-negative")
+        if self.query_deadline_s is not None and self.query_deadline_s <= 0:
+            raise BestPeerError("query deadline must be positive")
 
 
 @dataclass(frozen=True)
@@ -70,9 +95,16 @@ class DaemonConfig:
     # How often the daemon wakes up, and how long failure detection takes.
     epoch_s: float = 60.0
     detection_delay_s: float = 30.0
+    # Consecutive missed heartbeats before a peer is declared failed.  The
+    # default of 1 keeps the historical fail-on-first-miss behaviour; any
+    # higher value makes the detector tolerate transient unreachability
+    # (message loss, short outages) without spurious fail-overs.
+    suspicion_threshold: int = 1
 
     def __post_init__(self) -> None:
         if not 0 < self.cpu_overload_threshold <= 1:
             raise BestPeerError("CPU threshold must be in (0, 1]")
         if self.epoch_s <= 0:
             raise BestPeerError("epoch must be positive")
+        if self.suspicion_threshold < 1:
+            raise BestPeerError("suspicion threshold must be >= 1")

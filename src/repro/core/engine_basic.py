@@ -217,11 +217,18 @@ class BasicEngine:
         timestamp: Optional[float],
     ) -> QueryExecution:
         context = self.context
-        owner = context.peer(peer_id)
-        execution = owner.execute_local(sql, query_timestamp=timestamp)
-        result_bytes = execution.result.byte_size
-        transfer = context.network.transfer(
-            owner.host, context.query_peer.host, result_bytes
+
+        def run_remote():
+            owner = context.peer(peer_id)
+            execution = owner.execute_local(sql, query_timestamp=timestamp)
+            result_bytes = execution.result.byte_size
+            transfer = context.network.transfer(
+                owner.host, context.query_peer.host, result_bytes
+            )
+            return execution, result_bytes, transfer
+
+        execution, result_bytes, transfer = context.call_resilient(
+            peer_id, run_remote
         )
         latency = (
             context.hop_cost_s(index_hops) + execution.seconds + transfer
@@ -294,13 +301,17 @@ class BasicEngine:
                 # Shipping the filter to every owner costs its size once per
                 # owner peer.
                 for peer_id in lookups[local_plan.binding].peers:
-                    bytes_transferred += bloom_filter.size_bytes
-                    fetch_durations.append(
-                        context.network.transfer(
+
+                    def ship_filter(peer_id: str = peer_id):
+                        return context.network.transfer(
                             context.query_peer.host,
                             context.peer(peer_id).host,
                             bloom_filter.size_bytes,
                         )
+
+                    bytes_transferred += bloom_filter.size_bytes
+                    fetch_durations.append(
+                        context.call_resilient(peer_id, ship_filter)
                     )
                 rows, durations, nbytes = self._fetch_table(
                     local_plan,
@@ -412,11 +423,27 @@ class BasicEngine:
         durations: List[float] = []
         total_bytes = 0
         for peer_id in lookup.peers:
-            owner = context.peer(peer_id)
-            try:
+
+            def fetch_one(peer_id: str = peer_id):
+                # Resolve the owner inside the attempt: a fail-over rebinds
+                # the peer to a fresh instance between retries.
+                owner = context.peer(peer_id)
                 execution = owner.execute_fetch(
                     local_plan.table, local_plan.sql, user=user,
                     query_timestamp=timestamp,
+                )
+                shipped = execution.result.rows
+                if row_filter is not None:
+                    shipped = [row for row in shipped if row_filter(row)]
+                nbytes = records_byte_size(shipped)
+                transfer = context.network.transfer(
+                    owner.host, context.query_peer.host, nbytes
+                )
+                return shipped, nbytes, execution.seconds + transfer
+
+            try:
+                shipped, nbytes, duration = context.call_resilient(
+                    peer_id, fetch_one
                 )
             except SqlCatalogError:
                 if lookup.index_used != "broadcast":
@@ -424,14 +451,7 @@ class BasicEngine:
                 # A broadcast probe may reach peers that never hosted the
                 # table; an empty answer is the correct outcome for them.
                 continue
-            shipped = execution.result.rows
-            if row_filter is not None:
-                shipped = [row for row in shipped if row_filter(row)]
-            nbytes = records_byte_size(shipped)
-            transfer = context.network.transfer(
-                owner.host, context.query_peer.host, nbytes
-            )
-            durations.append(execution.seconds + transfer)
+            durations.append(duration)
             total_bytes += nbytes
             rows.extend(shipped)
         return rows, durations, total_bytes
@@ -514,7 +534,14 @@ class BasicEngine:
     # Availability (strong consistency, §3.2)
     # ------------------------------------------------------------------
     def _require_online(self, peer_ids: Set[str]) -> None:
+        """Recover crashed data owners before fanning the query out.
+
+        With a resilience context installed the recovery happens here, at
+        sub-query granularity; without one the historical behaviour stands:
+        raise and let the facade block on fail-over, then retry the query.
+        """
         for peer_id in sorted(peer_ids):
             peer = self.context.peers.get(peer_id)
             if peer is None or not peer.online:
-                raise PeerUnavailableError(peer_id)
+                if not self.context.ensure_peer_available(peer_id):
+                    raise PeerUnavailableError(peer_id)

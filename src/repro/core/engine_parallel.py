@@ -68,13 +68,18 @@ class ParallelP2PEngine:
         stream: List[_StreamPart] = []
         scan_durations = []
         for peer_id in lookups[plan.base.binding].peers:
-            owner = context.peer(peer_id)
-            execution = owner.execute_fetch(
-                plan.base.table, plan.base.sql, user=user,
-                query_timestamp=timestamp,
-            )
-            stream.append(_StreamPart(peer_id, list(execution.result.rows)))
-            scan_durations.append(execution.seconds)
+
+            def scan_one(peer_id: str = peer_id):
+                owner = context.peer(peer_id)
+                execution = owner.execute_fetch(
+                    plan.base.table, plan.base.sql, user=user,
+                    query_timestamp=timestamp,
+                )
+                return list(execution.result.rows), execution.seconds
+
+            rows, scan_seconds = context.call_resilient(peer_id, scan_one)
+            stream.append(_StreamPart(peer_id, rows))
+            scan_durations.append(scan_seconds)
             peers_contacted.add(peer_id)
         level_seconds.append(parallel_duration(*scan_durations))
         columns = list(plan.base.columns)
@@ -100,47 +105,58 @@ class ParallelP2PEngine:
             join_durations = []
             new_stream: List[_StreamPart] = []
             for peer_id in owners:
-                owner = context.peer(peer_id)
                 peers_contacted.add(peer_id)
-                # Replicate the full intermediate result to this owner:
-                # one transfer per current part holder.
-                broadcast_seconds = 0.0
-                for part in stream:
-                    part_bytes = records_byte_size(part.rows)
-                    broadcast_seconds += context.network.transfer(
-                        context.peer(part.peer_id).host,
-                        owner.host,
-                        part_bytes,
+
+                def join_at_owner(
+                    peer_id: str = peer_id,
+                    stream: List[_StreamPart] = stream,
+                    stage=stage,
+                ):
+                    owner = context.peer(peer_id)
+                    # Replicate the full intermediate result to this owner:
+                    # one transfer per current part holder.
+                    broadcast_seconds = 0.0
+                    for part in stream:
+                        part_bytes = records_byte_size(part.rows)
+                        broadcast_seconds += context.network.transfer(
+                            context.peer(part.peer_id).host,
+                            owner.host,
+                            part_bytes,
+                        )
+
+                    execution = owner.execute_fetch(
+                        stage.right.table, stage.right.sql, user=user,
+                        query_timestamp=timestamp,
                     )
+                    local_rows = execution.result.rows
+
+                    buckets: Dict[object, List[tuple]] = {}
+                    for row in local_rows:
+                        key = row[right_position]
+                        if key is not None:
+                            buckets.setdefault(key, []).append(row)
+                    joined: List[tuple] = []
+                    for left_row in stream_rows:
+                        key = left_row[left_position]
+                        for right_row in buckets.get(key, ()):
+                            combined = left_row + right_row
+                            if stage.residual is None or stage.residual.evaluate(
+                                combined, out_layout
+                            ) is True:
+                                joined.append(combined)
+                    join_seconds = context.compute_model.rows_seconds(
+                        len(stream_rows) + len(local_rows) + len(joined),
+                        owner.compute_units,
+                    )
+                    return joined, (
+                        broadcast_seconds + execution.seconds + join_seconds
+                    )
+
+                joined, owner_seconds = context.call_resilient(
+                    peer_id, join_at_owner
+                )
                 bytes_transferred += stream_bytes
-
-                execution = owner.execute_fetch(
-                    stage.right.table, stage.right.sql, user=user,
-                    query_timestamp=timestamp,
-                )
-                local_rows = execution.result.rows
-
-                buckets: Dict[object, List[tuple]] = {}
-                for row in local_rows:
-                    key = row[right_position]
-                    if key is not None:
-                        buckets.setdefault(key, []).append(row)
-                joined: List[tuple] = []
-                for left_row in stream_rows:
-                    key = left_row[left_position]
-                    for right_row in buckets.get(key, ()):
-                        combined = left_row + right_row
-                        if stage.residual is None or stage.residual.evaluate(
-                            combined, out_layout
-                        ) is True:
-                            joined.append(combined)
-                join_seconds = context.compute_model.rows_seconds(
-                    len(stream_rows) + len(local_rows) + len(joined),
-                    owner.compute_units,
-                )
-                join_durations.append(
-                    broadcast_seconds + execution.seconds + join_seconds
-                )
+                join_durations.append(owner_seconds)
                 new_stream.append(_StreamPart(peer_id, joined))
             level_seconds.append(parallel_duration(*join_durations))
             stream = new_stream
@@ -151,12 +167,16 @@ class ParallelP2PEngine:
         final_rows: List[tuple] = []
         for part in stream:
             part_bytes = records_byte_size(part.rows)
-            collect_durations.append(
-                context.network.transfer(
+
+            def collect_part(part=part, part_bytes=part_bytes):
+                return context.network.transfer(
                     context.peer(part.peer_id).host,
                     context.query_peer.host,
                     part_bytes,
                 )
+
+            collect_durations.append(
+                context.call_resilient(part.peer_id, collect_part)
             )
             bytes_transferred += part_bytes
             final_rows.extend(part.rows)
@@ -227,4 +247,5 @@ class ParallelP2PEngine:
         for peer_id in peer_ids:
             peer = self.context.peers.get(peer_id)
             if peer is None or not peer.online:
-                raise PeerUnavailableError(peer_id)
+                if not self.context.ensure_peer_available(peer_id):
+                    raise PeerUnavailableError(peer_id)

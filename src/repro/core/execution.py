@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.core.config import BestPeerConfig
 from repro.core.indexer import DataIndexer
 from repro.core.peer import NormalPeer
+from repro.core.resilience import ResilienceContext
 from repro.errors import BestPeerError
 from repro.sim.compute import ComputeModel
 from repro.sim.network import SimNetwork
@@ -25,6 +26,7 @@ class EngineContext:
     schemas: Dict[str, TableSchema]
     config: BestPeerConfig
     compute_model: ComputeModel
+    resilience: Optional[ResilienceContext] = None
 
     def peer(self, peer_id: str) -> NormalPeer:
         peer = self.peers.get(peer_id)
@@ -36,6 +38,22 @@ class EngineContext:
         """Network cost of BATON routing hops (one message per hop)."""
         config = self.network.config
         return hops * (config.latency_s + config.per_message_overhead_s)
+
+    def call_resilient(self, peer_id: str, fn: Callable[[], object]) -> object:
+        """Run a per-peer operation under the retry/breaker/fail-over layer.
+
+        Without a resilience context (engines constructed standalone) the
+        operation runs bare, preserving the original fail-fast behaviour.
+        """
+        if self.resilience is None:
+            return fn()
+        return self.resilience.call(peer_id, fn)
+
+    def ensure_peer_available(self, peer_id: str) -> bool:
+        """Recover a crashed peer before fanning a query out to it."""
+        if self.resilience is None:
+            return False
+        return self.resilience.ensure_available(peer_id)
 
 
 @dataclass

@@ -35,6 +35,35 @@ class EngineMetrics:
         return self.total_latency_s / self.queries if self.queries else 0.0
 
 
+@dataclass
+class FaultCounters:
+    """Fault-tolerance counters (retry/fail-over observability).
+
+    ``retries``/``circuit_opens``/``failovers`` are incremented by the
+    resilience layer; ``dropped_messages``/``timeouts`` mirror the
+    simulated network's injected-fault counters.
+    """
+
+    retries: int = 0
+    circuit_opens: int = 0
+    failovers: int = 0
+    dropped_messages: int = 0
+    timeouts: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "retries": self.retries,
+            "circuit_opens": self.circuit_opens,
+            "failovers": self.failovers,
+            "dropped_messages": self.dropped_messages,
+            "timeouts": self.timeouts,
+        }
+
+    @property
+    def total(self) -> int:
+        return sum(self.as_dict().values())
+
+
 class MetricsRegistry:
     """Collects per-query measurements, grouped by engine/strategy."""
 
@@ -44,6 +73,7 @@ class MetricsRegistry:
         self.buckets = tuple(buckets)
         self._engines: Dict[str, EngineMetrics] = {}
         self._histogram: List[int] = [0] * (len(self.buckets) + 1)
+        self.faults = FaultCounters()
 
     # ------------------------------------------------------------------
     # Recording
@@ -115,8 +145,15 @@ class MetricsRegistry:
                 f"bytes={metrics.total_bytes:,} "
                 f"cost=${metrics.total_dollars:.6f}"
             )
+        if self.faults.total:
+            counters = self.faults.as_dict()
+            lines.append(
+                "  faults: "
+                + " ".join(f"{name}={counters[name]}" for name in counters)
+            )
         return "\n".join(lines)
 
     def reset(self) -> None:
         self._engines.clear()
         self._histogram = [0] * (len(self.buckets) + 1)
+        self.faults = FaultCounters()

@@ -38,21 +38,22 @@ from repro.core.indexer import (
 )
 from repro.core.metrics import MetricsRegistry
 from repro.core.peer import NormalPeer
+from repro.core.resilience import ResilienceContext
 from repro.core.schema_mapping import SchemaMapping, identity_mapping
 from repro.errors import (
     BestPeerError,
     PeerUnavailableError,
     QueryRejectedError,
     ReplicaUnavailableError,
+    TransientNetworkError,
 )
 from repro.mapreduce.engine import MapReduceConfig
 from repro.sim.clock import SimClock
 from repro.sim.cloud import CloudProvider
 from repro.sim.compute import ComputeModel, DEFAULT_COMPUTE_MODEL
+from repro.sim.failure import FaultPlan
 from repro.sim.network import NetworkConfig, SimNetwork
 from repro.sqlengine.schema import TableSchema
-
-_MAX_QUERY_RETRIES = 3
 
 
 class BestPeerNetwork:
@@ -93,6 +94,18 @@ class BestPeerNetwork:
         self._adaptive: Dict[str, AdaptiveEngine] = {}
         # Cumulative fail-over blocking time, exposed for benchmarks.
         self.total_blocked_s = 0.0
+        # The retry/breaker/fail-over layer every engine call goes through.
+        self.resilience = ResilienceContext(
+            policy=self.config.fetch_retry,
+            clock=self.clock,
+            jitter_seed=self.config.retry_jitter_seed,
+            metrics=self.metrics,
+            breaker_failure_threshold=self.config.breaker_failure_threshold,
+            breaker_reset_timeout_s=self.config.breaker_reset_timeout_s,
+            is_crashed=self._peer_crashed,
+            failover=self._failover_peer,
+            deadline_s=self.config.query_deadline_s,
+        )
 
     # ------------------------------------------------------------------
     # Membership
@@ -281,13 +294,27 @@ class BestPeerNetwork:
             peer_id = sorted(self.peers)[0]
         runner = self._engine(peer_id, engine)
 
-        blocked_s = 0.0
-        for attempt in range(_MAX_QUERY_RETRIES + 1):
+        policy = self.config.query_retry
+        blocked_s = 0.0   # time blocked on Algorithm-1 fail-over
+        waited_s = 0.0    # retry backoff (sub-query and query level)
+        advanced_s = 0.0  # sim-clock time the waits already advanced
+
+        def absorb(session) -> None:
+            """Fold one attempt's resilience accounting into the query's."""
+            nonlocal blocked_s, waited_s, advanced_s
+            waited_s += session.waited_s
+            blocked_s += session.blocked_failover_s
+            self.total_blocked_s += session.blocked_failover_s
+            advanced_s += session.advanced_s
+
+        for attempt in range(policy.max_attempts):
+            session = self.resilience.begin_query()
             timestamp = self.clock.now
             try:
                 execution = runner.execute(sql, user=user, timestamp=timestamp)
             except QueryRejectedError:
-                if attempt == _MAX_QUERY_RETRIES:
+                absorb(session)
+                if attempt == policy.max_attempts - 1:
                     raise
                 # "it rejects the query and notifies the query processor,
                 # which will terminate the query and resubmit it" — the
@@ -299,8 +326,24 @@ class BestPeerNetwork:
                 if latest_refresh > self.clock.now:
                     self.clock.advance_to(latest_refresh)
                 continue
+            except TransientNetworkError:
+                absorb(session)
+                deadline = session.deadline
+                if deadline is not None and deadline.exceeded(self.clock.now):
+                    raise  # a blown deadline must not restart the query
+                if attempt == policy.max_attempts - 1:
+                    raise
+                # The sub-query retry layer gave up on one partition; back
+                # off and resubmit the whole query with a fresh timestamp.
+                backoff = policy.backoff_s(attempt + 1, self.resilience.rng)
+                self.clock.advance(backoff)
+                waited_s += backoff
+                advanced_s += backoff
+                self.metrics.faults.retries += 1
+                continue
             except (PeerUnavailableError, ReplicaUnavailableError):
-                if attempt == _MAX_QUERY_RETRIES:
+                absorb(session)
+                if attempt == policy.max_attempts - 1:
                     raise
                 # Strong consistency: block until the bootstrap daemon has
                 # failed the peer over, then retry.
@@ -309,11 +352,17 @@ class BestPeerNetwork:
                 blocked_s += waited
                 self.total_blocked_s += waited
                 continue
-            execution.latency_s += blocked_s
+            absorb(session)
+            execution.latency_s += blocked_s + waited_s
             if blocked_s:
                 execution.engine_details["blocked_on_failover_s"] = blocked_s
-            self.clock.advance(execution.latency_s)
+            if waited_s:
+                execution.engine_details["retry_backoff_s"] = waited_s
+            # Waits taken through the resilience layer already advanced the
+            # clock; only advance by the remainder.
+            self.clock.advance(max(0.0, execution.latency_s - advanced_s))
             self.metrics.record(execution)
+            self._sync_fault_counters()
             return execution
         raise BestPeerError("unreachable")  # pragma: no cover
 
@@ -347,6 +396,7 @@ class BestPeerNetwork:
             schemas=self.global_schemas,
             config=self.config,
             compute_model=self.compute_model,
+            resilience=self.resilience,
         )
 
     # ------------------------------------------------------------------
@@ -357,6 +407,29 @@ class BestPeerNetwork:
         self.cloud.crash_instance(peer.host)
         self.overlay.mark_offline(peer_id)
 
+    def install_fault_plan(self, plan: Optional[FaultPlan]) -> None:
+        """Arm message-level fault injection for subsequent queries.
+
+        ``plan.crash_after`` entries may name peers or their hosts; when a
+        trigger fires, the named peer's instance crashes mid-query exactly
+        as a machine failure would — the resilience layer then recovers it
+        through the bootstrap's fail-over.  Pass ``None`` to disarm.
+        """
+        if plan is None:
+            self.network.install_fault_plan(None)
+            return
+
+        def on_crash(target: str) -> None:
+            for peer_id, peer in self.peers.items():
+                if target in (peer_id, peer.host):
+                    if peer.online and not self.network.is_partitioned(
+                        peer.host
+                    ):
+                        self.crash_peer(peer_id)
+                    return
+
+        self.network.install_fault_plan(plan, on_crash=on_crash)
+
     def run_maintenance(self) -> MaintenanceReport:
         """One epoch of the bootstrap's Algorithm-1 daemon."""
         report = self.bootstrap.run_maintenance_epoch(self.peers)
@@ -364,7 +437,39 @@ class BestPeerNetwork:
             # The peer is back on a fresh instance; overlay-wise it is the
             # same logical node.
             self.overlay.mark_online(event.peer_id)
+        self.metrics.faults.failovers += len(report.failovers)
         return report
+
+    def _peer_crashed(self, peer_id: str) -> bool:
+        """Is this peer genuinely down (vs. a transient delivery fault)?"""
+        peer = self.peers.get(peer_id)
+        if peer is None:
+            return False
+        return not peer.online or self.network.is_partitioned(peer.host)
+
+    def _failover_peer(self, peer_id: str) -> float:
+        """Block on the daemon until ``peer_id`` is failed over (§3.2).
+
+        Returns the simulated seconds the query spent blocked.  With a
+        suspicion threshold above one the daemon needs several epochs to
+        act; each suspected-only epoch costs one heartbeat interval.
+        """
+        blocked = 0.0
+        config = self.bootstrap.daemon_config
+        for _ in range(config.suspicion_threshold + 1):
+            report = self.run_maintenance()
+            blocked += sum(event.duration_s for event in report.failovers)
+            if peer_id in report.suspected_peers:
+                blocked += config.epoch_s
+            if not self._peer_crashed(peer_id):
+                break
+        return blocked
+
+    def _sync_fault_counters(self) -> None:
+        """Mirror the network's injected-fault tallies into the registry."""
+        stats = self.network.fault_stats
+        self.metrics.faults.dropped_messages = stats.dropped_messages
+        self.metrics.faults.timeouts = stats.timeouts
 
     # ------------------------------------------------------------------
     # Internals

@@ -27,7 +27,11 @@ from repro.core.access_control import AccessController, Role
 from repro.core.config import BestPeerConfig
 from repro.core.loader import DataLoader, SnapshotDelta
 from repro.core.schema_mapping import SchemaMapping
-from repro.errors import BestPeerError, QueryRejectedError
+from repro.errors import (
+    BestPeerError,
+    PeerUnavailableError,
+    QueryRejectedError,
+)
 from repro.sim.cloud import CloudProvider, Instance, InstanceState
 from repro.sim.compute import ComputeModel, DEFAULT_COMPUTE_MODEL
 from repro.sqlengine.database import Database, QueryResult
@@ -200,7 +204,7 @@ class NormalPeer:
 
     def _require_online(self) -> None:
         if not self.online:
-            raise BestPeerError(f"peer {self.peer_id!r} is offline")
+            raise PeerUnavailableError(f"peer {self.peer_id!r} is offline")
 
     # ------------------------------------------------------------------
     # Index publication (§4.3: "each normal peer invokes the data indexer

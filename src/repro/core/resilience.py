@@ -1,0 +1,324 @@
+"""Fault-tolerant execution primitives: retry, breakers, deadlines.
+
+The paper's operational claim (§3.2, Algorithm 1) is that BestPeer++ keeps
+answering queries correctly while "machine failures in cloud environment
+are not uncommon".  This module supplies the building blocks the query path
+uses to make that claim hold under *message-level* faults, not just whole
+instance crashes:
+
+* :class:`RetryPolicy` — exponential backoff with seeded jitter, capped by
+  an attempt count and a total-wait budget, all in simulated seconds,
+* :class:`CircuitBreaker` — per-peer failure isolation: after a run of
+  consecutive transient failures the breaker opens and the caller waits out
+  a cooldown before probing again (half-open),
+* :class:`Deadline` — a query-wide time budget propagated into every retry
+  loop, and
+* :class:`ResilienceContext` — the per-deployment object the engines call
+  through: it retries transient faults at *sub-query* granularity (one
+  peer's partition, not the whole query) and escalates genuine crashes to
+  the bootstrap's fail-over instead of spinning on a dead host.
+
+Everything is deterministic: backoff jitter comes from a seeded RNG and
+waits advance the shared :class:`~repro.sim.clock.SimClock`, so a chaos run
+with a fixed seed replays bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.errors import (
+    BestPeerError,
+    NetworkError,
+    PeerUnavailableError,
+    RpcTimeoutError,
+    TransientNetworkError,
+)
+from repro.sim.clock import SimClock
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How to retry a failed operation.
+
+    ``max_attempts`` counts total tries (first call included); backoff
+    before retry *n* (1-based) is ``base_backoff_s * multiplier**(n-1)``
+    capped at ``max_backoff_s``, with ``±jitter_fraction`` of seeded noise.
+    ``budget_s`` caps the cumulative backoff spent on one operation.
+    """
+
+    max_attempts: int = 4
+    base_backoff_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    max_backoff_s: float = 5.0
+    jitter_fraction: float = 0.1
+    budget_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise BestPeerError(
+                f"need at least one attempt: {self.max_attempts}"
+            )
+        if self.base_backoff_s < 0 or self.max_backoff_s < 0:
+            raise BestPeerError("backoff must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise BestPeerError(
+                f"backoff multiplier must be >= 1: {self.backoff_multiplier}"
+            )
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise BestPeerError(
+                f"jitter fraction must be in [0, 1): {self.jitter_fraction}"
+            )
+        if self.budget_s < 0:
+            raise BestPeerError(f"budget must be non-negative: {self.budget_s}")
+
+    def backoff_s(
+        self, retry_number: int, rng: Optional[random.Random] = None
+    ) -> float:
+        """Backoff before retry ``retry_number`` (1-based), jittered."""
+        if retry_number < 1:
+            raise BestPeerError(f"retry numbers start at 1: {retry_number}")
+        backoff = min(
+            self.max_backoff_s,
+            self.base_backoff_s
+            * self.backoff_multiplier ** (retry_number - 1),
+        )
+        if rng is not None and self.jitter_fraction > 0 and backoff > 0:
+            backoff *= 1.0 + self.jitter_fraction * (2.0 * rng.random() - 1.0)
+        return backoff
+
+
+@dataclass
+class Deadline:
+    """An absolute point in simulated time after which work must stop."""
+
+    expires_at: float
+
+    def remaining(self, now: float) -> float:
+        return self.expires_at - now
+
+    def exceeded(self, now: float) -> bool:
+        return now >= self.expires_at
+
+
+class CircuitBreaker:
+    """Per-peer failure isolation (closed -> open -> half-open).
+
+    ``failure_threshold`` consecutive transient failures open the breaker;
+    while open, callers must wait out ``reset_timeout_s`` before the next
+    probe (half-open).  A success in any state closes it again.
+    """
+
+    def __init__(
+        self, failure_threshold: int = 5, reset_timeout_s: float = 30.0
+    ) -> None:
+        if failure_threshold < 1:
+            raise BestPeerError(
+                f"failure threshold must be >= 1: {failure_threshold}"
+            )
+        if reset_timeout_s < 0:
+            raise BestPeerError(
+                f"reset timeout must be non-negative: {reset_timeout_s}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self.consecutive_failures = 0
+        self.opened_at: Optional[float] = None
+        self.open_count = 0
+
+    @property
+    def is_open(self) -> bool:
+        return self.opened_at is not None
+
+    def cooldown_remaining(self, now: float) -> float:
+        """Seconds a caller must still wait before probing; 0 when closed."""
+        if self.opened_at is None:
+            return 0.0
+        return max(0.0, self.opened_at + self.reset_timeout_s - now)
+
+    def record_failure(self, now: float) -> bool:
+        """Count one transient failure; returns True if this opened the breaker."""
+        self.consecutive_failures += 1
+        if (
+            self.opened_at is None
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self.opened_at = now
+            self.open_count += 1
+            return True
+        if self.opened_at is not None:
+            # A failed half-open probe re-arms the cooldown.
+            self.opened_at = now
+        return False
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.opened_at = None
+
+
+@dataclass
+class ResilienceSession:
+    """Per-query accounting of what fault tolerance cost."""
+
+    deadline: Optional[Deadline] = None
+    retries: int = 0
+    failovers: int = 0
+    waited_s: float = 0.0            # backoff + breaker cooldown waits
+    blocked_failover_s: float = 0.0  # time blocked on Algorithm-1 fail-over
+    advanced_s: float = 0.0          # sim-clock time already advanced here
+
+
+class ResilienceContext:
+    """The engines' gateway to retry/breaker/fail-over behaviour.
+
+    One instance lives per deployment; :meth:`begin_query` resets the
+    per-query session.  ``is_crashed`` and ``failover`` are callables the
+    facade provides: the first distinguishes a genuinely crashed peer from
+    a transient fault, the second blocks on the bootstrap daemon until the
+    peer is failed over and returns the simulated seconds spent.
+    """
+
+    def __init__(
+        self,
+        policy: RetryPolicy,
+        clock: SimClock,
+        jitter_seed: int = 0,
+        metrics=None,
+        breaker_failure_threshold: int = 5,
+        breaker_reset_timeout_s: float = 30.0,
+        is_crashed: Optional[Callable[[str], bool]] = None,
+        failover: Optional[Callable[[str], float]] = None,
+        deadline_s: Optional[float] = None,
+    ) -> None:
+        self.policy = policy
+        self.clock = clock
+        self.rng = random.Random(jitter_seed)
+        self.metrics = metrics
+        self.breaker_failure_threshold = breaker_failure_threshold
+        self.breaker_reset_timeout_s = breaker_reset_timeout_s
+        self.is_crashed = is_crashed
+        self.failover = failover
+        self.deadline_s = deadline_s
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self.session = ResilienceSession()
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+    def begin_query(self) -> ResilienceSession:
+        """Start accounting for a new query (deadline starts now)."""
+        deadline = (
+            Deadline(self.clock.now + self.deadline_s)
+            if self.deadline_s is not None
+            else None
+        )
+        self.session = ResilienceSession(deadline=deadline)
+        return self.session
+
+    def breaker(self, peer_id: str) -> CircuitBreaker:
+        breaker = self._breakers.get(peer_id)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self.breaker_failure_threshold, self.breaker_reset_timeout_s
+            )
+            self._breakers[peer_id] = breaker
+        return breaker
+
+    # ------------------------------------------------------------------
+    # The wrapper
+    # ------------------------------------------------------------------
+    def call(self, peer_id: str, fn: Callable[[], object]) -> object:
+        """Run ``fn`` against ``peer_id`` with full fault handling.
+
+        Transient faults (drops, outages, timeouts) are retried with
+        backoff under the peer's circuit breaker; a genuinely crashed peer
+        triggers the bootstrap fail-over and one re-fetch of *this peer's
+        partition only* — the caller's already-fetched partitions survive.
+        """
+        session = self.session
+        retries = 0
+        waited = 0.0
+        failovers = 0
+        while True:
+            breaker = self.breaker(peer_id)
+            cooldown = breaker.cooldown_remaining(self.clock.now)
+            if cooldown > 0:
+                # Open breaker: wait out the cooldown (charged to the
+                # query) instead of hammering a failing peer.
+                self._check_deadline(extra=cooldown)
+                self._wait(cooldown)
+                waited += cooldown
+            try:
+                value = fn()
+            except TransientNetworkError:
+                retries += 1
+                opened = breaker.record_failure(self.clock.now)
+                if opened and self.metrics is not None:
+                    self.metrics.faults.circuit_opens += 1
+                if retries >= self.policy.max_attempts:
+                    raise
+                if waited >= self.policy.budget_s:
+                    raise
+                backoff = self.policy.backoff_s(retries, self.rng)
+                self._check_deadline(extra=backoff)
+                self._wait(backoff)
+                waited += backoff
+                session.retries += 1
+                if self.metrics is not None:
+                    self.metrics.faults.retries += 1
+                continue
+            except (PeerUnavailableError, NetworkError):
+                # Hard failure: only meaningful if the peer really is down;
+                # otherwise (unknown host, config error) re-raise.
+                if (
+                    self.failover is None
+                    or self.is_crashed is None
+                    or not self.is_crashed(peer_id)
+                    or failovers >= self.policy.max_attempts
+                ):
+                    raise
+                blocked = self.failover(peer_id)
+                failovers += 1
+                session.failovers += 1
+                session.blocked_failover_s += blocked
+                continue
+            breaker.record_success()
+            return value
+
+    # ------------------------------------------------------------------
+    # Crash handling outside the per-fetch path
+    # ------------------------------------------------------------------
+    def ensure_available(self, peer_id: str) -> bool:
+        """Fail a crashed peer over before the query fans out to it.
+
+        Returns True once the peer is available again, False when this
+        context cannot recover it (no fail-over callback installed).
+        """
+        if self.failover is None or self.is_crashed is None:
+            return False
+        if not self.is_crashed(peer_id):
+            return True
+        blocked = self.failover(peer_id)
+        self.session.failovers += 1
+        self.session.blocked_failover_s += blocked
+        return not self.is_crashed(peer_id)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _wait(self, seconds: float) -> None:
+        if seconds <= 0:
+            return
+        self.clock.advance(seconds)
+        self.session.waited_s += seconds
+        self.session.advanced_s += seconds
+
+    def _check_deadline(self, extra: float = 0.0) -> None:
+        deadline = self.session.deadline
+        if deadline is not None and deadline.exceeded(self.clock.now + extra):
+            raise RpcTimeoutError(
+                f"query deadline exceeded at t={self.clock.now:.3f}s "
+                f"(expires {deadline.expires_at:.3f}s)"
+            )

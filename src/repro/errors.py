@@ -18,6 +18,19 @@ class NetworkError(SimulationError):
     """A message could not be delivered (unknown host, partitioned link)."""
 
 
+class TransientNetworkError(NetworkError):
+    """A delivery failed for a reason that may clear on retry.
+
+    Raised by the fault-injection layer for dropped messages and transient
+    peer unavailability windows.  Callers should retry (with backoff)
+    rather than treat the destination as crashed.
+    """
+
+
+class RpcTimeoutError(TransientNetworkError):
+    """A delivery exceeded its timeout (slow link or overloaded receiver)."""
+
+
 class CloudError(SimulationError):
     """Cloud-adapter failure (unknown instance, double-terminate, ...)."""
 
@@ -95,3 +108,7 @@ class QueryRejectedError(BestPeerError):
 
 class PeerUnavailableError(BestPeerError):
     """A required peer is offline and fail-over has not completed yet."""
+
+
+class ChaosEquivalenceError(ReproError):
+    """A chaos run diverged from the fault-free baseline (or is misconfigured)."""

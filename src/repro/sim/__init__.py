@@ -14,7 +14,12 @@ reproducible bit-for-bit.
 """
 
 from repro.sim.clock import SimClock, parallel_duration, serial_duration
-from repro.sim.network import NetworkConfig, SimNetwork, TransferStats
+from repro.sim.network import (
+    FaultStats,
+    NetworkConfig,
+    SimNetwork,
+    TransferStats,
+)
 from repro.sim.cloud import (
     CloudProvider,
     CloudWatch,
@@ -24,7 +29,8 @@ from repro.sim.cloud import (
     InstanceType,
     INSTANCE_TYPES,
 )
-from repro.sim.failure import FailureInjector
+from repro.sim.failure import FailureInjector, FaultPlan, LinkFault, Outage
+from repro.sim.chaos import ChaosHarness, ChaosRun, QueryOutcome
 from repro.sim.compute import ComputeModel, DEFAULT_COMPUTE_MODEL
 
 __all__ = [
@@ -34,6 +40,7 @@ __all__ = [
     "NetworkConfig",
     "SimNetwork",
     "TransferStats",
+    "FaultStats",
     "CloudProvider",
     "CloudWatch",
     "EbsSnapshot",
@@ -42,6 +49,12 @@ __all__ = [
     "InstanceType",
     "INSTANCE_TYPES",
     "FailureInjector",
+    "FaultPlan",
+    "LinkFault",
+    "Outage",
+    "ChaosHarness",
+    "ChaosRun",
+    "QueryOutcome",
     "ComputeModel",
     "DEFAULT_COMPUTE_MODEL",
 ]

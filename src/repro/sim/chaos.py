@@ -1,0 +1,163 @@
+"""Chaos-equivalence harness: prove faults change cost, never answers.
+
+The robustness claim worth testing is not "queries succeed under faults"
+but "queries return *exactly the same rows* under faults".  This module
+runs the same workload twice — once fault-free, once under a seeded
+:class:`~repro.sim.failure.FaultPlan` — on freshly built, identically
+seeded deployments and compares row sets query by query.  Latency is
+allowed (expected!) to differ; results are not.
+
+The harness is deliberately decoupled from the core facade: it drives any
+object with the ``BestPeerNetwork`` surface (``execute``,
+``install_fault_plan``, ``metrics``, ``network``), supplied by a factory so
+every run starts from the same deterministic initial state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ChaosEquivalenceError
+from repro.sim.failure import FaultPlan
+
+
+def _sort_key(row: tuple) -> tuple:
+    """Total order over heterogeneous rows (None-safe)."""
+    return tuple((value is None, str(type(value)), value if value is not None else 0)
+                 for value in row)
+
+
+@dataclass
+class QueryOutcome:
+    """One query's answer under one run, rows canonically sorted."""
+
+    sql: str
+    columns: List[str]
+    rows: List[tuple]
+    latency_s: float
+    strategy: str
+
+
+@dataclass
+class ChaosRun:
+    """One workload pass plus the fault tolerance it consumed."""
+
+    plan_seed: Optional[int]
+    outcomes: List[QueryOutcome] = field(default_factory=list)
+    retries: int = 0
+    failovers: int = 0
+    circuit_opens: int = 0
+    dropped_messages: int = 0
+    timeouts: int = 0
+    transient_rejections: int = 0
+    injected_crashes: int = 0
+    total_blocked_s: float = 0.0
+    bytes_transferred: int = 0
+
+    @property
+    def faults_seen(self) -> int:
+        return (
+            self.dropped_messages
+            + self.timeouts
+            + self.transient_rejections
+            + self.injected_crashes
+        )
+
+    def row_sets(self) -> List[List[tuple]]:
+        return [outcome.rows for outcome in self.outcomes]
+
+    def fingerprint(self) -> Tuple:
+        """A hashable digest of answers *and* fault accounting.
+
+        Two runs of the same plan on the same workload must produce equal
+        fingerprints — this is the determinism contract a seeded FaultPlan
+        offers.
+        """
+        return (
+            tuple(
+                (outcome.sql, tuple(outcome.columns), tuple(outcome.rows))
+                for outcome in self.outcomes
+            ),
+            self.retries,
+            self.failovers,
+            self.dropped_messages,
+            self.timeouts,
+            self.transient_rejections,
+            self.injected_crashes,
+        )
+
+
+class ChaosHarness:
+    """Runs a fixed workload under different fault plans and compares."""
+
+    def __init__(
+        self,
+        network_factory: Callable[[], object],
+        queries: Sequence[str],
+        engine: str = "basic",
+        peer_id: Optional[str] = None,
+        user: Optional[str] = None,
+    ) -> None:
+        if not queries:
+            raise ChaosEquivalenceError("a chaos workload needs queries")
+        self.network_factory = network_factory
+        self.queries = list(queries)
+        self.engine = engine
+        self.peer_id = peer_id
+        self.user = user
+
+    def run(self, plan: Optional[FaultPlan] = None) -> ChaosRun:
+        """One pass of the workload on a fresh deployment."""
+        network = self.network_factory()
+        if plan is not None:
+            network.install_fault_plan(plan)
+        run = ChaosRun(plan_seed=None if plan is None else plan.seed)
+        for sql in self.queries:
+            execution = network.execute(
+                sql, peer_id=self.peer_id, engine=self.engine, user=self.user
+            )
+            run.outcomes.append(
+                QueryOutcome(
+                    sql=sql,
+                    columns=list(execution.columns),
+                    rows=sorted(execution.records, key=_sort_key),
+                    latency_s=execution.latency_s,
+                    strategy=execution.strategy,
+                )
+            )
+            run.bytes_transferred += execution.bytes_transferred
+        faults = network.metrics.faults
+        stats = network.network.fault_stats
+        run.retries = faults.retries
+        run.failovers = faults.failovers
+        run.circuit_opens = faults.circuit_opens
+        run.dropped_messages = stats.dropped_messages
+        run.timeouts = stats.timeouts
+        run.transient_rejections = stats.transient_rejections
+        run.injected_crashes = stats.injected_crashes
+        run.total_blocked_s = network.total_blocked_s
+        return run
+
+    def verify_equivalence(
+        self, plans: Dict[str, FaultPlan]
+    ) -> Dict[str, ChaosRun]:
+        """Run fault-free once, then every plan; answers must match.
+
+        Returns ``{"baseline": ..., <plan name>: ...}`` for inspection.
+        Raises :class:`ChaosEquivalenceError` on the first divergent row
+        set, naming the plan and query.
+        """
+        baseline = self.run(None)
+        runs: Dict[str, ChaosRun] = {"baseline": baseline}
+        for name, plan in plans.items():
+            chaotic = self.run(plan)
+            runs[name] = chaotic
+            for base, chaos in zip(baseline.outcomes, chaotic.outcomes):
+                if base.columns != chaos.columns or base.rows != chaos.rows:
+                    raise ChaosEquivalenceError(
+                        f"plan {name!r} changed the answer of {base.sql!r}: "
+                        f"{len(base.rows)} baseline rows vs "
+                        f"{len(chaos.rows)} under chaos"
+                    )
+        return runs

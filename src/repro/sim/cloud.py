@@ -114,11 +114,19 @@ class CloudWatch:
         self._provider = provider
 
     def is_responsive(self, instance_id: str) -> bool:
-        """True if the instance is running and reachable on the network."""
+        """True if the instance is running and reachable on the network.
+
+        A transient outage window (fault injection) reads as a missed
+        heartbeat too — the failure detector's suspicion threshold decides
+        whether that warrants a fail-over.
+        """
         instance = self._provider.describe_instance(instance_id)
         if instance.state is not InstanceState.RUNNING:
             return False
-        return not self._provider.network.is_partitioned(instance_id)
+        network = self._provider.network
+        if network.is_partitioned(instance_id):
+            return False
+        return not network.is_unreachable(instance_id)
 
     def metrics(self, instance_id: str) -> Dict[str, float]:
         instance = self._provider.describe_instance(instance_id)

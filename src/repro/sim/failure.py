@@ -1,17 +1,177 @@
-"""Failure injection for fail-over experiments.
+"""Failure injection for fail-over and chaos experiments.
 
 "Machine failures in cloud environment are not uncommon" (Section 4.3); the
 bootstrap peer's daemon (Algorithm 1) must detect crashed instances and
 trigger automatic fail-over.  :class:`FailureInjector` deterministically
 schedules crashes so tests and benchmarks can exercise that path.
+
+:class:`FaultPlan` extends the blunt whole-instance crash with
+*message-level* faults, all seeded and deterministic:
+
+* per-link (or network-wide) message drop probability,
+* transient peer unavailability windows, scheduled on the global transfer
+  ordinal — the Nth delivery attempt network-wide — so a fixed seed and
+  workload replay the exact same fault schedule,
+* slow-link degradation (extra latency, reduced bandwidth),
+* delivery timeouts, and
+* crashes scheduled mid-workload (after the Nth successful transfer).
+
+:class:`~repro.sim.network.SimNetwork` consults an installed plan on every
+transfer and raises
+:class:`~repro.errors.TransientNetworkError`/:class:`~repro.errors.RpcTimeoutError`
+for injected faults.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.errors import SimulationError
 from repro.sim.cloud import CloudProvider, InstanceState
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Degradation of one link (or, with wildcards, many links).
+
+    ``src``/``dst`` of ``None`` match any host.  ``drop_probability`` is
+    combined with the plan-wide probability by taking the maximum;
+    ``extra_latency_s`` is added to and ``bandwidth_factor`` (in (0, 1])
+    divides the priced transfer duration.
+    """
+
+    src: Optional[str] = None
+    dst: Optional[str] = None
+    drop_probability: float = 0.0
+    extra_latency_s: float = 0.0
+    bandwidth_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_probability <= 1.0:
+            raise SimulationError(
+                f"drop probability must be in [0, 1]: {self.drop_probability}"
+            )
+        if self.extra_latency_s < 0:
+            raise SimulationError("extra latency must be non-negative")
+        if not 0 < self.bandwidth_factor <= 1.0:
+            raise SimulationError("bandwidth factor must be in (0, 1]")
+
+    def matches(self, src: str, dst: str) -> bool:
+        return (self.src is None or self.src == src) and (
+            self.dst is None or self.dst == dst
+        )
+
+
+@dataclass(frozen=True)
+class Outage:
+    """A transient unavailability window for one host.
+
+    The host refuses every delivery (as sender or receiver) while the
+    network's global transfer ordinal lies in ``[start, end)``.  Counting in
+    transfer attempts instead of seconds keeps the schedule deterministic
+    regardless of how callers account simulated time.
+    """
+
+    host: str
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise SimulationError(
+                f"outage window must satisfy 0 <= start < end: {self}"
+            )
+
+    def covers(self, host: str, ordinal: int) -> bool:
+        return host == self.host and self.start <= ordinal < self.end
+
+
+class FaultPlan:
+    """A seeded, deterministic message-level fault schedule.
+
+    ``drop_probability`` applies to every non-loopback link; ``link_faults``
+    add per-link drops and degradation; ``outages`` make hosts transiently
+    unreachable; ``timeout_s`` bounds any single delivery's priced duration;
+    ``crash_after`` maps a transfer ordinal to a host that crashes after
+    that many successful transfers (the network invokes the crash callback
+    installed alongside the plan).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        drop_probability: float = 0.0,
+        link_faults: Sequence[LinkFault] = (),
+        outages: Sequence[Outage] = (),
+        timeout_s: Optional[float] = None,
+        crash_after: Optional[Dict[int, str]] = None,
+    ) -> None:
+        if not 0.0 <= drop_probability <= 1.0:
+            raise SimulationError(
+                f"drop probability must be in [0, 1]: {drop_probability}"
+            )
+        if timeout_s is not None and timeout_s <= 0:
+            raise SimulationError(f"timeout must be positive: {timeout_s}")
+        self.seed = seed
+        self.drop_probability = drop_probability
+        self.link_faults = tuple(link_faults)
+        self.outages = tuple(outages)
+        self.timeout_s = timeout_s
+        self.crash_after = dict(crash_after or {})
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    # Queries (called by SimNetwork per delivery attempt)
+    # ------------------------------------------------------------------
+    def unavailable_host(self, src: str, dst: str, ordinal: int) -> Optional[str]:
+        """The endpoint covered by an outage at ``ordinal``, if any."""
+        for outage in self.outages:
+            if outage.covers(src, ordinal):
+                return src
+            if outage.covers(dst, ordinal):
+                return dst
+        return None
+
+    def is_unreachable(self, host: str, ordinal: int) -> bool:
+        """Whether ``host`` is inside an outage window at ``ordinal``."""
+        return any(outage.covers(host, ordinal) for outage in self.outages)
+
+    def should_drop(self, src: str, dst: str) -> bool:
+        """Roll the (seeded) dice for one delivery on ``src -> dst``.
+
+        Consumes one RNG draw per call, so for a fixed seed and transfer
+        sequence the drop pattern is reproducible bit-for-bit.
+        """
+        probability = self.drop_probability
+        for fault in self.link_faults:
+            if fault.matches(src, dst):
+                probability = max(probability, fault.drop_probability)
+        if probability <= 0.0:
+            return False
+        return self._rng.random() < probability
+
+    def degrade(self, src: str, dst: str, duration_s: float) -> float:
+        """Apply slow-link degradation to a priced transfer duration."""
+        for fault in self.link_faults:
+            if fault.matches(src, dst):
+                duration_s = (
+                    duration_s / fault.bandwidth_factor + fault.extra_latency_s
+                )
+        return duration_s
+
+    def crashes_due(self, completed_transfers: int) -> List[str]:
+        """Hosts scheduled to crash once ``completed_transfers`` is reached."""
+        return [
+            host
+            for ordinal, host in sorted(self.crash_after.items())
+            if ordinal == completed_transfers
+        ]
+
+    def reset(self) -> None:
+        """Rewind the seeded RNG (for replaying the same schedule)."""
+        self._rng = random.Random(self.seed)
 
 
 class FailureInjector:

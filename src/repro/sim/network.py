@@ -16,9 +16,9 @@ crashed instances that stop responding.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Set, Tuple
+from typing import Callable, Dict, Optional, Set, Tuple
 
-from repro.errors import NetworkError
+from repro.errors import NetworkError, RpcTimeoutError, TransientNetworkError
 
 
 @dataclass(frozen=True)
@@ -59,6 +59,25 @@ class TransferStats:
         self.total_duration_s += duration_s
 
 
+@dataclass
+class FaultStats:
+    """Counters of injected message-level faults (chaos observability)."""
+
+    dropped_messages: int = 0
+    timeouts: int = 0
+    transient_rejections: int = 0
+    injected_crashes: int = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.dropped_messages
+            + self.timeouts
+            + self.transient_rejections
+            + self.injected_crashes
+        )
+
+
 class SimNetwork:
     """A fully connected network of named hosts with cost accounting.
 
@@ -75,6 +94,41 @@ class SimNetwork:
         self._link_stats: Dict[Tuple[str, str], TransferStats] = {}
         self._host_stats: Dict[str, TransferStats] = {}
         self.total = TransferStats()
+        # Message-level fault injection (installed by the chaos layer).
+        self.fault_plan = None
+        self.fault_stats = FaultStats()
+        self._on_crash: Optional[Callable[[str], None]] = None
+        self._transfer_ordinal = 0
+        self._completed_transfers = 0
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def install_fault_plan(
+        self, plan, on_crash: Optional[Callable[[str], None]] = None
+    ) -> None:
+        """Install a :class:`~repro.sim.failure.FaultPlan` (or ``None``).
+
+        ``on_crash`` is invoked with a host id when the plan schedules a
+        crash after the Nth successful transfer; the owner of the network
+        (e.g. the BestPeer++ facade) maps the host to an instance crash.
+        """
+        self.fault_plan = plan
+        self._on_crash = on_crash
+        self._transfer_ordinal = 0
+        self._completed_transfers = 0
+        if plan is not None:
+            plan.reset()
+
+    def is_unreachable(self, host: str) -> bool:
+        """Whether ``host`` is inside a transient outage window right now.
+
+        Distinct from :meth:`is_partitioned`: an outage clears on its own,
+        so failure detectors should *suspect*, not immediately fail over.
+        """
+        return self.fault_plan is not None and self.fault_plan.is_unreachable(
+            host, self._transfer_ordinal
+        )
 
     # ------------------------------------------------------------------
     # Host management
@@ -134,15 +188,49 @@ class SimNetwork:
             raise NetworkError(f"host is partitioned: {unreachable!r}")
 
         if src == dst:
+            # Loopback never leaves the machine: immune to injected faults.
             duration = nbytes / self.config.loopback_bandwidth_bytes_per_s
-        else:
-            duration = (
-                self.config.latency_s
-                + messages * self.config.per_message_overhead_s
-                + nbytes / self.config.bandwidth_bytes_per_s
-            )
+            self._record(src, dst, nbytes, duration, messages)
+            return duration
+
+        duration = (
+            self.config.latency_s
+            + messages * self.config.per_message_overhead_s
+            + nbytes / self.config.bandwidth_bytes_per_s
+        )
+        plan = self.fault_plan
+        if plan is not None:
+            self._transfer_ordinal += 1
+            unavailable = plan.unavailable_host(src, dst, self._transfer_ordinal)
+            if unavailable is not None:
+                # Connection refused: nothing was put on the wire.
+                self.fault_stats.transient_rejections += 1
+                raise TransientNetworkError(
+                    f"host {unavailable!r} is transiently unavailable"
+                )
+            duration = plan.degrade(src, dst, duration)
+            if plan.should_drop(src, dst):
+                # The payload was transmitted and lost: the traffic counts.
+                self.fault_stats.dropped_messages += 1
+                self._record(src, dst, nbytes, duration, messages)
+                raise TransientNetworkError(
+                    f"message dropped on link {src!r} -> {dst!r}"
+                )
+            if plan.timeout_s is not None and duration > plan.timeout_s:
+                self.fault_stats.timeouts += 1
+                self._record(src, dst, nbytes, duration, messages)
+                raise RpcTimeoutError(
+                    f"delivery {src!r} -> {dst!r} took {duration:.3f}s, "
+                    f"over the {plan.timeout_s:.3f}s timeout"
+                )
 
         self._record(src, dst, nbytes, duration, messages)
+        if plan is not None:
+            self._completed_transfers += 1
+            for host in plan.crashes_due(self._completed_transfers):
+                self.fault_stats.injected_crashes += 1
+                if self._on_crash is not None:
+                    self._on_crash(host)
         return duration
 
     def broadcast(self, src: str, dsts: list, nbytes: int) -> float:
@@ -172,6 +260,7 @@ class SimNetwork:
         for host in self._host_stats:
             self._host_stats[host] = TransferStats()
         self.total = TransferStats()
+        self.fault_stats = FaultStats()
 
     # ------------------------------------------------------------------
     # Internals

@@ -112,3 +112,80 @@ class TestMembershipRebuild:
         replicated.insert(0.42, "v")
         total = sum(replicated.replica_count(f"peer-{i}") for i in range(2))
         assert total == 1  # only one other node exists
+
+
+def normalized_store(replicated):
+    """The replica store as plain data, empty entries dropped."""
+    return {
+        holder_id: {
+            primary_id: {key: sorted(map(str, values))
+                         for key, values in primary_store.items() if values}
+            for primary_id, primary_store in store.items()
+            if any(primary_store.values())
+        }
+        for holder_id, store in replicated._store.items()
+        if any(any(ps.values()) for ps in store.values())
+    }
+
+
+class TestIncrementalRepair:
+    """Membership churn must repair only the affected neighbourhood while
+    keeping the replica store identical to a from-scratch rebuild."""
+
+    def test_repair_touches_neighbourhood_not_network(self):
+        replicated = build(64)
+        replicated.join("late-joiner")
+        assert replicated.last_repair_count <= 10  # not all 65
+        replicated.leave("peer-10")
+        assert replicated.last_repair_count <= 12
+
+    def test_incremental_matches_full_rebuild_under_churn(self):
+        replicated = build(16)
+        for i in range(60):
+            replicated.insert((i + 0.5) / 60.0, f"v{i}")
+        # Interleave joins, leaves and inserts; after every membership
+        # change the incremental store must equal a full rebuild.
+        for round_number in range(8):
+            if round_number % 2 == 0:
+                replicated.join(f"extra-{round_number}")
+            else:
+                replicated.leave(f"peer-{round_number}")
+            replicated.insert(0.01 + round_number / 100.0, f"r{round_number}")
+            incremental = normalized_store(replicated)
+            replicated.rebuild_replicas()
+            assert incremental == normalized_store(replicated)
+
+    def test_replication_level_survives_churn(self):
+        replica_factor = 2
+        replicated = build(10, replica_factor=replica_factor)
+        keys = [(i + 0.5) / 20.0 for i in range(20)]
+        for i, key in enumerate(keys):
+            replicated.insert(key, f"v{i}")
+        replicated.leave("peer-3")
+        replicated.leave("peer-7")
+        replicated.join("newcomer-a")
+        replicated.join("newcomer-b")
+        # Every key is still fully replicated: primary + replica_factor
+        # copies, so any single primary failure is survivable.
+        for i, key in enumerate(keys):
+            primary = replicated.overlay.find_responsible(key)[0]
+            holders = [
+                holder_id
+                for holder_id in replicated._assignment[primary.node_id]
+                if f"v{i}"
+                in replicated._store.get(holder_id, {})
+                .get(primary.node_id, {})
+                .get(key, [])
+            ]
+            assert len(holders) == replica_factor, key
+            replicated.mark_offline(primary.node_id)
+            assert replicated.search(key).values == [f"v{i}"]
+            replicated.mark_online(primary.node_id)
+
+    def test_repair_count_resets_per_change(self):
+        replicated = build(32)
+        replicated.join("a")
+        first = replicated.last_repair_count
+        replicated.join("b")
+        assert replicated.last_repair_count > 0
+        assert first > 0

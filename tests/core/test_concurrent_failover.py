@@ -1,0 +1,152 @@
+"""Bootstrap daemon under concurrent and cascading crashes.
+
+Algorithm 1 must keep the membership intact and the instance population
+leak-free no matter how failures overlap: two peers dying in the same
+epoch, a replacement instance dying before its first heartbeat, and
+suspicion-threshold detection under transient unreachability.
+"""
+
+import pytest
+
+from repro.core import BestPeerNetwork, DaemonConfig
+from repro.sim import FaultPlan, InstanceState, Outage
+from repro.sqlengine import Column, ColumnType, TableSchema
+
+
+def schemas():
+    return {
+        "ledger": TableSchema(
+            "ledger",
+            [
+                Column("entry_id", ColumnType.INTEGER),
+                Column("amount", ColumnType.FLOAT),
+            ],
+            primary_key="entry_id",
+        )
+    }
+
+
+def build_network(n=4, daemon_config=None):
+    net = BestPeerNetwork(schemas(), daemon_config=daemon_config)
+    for index in range(n):
+        peer_id = f"co-{index}"
+        net.add_peer(peer_id)
+        net.load_peer(
+            peer_id,
+            {"ledger": [(index * 10 + j, float(j)) for j in range(5)]},
+        )
+    return net
+
+
+def assert_no_instance_leaks(net):
+    """Every peer runs on exactly one live instance; crashes are reclaimed."""
+    assert net.cloud.list_instances(InstanceState.CRASHED) == []
+    running = net.cloud.list_instances(InstanceState.RUNNING)
+    assert len(running) == len(net.peers) + 1  # + the bootstrap itself
+    hosts = {instance.instance_id for instance in running}
+    for peer in net.peers.values():
+        assert peer.host in hosts
+
+
+class TestConcurrentCrashes:
+    def test_two_crashes_in_one_epoch(self):
+        net = build_network()
+        total_before = net.execute("SELECT SUM(amount) FROM ledger").scalar()
+        net.crash_peer("co-1")
+        net.crash_peer("co-3")
+
+        report = net.run_maintenance()
+        assert {event.peer_id for event in report.failovers} == {
+            "co-1", "co-3"
+        }
+        net.run_maintenance()  # releases the blacklisted instances
+        assert_no_instance_leaks(net)
+        assert net.bootstrap.peer_list() == [f"co-{i}" for i in range(4)]
+        total_after = net.execute("SELECT SUM(amount) FROM ledger").scalar()
+        assert total_after == pytest.approx(total_before)
+
+    def test_crash_during_failover_of_another_peer(self):
+        """A second peer dies while the first one's replacement boots."""
+        net = build_network()
+        net.crash_peer("co-0")
+        report = net.run_maintenance()
+        assert [event.peer_id for event in report.failovers] == ["co-0"]
+        # Mid-recovery, before the next epoch releases co-0's old instance,
+        # another peer goes down.
+        net.crash_peer("co-2")
+        report = net.run_maintenance()
+        assert [event.peer_id for event in report.failovers] == ["co-2"]
+        net.run_maintenance()
+        assert_no_instance_leaks(net)
+
+    def test_replacement_instance_crashes_immediately(self):
+        """The fail-over target itself dies before serving anything."""
+        net = build_network()
+        net.crash_peer("co-1")
+        net.run_maintenance()
+        # The freshly launched replacement crashes too (cascading failure).
+        net.crash_peer("co-1")
+        report = net.run_maintenance()
+        assert [event.peer_id for event in report.failovers] == ["co-1"]
+        net.run_maintenance()
+        assert_no_instance_leaks(net)
+        total = net.execute("SELECT SUM(amount) FROM ledger").scalar()
+        assert total is not None
+        assert net.peers["co-1"].online
+
+
+class TestSuspicionThreshold:
+    def test_transient_outage_is_suspected_not_failed_over(self):
+        config = DaemonConfig(suspicion_threshold=3)
+        net = build_network(daemon_config=config)
+        # co-1's host refuses deliveries for a long ordinal window, which
+        # CloudWatch reads as missed heartbeats.
+        host = net.peers["co-1"].host
+        net.install_fault_plan(
+            FaultPlan(outages=[Outage(host, start=0, end=10_000)])
+        )
+        first = net.run_maintenance()
+        second = net.run_maintenance()
+        assert first.suspected_peers == ["co-1"]
+        assert second.suspected_peers == ["co-1"]
+        assert first.failovers == [] and second.failovers == []
+        # Outage ends; the next heartbeat clears the miss count.
+        net.install_fault_plan(None)
+        recovered = net.run_maintenance()
+        assert recovered.suspected_peers == []
+        assert recovered.failovers == []
+        assert net.peers["co-1"].host == host  # never moved
+
+    def test_persistent_misses_cross_threshold(self):
+        config = DaemonConfig(suspicion_threshold=2)
+        net = build_network(daemon_config=config)
+        net.crash_peer("co-1")
+        first = net.run_maintenance()
+        assert first.failovers == []
+        assert first.suspected_peers == ["co-1"]
+        second = net.run_maintenance()
+        assert [event.peer_id for event in second.failovers] == ["co-1"]
+        net.run_maintenance()
+        assert_no_instance_leaks(net)
+
+    def test_default_threshold_fails_over_immediately(self):
+        net = build_network()
+        net.crash_peer("co-2")
+        report = net.run_maintenance()
+        assert [event.peer_id for event in report.failovers] == ["co-2"]
+
+    def test_query_path_recovers_under_raised_threshold(self):
+        """execute() keeps blocking across epochs until fail-over happens."""
+        config = DaemonConfig(suspicion_threshold=2)
+        net = build_network(daemon_config=config)
+        baseline = net.execute("SELECT SUM(amount) FROM ledger").scalar()
+        net.crash_peer("co-1")
+        execution = net.execute("SELECT SUM(amount) FROM ledger")
+        assert execution.scalar() == pytest.approx(baseline)
+        assert net.peers["co-1"].online
+
+    def test_invalid_threshold_rejected(self):
+        from repro.errors import BestPeerError
+
+        with pytest.raises(BestPeerError):
+            DaemonConfig(suspicion_threshold=0)

@@ -166,6 +166,17 @@ class TestOperationalCommands:
         assert "peers: 2" in output
         assert "acme" in output
 
+    def test_status_reports_fault_counters(self):
+        console = booted_console()
+        output = console.execute("status")
+        assert "faults absorbed:" in output
+        assert "retries=0" in output
+        console.network.metrics.faults.retries = 3
+        console.network.metrics.faults.failovers = 1
+        output = console.execute("status")
+        assert "retries=3" in output
+        assert "failovers=1" in output
+
     def test_metrics_after_queries(self):
         console = booted_console()
         console.execute("sql SELECT COUNT(*) FROM item")

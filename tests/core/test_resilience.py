@@ -1,0 +1,220 @@
+"""Tests for retry policies, circuit breakers and the resilience context."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    CircuitBreaker,
+    MetricsRegistry,
+    ResilienceContext,
+    RetryPolicy,
+)
+from repro.errors import (
+    BestPeerError,
+    PeerUnavailableError,
+    QueryRejectedError,
+    RpcTimeoutError,
+    TransientNetworkError,
+)
+from repro.sim import SimClock
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(
+            base_backoff_s=1.0, backoff_multiplier=2.0,
+            max_backoff_s=100.0, jitter_fraction=0.0,
+        )
+        assert [policy.backoff_s(n) for n in (1, 2, 3)] == [1.0, 2.0, 4.0]
+
+    def test_backoff_caps_at_max(self):
+        policy = RetryPolicy(
+            base_backoff_s=1.0, max_backoff_s=3.0, jitter_fraction=0.0
+        )
+        assert policy.backoff_s(10) == 3.0
+
+    def test_jitter_stays_within_fraction(self):
+        policy = RetryPolicy(base_backoff_s=1.0, jitter_fraction=0.1)
+        rng = random.Random(0)
+        for _ in range(100):
+            assert 0.9 <= policy.backoff_s(1, rng) <= 1.1
+
+    def test_validation(self):
+        with pytest.raises(BestPeerError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(BestPeerError):
+            RetryPolicy(backoff_multiplier=0.5)
+        with pytest.raises(BestPeerError):
+            RetryPolicy(jitter_fraction=1.0)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout_s=10.0)
+        assert not breaker.record_failure(0.0)
+        assert not breaker.record_failure(0.0)
+        assert breaker.record_failure(0.0)  # third strike opens it
+        assert breaker.is_open
+        assert breaker.cooldown_remaining(5.0) == 5.0
+
+    def test_success_closes(self):
+        breaker = CircuitBreaker(failure_threshold=1)
+        breaker.record_failure(0.0)
+        assert breaker.is_open
+        breaker.record_success()
+        assert not breaker.is_open
+        assert breaker.cooldown_remaining(0.0) == 0.0
+
+    def test_failed_probe_rearms_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=10.0)
+        breaker.record_failure(0.0)
+        breaker.record_failure(50.0)  # half-open probe failed
+        assert breaker.cooldown_remaining(55.0) == 5.0
+
+    def test_open_count_tracks_distinct_openings(self):
+        breaker = CircuitBreaker(failure_threshold=1)
+        breaker.record_failure(0.0)
+        breaker.record_success()
+        breaker.record_failure(1.0)
+        assert breaker.open_count == 2
+
+
+def make_context(**kwargs):
+    clock = SimClock()
+    defaults = dict(
+        policy=RetryPolicy(
+            max_attempts=4, base_backoff_s=0.1, jitter_fraction=0.0
+        ),
+        clock=clock,
+        metrics=MetricsRegistry(),
+    )
+    defaults.update(kwargs)
+    return ResilienceContext(**defaults), clock
+
+
+class FlakyPeer:
+    """Fails with ``error`` for the first ``failures`` calls, then succeeds."""
+
+    def __init__(self, failures, error=TransientNetworkError):
+        self.failures = failures
+        self.error = error
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error("injected")
+        return "ok"
+
+
+class TestResilienceContextRetry:
+    def test_transient_fault_retried_to_success(self):
+        context, clock = make_context()
+        context.begin_query()
+        flaky = FlakyPeer(failures=2)
+        assert context.call("p", flaky) == "ok"
+        assert flaky.calls == 3
+        assert context.session.retries == 2
+        assert context.metrics.faults.retries == 2
+
+    def test_backoff_advances_sim_clock(self):
+        context, clock = make_context()
+        context.begin_query()
+        context.call("p", FlakyPeer(failures=1))
+        assert clock.now == pytest.approx(0.1)
+        assert context.session.advanced_s == pytest.approx(0.1)
+
+    def test_exhausted_attempts_reraise(self):
+        context, _ = make_context()
+        context.begin_query()
+        with pytest.raises(TransientNetworkError):
+            context.call("p", FlakyPeer(failures=100))
+
+    def test_breaker_opens_and_cooldown_charged(self):
+        context, clock = make_context(
+            policy=RetryPolicy(
+                max_attempts=10, base_backoff_s=0.0, jitter_fraction=0.0
+            ),
+            breaker_failure_threshold=2,
+            breaker_reset_timeout_s=5.0,
+        )
+        context.begin_query()
+        context.call("p", FlakyPeer(failures=3))
+        assert context.metrics.faults.circuit_opens == 1
+        # The open breaker made at least one attempt wait out the cooldown.
+        assert context.session.waited_s >= 5.0
+
+    def test_non_transient_errors_pass_through(self):
+        context, _ = make_context()
+        context.begin_query()
+
+        def reject():
+            raise QueryRejectedError("snapshot conflict")
+
+        with pytest.raises(QueryRejectedError):
+            context.call("p", reject)
+
+    def test_deadline_cuts_retries_short(self):
+        context, _ = make_context(
+            policy=RetryPolicy(
+                max_attempts=50, base_backoff_s=10.0, jitter_fraction=0.0
+            ),
+            deadline_s=5.0,
+        )
+        context.begin_query()
+        with pytest.raises(RpcTimeoutError):
+            context.call("p", FlakyPeer(failures=100))
+
+
+class TestResilienceContextFailover:
+    def test_crashed_peer_triggers_failover_then_refetch(self):
+        crashed = {"p": True}
+        blocked = []
+
+        def failover(peer_id):
+            crashed[peer_id] = False
+            blocked.append(peer_id)
+            return 60.0
+
+        context, _ = make_context(
+            is_crashed=lambda peer_id: crashed.get(peer_id, False),
+            failover=failover,
+        )
+        context.begin_query()
+        flaky = FlakyPeer(failures=1, error=PeerUnavailableError)
+        assert context.call("p", flaky) == "ok"
+        assert blocked == ["p"]
+        assert context.session.failovers == 1
+        assert context.session.blocked_failover_s == 60.0
+
+    def test_hard_error_without_crash_reraises(self):
+        context, _ = make_context(
+            is_crashed=lambda peer_id: False,
+            failover=lambda peer_id: 0.0,
+        )
+        context.begin_query()
+        with pytest.raises(PeerUnavailableError):
+            context.call("p", FlakyPeer(failures=1, error=PeerUnavailableError))
+
+    def test_ensure_available_recovers_before_fanout(self):
+        crashed = {"p": True}
+
+        def failover(peer_id):
+            crashed[peer_id] = False
+            return 30.0
+
+        context, _ = make_context(
+            is_crashed=lambda peer_id: crashed.get(peer_id, False),
+            failover=failover,
+        )
+        context.begin_query()
+        assert context.ensure_available("p") is True
+        assert context.session.blocked_failover_s == 30.0
+        # Already-healthy peers cost nothing.
+        assert context.ensure_available("p") is True
+        assert context.session.failovers == 1
+
+    def test_ensure_available_without_callbacks(self):
+        context, _ = make_context()
+        assert context.ensure_available("p") is False

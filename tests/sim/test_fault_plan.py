@@ -1,0 +1,171 @@
+"""Tests for message-level fault injection (FaultPlan + SimNetwork)."""
+
+import pytest
+
+from repro.errors import (
+    RpcTimeoutError,
+    SimulationError,
+    TransientNetworkError,
+)
+from repro.sim import FaultPlan, LinkFault, NetworkConfig, Outage, SimNetwork
+
+
+def network(**kwargs):
+    net = SimNetwork(NetworkConfig(**kwargs))
+    net.add_host("a")
+    net.add_host("b")
+    net.add_host("c")
+    return net
+
+
+class TestValidation:
+    def test_drop_probability_bounds(self):
+        with pytest.raises(SimulationError):
+            FaultPlan(drop_probability=1.5)
+        with pytest.raises(SimulationError):
+            LinkFault(drop_probability=-0.1)
+
+    def test_outage_window_must_be_ordered(self):
+        with pytest.raises(SimulationError):
+            Outage("a", start=5, end=5)
+
+    def test_timeout_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            FaultPlan(timeout_s=0.0)
+
+    def test_bandwidth_factor_bounds(self):
+        with pytest.raises(SimulationError):
+            LinkFault(bandwidth_factor=0.0)
+
+
+class TestDrops:
+    def test_certain_drop_raises_transient(self):
+        net = network()
+        net.install_fault_plan(FaultPlan(drop_probability=1.0))
+        with pytest.raises(TransientNetworkError):
+            net.transfer("a", "b", 1000)
+        assert net.fault_stats.dropped_messages == 1
+
+    def test_dropped_transfer_still_counts_traffic(self):
+        # The bytes were put on the wire before the loss; wasted traffic
+        # is real traffic.
+        net = network()
+        net.install_fault_plan(FaultPlan(drop_probability=1.0))
+        with pytest.raises(TransientNetworkError):
+            net.transfer("a", "b", 1000)
+        assert net.total.bytes == 1000
+
+    def test_zero_probability_never_drops(self):
+        net = network()
+        net.install_fault_plan(FaultPlan(drop_probability=0.0))
+        for _ in range(50):
+            net.transfer("a", "b", 10)
+        assert net.fault_stats.total == 0
+
+    def test_seed_makes_drop_pattern_reproducible(self):
+        outcomes = []
+        for _ in range(2):
+            net = network()
+            net.install_fault_plan(FaultPlan(seed=3, drop_probability=0.4))
+            pattern = []
+            for _ in range(30):
+                try:
+                    net.transfer("a", "b", 10)
+                    pattern.append(True)
+                except TransientNetworkError:
+                    pattern.append(False)
+            outcomes.append(tuple(pattern))
+        assert outcomes[0] == outcomes[1]
+        assert False in outcomes[0] and True in outcomes[0]
+
+    def test_link_fault_overrides_plan_probability(self):
+        plan = FaultPlan(
+            drop_probability=0.0,
+            link_faults=[LinkFault(src="a", dst="b", drop_probability=1.0)],
+        )
+        net = network()
+        net.install_fault_plan(plan)
+        with pytest.raises(TransientNetworkError):
+            net.transfer("a", "b", 10)
+        net.transfer("b", "c", 10)  # unmatched link unaffected
+
+    def test_loopback_is_immune(self):
+        net = network()
+        net.install_fault_plan(FaultPlan(drop_probability=1.0))
+        net.transfer("a", "a", 1000)
+        assert net.fault_stats.total == 0
+
+
+class TestOutages:
+    def test_outage_rejects_either_endpoint(self):
+        plan = FaultPlan(outages=[Outage("b", start=1, end=3)])
+        net = network()
+        net.install_fault_plan(plan)
+        with pytest.raises(TransientNetworkError):
+            net.transfer("a", "b", 10)  # ordinal 1: b unreachable as dst
+        with pytest.raises(TransientNetworkError):
+            net.transfer("b", "c", 10)  # ordinal 2: b unreachable as src
+        net.transfer("a", "b", 10)      # ordinal 3: window closed
+        assert net.fault_stats.transient_rejections == 2
+
+    def test_is_unreachable_tracks_current_ordinal(self):
+        plan = FaultPlan(outages=[Outage("b", start=1, end=2)])
+        net = network()
+        net.install_fault_plan(plan)
+        assert not net.is_unreachable("b")  # ordinal still 0
+        with pytest.raises(TransientNetworkError):
+            net.transfer("a", "b", 10)
+        assert net.is_unreachable("b")
+
+
+class TestDegradationAndTimeouts:
+    def test_slow_link_stretches_duration(self):
+        net = network()
+        baseline = net.transfer("a", "b", 1_000_000)
+        net.install_fault_plan(
+            FaultPlan(link_faults=[LinkFault(src="a", bandwidth_factor=0.5)])
+        )
+        degraded = net.transfer("a", "b", 1_000_000)
+        assert degraded > baseline * 1.5
+
+    def test_timeout_raises_rpc_timeout(self):
+        net = network()
+        net.install_fault_plan(FaultPlan(timeout_s=1e-6))
+        with pytest.raises(RpcTimeoutError):
+            net.transfer("a", "b", 100_000_000)
+        assert net.fault_stats.timeouts == 1
+
+    def test_rpc_timeout_is_transient(self):
+        # Retry layers treat timeouts like any other transient fault.
+        assert issubclass(RpcTimeoutError, TransientNetworkError)
+
+
+class TestCrashSchedule:
+    def test_crash_callback_fires_after_nth_transfer(self):
+        crashed = []
+        net = network()
+        net.install_fault_plan(
+            FaultPlan(crash_after={2: "c"}), on_crash=crashed.append
+        )
+        net.transfer("a", "b", 10)
+        assert crashed == []
+        net.transfer("a", "b", 10)
+        assert crashed == ["c"]
+        assert net.fault_stats.injected_crashes == 1
+
+    def test_reinstall_resets_schedule(self):
+        crashed = []
+        plan = FaultPlan(crash_after={1: "c"})
+        net = network()
+        net.install_fault_plan(plan, on_crash=crashed.append)
+        net.transfer("a", "b", 10)
+        net.install_fault_plan(plan, on_crash=crashed.append)
+        net.transfer("a", "b", 10)
+        assert crashed == ["c", "c"]
+
+    def test_uninstall_disarms(self):
+        net = network()
+        net.install_fault_plan(FaultPlan(drop_probability=1.0))
+        net.install_fault_plan(None)
+        net.transfer("a", "b", 10)
+        assert net.fault_stats.total == 0
