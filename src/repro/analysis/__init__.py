@@ -1,0 +1,59 @@
+"""Static analysis guarding the reproduction's two load-bearing invariants.
+
+The whole evaluation strategy rests on the simulated cluster being
+*deterministic* (seeded chaos runs must replay row-identical answers) and
+on the cost model being *honest* (every cross-peer byte is priced through
+:class:`~repro.sim.network.SimNetwork`).  Neither invariant is enforced by
+the type system — one stray ``random.random()``, ``time.time()``, unsorted
+``set`` iteration, or a direct peer-to-peer row fetch silently breaks them.
+
+This package is a small stdlib-``ast`` linter that encodes those invariants
+as rules:
+
+========  ==================================================================
+SIM001    global / unseeded ``random`` module use
+SIM002    wall clock (``time.time``/``sleep``, ``datetime.now``) instead of
+          the sim clock
+SIM003    nondeterministic ``set`` iteration feeding ordered results
+SIM004    ``id()`` / hash-order leaking into outputs
+ISO001    cross-object reach into another component's private state
+ISO002    row-moving peer calls that bypass ``SimNetwork`` byte accounting
+CFG001    config keys read with inline literal defaults that can drift
+          from ``repro.core.config``
+========  ==================================================================
+
+Usage::
+
+    python -m repro.analysis src tests benchmarks
+    python -m repro.analysis --json src
+    python -m repro.analysis --list-rules
+
+Deliberate exceptions are either annotated in the source with
+``# repro: allow[RULE] reason`` or grandfathered in the committed
+``analysis-baseline.json`` with a one-line justification.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.engine import AnalysisReport, Analyzer, analyze_paths, analyze_source
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, all_rules, get_rule, register_rule
+
+# Importing the rule modules registers the built-in rule set.
+from repro.analysis import determinism as _determinism  # noqa: F401
+from repro.analysis import isolation as _isolation  # noqa: F401
+from repro.analysis import configrules as _configrules  # noqa: F401
+
+__all__ = [
+    "AnalysisReport",
+    "Analyzer",
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "analyze_paths",
+    "analyze_source",
+    "get_rule",
+    "register_rule",
+]

@@ -1,0 +1,138 @@
+"""Command-line entry point: ``python -m repro.analysis [paths]``.
+
+Exit codes: 0 clean, 1 findings (or stale baseline entries under
+``--strict-baseline``), 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.analysis.baseline import Baseline, DEFAULT_BASELINE_NAME
+from repro.analysis.engine import Analyzer
+from repro.analysis.registry import AnalysisError, all_rules, get_rule
+from repro.analysis.report import to_json, to_text
+
+DEFAULT_PATHS = ["src", "tests", "benchmarks"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Determinism & sim-isolation linter for the BestPeer++ "
+            "reproduction."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files or directories to scan (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit a JSON report (for CI)"
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list suppressed and baselined findings",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help=(
+            "baseline file of grandfathered findings "
+            f"(default: ./{DEFAULT_BASELINE_NAME} when present)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help=(
+            "write current findings to the baseline file and exit 0; each "
+            "entry then needs a hand-written justification"
+        ),
+    )
+    parser.add_argument(
+        "--strict-baseline",
+        action="store_true",
+        help="fail (exit 1) when baseline entries no longer match anything",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rules and exit"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            categories = ",".join(rule.categories)
+            print(f"{rule.id}  [{rule.severity}] ({categories}) {rule.description}")
+        return 0
+
+    try:
+        rules = None
+        if args.select:
+            rules = [
+                get_rule(rule_id.strip().upper())
+                for rule_id in args.select.split(",")
+                if rule_id.strip()
+            ]
+
+        baseline_path = args.baseline or DEFAULT_BASELINE_NAME
+        baseline = None
+        if not args.no_baseline and not args.write_baseline:
+            if args.baseline is not None or os.path.exists(baseline_path):
+                baseline = Baseline.load(baseline_path)
+
+        paths = args.paths or DEFAULT_PATHS
+        report = Analyzer(rules=rules, baseline=baseline).run(paths)
+
+        if args.write_baseline:
+            new_baseline = Baseline.from_findings(report.findings)
+            new_baseline.save(baseline_path)
+            print(
+                f"wrote {len(new_baseline)} entr"
+                f"{'y' if len(new_baseline) == 1 else 'ies'} to "
+                f"{baseline_path}; add a justification to each"
+            )
+            return 0
+
+        if args.json:
+            print(to_json(report, include_clean=args.verbose))
+        else:
+            print(to_text(report, verbose=args.verbose))
+
+        if not report.ok:
+            return 1
+        if (
+            args.strict_baseline
+            and baseline is not None
+            and baseline.stale_entries()
+        ):
+            return 1
+        return 0
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,236 @@
+"""Shared AST utilities: import tracking, scopes, set-type inference.
+
+Everything here is deliberately flow-insensitive and local — the rules are
+reviewable heuristics, not a type checker.  They only claim something is a
+set (or a module alias) when the evidence is in the same file.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+
+class ImportMap:
+    """Which local names are aliases of which modules / module members."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        # name -> module it aliases ("random", "time", "datetime", ...)
+        self.module_aliases: Dict[str, str] = {}
+        # name -> (module, original member name) for ``from m import x as y``
+        self.member_aliases: Dict[str, Tuple[str, str]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    top = alias.name.split(".")[0]
+                    self.module_aliases[alias.asname or top] = top
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self.member_aliases[alias.asname or alias.name] = (
+                        node.module,
+                        alias.name,
+                    )
+
+    def module_of(self, name: str) -> Optional[str]:
+        return self.module_aliases.get(name)
+
+    def member_origin(self, name: str) -> Optional[Tuple[str, str]]:
+        return self.member_aliases.get(name)
+
+    def is_module_alias(self, name: str) -> bool:
+        return name in self.module_aliases
+
+
+def call_receiver(node: ast.Call) -> Optional[ast.expr]:
+    """The object a method call is made on, or None for plain calls."""
+    if isinstance(node.func, ast.Attribute):
+        return node.func.value
+    return None
+
+
+def is_name(node: ast.AST, *names: str) -> bool:
+    """Whether ``node`` is a bare name equal to one of ``names``."""
+    return isinstance(node, ast.Name) and node.id in names
+
+
+def function_scopes(tree: ast.Module) -> Iterator[ast.AST]:
+    """Yield the module plus every function/method definition in it."""
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def scope_body_walk(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk a scope's own statements without descending into nested defs.
+
+    Nested functions get their own scope from :func:`function_scopes`, so a
+    rule that reasons "within one function" must not see their bodies twice
+    — and more importantly must not attribute a nested closure's behaviour
+    to its enclosing function.
+    """
+    body = scope.body if isinstance(scope, ast.Module) else scope.body
+    stack = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+_SET_ANNOTATION_NAMES = {
+    "set",
+    "frozenset",
+    "Set",
+    "FrozenSet",
+    "MutableSet",
+    "AbstractSet",
+}
+
+_SET_RETURNING_METHODS = {
+    "union",
+    "intersection",
+    "difference",
+    "symmetric_difference",
+    "copy",
+}
+
+
+def _annotation_is_set(annotation: Optional[ast.expr]) -> bool:
+    if annotation is None:
+        return False
+    target = annotation
+    if isinstance(target, ast.Subscript):  # Set[str], typing.Set[str]
+        target = target.value
+    if isinstance(target, ast.Attribute):  # typing.Set
+        return target.attr in _SET_ANNOTATION_NAMES
+    return isinstance(target, ast.Name) and target.id in _SET_ANNOTATION_NAMES
+
+
+class SetTypes:
+    """Infers which expressions in one scope are sets.
+
+    Sources of evidence: set literals/comprehensions, ``set()`` /
+    ``frozenset()`` calls, set-algebra operators over known sets, set-typed
+    annotations on assignments and parameters, and ``self.x`` attributes
+    the enclosing class annotates or assigns a set to.
+    """
+
+    def __init__(
+        self,
+        scope: ast.AST,
+        enclosing_class: Optional[ast.ClassDef] = None,
+    ) -> None:
+        self._names: Set[str] = set()
+        self._self_attrs: Set[str] = set()
+        if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = scope.args
+            for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+                if _annotation_is_set(arg.annotation):
+                    self._names.add(arg.arg)
+        if enclosing_class is not None:
+            self._collect_class_attrs(enclosing_class)
+        # Two passes so ``a = set(); b = a`` resolves regardless of order.
+        for _ in range(2):
+            for node in scope_body_walk(scope):
+                if isinstance(node, ast.Assign):
+                    if self.is_set(node.value):
+                        for target in node.targets:
+                            if isinstance(target, ast.Name):
+                                self._names.add(target.id)
+                elif isinstance(node, ast.AnnAssign):
+                    if isinstance(node.target, ast.Name) and (
+                        _annotation_is_set(node.annotation)
+                        or (node.value is not None and self.is_set(node.value))
+                    ):
+                        self._names.add(node.target.id)
+                elif isinstance(node, ast.AugAssign):
+                    if isinstance(node.target, ast.Name) and self.is_set(node.value):
+                        self._names.add(node.target.id)
+
+    def _collect_class_attrs(self, cls: ast.ClassDef) -> None:
+        for node in ast.walk(cls):
+            if isinstance(node, ast.AnnAssign) and _annotation_is_set(node.annotation):
+                if isinstance(node.target, ast.Name):
+                    # dataclass-style field declaration
+                    self._self_attrs.add(node.target.id)
+                elif (
+                    isinstance(node.target, ast.Attribute)
+                    and is_name(node.target.value, "self")
+                ):
+                    self._self_attrs.add(node.target.attr)
+            elif isinstance(node, ast.Assign) and self.is_set(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Attribute) and is_name(
+                        target.value, "self"
+                    ):
+                        self._self_attrs.add(target.attr)
+
+    def is_set(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self._names
+        if isinstance(node, ast.Attribute) and is_name(node.value, "self"):
+            return node.attr in self._self_attrs
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id in (
+                "set",
+                "frozenset",
+            ):
+                return True
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SET_RETURNING_METHODS
+            ):
+                return self.is_set(node.func.value)
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self.is_set(node.left) or self.is_set(node.right)
+        if isinstance(node, ast.IfExp):
+            return self.is_set(node.body) and self.is_set(node.orelse)
+        return False
+
+
+def enclosing_class_of(
+    tree: ast.Module,
+) -> Dict[int, ast.ClassDef]:
+    """Map each function-def's id() to the class directly containing it."""
+    mapping: Dict[int, ast.ClassDef] = {}
+
+    def visit(node: ast.AST, cls: Optional[ast.ClassDef]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                visit(child, child)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if cls is not None:
+                    mapping[id(child)] = cls
+                visit(child, cls)
+            else:
+                visit(child, cls)
+
+    visit(tree, None)
+    return mapping
+
+
+def class_owned_private_attrs(cls: ast.ClassDef) -> Set[str]:
+    """Private names a class touches on ``self`` or defines as methods.
+
+    Used by ISO001's same-class exemption: ``derived._rules`` inside a
+    method of ``Role`` is the ordinary build-a-sibling idiom when ``Role``
+    itself owns ``_rules``.
+    """
+    owned: Set[str] = set()
+    for node in ast.walk(cls):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name.startswith("_"):
+                owned.add(node.name)
+        elif isinstance(node, ast.Attribute) and is_name(node.value, "self"):
+            if node.attr.startswith("_"):
+                owned.add(node.attr)
+    return owned

@@ -1,0 +1,145 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline exists so a new rule can land with the codebase not yet fully
+clean: deliberate, justified violations are recorded here and stop failing
+the run, while anything *new* still does.  Entries match on
+``(rule, path, stripped source line)`` rather than line numbers, so
+unrelated edits above a grandfathered site don't invalidate it — but any
+edit to the offending line itself surfaces the finding again for a fresh
+look.
+
+File format (``analysis-baseline.json``, committed at the repo root)::
+
+    {
+      "version": 1,
+      "entries": [
+        {"rule": "ISO001", "path": "src/repro/x.py",
+         "match": "the offending line, stripped",
+         "justification": "why this one is deliberate"}
+      ]
+    }
+
+Every entry must carry a non-empty justification; an unexplained entry is
+just a suppression nobody will ever revisit.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import AnalysisError
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "analysis-baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    match: str
+    justification: str
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.match)
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "match": self.match,
+            "justification": self.justification,
+        }
+
+
+class Baseline:
+    """An in-memory baseline, loadable from / dumpable to JSON."""
+
+    def __init__(self, entries: Iterable[BaselineEntry] = ()) -> None:
+        self.entries: List[BaselineEntry] = list(entries)
+        self._index: Dict[Tuple[str, str, str], BaselineEntry] = {
+            entry.key(): entry for entry in self.entries
+        }
+        self._hits: Set[Tuple[str, str, str]] = set()
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise AnalysisError(f"cannot read baseline {path!r}: {exc}") from exc
+        if payload.get("version") != BASELINE_VERSION:
+            raise AnalysisError(
+                f"baseline {path!r} has version {payload.get('version')!r}, "
+                f"expected {BASELINE_VERSION}"
+            )
+        entries = []
+        for raw in payload.get("entries", []):
+            justification = str(raw.get("justification", "")).strip()
+            if not justification:
+                raise AnalysisError(
+                    f"baseline entry for {raw.get('rule')}@{raw.get('path')} "
+                    "has no justification"
+                )
+            entries.append(
+                BaselineEntry(
+                    rule=str(raw["rule"]).upper(),
+                    path=str(raw["path"]),
+                    match=str(raw["match"]).strip(),
+                    justification=justification,
+                )
+            )
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        """Build a baseline that grandfathers every reported finding."""
+        entries = []
+        seen: Set[Tuple[str, str, str]] = set()
+        for finding in findings:
+            if not finding.reported:
+                continue
+            entry = BaselineEntry(
+                rule=finding.rule,
+                path=finding.path,
+                match=finding.snippet,
+                justification="TODO: justify or fix",
+            )
+            if entry.key() not in seen:
+                seen.add(entry.key())
+                entries.append(entry)
+        return cls(entries)
+
+    def apply(self, finding: Finding) -> bool:
+        """Mark ``finding`` baselined if an entry matches it."""
+        key = (finding.rule, finding.path, finding.snippet)
+        entry = self._index.get(key)
+        if entry is None:
+            return False
+        self._hits.add(key)
+        finding.baselined = True
+        finding.justification = entry.justification
+        return True
+
+    def stale_entries(self) -> List[BaselineEntry]:
+        """Entries that matched nothing — fixed code whose entry can go."""
+        return [e for e in self.entries if e.key() not in self._hits]
+
+    def save(self, path: str) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [
+                entry.to_dict()
+                for entry in sorted(self.entries, key=lambda e: e.key())
+            ],
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+
+    def __len__(self) -> int:
+        return len(self.entries)

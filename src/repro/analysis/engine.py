@@ -1,0 +1,162 @@
+"""The analysis driver: file discovery, parsing, rule dispatch, filtering."""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import (
+    AnalysisError,
+    FileContext,
+    Rule,
+    all_rules,
+)
+from repro.analysis.suppress import SuppressionIndex
+
+#: Pseudo-rule id for files the parser rejects.  Not registered: it cannot
+#: be suppressed or baselined — unparseable code can't be analyzed at all.
+PARSE_RULE_ID = "PARSE000"
+
+_SKIP_DIR_NAMES = {"__pycache__", ".git", ".hg", ".tox", ".venv", "node_modules"}
+
+
+def categorize(path: str) -> str:
+    """Which invariant profile a file gets, from its path alone."""
+    parts = path.replace(os.sep, "/").split("/")
+    if "tests" in parts:
+        return "tests"
+    if "benchmarks" in parts:
+        return "benchmarks"
+    return "src"
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Expand files/directories into a deterministic list of ``.py`` files."""
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                yield path
+            continue
+        if not os.path.isdir(path):
+            raise AnalysisError(f"no such file or directory: {path!r}")
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                name
+                for name in dirnames
+                if name not in _SKIP_DIR_NAMES
+                and not name.endswith(".egg-info")
+                and not name.startswith(".")
+            )
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(dirpath, filename)
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    category: Optional[str] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Analyze one source text.  The unit the fixture tests drive."""
+    normalized = path.replace(os.sep, "/")
+    category = category or categorize(normalized)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule=PARSE_RULE_ID,
+                severity=Severity.ERROR,
+                path=normalized,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"cannot parse file: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(
+        path=normalized, category=category, source=source, tree=tree
+    )
+    suppressions = SuppressionIndex(source)
+    findings: List[Finding] = []
+    for rule in rules if rules is not None else all_rules():
+        if category not in rule.categories:
+            continue
+        for finding in rule.check(ctx):
+            if suppressions.allows(finding.line, finding.rule):
+                finding.suppressed = True
+                finding.justification = suppressions.reason(
+                    finding.line, finding.rule
+                )
+            findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one run produced, ready for rendering."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    baseline: Optional[Baseline] = None
+
+    @property
+    def reported(self) -> List[Finding]:
+        return [finding for finding in self.findings if finding.reported]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [finding for finding in self.findings if finding.suppressed]
+
+    @property
+    def baselined(self) -> List[Finding]:
+        return [finding for finding in self.findings if finding.baselined]
+
+    @property
+    def ok(self) -> bool:
+        return not self.reported
+
+
+class Analyzer:
+    """Run a rule set over paths, applying suppressions and a baseline."""
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[Rule]] = None,
+        baseline: Optional[Baseline] = None,
+    ) -> None:
+        self.rules = list(rules) if rules is not None else all_rules()
+        self.baseline = baseline
+
+    def run(self, paths: Sequence[str]) -> AnalysisReport:
+        report = AnalysisReport(baseline=self.baseline)
+        for filepath in iter_python_files(paths):
+            try:
+                with open(filepath, "r", encoding="utf-8") as handle:
+                    source = handle.read()
+            except (OSError, UnicodeDecodeError) as exc:
+                raise AnalysisError(f"cannot read {filepath!r}: {exc}") from exc
+            report.files_scanned += 1
+            relpath = os.path.relpath(filepath).replace(os.sep, "/")
+            for finding in analyze_source(
+                source, path=relpath, rules=self.rules
+            ):
+                if self.baseline is not None and not finding.suppressed:
+                    self.baseline.apply(finding)
+                report.findings.append(finding)
+        report.findings.sort(key=Finding.sort_key)
+        return report
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    baseline: Optional[Baseline] = None,
+) -> AnalysisReport:
+    """One-call API: analyze ``paths`` and return the report."""
+    return Analyzer(rules=rules, baseline=baseline).run(paths)

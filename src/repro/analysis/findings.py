@@ -1,0 +1,78 @@
+"""Finding and severity types shared by every rule."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings break determinism or cost accounting outright;
+    ``WARNING`` findings are hazards that need a human look.  Both fail the
+    run — severity is reporting metadata, not a gate — because a warning
+    left to rot becomes the stray nondeterminism PR 1's harness can't
+    explain.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+    # The stripped source line, used for baseline matching (line numbers
+    # drift; the offending text rarely does).
+    snippet: str = ""
+    suppressed: bool = False
+    baselined: bool = False
+    justification: Optional[str] = None
+
+    @property
+    def reported(self) -> bool:
+        """Whether this finding should fail the run."""
+        return not (self.suppressed or self.baselined)
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+        }
+        if self.justification is not None:
+            payload["justification"] = self.justification
+        return payload
+
+    def render(self) -> str:
+        tags = []
+        if self.suppressed:
+            tags.append("suppressed")
+        if self.baselined:
+            tags.append("baselined")
+        suffix = f"  [{', '.join(tags)}]" if tags else ""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} {self.severity.value}: {self.message}{suffix}"
+        )

@@ -183,7 +183,7 @@ class ReplicatedOverlay:
             if primary_id not in assignment
         )
 
-        for primary_id in dirty:
+        for primary_id in sorted(dirty):
             for holder_id in self._assignment.get(primary_id, []):
                 holder_store = self._store.get(holder_id)
                 if holder_store is not None:

@@ -15,7 +15,6 @@ range indexes on the nation key — and drives it two ways:
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple

@@ -26,6 +26,7 @@ import shlex
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core import BestPeerNetwork, READ, Role, WRITE, rule
+from repro.core.config import DEFAULT_ENGINE, DEFAULT_INSTANCE_TYPE
 from repro.errors import ReproError
 from repro.sqlengine.parser import CreateTableStmt, parse
 from repro.sqlengine.schema import TableSchema
@@ -140,7 +141,7 @@ class Console:
             )
             peer = net.add_peer(
                 peer_id,
-                instance_type=options.get("type", "m1.small"),
+                instance_type=options.get("type", DEFAULT_INSTANCE_TYPE),
                 tables=tables,
             )
             return f"peer {peer_id} joined on instance {peer.host}"
@@ -211,7 +212,7 @@ class Console:
         execution = net.execute(
             sql,
             peer_id=options.get("peer"),
-            engine=options.get("engine", "basic"),
+            engine=options.get("engine", DEFAULT_ENGINE),
             user=options.get("user"),
         )
         lines = [

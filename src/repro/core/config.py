@@ -13,6 +13,15 @@ from typing import Optional
 from repro.core.resilience import RetryPolicy
 from repro.errors import BestPeerError
 
+# Cross-module defaults live here, nowhere else (enforced by CFG001 in
+# repro.analysis): call sites reference these names instead of re-stating
+# the literal, so the default cannot silently drift between the facade,
+# the console and the benchmarks.
+#: Instance type a new normal peer launches on (§6.1.1 ran m1.smalls).
+DEFAULT_INSTANCE_TYPE = "m1.small"
+#: Query engine used when the caller doesn't pick one.
+DEFAULT_ENGINE = "basic"
+
 
 @dataclass(frozen=True)
 class PricingConfig:

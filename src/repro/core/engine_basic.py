@@ -78,6 +78,7 @@ class BasicEngine:
 
         if len(all_peers) == 1:
             return self._single_peer(
+                # repro: allow[SIM003] singleton set, the one element is the same in every run
                 sql, next(iter(all_peers)), index_hops, user, timestamp
             )
         if not plan.joins:

@@ -75,7 +75,10 @@ class BestPeerMapReduceEngine:
 
         def local_execute(host: str, fragment_sql: str) -> LocalResult:
             peer = context.peer(host_to_peer[host])
-            execution = peer.execute_local(
+            # A map task reading its own host's database: the rows never
+            # leave the instance here — HDFS reads and the shuffle price
+            # every cross-host byte inside MapReduceEngine.
+            execution = peer.execute_local(  # repro: allow[ISO002] map-side local read; shuffle prices the movement
                 fragment_sql, query_timestamp=timestamp
             )
             return LocalResult(

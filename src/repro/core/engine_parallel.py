@@ -71,7 +71,10 @@ class ParallelP2PEngine:
 
             def scan_one(peer_id: str = peer_id):
                 owner = context.peer(peer_id)
-                execution = owner.execute_fetch(
+                # The scanned parts *stay on the owner* (that is the point
+                # of the replicated-join strategy); the per-part broadcast
+                # in join_at_owner prices every byte when parts do move.
+                execution = owner.execute_fetch(  # repro: allow[ISO002] parts stay local; the join-level broadcast prices shipping
                     plan.base.table, plan.base.sql, user=user,
                     query_timestamp=timestamp,
                 )

@@ -24,7 +24,12 @@ from repro.baton.tree import BatonOverlay
 from repro.core.access_control import Role, full_access_role
 from repro.core.adaptive import AdaptiveEngine, TableStatistics
 from repro.core.bootstrap import BootstrapPeer, MaintenanceReport
-from repro.core.config import BestPeerConfig, DaemonConfig
+from repro.core.config import (
+    BestPeerConfig,
+    DaemonConfig,
+    DEFAULT_ENGINE,
+    DEFAULT_INSTANCE_TYPE,
+)
 from repro.core.costmodel import CostParams
 from repro.core.engine_basic import BasicEngine
 from repro.core.engine_mapreduce import BestPeerMapReduceEngine
@@ -113,7 +118,7 @@ class BestPeerNetwork:
     def add_peer(
         self,
         peer_id: str,
-        instance_type: str = "m1.small",
+        instance_type: str = DEFAULT_INSTANCE_TYPE,
         tables: Optional[Sequence[str]] = None,
         mapping: Optional[SchemaMapping] = None,
     ) -> NormalPeer:
@@ -278,7 +283,7 @@ class BestPeerNetwork:
         self,
         sql: str,
         peer_id: Optional[str] = None,
-        engine: str = "basic",
+        engine: str = DEFAULT_ENGINE,
         user: Optional[str] = None,
     ) -> QueryExecution:
         """Submit a query at ``peer_id`` (default: first peer).

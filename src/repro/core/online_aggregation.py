@@ -109,6 +109,7 @@ def online_aggregate(
     confidence: float = 0.95,
     target_relative_error: Optional[float] = None,
     seed: int = 0,
+    peer_id: Optional[str] = None,
 ) -> Iterator[OnlineEstimate]:
     """Run a scalar-SUM query progressively over a BestPeerNetwork.
 
@@ -117,10 +118,16 @@ def online_aggregate(
     ``target_relative_error`` is reached (the final yielded estimate
     satisfies it); otherwise runs to completion, where the estimate is exact.
 
+    ``peer_id`` names the query peer collecting the reports (default: the
+    same first-sorted peer ``BestPeerNetwork.execute`` submits from); each
+    partial aggregate is priced as a transfer from its owner to that peer,
+    so progressive queries show up in the byte accounting like any other.
+
     Only single-table scalar SUM queries qualify (the online-aggregation
     sweet spot); anything else raises.
     """
     from repro.hadoopdb.sms import SmsPlanner, partial_aggregate_plan
+    from repro.mapreduce.engine import records_byte_size
     from repro.sqlengine.parser import parse
 
     plan = SmsPlanner(network.global_schemas).compile(parse(sql))
@@ -145,10 +152,24 @@ def online_aggregate(
         raise BestPeerError(f"no peer hosts {plan.base.table!r}")
     random.Random(seed).shuffle(owners)
 
+    if peer_id is None:
+        peer_id = sorted(network.peers)[0]
+    query_peer = network.peers.get(peer_id)
+    if query_peer is None:
+        raise BestPeerError(f"unknown peer: {peer_id!r}")
+
     aggregator = OnlineSumAggregator(len(owners), confidence)
-    for peer_id in owners:
-        execution = network.peers[peer_id].execute_fetch(
+    for owner_id in owners:
+        owner = network.peers[owner_id]
+        execution = owner.execute_fetch(
             plan.base.table, local_plan.sql, user=None
+        )
+        # Each report is one small cross-peer message; charge its bytes to
+        # the simulated network so the cost model sees progressive queries.
+        network.network.transfer(
+            owner.host,
+            query_peer.host,
+            records_byte_size(execution.result.rows),
         )
         partial = execution.result.rows[0][0] if execution.result.rows else None
         estimate = aggregator.observe(partial)

@@ -1,0 +1,40 @@
+"""Shared fixtures: run rules over dedented in-memory snippets.
+
+Fixtures live in strings (never on disk as ``.py`` files) so the repo-wide
+self-check in ``test_self_check.py`` doesn't trip over its own test data.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import analyze_source, get_rule
+
+
+@pytest.fixture
+def analyze():
+    """Analyze a snippet with one rule; returns all findings (any state)."""
+
+    def run(rule_id, source, path="src/repro/fake.py", category=None):
+        return analyze_source(
+            textwrap.dedent(source),
+            path=path,
+            category=category,
+            rules=[get_rule(rule_id)],
+        )
+
+    return run
+
+
+@pytest.fixture
+def reported(analyze):
+    """Like ``analyze`` but keeps only findings that would fail a run."""
+
+    def run(rule_id, source, **kwargs):
+        return [
+            finding
+            for finding in analyze(rule_id, source, **kwargs)
+            if finding.reported
+        ]
+
+    return run

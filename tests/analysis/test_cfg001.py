@@ -1,0 +1,119 @@
+"""CFG001: inline config defaults drifting from repro.core.config."""
+
+
+class TestPositive:
+    def test_inline_string_default_fires(self, reported):
+        findings = reported(
+            "CFG001",
+            """\
+            def engine_of(options):
+                return options.get("engine", "basic")
+            """,
+        )
+        assert len(findings) == 1
+        assert "'engine'" in findings[0].message
+        assert "repro/core/config.py" in findings[0].message
+
+    def test_inline_numeric_default_fires(self, reported):
+        findings = reported(
+            "CFG001",
+            """\
+            def workers(cfg):
+                return cfg.get("workers", 4)
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_attribute_receiver_fires(self, reported):
+        findings = reported(
+            "CFG001",
+            """\
+            def engine_of(peer):
+                return peer.options.get("engine", "basic")
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_container_default_fires(self, reported):
+        findings = reported(
+            "CFG001",
+            """\
+            def hosts(settings):
+                return settings.get("hosts", ["localhost"])
+            """,
+        )
+        assert len(findings) == 1
+
+
+class TestNegative:
+    def test_named_constant_default_is_clean(self, reported):
+        assert not reported(
+            "CFG001",
+            """\
+            from repro.core.config import DEFAULT_ENGINE
+
+            def engine_of(options):
+                return options.get("engine", DEFAULT_ENGINE)
+            """,
+        )
+
+    def test_single_arg_get_is_clean(self, reported):
+        assert not reported(
+            "CFG001",
+            """\
+            def engine_of(options):
+                return options.get("engine")
+            """,
+        )
+
+    def test_none_default_is_clean(self, reported):
+        assert not reported(
+            "CFG001",
+            """\
+            def engine_of(options):
+                return options.get("engine", None)
+            """,
+        )
+
+    def test_non_config_receiver_is_clean(self, reported):
+        assert not reported(
+            "CFG001",
+            """\
+            def lookup(cache):
+                return cache.get("engine", "basic")
+            """,
+        )
+
+    def test_config_home_module_is_exempt(self, reported):
+        assert not reported(
+            "CFG001",
+            """\
+            def engine_of(options):
+                return options.get("engine", "basic")
+            """,
+            path="src/repro/core/config.py",
+        )
+
+    def test_not_applied_to_tests_category(self, reported):
+        assert not reported(
+            "CFG001",
+            """\
+            def engine_of(options):
+                return options.get("engine", "basic")
+            """,
+            path="tests/test_fake.py",
+        )
+
+
+class TestSuppression:
+    def test_allow_comment_suppresses(self, analyze):
+        findings = analyze(
+            "CFG001",
+            """\
+            def engine_of(options):
+                return options.get("engine", "basic")  # repro: allow[CFG001] demo
+            """,
+        )
+        assert len(findings) == 1
+        assert findings[0].suppressed
+        assert findings[0].justification == "demo"

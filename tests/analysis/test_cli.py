@@ -1,0 +1,107 @@
+"""The ``python -m repro.analysis`` entry point, driven through main()."""
+
+import json
+
+import pytest
+
+from repro.analysis.__main__ import main
+from repro.analysis.baseline import Baseline
+
+
+@pytest.fixture
+def tree(tmp_path, monkeypatch):
+    """A tiny scan tree with one dirty file; cwd moved into it."""
+    src = tmp_path / "src" / "repro"
+    src.mkdir(parents=True)
+    (src / "dirty.py").write_text(
+        "import random\nx = random.random()\n"
+    )
+    (src / "clean.py").write_text("x = 1\n")
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tree, capsys):
+        (tree / "src" / "repro" / "dirty.py").unlink()
+        assert main(["src"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tree, capsys):
+        assert main(["src"]) == 1
+        out = capsys.readouterr().out
+        assert "SIM001" in out
+        assert "dirty.py:2" in out
+
+    def test_missing_path_exits_two(self, tree, capsys):
+        assert main(["no/such/dir"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_rule_select_exits_two(self, tree, capsys):
+        assert main(["--select", "NOPE999", "src"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+
+class TestSelect:
+    def test_select_limits_rules(self, tree, capsys):
+        assert main(["--select", "SIM002", "src"]) == 0
+        assert main(["--select", "sim001", "src"]) == 1
+
+
+class TestJson:
+    def test_json_output_parses(self, tree, capsys):
+        assert main(["--json", "src"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["findings"][0]["rule"] == "SIM001"
+
+
+class TestListRules:
+    def test_list_rules_prints_all_ids(self, tree, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in (
+            "SIM001",
+            "SIM002",
+            "SIM003",
+            "SIM004",
+            "ISO001",
+            "ISO002",
+            "CFG001",
+        ):
+            assert rule_id in out
+
+
+class TestBaselineFlow:
+    def test_write_then_justify_then_pass(self, tree, capsys):
+        assert main(["--write-baseline", "src"]) == 0
+        assert "1 entry" in capsys.readouterr().out
+
+        # A freshly written baseline stamps each entry with a TODO
+        # justification for a human to replace.
+        baseline = Baseline.load("analysis-baseline.json")
+        assert baseline.entries[0].justification == "TODO: justify or fix"
+        assert main(["src"]) == 0
+
+    def test_baselined_finding_no_longer_fails(self, tree, capsys):
+        main(["--write-baseline", "src"])
+        capsys.readouterr()
+        assert main(["src"]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_no_baseline_flag_ignores_file(self, tree, capsys):
+        main(["--write-baseline", "src"])
+        capsys.readouterr()
+        assert main(["--no-baseline", "src"]) == 1
+
+    def test_strict_baseline_fails_on_stale_entries(self, tree, capsys):
+        main(["--write-baseline", "src"])
+        capsys.readouterr()
+        (tree / "src" / "repro" / "dirty.py").write_text("x = 1\n")
+        assert main(["src"]) == 0
+        assert "stale" in capsys.readouterr().out
+        assert main(["--strict-baseline", "src"]) == 1
+
+    def test_explicit_missing_baseline_exits_two(self, tree, capsys):
+        assert main(["--baseline", "nope.json", "src"]) == 2
+        assert "cannot read baseline" in capsys.readouterr().err

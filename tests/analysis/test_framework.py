@@ -1,0 +1,240 @@
+"""The framework itself: registry, suppressions, baseline, reports."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    BaselineEntry,
+    Severity,
+    all_rules,
+    analyze_paths,
+    analyze_source,
+    get_rule,
+    register_rule,
+)
+from repro.analysis.baseline import BASELINE_VERSION
+from repro.analysis.engine import PARSE_RULE_ID, categorize
+from repro.analysis.registry import AnalysisError, Rule
+from repro.analysis.report import to_json, to_text
+
+
+class TestRegistry:
+    def test_all_seven_rules_registered(self):
+        ids = [rule.id for rule in all_rules()]
+        assert ids == sorted(ids)
+        for expected in (
+            "CFG001",
+            "ISO001",
+            "ISO002",
+            "SIM001",
+            "SIM002",
+            "SIM003",
+            "SIM004",
+        ):
+            assert expected in ids
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(AnalysisError, match="unknown rule"):
+            get_rule("NOPE999")
+
+    def test_duplicate_id_rejected(self):
+        with pytest.raises(AnalysisError, match="duplicate rule id"):
+
+            @register_rule
+            class Clash(Rule):
+                id = "SIM001"
+                description = "clashes with the real SIM001"
+
+    def test_missing_id_rejected(self):
+        with pytest.raises(AnalysisError, match="has no id"):
+
+            @register_rule
+            class Nameless(Rule):
+                description = "forgot the id"
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(AnalysisError, match="unknown categories"):
+
+            @register_rule
+            class Lost(Rule):
+                id = "ZZZ999"
+                description = "bad category"
+                categories = ("docs",)
+
+
+class TestCategorize:
+    def test_paths_map_to_categories(self):
+        assert categorize("src/repro/core/peer.py") == "src"
+        assert categorize("tests/test_peer.py") == "tests"
+        assert categorize("benchmarks/run.py") == "benchmarks"
+        assert categorize("scripts/tool.py") == "src"
+
+
+class TestSuppressions:
+    def test_one_comment_can_allow_multiple_rules(self):
+        source = (
+            "import random\n"
+            "import time\n"
+            "x = random.random() + time.time()"
+            "  # repro: allow[SIM001,SIM002] demo\n"
+        )
+        findings = analyze_source(source, path="src/repro/fake.py")
+        assert len(findings) == 2
+        assert all(f.suppressed for f in findings)
+        assert {f.rule for f in findings} == {"SIM001", "SIM002"}
+
+    def test_comment_inside_string_is_not_a_suppression(self):
+        source = (
+            "import random\n"
+            'note = "# repro: allow[SIM001]"\n'
+            "x = random.random()\n"
+        )
+        findings = analyze_source(source, path="src/repro/fake.py")
+        assert len(findings) == 1
+        assert not findings[0].suppressed
+
+
+class TestParseErrors:
+    def test_syntax_error_yields_parse_finding(self):
+        findings = analyze_source("def broken(:\n", path="src/repro/bad.py")
+        assert len(findings) == 1
+        assert findings[0].rule == PARSE_RULE_ID
+        assert findings[0].severity is Severity.ERROR
+        assert findings[0].reported
+
+
+class TestBaseline:
+    SOURCE = "import random\nx = random.random()\n"
+
+    def _finding(self):
+        (finding,) = analyze_source(self.SOURCE, path="src/repro/fake.py")
+        return finding
+
+    def test_matching_entry_baselines_finding(self):
+        baseline = Baseline(
+            [
+                BaselineEntry(
+                    rule="SIM001",
+                    path="src/repro/fake.py",
+                    match="x = random.random()",
+                    justification="grandfathered",
+                )
+            ]
+        )
+        finding = self._finding()
+        assert baseline.apply(finding)
+        assert finding.baselined
+        assert not finding.reported
+        assert finding.justification == "grandfathered"
+        assert not baseline.stale_entries()
+
+    def test_non_matching_entry_is_stale(self):
+        baseline = Baseline(
+            [
+                BaselineEntry(
+                    rule="SIM001",
+                    path="src/repro/fake.py",
+                    match="this line no longer exists",
+                    justification="obsolete",
+                )
+            ]
+        )
+        finding = self._finding()
+        assert not baseline.apply(finding)
+        assert finding.reported
+        assert len(baseline.stale_entries()) == 1
+
+    def test_roundtrip_through_json(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        original = Baseline(
+            [
+                BaselineEntry(
+                    rule="SIM001",
+                    path="src/repro/fake.py",
+                    match="x = random.random()",
+                    justification="grandfathered",
+                )
+            ]
+        )
+        original.save(path)
+        loaded = Baseline.load(path)
+        assert len(loaded) == 1
+        assert loaded.entries[0] == original.entries[0]
+
+    def test_load_rejects_missing_justification(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": BASELINE_VERSION,
+                    "entries": [
+                        {
+                            "rule": "SIM001",
+                            "path": "src/repro/fake.py",
+                            "match": "x = random.random()",
+                            "justification": "   ",
+                        }
+                    ],
+                }
+            )
+        )
+        with pytest.raises(AnalysisError, match="no justification"):
+            Baseline.load(str(path))
+
+    def test_load_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(AnalysisError, match="version"):
+            Baseline.load(str(path))
+
+    def test_from_findings_skips_suppressed(self):
+        source = (
+            "import random\n"
+            "x = random.random()  # repro: allow[SIM001] demo\n"
+            "y = random.random()\n"
+        )
+        findings = analyze_source(source, path="src/repro/fake.py")
+        baseline = Baseline.from_findings(findings)
+        assert len(baseline) == 1
+        assert baseline.entries[0].match == "y = random.random()"
+
+
+class TestReports:
+    def _report(self, tmp_path, source):
+        target = tmp_path / "src" / "repro"
+        target.mkdir(parents=True)
+        (target / "mod.py").write_text(source)
+        return analyze_paths([str(target / "mod.py")])
+
+    def test_json_report_shape(self, tmp_path):
+        report = self._report(
+            tmp_path, "import random\nx = random.random()\n"
+        )
+        payload = json.loads(to_json(report))
+        assert payload["version"] == 1
+        assert payload["files_scanned"] == 1
+        assert payload["ok"] is False
+        assert payload["counts"]["reported"] == 1
+        assert payload["findings"][0]["rule"] == "SIM001"
+        assert payload["findings"][0]["snippet"] == "x = random.random()"
+
+    def test_json_accepted_section_under_verbose(self, tmp_path):
+        report = self._report(
+            tmp_path,
+            "import random\nx = random.random()  # repro: allow[SIM001] ok\n",
+        )
+        payload = json.loads(to_json(report, include_clean=True))
+        assert payload["ok"] is True
+        assert payload["findings"] == []
+        assert payload["accepted"][0]["justification"] == "ok"
+
+    def test_text_report_mentions_location_and_summary(self, tmp_path):
+        report = self._report(
+            tmp_path, "import random\nx = random.random()\n"
+        )
+        text = to_text(report)
+        assert "SIM001" in text
+        assert ":2:" in text
+        assert "1 finding(s)" in text

@@ -1,0 +1,108 @@
+"""ISO001: cross-object private-state access."""
+
+
+class TestPositive:
+    def test_private_read_on_other_object_fires(self, reported):
+        findings = reported(
+            "ISO001",
+            """\
+            def steal(peer):
+                return peer._rows
+            """,
+        )
+        assert len(findings) == 1
+        assert "peer._rows" in findings[0].message
+
+    def test_private_write_on_other_object_fires(self, reported):
+        findings = reported(
+            "ISO001",
+            """\
+            def poison(peer, rows):
+                peer._rows = rows
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_private_method_call_fires(self, reported):
+        findings = reported(
+            "ISO001",
+            """\
+            class Coordinator:
+                def nudge(self, peer):
+                    peer._apply_delta(1)
+            """,
+        )
+        assert len(findings) == 1
+
+
+class TestNegative:
+    def test_self_access_is_clean(self, reported):
+        assert not reported(
+            "ISO001",
+            """\
+            class Peer:
+                def rows(self):
+                    return self._rows
+            """,
+        )
+
+    def test_module_alias_helper_is_clean(self, reported):
+        assert not reported(
+            "ISO001",
+            """\
+            import repro.core.config as config_mod
+
+            def default():
+                return config_mod._fallback()
+            """,
+        )
+
+    def test_dunder_is_clean(self, reported):
+        assert not reported(
+            "ISO001",
+            """\
+            def name_of(obj):
+                return obj.__class__
+            """,
+        )
+
+    def test_same_class_sibling_idiom_is_clean(self, reported):
+        # A class touching the private attrs of another instance of itself
+        # (copy constructors, plus/minus builders) is ordinary Python.
+        assert not reported(
+            "ISO001",
+            """\
+            class Role:
+                def __init__(self):
+                    self._rules = []
+
+                def plus(self, rule):
+                    derived = Role()
+                    derived._rules = self._rules + [rule]
+                    return derived
+            """,
+        )
+
+    def test_not_applied_to_tests_category(self, reported):
+        assert not reported(
+            "ISO001",
+            """\
+            def peek(peer):
+                return peer._rows
+            """,
+            path="tests/test_fake.py",
+        )
+
+
+class TestSuppression:
+    def test_allow_comment_suppresses(self, analyze):
+        findings = analyze(
+            "ISO001",
+            """\
+            def peek(peer):
+                return peer._rows  # repro: allow[ISO001] in-module buffer
+            """,
+        )
+        assert len(findings) == 1
+        assert findings[0].suppressed
+        assert findings[0].justification == "in-module buffer"

@@ -1,0 +1,82 @@
+"""ISO002: row movement bypassing SimNetwork byte accounting."""
+
+
+class TestPositive:
+    def test_fetch_without_transfer_fires(self, reported):
+        findings = reported(
+            "ISO002",
+            """\
+            def gather(owner, sql):
+                return owner.execute_fetch(sql)
+            """,
+        )
+        assert len(findings) == 1
+        assert "execute_fetch" in findings[0].message
+
+    def test_local_read_on_remote_peer_fires(self, reported):
+        findings = reported(
+            "ISO002",
+            """\
+            def tap(peer, sql):
+                return peer.execute_local(sql)
+            """,
+        )
+        assert len(findings) == 1
+
+
+class TestNegative:
+    def test_fetch_with_transfer_in_same_function_is_clean(self, reported):
+        assert not reported(
+            "ISO002",
+            """\
+            def gather(network, owner, query_peer, sql):
+                execution = owner.execute_fetch(sql)
+                network.transfer(owner.host, query_peer.host, 128)
+                return execution
+            """,
+        )
+
+    def test_broadcast_also_counts_as_pricing(self, reported):
+        assert not reported(
+            "ISO002",
+            """\
+            def fan_out(network, owner, sql):
+                rows = owner.execute_fetch(sql)
+                network.broadcast(owner.host, 64)
+                return rows
+            """,
+        )
+
+    def test_self_call_is_clean(self, reported):
+        assert not reported(
+            "ISO002",
+            """\
+            class Peer:
+                def run(self, sql):
+                    return self.execute_local(sql)
+            """,
+        )
+
+    def test_not_applied_to_tests_category(self, reported):
+        assert not reported(
+            "ISO002",
+            """\
+            def gather(owner, sql):
+                return owner.execute_fetch(sql)
+            """,
+            path="tests/test_fake.py",
+        )
+
+
+class TestSuppression:
+    def test_allow_comment_suppresses(self, analyze):
+        findings = analyze(
+            "ISO002",
+            """\
+            def scan(owner, sql):
+                return owner.execute_fetch(sql)  # repro: allow[ISO002] rows stay remote
+            """,
+        )
+        assert len(findings) == 1
+        assert findings[0].suppressed
+        assert findings[0].justification == "rows stay remote"

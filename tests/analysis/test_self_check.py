@@ -1,0 +1,37 @@
+"""The repo must pass its own analyzer — the gate CI enforces."""
+
+import json
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def _run(*argv):
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *argv],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+
+
+def test_repo_is_clean_under_all_rules():
+    """``python -m repro.analysis src tests benchmarks`` exits 0."""
+    proc = _run("src", "tests", "benchmarks")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_repo_is_clean_in_json_mode_with_no_stale_baseline():
+    proc = _run("src", "tests", "benchmarks", "--json", "--strict-baseline")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    payload = json.loads(proc.stdout)
+    assert payload["ok"] is True
+    assert payload["findings"] == []
+    assert payload["baseline"]["stale"] == []

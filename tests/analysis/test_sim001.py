@@ -1,0 +1,97 @@
+"""SIM001: global/unseeded random use."""
+
+
+class TestPositive:
+    def test_module_level_random_call_fires(self, reported):
+        findings = reported(
+            "SIM001",
+            """\
+            import random
+
+            def jitter():
+                return random.random()
+            """,
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == "SIM001"
+        assert findings[0].line == 4
+
+    def test_aliased_module_fires(self, reported):
+        findings = reported(
+            "SIM001",
+            """\
+            import random as rnd
+
+            def pick(items):
+                return rnd.choice(items)
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_from_import_of_global_function_fires(self, reported):
+        findings = reported(
+            "SIM001",
+            """\
+            from random import shuffle
+
+            def mix(items):
+                shuffle(items)
+            """,
+        )
+        assert len(findings) == 1
+        assert "shuffle" in findings[0].message
+
+    def test_system_random_fires(self, reported):
+        findings = reported(
+            "SIM001",
+            """\
+            import random
+
+            def entropy():
+                return random.SystemRandom().random()
+            """,
+        )
+        assert findings
+        assert "SystemRandom" in findings[0].message
+
+
+class TestNegative:
+    def test_seeded_instance_is_clean(self, reported):
+        assert not reported(
+            "SIM001",
+            """\
+            import random
+
+            def sample(seed):
+                rng = random.Random(seed)
+                return rng.random() + rng.randint(0, 3)
+            """,
+        )
+
+    def test_from_import_of_random_class_is_clean(self, reported):
+        assert not reported(
+            "SIM001",
+            """\
+            from random import Random
+
+            def sample(seed):
+                return Random(seed).random()
+            """,
+        )
+
+
+class TestSuppression:
+    def test_allow_comment_suppresses(self, analyze):
+        findings = analyze(
+            "SIM001",
+            """\
+            import random
+
+            def jitter():
+                return random.random()  # repro: allow[SIM001] demo only
+            """,
+        )
+        assert len(findings) == 1
+        assert findings[0].suppressed
+        assert not findings[0].reported
+        assert findings[0].justification == "demo only"

@@ -1,0 +1,153 @@
+"""SIM002: wall-clock reads instead of the sim clock."""
+
+
+class TestPositive:
+    def test_time_time_fires(self, reported):
+        findings = reported(
+            "SIM002",
+            """\
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+        )
+        assert len(findings) == 1
+        assert "wall clock" in findings[0].message
+
+    def test_time_sleep_fires(self, reported):
+        findings = reported(
+            "SIM002",
+            """\
+            import time
+
+            def backoff(seconds):
+                time.sleep(seconds)
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_from_import_fires(self, reported):
+        findings = reported(
+            "SIM002",
+            """\
+            from time import perf_counter
+
+            def stamp():
+                return perf_counter()
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_datetime_now_fires(self, reported):
+        findings = reported(
+            "SIM002",
+            """\
+            import datetime
+
+            def stamp():
+                return datetime.datetime.now()
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_from_datetime_import_now_fires(self, reported):
+        findings = reported(
+            "SIM002",
+            """\
+            from datetime import datetime
+
+            def stamp():
+                return datetime.utcnow()
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_fires_in_tests_category_too(self, reported):
+        findings = reported(
+            "SIM002",
+            """\
+            import time
+
+            def measure():
+                return time.monotonic()
+            """,
+            path="tests/test_fake.py",
+        )
+        assert len(findings) == 1
+
+
+class TestNegative:
+    def test_sim_clock_is_clean(self, reported):
+        assert not reported(
+            "SIM002",
+            """\
+            from repro.sim.clock import SimClock
+
+            def advance(clock: SimClock, seconds: float) -> float:
+                return clock.advance(seconds)
+            """,
+        )
+
+    def test_unrelated_time_attribute_is_clean(self, reported):
+        assert not reported(
+            "SIM002",
+            """\
+            import time
+
+            def resolution():
+                return time.get_clock_info("monotonic")
+            """,
+        )
+
+    def test_method_named_sleep_on_other_object_is_clean(self, reported):
+        assert not reported(
+            "SIM002",
+            """\
+            def pause(simulator, seconds):
+                simulator.sleep(seconds)
+            """,
+        )
+
+
+class TestSuppression:
+    def test_inline_allow_suppresses(self, analyze):
+        findings = analyze(
+            "SIM002",
+            """\
+            import time
+
+            def driver_elapsed(started):
+                return time.time() - started  # repro: allow[SIM002] driver wall-time
+            """,
+        )
+        assert len(findings) == 1
+        assert findings[0].suppressed
+        assert findings[0].justification == "driver wall-time"
+
+    def test_standalone_comment_suppresses_next_line(self, analyze):
+        findings = analyze(
+            "SIM002",
+            """\
+            import time
+
+            def driver_elapsed():
+                # repro: allow[SIM002] measures the driver process itself
+                return time.time()
+            """,
+        )
+        assert len(findings) == 1
+        assert findings[0].suppressed
+
+    def test_allow_for_other_rule_does_not_suppress(self, analyze):
+        findings = analyze(
+            "SIM002",
+            """\
+            import time
+
+            def stamp():
+                return time.time()  # repro: allow[SIM001]
+            """,
+        )
+        assert len(findings) == 1
+        assert not findings[0].suppressed

@@ -1,0 +1,85 @@
+"""SIM004: id()/hash-order leaking into results."""
+
+
+class TestPositive:
+    def test_returned_id_fires(self, reported):
+        findings = reported(
+            "SIM004",
+            """\
+            def row_key(row):
+                return id(row)
+            """,
+        )
+        assert len(findings) == 1
+        assert "memory address" in findings[0].message
+
+    def test_id_as_sort_key_fires(self, reported):
+        findings = reported(
+            "SIM004",
+            """\
+            def stable(rows):
+                return sorted(rows, key=id)
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_hash_as_sort_key_fires(self, reported):
+        findings = reported(
+            "SIM004",
+            """\
+            def stable(rows):
+                return sorted(rows, key=hash)
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_hash_inside_key_lambda_fires(self, reported):
+        findings = reported(
+            "SIM004",
+            """\
+            def stable(rows):
+                return sorted(rows, key=lambda row: hash(row[0]))
+            """,
+        )
+        assert len(findings) == 1
+
+
+class TestNegative:
+    def test_identity_map_key_is_clean(self, reported):
+        # id() as a per-process identity-map key orders nothing and never
+        # leaves the process; the analyzer itself relies on this idiom.
+        assert not reported(
+            "SIM004",
+            """\
+            def index(nodes):
+                parents = {}
+                for node in nodes:
+                    parents[id(node)] = node
+                    parents.get(id(node))
+                    if id(node) in parents:
+                        pass
+                return len(parents)
+            """,
+        )
+
+    def test_sorting_by_value_is_clean(self, reported):
+        assert not reported(
+            "SIM004",
+            """\
+            def stable(rows):
+                return sorted(rows, key=lambda row: row[0])
+            """,
+        )
+
+
+class TestSuppression:
+    def test_allow_comment_suppresses(self, analyze):
+        findings = analyze(
+            "SIM004",
+            """\
+            def debug_token(obj):
+                return id(obj)  # repro: allow[SIM004] debug-only token
+            """,
+        )
+        assert len(findings) == 1
+        assert findings[0].suppressed
