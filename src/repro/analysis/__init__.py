@@ -1,4 +1,4 @@
-"""Static analysis guarding the reproduction's two load-bearing invariants.
+"""Static analysis guarding the reproduction's load-bearing invariants.
 
 The whole evaluation strategy rests on the simulated cluster being
 *deterministic* (seeded chaos runs must replay row-identical answers) and
@@ -7,8 +7,11 @@ on the cost model being *honest* (every cross-peer byte is priced through
 the type system — one stray ``random.random()``, ``time.time()``, unsorted
 ``set`` iteration, or a direct peer-to-peer row fetch silently breaks them.
 
-This package is a small stdlib-``ast`` linter that encodes those invariants
-as rules:
+This package is a stdlib-``ast`` linter that encodes those invariants as
+rules.  The per-file rules check one parse tree at a time; the
+*interprocedural* rules run on a whole-program import/call graph
+(:mod:`repro.analysis.projectgraph`) built once per run from the same
+parsed contexts:
 
 ========  ==================================================================
 SIM001    global / unseeded ``random`` module use
@@ -20,6 +23,13 @@ ISO001    cross-object reach into another component's private state
 ISO002    row-moving peer calls that bypass ``SimNetwork`` byte accounting
 CFG001    config keys read with inline literal defaults that can drift
           from ``repro.core.config``
+SEC001    rows fetched without access rewriting reaching a cross-peer
+          transfer with no role check on the path (§4.4 taint)
+SEC002    peers admitted / credentialed before certificate verification
+RES001    cross-peer call sites not covered by a RetryPolicy/deadline
+          context from ``repro.core.resilience``
+ARCH001   imports violating the layering contract (``sim``/``sqlengine``/
+          ``baton`` depend only on ``errors``; ``analysis`` is stdlib-only)
 ========  ==================================================================
 
 Usage::
@@ -27,32 +37,54 @@ Usage::
     python -m repro.analysis src tests benchmarks
     python -m repro.analysis --json src
     python -m repro.analysis --list-rules
+    python -m repro.analysis graph --format dot src
 
 Deliberate exceptions are either annotated in the source with
 ``# repro: allow[RULE] reason`` or grandfathered in the committed
 ``analysis-baseline.json`` with a one-line justification.
 """
 
+from repro.analysis.astcache import AstCache
 from repro.analysis.baseline import Baseline, BaselineEntry
-from repro.analysis.engine import AnalysisReport, Analyzer, analyze_paths, analyze_source
+from repro.analysis.engine import (
+    AnalysisReport,
+    Analyzer,
+    analyze_paths,
+    analyze_project,
+    analyze_source,
+)
 from repro.analysis.findings import Finding, Severity
-from repro.analysis.registry import Rule, all_rules, get_rule, register_rule
+from repro.analysis.projectgraph import ProjectGraph
+from repro.analysis.registry import (
+    ProjectRule,
+    Rule,
+    all_rules,
+    get_rule,
+    register_rule,
+)
 
 # Importing the rule modules registers the built-in rule set.
 from repro.analysis import determinism as _determinism  # noqa: F401
 from repro.analysis import isolation as _isolation  # noqa: F401
 from repro.analysis import configrules as _configrules  # noqa: F401
+from repro.analysis import archrules as _archrules  # noqa: F401
+from repro.analysis import securityrules as _securityrules  # noqa: F401
+from repro.analysis import resiliencerules as _resiliencerules  # noqa: F401
 
 __all__ = [
     "AnalysisReport",
     "Analyzer",
+    "AstCache",
     "Baseline",
     "BaselineEntry",
     "Finding",
+    "ProjectGraph",
+    "ProjectRule",
     "Rule",
     "Severity",
     "all_rules",
     "analyze_paths",
+    "analyze_project",
     "analyze_source",
     "get_rule",
     "register_rule",

@@ -1,5 +1,11 @@
 """Command-line entry point: ``python -m repro.analysis [paths]``.
 
+Two modes:
+
+* lint (default) — run the rule set over the paths;
+* ``graph`` — build the whole-program import/call graph only and export it
+  (``python -m repro.analysis graph --format json|dot [paths]``).
+
 Exit codes: 0 clean, 1 findings (or stale baseline entries under
 ``--strict-baseline``), 2 usage/internal error.
 """
@@ -7,24 +13,27 @@ Exit codes: 0 clean, 1 findings (or stale baseline entries under
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional
 
+from repro.analysis.astcache import AstCache
 from repro.analysis.baseline import Baseline, DEFAULT_BASELINE_NAME
 from repro.analysis.engine import Analyzer
-from repro.analysis.registry import AnalysisError, all_rules, get_rule
+from repro.analysis.registry import AnalysisError, all_rules
 from repro.analysis.report import to_json, to_text
 
 DEFAULT_PATHS = ["src", "tests", "benchmarks"]
+DEFAULT_GRAPH_PATHS = ["src"]
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description=(
-            "Determinism & sim-isolation linter for the BestPeer++ "
-            "reproduction."
+            "Determinism, sim-isolation & whole-program linter for the "
+            "BestPeer++ reproduction."
         ),
     )
     parser.add_argument(
@@ -72,12 +81,109 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fail (exit 1) when baseline entries no longer match anything",
     )
     parser.add_argument(
+        "--ast-cache",
+        metavar="DIR",
+        help="directory caching parsed ASTs across runs (lint + graph share it)",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="list rules and exit"
     )
     return parser
 
 
+def _build_graph_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis graph",
+        description=(
+            "Export the whole-program module-import and call graph that "
+            "the interprocedural rules (SEC001/SEC002/RES001/ARCH001) run on."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=(
+            "files or directories to graph "
+            f"(default: {' '.join(DEFAULT_GRAPH_PATHS)})"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("dot", "json"),
+        default="dot",
+        help="output format (default: dot)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        help="write to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--ast-cache",
+        metavar="DIR",
+        help="directory caching parsed ASTs across runs (lint + graph share it)",
+    )
+    return parser
+
+
+def _make_cache(directory: Optional[str]) -> Optional[AstCache]:
+    if directory is None:
+        return None
+    try:
+        return AstCache(directory)
+    except OSError as exc:
+        raise AnalysisError(
+            f"cannot use AST cache directory {directory!r}: {exc}"
+        ) from exc
+
+
+def _select_rules(selector: str) -> List:
+    known = {rule.id: rule for rule in all_rules()}
+    selected = []
+    for raw in selector.split(","):
+        rule_id = raw.strip().upper()
+        if not rule_id:
+            continue
+        if rule_id not in known:
+            raise AnalysisError(
+                f"unknown rule id: {rule_id!r} "
+                f"(valid ids: {', '.join(sorted(known))})"
+            )
+        selected.append(known[rule_id])
+    return selected
+
+
+def graph_main(argv: List[str]) -> int:
+    parser = _build_graph_parser()
+    args = parser.parse_args(argv)
+    try:
+        analyzer = Analyzer(rules=[], ast_cache=_make_cache(args.ast_cache))
+        graph = analyzer.build_graph(args.paths or DEFAULT_GRAPH_PATHS)
+        if args.format == "json":
+            rendered = json.dumps(graph.to_json_dict(), indent=2) + "\n"
+        else:
+            rendered = graph.to_dot()
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(rendered)
+            print(
+                f"wrote {args.format} graph of {len(graph.modules)} "
+                f"module(s) to {args.out}"
+            )
+        else:
+            sys.stdout.write(rendered)
+        return 0
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "graph":
+        return graph_main(argv[1:])
+
     parser = _build_parser()
     args = parser.parse_args(argv)
 
@@ -90,11 +196,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         rules = None
         if args.select:
-            rules = [
-                get_rule(rule_id.strip().upper())
-                for rule_id in args.select.split(",")
-                if rule_id.strip()
-            ]
+            rules = _select_rules(args.select)
 
         baseline_path = args.baseline or DEFAULT_BASELINE_NAME
         baseline = None
@@ -103,7 +205,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 baseline = Baseline.load(baseline_path)
 
         paths = args.paths or DEFAULT_PATHS
-        report = Analyzer(rules=rules, baseline=baseline).run(paths)
+        report = Analyzer(
+            rules=rules,
+            baseline=baseline,
+            ast_cache=_make_cache(args.ast_cache),
+        ).run(paths)
 
         if args.write_baseline:
             new_baseline = Baseline.from_findings(report.findings)

@@ -297,7 +297,8 @@ class IdentityOrderRule(Rule):
 
     One use of ``id()`` *is* deterministic-safe and stays unflagged: an
     identity-map key (``cache[id(node)]``, ``cache.get(id(node))``,
-    ``id(x) in seen``) never orders anything and never leaves the process.
+    ``seen.add(id(x))``, ``id(x) in seen``) never orders anything and never
+    leaves the process.
     """
 
     id = "SIM004"
@@ -348,7 +349,8 @@ class IdentityOrderRule(Rule):
         if (
             isinstance(parent, ast.Call)
             and isinstance(parent.func, ast.Attribute)
-            and parent.func.attr in ("get", "setdefault", "pop")
+            and parent.func.attr
+            in ("get", "setdefault", "pop", "add", "discard", "remove")
             and parent.args
             and parent.args[0] is node
         ):

@@ -10,18 +10,26 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Type
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Type
 
 from repro.analysis.findings import Finding, Severity
-from repro.errors import BestPeerError
+
+if TYPE_CHECKING:  # circular at runtime: projectgraph uses FileContext
+    from repro.analysis.projectgraph import ModuleNode, ProjectGraph
 
 #: File categories the engine distinguishes.  Library code carries both
 #: invariants; tests and benchmarks only the determinism-critical subset.
 CATEGORIES = ("src", "tests", "benchmarks")
 
 
-class AnalysisError(BestPeerError):
-    """A misconfigured rule or an unusable input to the analyzer."""
+class AnalysisError(Exception):
+    """A misconfigured rule or an unusable input to the analyzer.
+
+    Deliberately NOT part of the ``repro.errors`` hierarchy: the analysis
+    package checks the rest of the tree from outside and must stay
+    stdlib-only (its own ARCH001 contract), so it cannot share the
+    platform's exception taxonomy.
+    """
 
 
 @dataclass
@@ -86,6 +94,42 @@ class Rule:
             col=col,
             message=message,
             snippet=ctx.line_text(lineno),
+        )
+
+
+class ProjectRule(Rule):
+    """A rule that needs the whole-program :class:`ProjectGraph`.
+
+    Project rules see every file at once: the engine builds one graph per
+    run from the already-parsed contexts and calls :meth:`check_project`
+    after the per-file rules.  ``categories`` still applies — it filters
+    which files' findings are *emitted*, while the graph itself is always
+    built from everything scanned (so e.g. reachability through helper
+    modules is never truncated).  Suppressions and the baseline apply to
+    project findings exactly as to per-file ones.
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, graph: "ProjectGraph") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def project_finding(
+        self,
+        module: "ModuleNode",
+        lineno: int,
+        col: int,
+        message: str,
+    ) -> Finding:
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=module.path,
+            line=lineno,
+            col=col,
+            message=message,
+            snippet=module.line_text(lineno),
         )
 
 

@@ -1,0 +1,93 @@
+"""RES001: resilience coverage for cross-peer work (PR 1's machinery).
+
+Every cross-peer operation — a ``SimNetwork`` ``transfer``/``broadcast``
+or a remote ``execute_fetch``/``execute_local`` — must run under the
+retry/breaker/deadline umbrella of ``repro.core.resilience``: either
+inside a function handed to ``EngineContext.call_resilient`` /
+``ResilienceContext.call`` (the closure idiom the engines use), or inside
+something such a function calls.
+
+Coverage is computed on the call graph: the functions *referenced* as
+arguments at ``call_resilient(...)`` / ``<...resilience...>.call(...)``
+sites are roots, and everything forward-reachable from them is covered.
+A cross-peer site is a finding when no function on its lexical scope chain
+is covered.
+
+Exemptions, by design rather than oversight:
+
+* ``sim`` — the substrate *is* the wire; it cannot wrap itself,
+* ``mapreduce`` — the MapReduce fault model is job re-execution, not
+  per-message retry (the paper's §5.4 engine inherits Hadoop semantics),
+* ``analysis`` — no runtime traffic,
+* ``repro.core.resilience`` itself — the wrapping machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Set
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.projectgraph import CallSite, ProjectGraph
+from repro.analysis.registry import ProjectRule, register_rule
+
+WIRE_METHODS = frozenset({"transfer", "broadcast"})
+REMOTE_EXEC_METHODS = frozenset({"execute_fetch", "execute_local"})
+#: Call sites whose function-reference arguments are resilience roots.
+WRAPPER_NAMES = frozenset({"call_resilient"})
+
+EXEMPT_UNITS = frozenset({"sim", "mapreduce", "analysis"})
+EXEMPT_MODULES = frozenset({"repro.core.resilience"})
+
+
+def _is_wrapper_site(site: CallSite) -> bool:
+    if site.callee_name in WRAPPER_NAMES:
+        return True
+    return (
+        site.callee_name == "call"
+        and site.receiver is not None
+        and "resilience" in site.receiver
+    )
+
+
+def _is_cross_peer(site: CallSite) -> bool:
+    if site.receiver is None or site.receiver in ("self", "cls"):
+        return False
+    if site.callee_name in WIRE_METHODS:
+        return True
+    return site.callee_name in REMOTE_EXEC_METHODS
+
+
+@register_rule
+class ResilienceCoverageRule(ProjectRule):
+    id = "RES001"
+    severity = Severity.WARNING
+    description = (
+        "cross-peer call site not covered by a RetryPolicy/deadline "
+        "context (call_resilient / ResilienceContext.call)"
+    )
+    categories = ("src",)
+
+    def check_project(self, graph: ProjectGraph) -> Iterator[Finding]:
+        roots: Set[str] = set()
+        for site in graph.call_sites:
+            if _is_wrapper_site(site):
+                roots.update(site.func_ref_args)
+        covered = graph.functions_reachable_from(roots, precise_only=True)
+        for site in graph.call_sites:
+            if not _is_cross_peer(site):
+                continue
+            module = graph.modules.get(site.module)
+            if module is None:
+                continue
+            if module.unit in EXEMPT_UNITS or module.name in EXEMPT_MODULES:
+                continue
+            if any(fn in covered for fn in graph.scope_chain(site.caller)):
+                continue
+            yield self.project_finding(
+                module,
+                site.lineno,
+                site.col,
+                f"{site.receiver}.{site.callee_name}(...) in {site.caller!r} "
+                f"runs outside any resilience context — wrap it in a "
+                f"closure passed to call_resilient/ResilienceContext.call",
+            )

@@ -16,8 +16,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.core.access_control import Role
 from repro.core.certificates import Certificate, CertificateAuthority
 from repro.core.config import DaemonConfig
+from repro.core.metrics import MetricsRegistry
 from repro.core.peer import NormalPeer
-from repro.errors import MembershipError
+from repro.errors import InstanceNotFound, MembershipError
 from repro.sim.cloud import (
     CloudProvider,
     INSTANCE_LAUNCH_TIME_S,
@@ -69,6 +70,9 @@ class MaintenanceReport:
     scalings: List[ScalingEvent] = field(default_factory=list)
     released_instances: List[str] = field(default_factory=list)
     notified_peers: int = 0
+    # Blacklisted instances the cloud no longer knows about (already
+    # reclaimed out of band); skipped rather than released.
+    release_skips: int = 0
     # Peers that missed a heartbeat this epoch but have not yet crossed
     # the suspicion threshold (miss-count failure detection).
     suspected_peers: List[str] = field(default_factory=list)
@@ -84,8 +88,10 @@ class BootstrapPeer:
         daemon_config: Optional[DaemonConfig] = None,
         ca_secret: str = "bestpeer-ca",
         admission_policy: Optional[Callable[[str], bool]] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.cloud = cloud
+        self.metrics = metrics
         self.instance = cloud.launch_instance(
             instance_type="m1.large", instance_id="bootstrap"
         )
@@ -128,6 +134,13 @@ class BootstrapPeer:
                 f"{peer.peer_id!r}"
             )
         certificate = self.ca.issue(peer.peer_id, now)
+        # §3.1: credentials are checked against the CA before the peer is
+        # admitted or handed anything — a revoked or cross-signed
+        # certificate must never enter the membership records.
+        if not self.ca.verify(certificate):
+            raise MembershipError(
+                f"certificate for {peer.peer_id!r} failed CA verification"
+            )
         peer.certificate = certificate
         self._peers[peer.peer_id] = PeerRecord(
             peer_id=peer.peer_id,
@@ -226,7 +239,12 @@ class BootstrapPeer:
         for record in self._blacklist:
             try:
                 instance = self.cloud.describe_instance(record.instance_id)
-            except Exception:
+            except InstanceNotFound:
+                # The instance was already reclaimed out of band; count the
+                # skip so silent leaks of blacklist entries stay visible.
+                report.release_skips += 1
+                if self.metrics is not None:
+                    self.metrics.faults.blacklist_release_skips += 1
                 continue
             if instance.state is not InstanceState.TERMINATED:
                 if instance.state is InstanceState.CRASHED:

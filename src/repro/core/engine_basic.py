@@ -26,6 +26,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.core.accesscheck import require_unrestricted_read, unrestricted_read
 from repro.core.bloom import build_filter
 from repro.core.execution import EngineContext, QueryExecution, makespan
 from repro.core.indexer import PeerLookup
@@ -76,10 +77,17 @@ class BasicEngine:
             all_peers.update(lookup.peers)
         self._require_online(all_peers)
 
-        if len(all_peers) == 1:
+        # The single-peer optimization ships the *original* SQL, so no
+        # per-row access rewriting can happen; it only applies when the
+        # user's role could not have masked anything (§4.4), otherwise the
+        # query falls through to the fetch paths that mask at the owners.
+        local_plans = [plan.base] + [stage.right for stage in plan.joins]
+        if len(all_peers) == 1 and unrestricted_read(
+            self.context.peers, local_plans, all_peers, user
+        ):
             return self._single_peer(
                 # repro: allow[SIM003] singleton set, the one element is the same in every run
-                sql, next(iter(all_peers)), index_hops, user, timestamp
+                sql, plan, next(iter(all_peers)), index_hops, user, timestamp
             )
         if not plan.joins:
             return self._single_table(plan, lookups, index_hops, user, timestamp)
@@ -212,12 +220,21 @@ class BasicEngine:
     def _single_peer(
         self,
         sql: str,
+        plan: DistributedPlan,
         peer_id: str,
         index_hops: int,
         user: Optional[str],
         timestamp: Optional[float],
     ) -> QueryExecution:
         context = self.context
+        # execute() already proved the pushdown safe; re-prove it here so
+        # the bypass and its access check cannot drift apart.
+        require_unrestricted_read(
+            context.peers,
+            [plan.base] + [stage.right for stage in plan.joins],
+            [peer_id],
+            user,
+        )
 
         def run_remote():
             owner = context.peer(peer_id)
@@ -382,26 +399,9 @@ class BasicEngine:
         user: Optional[str],
     ) -> bool:
         """Whole-query pushdown is safe only if no masking can apply."""
-        if user is None:
-            return True
-        table = plan.base.table
-        bare_columns = [
-            name.rsplit(".", 1)[-1] for name in plan.base.columns
-        ]
-        for peer_id in lookup.peers:
-            owner = self.context.peers.get(peer_id)
-            if owner is None or not owner.access.has_user(user):
-                return False
-            role = owner.access.role_of(user)
-            for column in bare_columns:
-                access_rule = role.rule_for(f"{table}.{column}")
-                if access_rule is None:
-                    return False
-                if "read" not in access_rule.privileges:
-                    return False
-                if access_rule.value_range is not None:
-                    return False
-        return True
+        return unrestricted_read(
+            self.context.peers, [plan.base], lookup.peers, user
+        )
 
     # ------------------------------------------------------------------
     # Fetch helpers

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.core.accesscheck import require_unrestricted_read
 from repro.core.execution import EngineContext, QueryExecution
 from repro.errors import PeerUnavailableError
 from repro.hadoopdb.driver import DistributedPlanDriver, LocalResult
@@ -48,7 +49,8 @@ class BestPeerMapReduceEngine:
         # The engine runs over every peer holding any involved table.
         index_hops = 0
         involved: List[str] = []
-        for local_plan in [plan.base] + [stage.right for stage in plan.joins]:
+        local_plans = [plan.base] + [stage.right for stage in plan.joins]
+        for local_plan in local_plans:
             lookup = context.indexer.locate(local_plan.table)
             index_hops += lookup.hops
             for peer_id in lookup.peers:
@@ -62,6 +64,10 @@ class BestPeerMapReduceEngine:
             peer = context.peers.get(peer_id)
             if peer is None or not peer.online:
                 raise PeerUnavailableError(peer_id)
+        # Map tasks read raw fragments via execute_local, never through the
+        # access-rewriting fetch path, so the whole job is gated up front:
+        # every involved role must hold unrestricted reads (§4.4).
+        require_unrestricted_read(context.peers, local_plans, involved, user)
 
         hosts = [context.peer(peer_id).host for peer_id in involved]
         host_to_peer = {context.peer(p).host: p for p in involved}
@@ -78,7 +84,7 @@ class BestPeerMapReduceEngine:
             # A map task reading its own host's database: the rows never
             # leave the instance here — HDFS reads and the shuffle price
             # every cross-host byte inside MapReduceEngine.
-            execution = peer.execute_local(  # repro: allow[ISO002] map-side local read; shuffle prices the movement
+            execution = peer.execute_local(  # repro: allow[ISO002,RES001] map-side local read; shuffle prices the movement and MapReduce recovers by re-executing the job, not by retrying messages
                 fragment_sql, query_timestamp=timestamp
             )
             return LocalResult(

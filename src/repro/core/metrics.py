@@ -41,7 +41,10 @@ class FaultCounters:
 
     ``retries``/``circuit_opens``/``failovers`` are incremented by the
     resilience layer; ``dropped_messages``/``timeouts`` mirror the
-    simulated network's injected-fault counters.
+    simulated network's injected-fault counters;
+    ``blacklist_release_skips`` counts blacklisted instances the
+    maintenance daemon could not release because the cloud no longer
+    knew them.
     """
 
     retries: int = 0
@@ -49,6 +52,7 @@ class FaultCounters:
     failovers: int = 0
     dropped_messages: int = 0
     timeouts: int = 0
+    blacklist_release_skips: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -57,6 +61,7 @@ class FaultCounters:
             "failovers": self.failovers,
             "dropped_messages": self.dropped_messages,
             "timeouts": self.timeouts,
+            "blacklist_release_skips": self.blacklist_release_skips,
         }
 
     @property

@@ -88,11 +88,12 @@ class BestPeerNetwork:
             name.lower(): schema for name, schema in global_schemas.items()
         }
         self.secondary_indices = secondary_indices or {}
+        self.metrics = MetricsRegistry()
         self.bootstrap = BootstrapPeer(
-            self.cloud, self.global_schemas, daemon_config
+            self.cloud, self.global_schemas, daemon_config,
+            metrics=self.metrics,
         )
         self.index_policy = index_policy or FULL_INDEX_POLICY
-        self.metrics = MetricsRegistry()
         self.peers: Dict[str, NormalPeer] = {}
         self.indexers: Dict[str, DataIndexer] = {}
         self.statistics: Dict[str, TableStatistics] = {}

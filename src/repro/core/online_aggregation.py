@@ -21,6 +21,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.core.accesscheck import require_unrestricted_read
 from repro.errors import BestPeerError
 
 # Two-sided z-values for the confidence levels users typically request.
@@ -158,19 +159,33 @@ def online_aggregate(
     if query_peer is None:
         raise BestPeerError(f"unknown peer: {peer_id!r}")
 
+    # Partial sums are derived values no role rule can rewrite, so the
+    # unmasked fetch below is only legal when masking could not have
+    # changed the answer anywhere (§4.4) — the same gate as the engines'
+    # partial-aggregate pushdowns.
+    require_unrestricted_read(network.peers, [plan.base], owners, user)
+
     aggregator = OnlineSumAggregator(len(owners), confidence)
     for owner_id in owners:
-        owner = network.peers[owner_id]
-        execution = owner.execute_fetch(
-            plan.base.table, local_plan.sql, user=None
-        )
-        # Each report is one small cross-peer message; charge its bytes to
-        # the simulated network so the cost model sees progressive queries.
-        network.network.transfer(
-            owner.host,
-            query_peer.host,
-            records_byte_size(execution.result.rows),
-        )
+
+        def fetch_report(owner_id: str = owner_id):
+            # Resolve the owner inside the attempt: a fail-over rebinds the
+            # peer to a fresh instance between retries.
+            owner = network.peers[owner_id]
+            execution = owner.execute_fetch(
+                plan.base.table, local_plan.sql, user=None
+            )
+            # Each report is one small cross-peer message; charge its bytes
+            # to the simulated network so the cost model sees progressive
+            # queries.
+            network.network.transfer(
+                owner.host,
+                query_peer.host,
+                records_byte_size(execution.result.rows),
+            )
+            return execution
+
+        execution = network.resilience.call(owner_id, fetch_report)
         partial = execution.result.rows[0][0] if execution.result.rows else None
         estimate = aggregator.observe(partial)
         yield estimate

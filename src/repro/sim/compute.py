@@ -16,9 +16,14 @@ microseconds.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import SimulationError
-from repro.sqlengine.executor import ExecStats
+
+if TYPE_CHECKING:
+    # Typing-only: the compute model consumes the executor's work counters
+    # but the sim layer must not depend on the SQL engine at runtime.
+    from repro.sqlengine.executor import ExecStats
 
 
 @dataclass(frozen=True)

@@ -4,11 +4,15 @@ Fixtures live in strings (never on disk as ``.py`` files) so the repo-wide
 self-check in ``test_self_check.py`` doesn't trip over its own test data.
 """
 
+import ast
 import textwrap
 
 import pytest
 
-from repro.analysis import analyze_source, get_rule
+from repro.analysis import analyze_project, analyze_source, get_rule
+from repro.analysis.engine import categorize
+from repro.analysis.projectgraph import ProjectGraph
+from repro.analysis.registry import FileContext
 
 
 @pytest.fixture
@@ -22,6 +26,40 @@ def analyze():
             category=category,
             rules=[get_rule(rule_id)],
         )
+
+    return run
+
+
+@pytest.fixture
+def project():
+    """Run one rule over a {path: source} fixture; reported findings only."""
+
+    def run(rule_id, files, **kwargs):
+        findings = analyze_project(
+            {path: textwrap.dedent(source) for path, source in files.items()},
+            rules=[get_rule(rule_id)],
+            **kwargs,
+        )
+        return [finding for finding in findings if finding.reported]
+
+    return run
+
+
+@pytest.fixture
+def graph_of():
+    """Build a ProjectGraph straight from a {path: source} fixture."""
+
+    def run(files):
+        contexts = [
+            FileContext(
+                path=path,
+                category=categorize(path),
+                source=textwrap.dedent(source),
+                tree=ast.parse(textwrap.dedent(source)),
+            )
+            for path, source in files.items()
+        ]
+        return ProjectGraph.build(contexts)
 
     return run
 

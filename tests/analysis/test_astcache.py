@@ -1,0 +1,40 @@
+"""The content-keyed AST cache shared by the lint and graph passes."""
+
+import ast
+
+import pytest
+
+from repro.analysis.astcache import AstCache, cache_key
+
+
+class TestKeys:
+    def test_key_is_content_addressed(self):
+        assert cache_key("x = 1\n") == cache_key("x = 1\n")
+        assert cache_key("x = 1\n") != cache_key("x = 2\n")
+
+
+class TestRoundTrip:
+    def test_second_parse_is_a_hit_with_an_equal_tree(self, tmp_path):
+        cache = AstCache(str(tmp_path / "cache"))
+        source = "def f():\n    return 1\n"
+        first = cache.parse(source, filename="a.py")
+        assert (cache.hits, cache.misses) == (0, 1)
+        second = cache.parse(source, filename="a.py")
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert ast.dump(first) == ast.dump(second)
+
+    def test_corrupt_entry_falls_back_to_parsing(self, tmp_path):
+        cache = AstCache(str(tmp_path / "cache"))
+        source = "x = 1\n"
+        cache.parse(source, filename="a.py")
+        (entry,) = (tmp_path / "cache").iterdir()
+        entry.write_bytes(b"not a pickle")
+        tree = cache.parse(source, filename="a.py")
+        assert isinstance(tree, ast.Module)
+        assert cache.misses == 2
+
+    def test_syntax_errors_propagate_and_are_not_cached(self, tmp_path):
+        cache = AstCache(str(tmp_path / "cache"))
+        with pytest.raises(SyntaxError):
+            cache.parse("def broken(:\n", filename="a.py")
+        assert list((tmp_path / "cache").iterdir()) == []

@@ -39,7 +39,11 @@ class TestExitCodes:
 
     def test_unknown_rule_select_exits_two(self, tree, capsys):
         assert main(["--select", "NOPE999", "src"]) == 2
-        assert "unknown rule" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "unknown rule id: 'NOPE999'" in err
+        # The error lists every valid id so the fix is a copy-paste away.
+        for rule_id in ("SIM001", "SEC001", "RES001", "ARCH001"):
+            assert rule_id in err
 
 
 class TestSelect:
@@ -70,6 +74,60 @@ class TestListRules:
             "CFG001",
         ):
             assert rule_id in out
+
+
+class TestGraphSubcommand:
+    def test_dot_export_names_the_scanned_modules(self, tree, capsys):
+        assert main(["graph", "src"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph repro_imports {")
+        assert '"repro.dirty"' in out
+        assert '"repro.clean"' in out
+        assert out.count("{") == out.count("}")
+
+    def test_json_export_parses(self, tree, capsys):
+        assert main(["graph", "--format", "json", "src"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        names = [module["name"] for module in payload["modules"]]
+        assert "repro.dirty" in names
+
+    def test_out_writes_the_file(self, tree, capsys):
+        assert main(["graph", "--out", "deps.dot", "src"]) == 0
+        assert "wrote dot graph" in capsys.readouterr().out
+        assert (tree / "deps.dot").read_text().startswith("digraph")
+
+    def test_syntax_error_exits_two(self, tree, capsys):
+        (tree / "src" / "repro" / "broken.py").write_text("def broken(:\n")
+        assert main(["graph", "src"]) == 2
+        assert "cannot parse" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, tree, capsys):
+        assert main(["graph", "no/such/dir"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestAstCache:
+    def test_lint_and_graph_share_one_cache(self, tree, capsys):
+        assert main(["--ast-cache", ".ast-cache", "src"]) == 1
+        cached = set((tree / ".ast-cache").iterdir())
+        assert cached  # the lint pass populated it
+        capsys.readouterr()
+        assert main(["graph", "--ast-cache", ".ast-cache", "src"]) == 0
+        # The graph pass parsed the same sources: nothing new was written.
+        assert set((tree / ".ast-cache").iterdir()) == cached
+
+    def test_results_match_without_a_cache(self, tree, capsys):
+        assert main(["--json", "src"]) == 1
+        uncached = json.loads(capsys.readouterr().out)
+        assert main(["--json", "--ast-cache", ".ast-cache", "src"]) == 1
+        cached = json.loads(capsys.readouterr().out)
+        assert cached["findings"] == uncached["findings"]
+
+    def test_unusable_cache_dir_exits_two(self, tree, capsys):
+        (tree / "blocker").write_text("a file, not a directory\n")
+        assert main(["--ast-cache", "blocker/nested", "src"]) == 2
+        assert "AST cache" in capsys.readouterr().err
 
 
 class TestBaselineFlow:

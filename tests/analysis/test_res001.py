@@ -1,0 +1,114 @@
+"""RES001: cross-peer call sites must run under the resilience layer."""
+
+
+class TestPositive:
+    def test_bare_transfer_fires(self, project):
+        findings = project(
+            "RES001",
+            {
+                "src/repro/core/engine.py": """\
+                def ship(network, src, dst):
+                    return network.transfer(src, dst, 64)
+                """
+            },
+        )
+        assert len(findings) == 1
+        assert "call_resilient" in findings[0].message
+
+    def test_remote_fetch_outside_any_wrapper_fires(self, project):
+        findings = project(
+            "RES001",
+            {
+                "src/repro/core/engine.py": """\
+                def gather(owner, sql, user):
+                    return owner.execute_fetch('t', sql, user=user)
+                """
+            },
+        )
+        assert len(findings) == 1
+
+
+class TestNegative:
+    def test_closure_passed_to_call_resilient_is_covered(self, project):
+        assert not project(
+            "RES001",
+            {
+                "src/repro/core/engine.py": """\
+                def run(context, network, owner, query_peer, sql):
+                    def fetch_one():
+                        rows = owner.execute_fetch('t', sql)
+                        network.transfer(owner.host, query_peer.host, 64)
+                        return rows
+
+                    return context.call_resilient('p', fetch_one)
+                """
+            },
+        )
+
+    def test_resilience_context_call_receiver_also_covers(self, project):
+        assert not project(
+            "RES001",
+            {
+                "src/repro/core/agg.py": """\
+                def run(network, owner, query_peer, sql):
+                    def fetch_report():
+                        return network.transfer(owner.host, query_peer.host, 8)
+
+                    return network.resilience.call('p', fetch_report)
+                """
+            },
+        )
+
+    def test_coverage_extends_to_the_roots_callees(self, project):
+        assert not project(
+            "RES001",
+            {
+                "src/repro/core/engine.py": """\
+                def ship(network, src, dst):
+                    return network.transfer(src, dst, 64)
+
+                def run(context, network, owner, query_peer):
+                    def attempt():
+                        return ship(network, owner.host, query_peer.host)
+
+                    return context.call_resilient('p', attempt)
+                """
+            },
+        )
+
+    def test_sim_unit_is_exempt(self, project):
+        # The substrate is the wire; it cannot wrap itself.
+        assert not project(
+            "RES001",
+            {
+                "src/repro/sim/relay.py": """\
+                def relay(network, src, dst):
+                    return network.transfer(src, dst, 64)
+                """
+            },
+        )
+
+    def test_mapreduce_unit_is_exempt(self, project):
+        # MapReduce's fault model is job re-execution, not message retry.
+        assert not project(
+            "RES001",
+            {
+                "src/repro/mapreduce/shuffle.py": """\
+                def shuffle(network, src, dst):
+                    return network.transfer(src, dst, 64)
+                """
+            },
+        )
+
+
+class TestSuppression:
+    def test_allow_comment_suppresses(self, project):
+        assert not project(
+            "RES001",
+            {
+                "src/repro/core/engine.py": """\
+                def ship(network, src, dst):
+                    return network.transfer(src, dst, 64)  # repro: allow[RES001] bounded by the job deadline
+                """
+            },
+        )

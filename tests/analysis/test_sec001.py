@@ -1,0 +1,198 @@
+"""SEC001: access-control taint from unmasked fetches to the wire."""
+
+
+class TestPositive:
+    def test_remote_execute_local_reaching_transfer_fires(self, project):
+        findings = project(
+            "SEC001",
+            {
+                "src/repro/core/engine.py": """\
+                def run(network, owner, query_peer, sql):
+                    execution = owner.execute_local(sql)
+                    network.transfer(owner.host, query_peer.host, 64)
+                    return execution
+                """
+            },
+        )
+        assert len(findings) == 1
+        assert "execute_local" in findings[0].message
+
+    def test_fetch_without_user_fires(self, project):
+        findings = project(
+            "SEC001",
+            {
+                "src/repro/core/engine.py": """\
+                def run(network, owner, query_peer, sql):
+                    rows = owner.execute_fetch('t', sql)
+                    network.transfer(owner.host, query_peer.host, 64)
+                    return rows
+                """
+            },
+        )
+        assert len(findings) == 1
+
+    def test_fetch_with_literal_none_user_fires(self, project):
+        findings = project(
+            "SEC001",
+            {
+                "src/repro/core/engine.py": """\
+                def run(network, owner, query_peer, sql):
+                    rows = owner.execute_fetch('t', sql, user=None)
+                    network.transfer(owner.host, query_peer.host, 64)
+                    return rows
+                """
+            },
+        )
+        assert len(findings) == 1
+
+    def test_wire_reached_through_a_callee_still_fires(self, project):
+        findings = project(
+            "SEC001",
+            {
+                "src/repro/core/engine.py": """\
+                def ship(network, src, dst, nbytes):
+                    return network.transfer(src, dst, nbytes)
+
+                def run(network, owner, query_peer, sql):
+                    execution = owner.execute_local(sql)
+                    return ship(network, owner.host, query_peer.host, 64)
+                """
+            },
+        )
+        assert len(findings) == 1
+
+    def test_check_reached_only_via_ambiguous_edge_still_fires(self, project):
+        # ``thing.execute()`` resolves (by name) to every ``execute`` method;
+        # one of them performs a role check, but that ambiguous edge must
+        # not vouch for the taint path.
+        findings = project(
+            "SEC001",
+            {
+                "src/repro/core/engine.py": """\
+                class Checker:
+                    def execute(self, role):
+                        return role.rule_for('t.c')
+
+                class Other:
+                    def execute(self):
+                        return 1
+
+                def run(network, owner, query_peer, thing, sql):
+                    thing.execute()
+                    execution = owner.execute_local(sql)
+                    network.transfer(owner.host, query_peer.host, 64)
+                    return execution
+                """
+            },
+        )
+        assert len(findings) == 1
+
+
+class TestNegative:
+    def test_fetch_with_a_user_variable_is_trusted(self, project):
+        assert not project(
+            "SEC001",
+            {
+                "src/repro/core/engine.py": """\
+                def run(network, owner, query_peer, sql, user):
+                    rows = owner.execute_fetch('t', sql, user=user)
+                    network.transfer(owner.host, query_peer.host, 64)
+                    return rows
+                """
+            },
+        )
+
+    def test_peers_own_local_read_is_not_a_source(self, project):
+        assert not project(
+            "SEC001",
+            {
+                "src/repro/core/peer.py": """\
+                class Peer:
+                    def answer(self, network, dst, sql):
+                        execution = self.execute_local(sql)
+                        network.transfer(self.host, dst, 64)
+                        return execution
+                """
+            },
+        )
+
+    def test_no_wire_reach_means_no_finding(self, project):
+        assert not project(
+            "SEC001",
+            {
+                "src/repro/core/engine.py": """\
+                def run(owner, sql):
+                    return owner.execute_local(sql)
+                """
+            },
+        )
+
+    def test_role_check_in_the_same_function_clears_it(self, project):
+        assert not project(
+            "SEC001",
+            {
+                "src/repro/core/engine.py": """\
+                def run(network, owner, query_peer, role, sql):
+                    if role.rule_for('t.c') is None:
+                        raise ValueError('denied')
+                    execution = owner.execute_local(sql)
+                    network.transfer(owner.host, query_peer.host, 64)
+                    return execution
+                """
+            },
+        )
+
+    def test_check_in_lexical_parent_covers_the_closure(self, project):
+        # The engines' idiom: the enclosing function proves the pushdown
+        # safe, the closure does the remote work.
+        assert not project(
+            "SEC001",
+            {
+                "src/repro/core/engine.py": """\
+                def run(context, network, owner, query_peer, role, sql):
+                    if role.rule_for('t.c') is None:
+                        raise ValueError('denied')
+
+                    def run_remote():
+                        execution = owner.execute_local(sql)
+                        network.transfer(owner.host, query_peer.host, 64)
+                        return execution
+
+                    return context.call_resilient('p', run_remote)
+                """
+            },
+        )
+
+    def test_check_reached_through_an_imported_helper_clears_it(self, project):
+        assert not project(
+            "SEC001",
+            {
+                "src/repro/core/gate.py": """\
+                def require_unrestricted_read(role):
+                    if role.rule_for('t.c') is None:
+                        raise ValueError('denied')
+                """,
+                "src/repro/core/engine.py": """\
+                from repro.core.gate import require_unrestricted_read
+
+                def run(network, owner, query_peer, role, sql):
+                    require_unrestricted_read(role)
+                    execution = owner.execute_local(sql)
+                    network.transfer(owner.host, query_peer.host, 64)
+                    return execution
+                """,
+            },
+        )
+
+    def test_tests_category_is_not_emitted(self, project):
+        assert not project(
+            "SEC001",
+            {
+                "tests/core/test_engine.py": """\
+                def run(network, owner, query_peer, sql):
+                    execution = owner.execute_local(sql)
+                    network.transfer(owner.host, query_peer.host, 64)
+                    return execution
+                """
+            },
+        )

@@ -35,3 +35,35 @@ def test_repo_is_clean_in_json_mode_with_no_stale_baseline():
     assert payload["ok"] is True
     assert payload["findings"] == []
     assert payload["baseline"]["stale"] == []
+
+
+def test_graph_export_covers_every_src_module():
+    """The graph the rules reason over must see the whole package."""
+    proc = _run("graph", "--format", "json", "src")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    payload = json.loads(proc.stdout)
+    graphed = {module["path"] for module in payload["modules"]}
+    expected = set()
+    for dirpath, dirnames, filenames in os.walk(
+        os.path.join(REPO_ROOT, "src", "repro")
+    ):
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        for filename in filenames:
+            if filename.endswith(".py"):
+                relpath = os.path.relpath(
+                    os.path.join(dirpath, filename), REPO_ROOT
+                )
+                expected.add(relpath.replace(os.sep, "/"))
+    assert expected <= graphed
+
+
+def test_dot_export_is_well_formed():
+    proc = _run("graph", "--format", "dot", "src")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    dot = proc.stdout
+    assert dot.startswith("digraph repro_imports {")
+    assert dot.rstrip().endswith("}")
+    assert dot.count("{") == dot.count("}")
+    # Every layering-contract unit shows up as a cluster.
+    for unit in ("core", "sim", "sqlengine", "baton", "analysis"):
+        assert f'"cluster_{unit}"' in dot

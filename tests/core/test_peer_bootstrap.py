@@ -2,8 +2,9 @@
 
 import pytest
 
-from repro.core.bootstrap import BootstrapPeer
+from repro.core.bootstrap import BootstrapPeer, PeerRecord
 from repro.core.config import DaemonConfig
+from repro.core.metrics import MetricsRegistry
 from repro.core.peer import NormalPeer
 from repro.core.schema_mapping import identity_mapping
 from repro.core.access_control import Role, rule, READ
@@ -173,6 +174,16 @@ class TestMembership:
             bootstrap.register_peer(rejected)
         assert not bootstrap.is_member("shady-1")
 
+    def test_register_rejects_unverifiable_certificate(self, cloud, bootstrap):
+        # §3.1: credentials are CA-verified before admission; a CA that
+        # cannot vouch for its own issuance must not admit the peer.
+        peer = make_peer(cloud)
+        bootstrap.ca.verify = lambda certificate: False
+        with pytest.raises(MembershipError, match="failed CA verification"):
+            bootstrap.register_peer(peer)
+        assert not bootstrap.is_member("peer-1")
+        assert peer.certificate is None
+
     def test_user_registry(self, cloud, bootstrap):
         peer = make_peer(cloud)
         bootstrap.register_peer(peer)
@@ -236,6 +247,26 @@ class TestAlgorithm1:
         peer.instance.storage_used_gb = peer.instance.storage_gb - 0.5
         report = bootstrap.run_maintenance_epoch({"peer-1": peer})
         assert any(event.action == "add-storage" for event in report.scalings)
+
+    def test_vanished_blacklisted_instance_is_skipped_and_counted(self, cloud):
+        # A blacklist entry whose instance the cloud no longer knows about
+        # (reclaimed out of band) must not abort the release sweep — and
+        # must not vanish silently either.
+        metrics = MetricsRegistry()
+        bootstrap = BootstrapPeer(cloud, schemas(), metrics=metrics)
+        peer = make_peer(cloud)
+        bootstrap.register_peer(peer)
+        bootstrap.handle_departure("peer-1")
+        ghost = PeerRecord("ghost", bootstrap.ca.issue("ghost", 0.0), "i-ghost")
+        bootstrap._blacklist.append(ghost)
+
+        report = bootstrap.run_maintenance_epoch({})
+
+        # The known instance is still released despite the ghost entry.
+        assert report.released_instances == [peer.host]
+        assert report.release_skips == 1
+        assert metrics.faults.blacklist_release_skips == 1
+        assert bootstrap._blacklist == []
 
     def test_top_tier_instance_not_upgraded(self, cloud, bootstrap):
         instance = cloud.launch_instance("m1.xlarge", instance_id="i-max")
