@@ -133,7 +133,14 @@ class CallSite:
 
 @dataclass
 class AttrAssign:
-    """One ``<expr>.attr = value`` statement (for admission-order checks)."""
+    """One mutation of ``<expr>.attr`` (assignment, item write, or delete).
+
+    Beyond plain ``x.attr = value``, this records ``x.attr[k] = v`` /
+    ``x.attr[k] += v`` / ``del x.attr[k]`` (``via_subscript=True``) and
+    ``x.attr += v`` / ``del x.attr`` — every syntactic way a statement can
+    mutate state hanging off an attribute.  Used by the admission-order
+    check (SEC002) and the WAL-confinement check (RES002).
+    """
 
     caller: str
     module: str
@@ -142,6 +149,7 @@ class AttrAssign:
     lineno: int
     col: int
     value_is_none: bool
+    via_subscript: bool = False
 
 
 def _type_checking_import_ids(tree: ast.Module) -> Set[int]:
@@ -453,6 +461,8 @@ class ProjectGraph:
                     self._record_call(child, scope, method_cls, mod)
                 elif isinstance(child, ast.Assign):
                     self._record_attr_assigns(child, scope, mod)
+                elif isinstance(child, (ast.AugAssign, ast.Delete)):
+                    self._record_other_mutations(child, scope, mod)
                 walk(child, scope, direct_cls, method_cls)
 
         walk(mod.tree, module_scope, None, None)
@@ -527,23 +537,58 @@ class ProjectGraph:
             isinstance(node.value, ast.Constant) and node.value.value is None
         )
         for target in node.targets:
-            if not isinstance(target, ast.Attribute):
-                continue
-            try:
-                target_text = ast.unparse(target.value)
-            except Exception:
-                target_text = "<expr>"
-            self.attr_assigns.append(
-                AttrAssign(
-                    caller=scope,
-                    module=mod.name,
-                    target=target_text,
-                    attr=target.attr,
-                    lineno=node.lineno,
-                    col=node.col_offset,
-                    value_is_none=value_is_none,
-                )
+            self._record_mutation_target(
+                target, scope, mod, node.lineno, node.col_offset,
+                value_is_none,
             )
+
+    def _record_other_mutations(
+        self, node: ast.AST, scope: str, mod: ModuleNode
+    ) -> None:
+        """Capture ``x.attr += v`` / ``x.attr[k] += v`` / ``del x.attr[k]``."""
+        if isinstance(node, ast.AugAssign):
+            targets: List[ast.expr] = [node.target]
+        else:
+            targets = list(node.targets)  # type: ignore[attr-defined]
+        for target in targets:
+            self._record_mutation_target(
+                target, scope, mod, node.lineno, node.col_offset, False
+            )
+
+    def _record_mutation_target(
+        self,
+        target: ast.expr,
+        scope: str,
+        mod: ModuleNode,
+        lineno: int,
+        col: int,
+        value_is_none: bool,
+    ) -> None:
+        via_subscript = False
+        if isinstance(target, ast.Subscript):
+            # ``x.attr[k] = ...`` mutates the container held in ``x.attr``.
+            if not isinstance(target.value, ast.Attribute):
+                return
+            target = target.value
+            via_subscript = True
+        if not isinstance(target, ast.Attribute):
+            return
+        try:
+            target_text = ast.unparse(target.value)
+        except Exception:
+            target_text = "<expr>"
+        self.attr_assigns.append(
+            AttrAssign(
+                caller=scope,
+                module=mod.name,
+                target=target_text,
+                attr=target.attr,
+                lineno=lineno,
+                col=col,
+                value_is_none=value_is_none,
+                via_subscript=via_subscript,
+            )
+        )
 
     # ------------------------------------------------------------------
     # queries

@@ -1,4 +1,6 @@
-"""RES001: resilience coverage for cross-peer work (PR 1's machinery).
+"""RES001/RES002: resilience coverage and WAL confinement.
+
+RES001 — resilience coverage for cross-peer work (PR 1's machinery).
 
 Every cross-peer operation — a ``SimNetwork`` ``transfer``/``broadcast``
 or a remote ``execute_fetch``/``execute_local`` — must run under the
@@ -20,10 +22,22 @@ Exemptions, by design rather than oversight:
   per-message retry (the paper's §5.4 engine inherits Hadoop semantics),
 * ``analysis`` — no runtime traffic,
 * ``repro.core.resilience`` itself — the wrapping machinery.
+
+RES002 — WAL confinement of bootstrap metadata (this PR's machinery).
+Every mutation of the bootstrap's replicated metadata
+(:class:`repro.core.metalog.BootstrapState`) must flow through the single
+``apply()`` reducer: a standby replays the log to promote, so state
+touched any other way silently diverges between primary and standby.  The
+rule computes the set of functions precisely reachable from ``apply`` and
+flags any statement-level mutation (attribute assignment, item write,
+augmented assignment, delete, or a mutator-method call like
+``state.peers.pop(...)``) of a metadata attribute on a ``state`` receiver
+whose lexical scope chain never enters that set.
 """
 
 from __future__ import annotations
 
+import re
 from typing import Iterator, Optional, Set
 
 from repro.analysis.findings import Finding, Severity
@@ -90,4 +104,110 @@ class ResilienceCoverageRule(ProjectRule):
                 f"{site.receiver}.{site.callee_name}(...) in {site.caller!r} "
                 f"runs outside any resilience context — wrap it in a "
                 f"closure passed to call_resilient/ResilienceContext.call",
+            )
+
+
+#: Replicated-metadata attributes of ``BootstrapState``.
+METADATA_ATTRS = frozenset(
+    {
+        "peers",
+        "blacklist",
+        "schemas",
+        "roles",
+        "user_registry",
+        "serials",
+        "admission_epochs",
+        "pending_failovers",
+    }
+)
+#: Container methods that mutate their receiver in place.
+MUTATOR_METHODS = frozenset(
+    {
+        "add",
+        "append",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "remove",
+        "setdefault",
+        "update",
+    }
+)
+#: The WAL reducer: functions named ``apply`` defined in this module.
+WAL_MODULE = "repro.core.metalog"
+_STATE_TOKEN = re.compile(r"\bstate\b")
+
+
+def _is_state_receiver(text: Optional[str]) -> bool:
+    """Whether a rendered expression names bootstrap state (``state``,
+    ``self.state``, ``cluster.leader.state`` ...)."""
+    return text is not None and _STATE_TOKEN.search(text) is not None
+
+
+@register_rule
+class WalConfinementRule(ProjectRule):
+    id = "RES002"
+    severity = Severity.ERROR
+    description = (
+        "bootstrap metadata mutated outside the WAL apply() reducer "
+        "(repro.core.metalog) — standby replay would diverge"
+    )
+    categories = ("src",)
+
+    def _allowed(self, graph: ProjectGraph) -> Set[str]:
+        roots = {
+            qualname
+            for qualname, node in graph.functions.items()
+            if node.module == WAL_MODULE and node.name == "apply"
+        }
+        return graph.functions_reachable_from(roots, precise_only=True)
+
+    def check_project(self, graph: ProjectGraph) -> Iterator[Finding]:
+        allowed = self._allowed(graph)
+
+        def confined(scope: str) -> bool:
+            return any(fn in allowed for fn in graph.scope_chain(scope))
+
+        for assign in graph.attr_assigns:
+            if assign.attr not in METADATA_ATTRS:
+                continue
+            if not _is_state_receiver(assign.target):
+                continue
+            if confined(assign.caller):
+                continue
+            module = graph.modules.get(assign.module)
+            if module is None:
+                continue
+            yield self.project_finding(
+                module,
+                assign.lineno,
+                assign.col,
+                f"{assign.caller!r} mutates {assign.target}.{assign.attr} "
+                f"outside the WAL reducer — emit a log record and let "
+                f"{WAL_MODULE}.apply fold it in",
+            )
+        for site in graph.call_sites:
+            if site.callee_name not in MUTATOR_METHODS:
+                continue
+            receiver = site.receiver
+            if receiver is None or "." not in receiver:
+                continue
+            head, _, attr = receiver.rpartition(".")
+            if attr not in METADATA_ATTRS or not _is_state_receiver(head):
+                continue
+            if confined(site.caller):
+                continue
+            module = graph.modules.get(site.module)
+            if module is None:
+                continue
+            yield self.project_finding(
+                module,
+                site.lineno,
+                site.col,
+                f"{site.caller!r} calls {receiver}.{site.callee_name}(...) "
+                f"outside the WAL reducer — emit a log record and let "
+                f"{WAL_MODULE}.apply fold it in",
             )

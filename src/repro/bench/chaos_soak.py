@@ -1,0 +1,256 @@
+"""Nightly chaos soak: bootstrap crash/partition sweep over many seeds.
+
+For every seed this driver replays the same TPC-H workload — queries, a
+late peer join, one maintenance epoch, more queries — under three fault
+scenarios aimed at the bootstrap HA pair:
+
+* ``bootstrap-crash``   — the primary's instance crashes mid-workload,
+* ``bootstrap-partition`` — the primary is cut off by a symmetric
+  :class:`~repro.sim.failure.Partition` (split-brain attempt), and
+* ``drops-and-crash``   — message drops layered on top of a crash.
+
+Each scenario must (a) return answers row-identical to the fault-free
+baseline, (b) actually exercise a standby promotion, (c) satisfy the
+bootstrap safety invariants (:func:`repro.sim.chaos
+.verify_bootstrap_invariants`), and (d) be bit-for-bit deterministic —
+the scenario runs twice and the full outcome (answers, promotions,
+leadership epochs, authoritative-log fingerprint) must repeat exactly.
+
+On the first divergence the failing seed and its fault plan are written
+as a JSON artifact (``--out``) for CI to upload, and the process exits
+non-zero.  Everything is derived arithmetically from the seed — no wall
+clock, no global RNG — so a failure replays locally from the artifact
+alone:  ``python -m repro.bench.chaos_soak --start-seed N --seeds 1``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import BestPeerNetwork
+from repro.errors import ReproError
+from repro.sim import FaultPlan, Partition, verify_bootstrap_invariants
+from repro.tpch import Q1, Q2, SECONDARY_INDICES, TPCH_SCHEMAS, TpchGenerator
+
+DATA_SEED = 21
+SCALE = 0.25
+PEER_COUNT = 3
+LATE_PEER = "late-joiner"
+QUERIES = (Q2(), Q1(ship_date="1998-11-01"))
+#: Scenarios that must observe at least one standby promotion.
+PROMOTING_SCENARIOS = frozenset(
+    {"bootstrap-crash", "bootstrap-partition", "drops-and-crash"}
+)
+
+
+class SoakFailure(ReproError):
+    """One seed/scenario diverged from the baseline or broke an invariant."""
+
+
+def _sort_key(row: tuple) -> tuple:
+    """Total order over heterogeneous rows (None-safe)."""
+    return tuple(
+        (value is None, str(type(value)), value if value is not None else 0)
+        for value in row
+    )
+
+
+def build_network() -> BestPeerNetwork:
+    """A fresh three-corporation TPC-H deployment, identically seeded."""
+    net = BestPeerNetwork(TPCH_SCHEMAS, SECONDARY_INDICES)
+    generator = TpchGenerator(seed=DATA_SEED, scale=SCALE)
+    for index in range(PEER_COUNT):
+        peer_id = f"corp-{index}"
+        net.add_peer(peer_id)
+        net.load_peer(peer_id, generator.generate_peer(index))
+    return net
+
+
+def scenario_plans(seed: int) -> Dict[str, FaultPlan]:
+    """The seed's three fault plans, derived arithmetically from it.
+
+    Crash ordinals are drawn from [1, 4]: the opening query batch always
+    completes exactly four priced transfers (each logical message
+    completes once even under drops — retries re-send the *same*
+    message), so any ordinal in that range kills the primary before the
+    mid-workload join.  A later ordinal would crash it after the last
+    leader contact and the promotion assertion would (correctly, loudly)
+    flag the scenario as toothless.
+    """
+    crash_ordinal = 1 + (seed % 4)
+    window_start = 1 + (seed % 4)
+    return {
+        "bootstrap-crash": FaultPlan(
+            seed=seed, crash_after={crash_ordinal: "bootstrap"}
+        ),
+        "bootstrap-partition": FaultPlan(
+            seed=seed,
+            partitions=[
+                Partition(
+                    group=("bootstrap",),
+                    start=window_start,
+                    end=window_start + 100_000,
+                )
+            ],
+        ),
+        "drops-and-crash": FaultPlan(
+            seed=seed,
+            drop_probability=0.05,
+            crash_after={1 + ((seed + 2) % 4): "bootstrap"},
+        ),
+    }
+
+
+def plan_to_dict(plan: FaultPlan) -> Dict[str, object]:
+    """JSON-serializable replay recipe for the artifact."""
+    return {
+        "seed": plan.seed,
+        "drop_probability": plan.drop_probability,
+        "timeout_s": plan.timeout_s,
+        "crash_after": {
+            str(ordinal): host
+            for ordinal, host in sorted(plan.crash_after.items())
+        },
+        "partitions": [
+            {
+                "group": sorted(partition.group),
+                "start": partition.start,
+                "end": partition.end,
+            }
+            for partition in plan.partitions
+        ],
+        "outages": [
+            {"host": outage.host, "start": outage.start, "end": outage.end}
+            for outage in plan.outages
+        ],
+    }
+
+
+def run_pass(plan: Optional[FaultPlan]) -> Dict[str, object]:
+    """One full workload pass on a fresh deployment; returns its outcome.
+
+    The mid-workload join and maintenance epoch are what drive the
+    bootstrap: with the primary crashed or partitioned away they force
+    leader discovery, promotion, and commit retry on the new leader.
+    """
+    net = build_network()
+    if plan is not None:
+        net.install_fault_plan(plan)
+    answers: List[Tuple] = []
+    for sql in QUERIES:
+        execution = net.execute(sql)
+        answers.append(
+            (sql, tuple(sorted(execution.records, key=_sort_key)))
+        )
+    net.add_peer(LATE_PEER)
+    net.load_peer(
+        LATE_PEER,
+        TpchGenerator(seed=DATA_SEED, scale=SCALE).generate_peer(PEER_COUNT),
+    )
+    net.run_maintenance()
+    for sql in QUERIES:
+        execution = net.execute(sql)
+        answers.append(
+            (sql, tuple(sorted(execution.records, key=_sort_key)))
+        )
+    net.install_fault_plan(None)
+    verify_bootstrap_invariants(net)
+    cluster = net.bootstrap_cluster
+    return {
+        "answers": tuple(answers),
+        "promotions": cluster.promotions,
+        "leader": cluster.leader_id,
+        "epoch": cluster.epoch,
+        "log": cluster.leader.log.fingerprint(),
+        "transitions": tuple(cluster.service.transitions),
+    }
+
+
+def check_scenario(
+    name: str,
+    plan: FaultPlan,
+    baseline_answers: Tuple,
+) -> None:
+    """Run one scenario twice; verify equivalence, promotion, determinism."""
+    first = run_pass(plan)
+    if first["answers"] != baseline_answers:
+        raise SoakFailure(
+            f"{name}: answers diverged from the fault-free baseline"
+        )
+    if name in PROMOTING_SCENARIOS and first["promotions"] < 1:
+        raise SoakFailure(
+            f"{name}: no standby promotion happened — the fault plan "
+            f"never hit the bootstrap"
+        )
+    second = run_pass(plan)
+    if first != second:
+        diverged = sorted(
+            key for key in first if first[key] != second[key]
+        )
+        raise SoakFailure(
+            f"{name}: two runs of the same plan diverged in {diverged}"
+        )
+
+
+def soak(seeds: int, start_seed: int, out: str) -> int:
+    """Sweep ``seeds`` consecutive seeds; 0 on success, 1 on divergence.
+
+    On the first failure the seed, scenario and full fault plan are
+    written to ``out`` as a JSON replay artifact.
+    """
+    baseline = run_pass(None)
+    baseline_answers = baseline["answers"]
+    if baseline["promotions"] != 0:
+        raise SoakFailure("fault-free baseline saw a promotion")
+    for seed in range(start_seed, start_seed + seeds):
+        plans = scenario_plans(seed)
+        for name in sorted(plans):
+            try:
+                check_scenario(name, plans[name], baseline_answers)
+            except ReproError as exc:
+                artifact = {
+                    "seed": seed,
+                    "scenario": name,
+                    "plan": plan_to_dict(plans[name]),
+                    "error": str(exc),
+                }
+                with open(out, "w") as handle:
+                    json.dump(artifact, handle, indent=2, sort_keys=True)
+                print(
+                    f"FAIL seed={seed} scenario={name}: {exc}\n"
+                    f"replay artifact written to {out}"
+                )
+                return 1
+        print(f"seed {seed}: {len(plans)} scenarios ok")
+    print(f"chaos soak passed: {seeds} seeds x {len(PROMOTING_SCENARIOS)} "
+          f"scenarios, answers identical, invariants held")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (``python -m repro.bench.chaos_soak``)."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--seeds", type=int, default=24,
+        help="how many consecutive seeds to sweep (default 24)",
+    )
+    parser.add_argument(
+        "--start-seed", type=int, default=0,
+        help="first seed of the sweep (default 0)",
+    )
+    parser.add_argument(
+        "--out", default="chaos-soak-failure.json",
+        help="path for the failing-seed artifact (default "
+             "chaos-soak-failure.json)",
+    )
+    args = parser.parse_args(argv)
+    if args.seeds < 1:
+        parser.error("--seeds must be at least 1")
+    return soak(args.seeds, args.start_seed, args.out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

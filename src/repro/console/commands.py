@@ -14,6 +14,7 @@ Commands (one per line; ``#`` starts a comment):
     explain [peer=<p>] SELECT ...         show a peer's local physical plan
     histogram <table> <col> [col...]      build + register a histogram
     maintenance                           run one Algorithm-1 epoch
+    bootstrap status                      HA pair: leader, epoch, log, lag
     metrics | status | billing <hours> | help
 """
 
@@ -53,6 +54,7 @@ class Console:
             "explain": self._cmd_explain,
             "histogram": self._cmd_histogram,
             "maintenance": self._cmd_maintenance,
+            "bootstrap": self._cmd_bootstrap,
             "metrics": self._cmd_metrics,
             "status": self._cmd_status,
             "billing": self._cmd_billing,
@@ -266,6 +268,28 @@ class Console:
             f"released={len(report.released_instances)} "
             f"notified={report.notified_peers}"
         )
+
+    def _cmd_bootstrap(self, rest: str) -> str:
+        """Report the bootstrap HA pair's health (leader, log, lag)."""
+        if rest != "status":
+            raise ConsoleError("usage: bootstrap status")
+        net = self._require_network()
+        cluster = net.bootstrap_cluster
+        lines = [
+            f"leader: {cluster.leader_id} (epoch {cluster.epoch}, "
+            f"online={cluster.leader.online})",
+            f"log: {len(cluster.leader.log)} entries, "
+            f"{cluster.promotions} promotion(s)",
+        ]
+        lag = cluster.replication_lag()
+        for node_id in sorted(lag):
+            lines.append(f"  standby {node_id}: {lag[node_id]} entries behind")
+        events = net.metrics.recent_events()
+        if events:
+            lines.append("recent events:")
+            for when, description in events:
+                lines.append(f"  t={when:.1f}s {description}")
+        return "\n".join(lines)
 
     def _cmd_metrics(self, rest: str) -> str:
         return self._require_network().metrics.summary()

@@ -23,9 +23,20 @@ from repro.core.access_control import (
 )
 from repro.core.adaptive import AdaptiveEngine, TableStatistics
 from repro.core.bloom import BloomFilter, build_filter
-from repro.core.bootstrap import BootstrapPeer, MaintenanceReport
+from repro.core.bootstrap import (
+    BootstrapCluster,
+    BootstrapPeer,
+    MaintenanceReport,
+)
 from repro.core.certificates import Certificate, CertificateAuthority
-from repro.core.config import BestPeerConfig, DaemonConfig, PricingConfig
+from repro.core.config import (
+    BestPeerConfig,
+    DaemonConfig,
+    LeaseConfig,
+    PricingConfig,
+)
+from repro.core.leadership import Lease, LeadershipHandle, LeaseService
+from repro.core.metalog import BootstrapState, LogEntry, MetadataLog
 from repro.core.costmodel import (
     CostEstimate,
     CostParams,
@@ -76,7 +87,15 @@ __all__ = [
     "DaemonConfig",
     "PricingConfig",
     "BootstrapPeer",
+    "BootstrapCluster",
     "MaintenanceReport",
+    "LeaseConfig",
+    "Lease",
+    "LeaseService",
+    "LeadershipHandle",
+    "MetadataLog",
+    "LogEntry",
+    "BootstrapState",
     "NormalPeer",
     "QueryExecution",
     "EngineContext",

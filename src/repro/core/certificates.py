@@ -13,7 +13,7 @@ import hashlib
 import hmac
 import itertools
 from dataclasses import dataclass
-from typing import Dict, Set
+from typing import Dict, Optional, Set
 
 from repro.errors import CertificateError
 
@@ -40,11 +40,22 @@ class CertificateAuthority:
         self._issued: Dict[int, Certificate] = {}
         self._revoked: Set[int] = set()
 
-    def issue(self, peer_id: str, now: float = 0.0) -> Certificate:
-        """Issue a certificate binding ``peer_id`` to this CA."""
+    def issue(
+        self, peer_id: str, now: float = 0.0, serial: Optional[int] = None
+    ) -> Certificate:
+        """Issue a certificate binding ``peer_id`` to this CA.
+
+        ``serial`` defaults to the CA's own monotone counter (standalone
+        operation); an HA bootstrap passes an explicit epoch-strided
+        serial from :func:`repro.core.metalog.next_serial` instead, so a
+        deposed leader and its successor can never collide.
+        """
         if not peer_id:
             raise CertificateError("cannot certify an empty peer id")
-        serial = next(self._serials)
+        if serial is None:
+            serial = next(self._serials)
+        elif serial in self._issued:
+            raise CertificateError(f"serial already issued: {serial}")
         certificate = Certificate(
             serial=serial,
             peer_id=peer_id,
@@ -53,6 +64,28 @@ class CertificateAuthority:
         )
         self._issued[serial] = certificate
         return certificate
+
+    def install(self, certificate: Certificate) -> None:
+        """Adopt a certificate issued by a replica CA sharing this secret.
+
+        Lets a standby bootstrap mirror the primary's issuances while
+        tailing the metadata log: the certificate must carry a genuine
+        signature under the shared secret, and its serial must not clash
+        with a *different* certificate already known here.  Idempotent
+        for a certificate that is already installed.
+        """
+        if not self.verify(certificate):
+            raise CertificateError(
+                f"refusing to install unverifiable certificate "
+                f"{certificate}"
+            )
+        existing = self._issued.get(certificate.serial)
+        if existing is not None and existing != certificate:
+            raise CertificateError(
+                f"serial clash installing {certificate}: serial "
+                f"{certificate.serial} already bound to {existing}"
+            )
+        self._issued[certificate.serial] = certificate
 
     def verify(self, certificate: Certificate) -> bool:
         """True iff the certificate is genuine and not revoked."""

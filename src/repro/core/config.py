@@ -95,6 +95,35 @@ class BestPeerConfig:
 
 
 @dataclass(frozen=True)
+class LeaseConfig:
+    """Lease/epoch leadership protocol for the bootstrap HA pair.
+
+    The leader holds a time-bounded lease on the (simulated) lock service;
+    it renews whenever less than ``renew_margin_s`` remains.  A standby may
+    only acquire the lease — and bump the epoch — after the current lease
+    expired, so two leaders can never act under the same epoch.  Lease RPCs
+    are priced on the simulated network (``rpc_bytes`` per round trip), and
+    log entries shipped to the standby cost ``entry_base_bytes`` plus the
+    rendered record size.
+    """
+
+    duration_s: float = 120.0
+    renew_margin_s: float = 30.0
+    rpc_bytes: int = 64
+    entry_base_bytes: int = 128
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise BestPeerError("lease duration must be positive")
+        if not 0 <= self.renew_margin_s < self.duration_s:
+            raise BestPeerError(
+                "renew margin must be in [0, lease duration)"
+            )
+        if self.rpc_bytes < 1 or self.entry_base_bytes < 1:
+            raise BestPeerError("RPC/entry byte sizes must be positive")
+
+
+@dataclass(frozen=True)
 class DaemonConfig:
     """Thresholds for Algorithm 1 (auto fail-over / auto-scaling)."""
 

@@ -1,0 +1,170 @@
+"""Lease/epoch leadership for the bootstrap HA pair.
+
+The primary bootstrap holds a time-bounded lease on a (simulated) lock
+service.  Every metadata commit runs under ``ensure_leader()``, which
+returns the current lease — renewing it over the priced network when it
+is close to expiry — or raises :class:`~repro.errors.StaleLeaderError`
+when the node can no longer prove it leads.  The epoch in the lease is
+the fencing token: it is stamped into every log entry and strides the
+certificate serial space, so writes from a deposed leader are rejected
+by :class:`repro.core.metalog.MetadataLog` even if they reach it.
+
+Epochs bump only when leadership actually moves (or a lease is
+re-acquired after expiring), never on simple renewal, so "exactly one
+leader per epoch" is an invariant the chaos harness can check directly
+against :attr:`LeaseService.transitions`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.config import LeaseConfig
+from repro.errors import LeadershipError, NetworkError, StaleLeaderError
+
+
+@dataclass(frozen=True)
+class Lease:
+    """A time-bounded claim to leadership under one epoch."""
+
+    holder: str
+    epoch: int
+    acquired_at: float
+    expires_at: float
+
+    def valid(self, now: float) -> bool:
+        return now < self.expires_at
+
+    def remaining(self, now: float) -> float:
+        return max(0.0, self.expires_at - now)
+
+
+class LeaseService:
+    """Deterministic stand-in for a highly-available lock service.
+
+    Holds at most one live lease.  ``acquire`` by a different node only
+    succeeds once the current lease has expired, and bumps the epoch;
+    ``renew`` extends the holder's own live lease without bumping it.
+    """
+
+    def __init__(self, config: Optional[LeaseConfig] = None) -> None:
+        self.config = config or LeaseConfig()
+        self.lease: Optional[Lease] = None
+        self.epoch = 0
+        #: Complete leadership history as (epoch, holder, acquired_at).
+        self.transitions: List[Tuple[int, str, float]] = []
+
+    def current(self, now: float) -> Optional[Lease]:
+        """The live lease, or ``None`` if unheld/expired."""
+        if self.lease is not None and self.lease.valid(now):
+            return self.lease
+        return None
+
+    def acquire(self, node_id: str, now: float) -> Lease:
+        live = self.current(now)
+        if live is not None and live.holder != node_id:
+            raise LeadershipError(
+                f"lease held by {live.holder!r} (epoch {live.epoch}) "
+                f"until t={live.expires_at}"
+            )
+        if live is not None:
+            # Same holder re-acquiring: just extend, same epoch.
+            lease = Lease(node_id, live.epoch, live.acquired_at,
+                          now + self.config.duration_s)
+            self.lease = lease
+            return lease
+        self.epoch += 1
+        lease = Lease(node_id, self.epoch, now,
+                      now + self.config.duration_s)
+        self.lease = lease
+        self.transitions.append((self.epoch, node_id, now))
+        return lease
+
+    def renew(self, node_id: str, now: float) -> Lease:
+        live = self.current(now)
+        if live is None or live.holder != node_id:
+            raise StaleLeaderError(
+                f"{node_id!r} cannot renew: lease is "
+                + ("expired" if live is None else f"held by {live.holder!r}")
+            )
+        lease = Lease(node_id, live.epoch, live.acquired_at,
+                      now + self.config.duration_s)
+        self.lease = lease
+        return lease
+
+
+class LeadershipHandle:
+    """One bootstrap node's view of its own leadership.
+
+    ``send`` is an optional zero-argument callable that models the priced
+    round trip to the lock service; a :class:`~repro.errors.NetworkError`
+    from it means the service is unreachable from this node (e.g. the
+    node sits on the wrong side of a partition).  While the local lease
+    is still within its term the node may keep acting on it; once the
+    term lapses and the service cannot be reached, the node self-fences.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        service: LeaseService,
+        clock,
+        send: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.service = service
+        self.clock = clock
+        self.send = send
+        self.lease: Optional[Lease] = None
+
+    @property
+    def config(self) -> LeaseConfig:
+        return self.service.config
+
+    @property
+    def epoch(self) -> int:
+        return self.lease.epoch if self.lease is not None else 0
+
+    def acquire(self) -> Lease:
+        """Claim (or extend) the lease; raises if someone else holds it."""
+        self._rpc()
+        self.lease = self.service.acquire(self.node_id, self.clock.now)
+        return self.lease
+
+    def ensure_leader(self) -> Lease:
+        """Return a lease this node may commit under, or self-fence."""
+        now = self.clock.now
+        lease = self.lease
+        if (lease is not None and lease.valid(now)
+                and lease.remaining(now) > self.config.renew_margin_s):
+            return lease
+        try:
+            self._rpc()
+        except NetworkError as exc:
+            if lease is not None and lease.valid(now):
+                # Can't reach the service but the term hasn't lapsed:
+                # the lease itself is still the proof of leadership.
+                return lease
+            self.lease = None
+            raise StaleLeaderError(
+                f"{self.node_id!r} lost its lease and cannot reach the "
+                f"lock service"
+            ) from exc
+        # The service is reachable — it is the source of truth now.
+        try:
+            live = self.service.current(now)
+            if live is not None and live.holder == self.node_id:
+                self.lease = self.service.renew(self.node_id, now)
+            else:
+                self.lease = self.service.acquire(self.node_id, now)
+        except LeadershipError as exc:
+            self.lease = None
+            raise StaleLeaderError(
+                f"{self.node_id!r} is fenced: {exc}"
+            ) from exc
+        return self.lease
+
+    def _rpc(self) -> None:
+        if self.send is not None:
+            self.send()

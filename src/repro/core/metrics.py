@@ -11,12 +11,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import BestPeerError
 
 # Latency histogram bucket upper bounds (seconds); the last is open-ended.
 DEFAULT_BUCKETS = (0.01, 0.1, 1.0, 10.0, 60.0, 600.0)
+
+# How many operational events (fail-overs, promotions) the registry keeps.
+EVENT_CAPACITY = 64
 
 
 @dataclass
@@ -79,6 +82,10 @@ class MetricsRegistry:
         self._engines: Dict[str, EngineMetrics] = {}
         self._histogram: List[int] = [0] * (len(self.buckets) + 1)
         self.faults = FaultCounters()
+        # Bounded operational event feed: (simulated time, description),
+        # oldest first.  Fed by the facade (fail-overs) and the bootstrap
+        # cluster (promotions); read by the console's ``bootstrap status``.
+        self.events: List[Tuple[float, str]] = []
 
     # ------------------------------------------------------------------
     # Recording
@@ -93,6 +100,18 @@ class MetricsRegistry:
         metrics.total_dollars += execution.dollar_cost
         metrics.rows_returned += len(execution.records)
         self._histogram[self._bucket_of(execution.latency_s)] += 1
+
+    def record_event(self, now: float, description: str) -> None:
+        """Append one operational event, dropping the oldest at capacity."""
+        self.events.append((now, description))
+        if len(self.events) > EVENT_CAPACITY:
+            del self.events[: len(self.events) - EVENT_CAPACITY]
+
+    def recent_events(self, limit: int = 5) -> List[Tuple[float, str]]:
+        """The newest ``limit`` events, oldest of them first."""
+        if limit <= 0:
+            raise BestPeerError(f"event limit must be positive: {limit}")
+        return self.events[-limit:]
 
     def _bucket_of(self, latency_s: float) -> int:
         for index, bound in enumerate(self.buckets):
@@ -162,3 +181,4 @@ class MetricsRegistry:
         self._engines.clear()
         self._histogram = [0] * (len(self.buckets) + 1)
         self.faults = FaultCounters()
+        self.events = []

@@ -23,12 +23,17 @@ from repro.baton.replication import ReplicatedOverlay
 from repro.baton.tree import BatonOverlay
 from repro.core.access_control import Role, full_access_role
 from repro.core.adaptive import AdaptiveEngine, TableStatistics
-from repro.core.bootstrap import BootstrapPeer, MaintenanceReport
+from repro.core.bootstrap import (
+    BootstrapCluster,
+    BootstrapPeer,
+    MaintenanceReport,
+)
 from repro.core.config import (
     BestPeerConfig,
     DaemonConfig,
     DEFAULT_ENGINE,
     DEFAULT_INSTANCE_TYPE,
+    LeaseConfig,
 )
 from repro.core.costmodel import CostParams
 from repro.core.engine_basic import BasicEngine
@@ -60,6 +65,11 @@ from repro.sim.failure import FaultPlan
 from repro.sim.network import NetworkConfig, SimNetwork
 from repro.sqlengine.schema import TableSchema
 
+#: Sentinel peer id the resilience layer uses for bootstrap-metadata RPCs:
+#: ``is_crashed``/``failover`` map it to leader liveness and standby
+#: promotion instead of a normal peer's Algorithm-1 fail-over.
+BOOTSTRAP_PEER_ID = "bootstrap"
+
 
 class BestPeerNetwork:
     """A whole BestPeer++ deployment in one in-process object."""
@@ -75,6 +85,7 @@ class BestPeerNetwork:
         compute_model: Optional[ComputeModel] = None,
         network_config: Optional[NetworkConfig] = None,
         index_policy: Optional["PartialIndexPolicy"] = None,
+        lease_config: Optional[LeaseConfig] = None,
     ) -> None:
         self.clock = SimClock()
         self.network = SimNetwork(network_config)
@@ -89,10 +100,6 @@ class BestPeerNetwork:
         }
         self.secondary_indices = secondary_indices or {}
         self.metrics = MetricsRegistry()
-        self.bootstrap = BootstrapPeer(
-            self.cloud, self.global_schemas, daemon_config,
-            metrics=self.metrics,
-        )
         self.index_policy = index_policy or FULL_INDEX_POLICY
         self.peers: Dict[str, NormalPeer] = {}
         self.indexers: Dict[str, DataIndexer] = {}
@@ -101,6 +108,8 @@ class BestPeerNetwork:
         # Cumulative fail-over blocking time, exposed for benchmarks.
         self.total_blocked_s = 0.0
         # The retry/breaker/fail-over layer every engine call goes through.
+        # Built before the bootstrap cluster: the cluster routes its log
+        # shipping and lease RPCs through it.
         self.resilience = ResilienceContext(
             policy=self.config.fetch_retry,
             clock=self.clock,
@@ -112,6 +121,48 @@ class BestPeerNetwork:
             failover=self._failover_peer,
             deadline_s=self.config.query_deadline_s,
         )
+        # The HA pair: primary + log-tailing standby behind a lease.
+        self.bootstrap_cluster = BootstrapCluster(
+            self.cloud, self.global_schemas, daemon_config,
+            metrics=self.metrics,
+            lease_config=lease_config,
+            resilience=self.resilience,
+        )
+        # Current bootstrap-metadata operation; set by _bootstrap_op so
+        # _bootstrap_attempt (the retried callable) can re-resolve the
+        # leader on every attempt.
+        self._bootstrap_fn = None
+
+    # ------------------------------------------------------------------
+    # Bootstrap access (leader discovery with retry)
+    # ------------------------------------------------------------------
+    @property
+    def bootstrap(self) -> BootstrapPeer:
+        """The current bootstrap leader (primary, or promoted standby)."""
+        return self.bootstrap_cluster.leader
+
+    def _bootstrap_op(self, fn):
+        """Run a metadata operation against the current bootstrap leader.
+
+        ``fn(leader)`` executes on whichever node currently leads; if the
+        leader is down, ``resilience.call`` escalates through its
+        fail-over callback (standby promotion via
+        :meth:`BootstrapCluster.recover`) and retries against the new
+        leader — so joins and fail-over requests issued during a
+        bootstrap outage eventually succeed instead of erroring out.
+        """
+        previous = self._bootstrap_fn
+        self._bootstrap_fn = fn
+        try:
+            return self.resilience.call(
+                BOOTSTRAP_PEER_ID, self._bootstrap_attempt
+            )
+        finally:
+            self._bootstrap_fn = previous
+
+    def _bootstrap_attempt(self):
+        leader = self.bootstrap_cluster.require_leader()
+        return self._bootstrap_fn(leader)
 
     # ------------------------------------------------------------------
     # Membership
@@ -131,6 +182,8 @@ class BestPeerNetwork:
         """
         if peer_id in self.peers:
             raise BestPeerError(f"peer already exists: {peer_id!r}")
+        if peer_id in self.bootstrap_cluster.nodes:
+            raise BestPeerError(f"reserved peer id: {peer_id!r}")
         instance = self.cloud.launch_instance(
             instance_type=instance_type,
             security_group=f"vpn-{peer_id}",
@@ -151,7 +204,17 @@ class BestPeerNetwork:
             mapping
             or identity_mapping(self.global_schemas, tables=hosted)
         )
-        self.bootstrap.register_peer(peer, now=self.clock.now)
+        def _register(leader):
+            # Retry idempotency: a crash on the commit's own transfers can
+            # refuse the ack *after* the admission replicated; on the next
+            # attempt the promoted standby already holds the entry, and
+            # re-registering would double-admit.
+            resumed = leader.resume_join(peer)
+            if resumed is not None:
+                return resumed
+            return leader.register_peer(peer, now=self.clock.now)
+
+        self._bootstrap_op(_register)
         self.overlay.join(peer_id)
         self.peers[peer_id] = peer
         self.indexers[peer_id] = DataIndexer(
@@ -166,7 +229,11 @@ class BestPeerNetwork:
         peer = self._peer(peer_id)
         self.indexers[peer_id].unpublish_all(peer_id)
         self.overlay.leave(peer_id)
-        self.bootstrap.handle_departure(peer_id)
+        def _depart(leader):
+            if not leader.resume_departure(peer_id):
+                leader.handle_departure(peer_id)
+
+        self._bootstrap_op(_depart)
         del self.peers[peer_id]
         del self.indexers[peer_id]
         self._adaptive.pop(peer_id, None)
@@ -263,17 +330,19 @@ class BestPeerNetwork:
     # Users and roles
     # ------------------------------------------------------------------
     def define_role(self, role: Role) -> None:
-        self.bootstrap.define_role(role)
+        self._bootstrap_op(lambda leader: leader.define_role(role))
 
     def create_full_access_role(self, name: str = "R") -> Role:
         """The benchmark's role R, granted full access to all tables."""
         role = full_access_role(name, self.global_schemas.values())
-        self.bootstrap.define_role(role)
+        self.define_role(role)
         return role
 
     def create_user(self, user: str, origin_peer_id: str, role: Role) -> None:
         """Create a user at one peer and broadcast it network-wide (§4.4)."""
-        self.bootstrap.register_user(user, origin_peer_id)
+        self._bootstrap_op(
+            lambda leader: leader.register_user(user, origin_peer_id)
+        )
         for peer in self.peers.values():
             peer.access.assign(user, role)
 
@@ -426,6 +495,10 @@ class BestPeerNetwork:
             return
 
         def on_crash(target: str) -> None:
+            node = self.bootstrap_cluster.node_for(target)
+            if node is not None:
+                self.bootstrap_cluster.crash_node(node.node_id)
+                return
             for peer_id, peer in self.peers.items():
                 if target in (peer_id, peer.host):
                     if peer.online and not self.network.is_partitioned(
@@ -436,18 +509,35 @@ class BestPeerNetwork:
 
         self.network.install_fault_plan(plan, on_crash=on_crash)
 
+    def crash_bootstrap(self) -> None:
+        """Crash the current bootstrap leader's instance."""
+        self.bootstrap_cluster.crash_node(self.bootstrap_cluster.leader_id)
+
     def run_maintenance(self) -> MaintenanceReport:
-        """One epoch of the bootstrap's Algorithm-1 daemon."""
-        report = self.bootstrap.run_maintenance_epoch(self.peers)
+        """One epoch of the bootstrap's Algorithm-1 daemon.
+
+        Runs on whichever node currently leads; a dead leader is replaced
+        (standby promotion) before the epoch executes.
+        """
+        report = self._bootstrap_op(
+            lambda leader: leader.run_maintenance_epoch(self.peers)
+        )
         for event in report.failovers:
             # The peer is back on a fresh instance; overlay-wise it is the
             # same logical node.
             self.overlay.mark_online(event.peer_id)
+            self.metrics.record_event(
+                self.clock.now,
+                f"failover: {event.peer_id} {event.old_instance_id} -> "
+                f"{event.new_instance_id}",
+            )
         self.metrics.faults.failovers += len(report.failovers)
         return report
 
     def _peer_crashed(self, peer_id: str) -> bool:
         """Is this peer genuinely down (vs. a transient delivery fault)?"""
+        if peer_id == BOOTSTRAP_PEER_ID:
+            return not self.bootstrap_cluster.leader_available()
         peer = self.peers.get(peer_id)
         if peer is None:
             return False
@@ -458,8 +548,12 @@ class BestPeerNetwork:
 
         Returns the simulated seconds the query spent blocked.  With a
         suspicion threshold above one the daemon needs several epochs to
-        act; each suspected-only epoch costs one heartbeat interval.
+        act; each suspected-only epoch costs one heartbeat interval.  The
+        bootstrap sentinel maps to standby promotion instead: the block
+        is the remainder of the dead leader's lease.
         """
+        if peer_id == BOOTSTRAP_PEER_ID:
+            return self.bootstrap_cluster.recover()
         blocked = 0.0
         config = self.bootstrap.daemon_config
         for _ in range(config.suspicion_threshold + 1):

@@ -110,5 +110,17 @@ class PeerUnavailableError(BestPeerError):
     """A required peer is offline and fail-over has not completed yet."""
 
 
+class BootstrapUnavailableError(PeerUnavailableError):
+    """The bootstrap leader is down and the standby has not promoted yet."""
+
+
+class LeadershipError(BestPeerError):
+    """Lease/epoch protocol violation (lease held elsewhere, bad renewal)."""
+
+
+class StaleLeaderError(LeadershipError):
+    """A fenced ex-leader tried to act after losing (or outliving) its lease."""
+
+
 class ChaosEquivalenceError(ReproError):
     """A chaos run diverged from the fault-free baseline (or is misconfigured)."""

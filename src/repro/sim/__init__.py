@@ -29,8 +29,19 @@ from repro.sim.cloud import (
     InstanceType,
     INSTANCE_TYPES,
 )
-from repro.sim.failure import FailureInjector, FaultPlan, LinkFault, Outage
-from repro.sim.chaos import ChaosHarness, ChaosRun, QueryOutcome
+from repro.sim.failure import (
+    FailureInjector,
+    FaultPlan,
+    LinkFault,
+    Outage,
+    Partition,
+)
+from repro.sim.chaos import (
+    ChaosHarness,
+    ChaosRun,
+    QueryOutcome,
+    verify_bootstrap_invariants,
+)
 from repro.sim.compute import ComputeModel, DEFAULT_COMPUTE_MODEL
 
 __all__ = [
@@ -52,9 +63,11 @@ __all__ = [
     "FaultPlan",
     "LinkFault",
     "Outage",
+    "Partition",
     "ChaosHarness",
     "ChaosRun",
     "QueryOutcome",
+    "verify_bootstrap_invariants",
     "ComputeModel",
     "DEFAULT_COMPUTE_MODEL",
 ]

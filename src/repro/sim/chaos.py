@@ -52,8 +52,17 @@ class ChaosRun:
     timeouts: int = 0
     transient_rejections: int = 0
     injected_crashes: int = 0
+    partition_rejections: int = 0
     total_blocked_s: float = 0.0
     bytes_transferred: int = 0
+    # Bootstrap HA observability (defaults when the driven network has no
+    # ``bootstrap_cluster`` — the harness stays duck-typed).
+    leader_id: Optional[str] = None
+    leader_epoch: int = 0
+    promotions: int = 0
+    log_fingerprint: Tuple = ()
+    admitted_peers: Tuple[str, ...] = ()
+    leader_transitions: Tuple = ()
 
     @property
     def faults_seen(self) -> int:
@@ -62,6 +71,7 @@ class ChaosRun:
             + self.timeouts
             + self.transient_rejections
             + self.injected_crashes
+            + self.partition_rejections
         )
 
     def row_sets(self) -> List[List[tuple]]:
@@ -72,7 +82,9 @@ class ChaosRun:
 
         Two runs of the same plan on the same workload must produce equal
         fingerprints — this is the determinism contract a seeded FaultPlan
-        offers.
+        offers.  Bootstrap leadership history (who led which epoch, what
+        the authoritative log holds) is part of the digest: promotion and
+        fencing must be as reproducible as the answers themselves.
         """
         return (
             tuple(
@@ -85,7 +97,160 @@ class ChaosRun:
             self.timeouts,
             self.transient_rejections,
             self.injected_crashes,
+            self.partition_rejections,
+            self.leader_id,
+            self.leader_epoch,
+            self.promotions,
+            self.log_fingerprint,
+            self.admitted_peers,
+            self.leader_transitions,
         )
+
+
+def _authoritative_entries(cluster) -> list:
+    """The current leader's log — the only history that counts.
+
+    A fenced ex-leader may hold an orphan entry it committed but never got
+    acknowledged (its crash refused the ack); that entry legitimately
+    exists in a log that will never be authoritative again, so membership
+    invariants are checked against the leader's log only.  Serial
+    uniqueness, by contrast, must hold across *every* node's log — a
+    duplicate serial anywhere means fencing failed.
+    """
+    return list(cluster.leader.log.entries)
+
+
+def verify_bootstrap_invariants(network) -> None:
+    """Check the HA safety contract after a (possibly chaotic) run.
+
+    Raises :class:`ChaosEquivalenceError` on the first violation:
+
+    * the authoritative log is contiguous (1..n) with non-decreasing
+      epochs,
+    * exactly one leader per epoch (lease transitions carry strictly
+      increasing, unique epochs),
+    * no certificate serial is issued twice — in the authoritative log
+      *and* across the union of every node's log,
+    * no peer is admitted under two epochs in the authoritative log, and
+    * the admitted-peer set never silently shrinks: the membership the
+      authoritative log *implies* (admissions, fail-over rebinds,
+      departures — recomputed here independently of the reducer) matches
+      the leader's live state exactly.
+
+    Record kinds are recognized by their stable ``describe()`` prefixes,
+    so this layer needs no import of ``repro.core`` (the sim substrate
+    stays below the core in the layering).  No-op for networks without a
+    ``bootstrap_cluster``.
+    """
+    cluster = getattr(network, "bootstrap_cluster", None)
+    if cluster is None:
+        return
+    entries = _authoritative_entries(cluster)
+    previous_epoch = 0
+    for position, entry in enumerate(entries, start=1):
+        if entry.index != position:
+            raise ChaosEquivalenceError(
+                f"authoritative log has a gap: entry {position} carries "
+                f"index {entry.index}"
+            )
+        if entry.epoch < previous_epoch:
+            raise ChaosEquivalenceError(
+                f"authoritative log epoch regressed at index {entry.index}: "
+                f"{previous_epoch} -> {entry.epoch}"
+            )
+        previous_epoch = entry.epoch
+
+    # Exactly one leader per epoch: each lease transition mints a fresh,
+    # strictly larger epoch for exactly one holder.
+    transitions = list(cluster.service.transitions)
+    seen_epochs = set()
+    last_epoch = 0
+    for epoch, holder, _acquired_at in transitions:
+        if epoch in seen_epochs:
+            raise ChaosEquivalenceError(
+                f"epoch {epoch} was acquired twice (second holder "
+                f"{holder!r}): split-brain"
+            )
+        if epoch <= last_epoch:
+            raise ChaosEquivalenceError(
+                f"lease epochs must be strictly increasing: "
+                f"{last_epoch} then {epoch}"
+            )
+        seen_epochs.add(epoch)
+        last_epoch = epoch
+
+    # Serial and single-admission invariants on the authoritative log,
+    # plus the membership the log implies (recomputed independently of
+    # the reducer — this is a cross-check, not a second replay).
+    admissions: Dict[str, int] = {}
+    serial_owner: Dict[int, str] = {}
+    expected_members: Dict[str, str] = {}  # peer -> current instance
+    departed = set()
+    for entry in entries:
+        record = entry.record
+        kind = record.describe().split(":", 1)[0]
+        if kind == "admit":
+            if record.peer_id in admissions:
+                raise ChaosEquivalenceError(
+                    f"peer {record.peer_id!r} admitted under epochs "
+                    f"{admissions[record.peer_id]} and {entry.epoch}"
+                )
+            admissions[record.peer_id] = entry.epoch
+            serial = record.certificate.serial
+            if serial in serial_owner:
+                raise ChaosEquivalenceError(
+                    f"serial {serial} issued to both "
+                    f"{serial_owner[serial]!r} and {record.peer_id!r}"
+                )
+            serial_owner[serial] = record.peer_id
+            expected_members[record.peer_id] = record.instance_id
+        elif kind == "failover-done":
+            expected_members[record.peer_id] = record.new_instance_id
+        elif kind == "depart":
+            departed.add(record.peer_id)
+            expected_members.pop(record.peer_id, None)
+
+    # Serial uniqueness across the union of every node's log: replicated
+    # copies of the same admission agree byte-for-byte; two *different*
+    # admissions sharing a serial mean epoch striding (fencing) failed.
+    union_serials: Dict[int, str] = {}
+    for node_id in sorted(cluster.nodes):
+        for entry in cluster.nodes[node_id].log.entries:
+            record = entry.record
+            if not record.describe().startswith("admit:"):
+                continue
+            serial = record.certificate.serial
+            seen = union_serials.get(serial)
+            if seen is not None and seen != record.describe():
+                raise ChaosEquivalenceError(
+                    f"serial {serial} names two different admissions "
+                    f"across node logs: {seen!r} vs {record.describe()!r}"
+                )
+            union_serials[serial] = record.describe()
+
+    # The admitted set never silently shrinks: the log-implied membership
+    # matches the leader's live state, and every admission is still a
+    # member unless an explicit departure record exists.
+    live_peers = cluster.leader.state.peers
+    if sorted(expected_members) != sorted(live_peers):
+        raise ChaosEquivalenceError(
+            f"the authoritative log implies members "
+            f"{sorted(expected_members)} but the leader holds "
+            f"{sorted(live_peers)}"
+        )
+    for peer_id in sorted(expected_members):
+        if expected_members[peer_id] != live_peers[peer_id].instance_id:
+            raise ChaosEquivalenceError(
+                f"peer {peer_id!r} diverged from the log: instance "
+                f"{expected_members[peer_id]!r} implied vs "
+                f"{live_peers[peer_id].instance_id!r} live"
+            )
+    for peer_id in sorted(admissions):
+        if peer_id not in live_peers and peer_id not in departed:
+            raise ChaosEquivalenceError(
+                f"peer {peer_id!r} was admitted but vanished without a "
+                f"departure record"
+            )
 
 
 class ChaosHarness:
@@ -136,7 +301,17 @@ class ChaosHarness:
         run.timeouts = stats.timeouts
         run.transient_rejections = stats.transient_rejections
         run.injected_crashes = stats.injected_crashes
+        run.partition_rejections = stats.partition_rejections
         run.total_blocked_s = network.total_blocked_s
+        cluster = getattr(network, "bootstrap_cluster", None)
+        if cluster is not None:
+            run.leader_id = cluster.leader_id
+            run.leader_epoch = cluster.epoch
+            run.promotions = cluster.promotions
+            run.log_fingerprint = cluster.leader.log.fingerprint()
+            run.admitted_peers = tuple(cluster.leader.peer_list())
+            run.leader_transitions = tuple(cluster.service.transitions)
+            verify_bootstrap_invariants(network)
         return run
 
     def verify_equivalence(

@@ -88,12 +88,58 @@ class Outage:
         return host == self.host and self.start <= ordinal < self.end
 
 
+@dataclass(frozen=True)
+class Partition:
+    """A symmetric network bipartition over a transfer-ordinal window.
+
+    While the global transfer ordinal lies in ``[start, end)``, hosts in
+    ``group`` can only talk among themselves and everyone else only among
+    themselves: a delivery whose endpoints straddle the cut is refused in
+    *both* directions.  This is the split-brain primitive — an isolated
+    bootstrap primary keeps running but can reach neither the lock
+    service nor its standby — where an :class:`Outage` would only model a
+    host that is down outright.
+    """
+
+    group: Tuple[str, ...]
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if not self.group:
+            raise SimulationError("a partition needs at least one host")
+        if self.start < 0 or self.end <= self.start:
+            raise SimulationError(
+                f"partition window must satisfy 0 <= start < end: {self}"
+            )
+
+    def active(self, ordinal: int) -> bool:
+        return self.start <= ordinal < self.end
+
+    def severs(self, src: str, dst: str, ordinal: int) -> bool:
+        """Whether this partition cuts the ``src -> dst`` delivery."""
+        if not self.active(ordinal):
+            return False
+        return (src in self.group) != (dst in self.group)
+
+    def isolates(self, host: str, ordinal: int) -> bool:
+        """Whether ``host`` sits on the cut-off side during the window.
+
+        The named ``group`` is the minority side: monitors (CloudWatch,
+        the facade's leader discovery) observe its members as
+        unreachable, exactly as the majority side of a real partition
+        would.
+        """
+        return self.active(ordinal) and host in self.group
+
+
 class FaultPlan:
     """A seeded, deterministic message-level fault schedule.
 
     ``drop_probability`` applies to every non-loopback link; ``link_faults``
     add per-link drops and degradation; ``outages`` make hosts transiently
-    unreachable; ``timeout_s`` bounds any single delivery's priced duration;
+    unreachable; ``partitions`` split the network symmetrically in two;
+    ``timeout_s`` bounds any single delivery's priced duration;
     ``crash_after`` maps a transfer ordinal to a host that crashes after
     that many successful transfers (the network invokes the crash callback
     installed alongside the plan).
@@ -107,6 +153,7 @@ class FaultPlan:
         outages: Sequence[Outage] = (),
         timeout_s: Optional[float] = None,
         crash_after: Optional[Dict[int, str]] = None,
+        partitions: Sequence[Partition] = (),
     ) -> None:
         if not 0.0 <= drop_probability <= 1.0:
             raise SimulationError(
@@ -120,6 +167,7 @@ class FaultPlan:
         self.outages = tuple(outages)
         self.timeout_s = timeout_s
         self.crash_after = dict(crash_after or {})
+        self.partitions = tuple(partitions)
         self._rng = random.Random(seed)
 
     # ------------------------------------------------------------------
@@ -135,8 +183,25 @@ class FaultPlan:
         return None
 
     def is_unreachable(self, host: str, ordinal: int) -> bool:
-        """Whether ``host`` is inside an outage window at ``ordinal``."""
-        return any(outage.covers(host, ordinal) for outage in self.outages)
+        """Whether ``host`` is unreachable at ``ordinal``.
+
+        True inside an outage window, and for hosts isolated on the named
+        side of an active :class:`Partition` — monitors must see both the
+        same way: down from where they stand.
+        """
+        return any(
+            outage.covers(host, ordinal) for outage in self.outages
+        ) or any(
+            partition.isolates(host, ordinal)
+            for partition in self.partitions
+        )
+
+    def severed(self, src: str, dst: str, ordinal: int) -> bool:
+        """Whether an active partition cuts the ``src -> dst`` delivery."""
+        return any(
+            partition.severs(src, dst, ordinal)
+            for partition in self.partitions
+        )
 
     def should_drop(self, src: str, dst: str) -> bool:
         """Roll the (seeded) dice for one delivery on ``src -> dst``.

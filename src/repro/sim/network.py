@@ -67,6 +67,7 @@ class FaultStats:
     timeouts: int = 0
     transient_rejections: int = 0
     injected_crashes: int = 0
+    partition_rejections: int = 0
 
     @property
     def total(self) -> int:
@@ -75,6 +76,7 @@ class FaultStats:
             + self.timeouts
             + self.transient_rejections
             + self.injected_crashes
+            + self.partition_rejections
         )
 
 
@@ -201,6 +203,13 @@ class SimNetwork:
         plan = self.fault_plan
         if plan is not None:
             self._transfer_ordinal += 1
+            if plan.severed(src, dst, self._transfer_ordinal):
+                # The delivery straddles an active bipartition: refused in
+                # both directions, nothing was put on the wire.
+                self.fault_stats.partition_rejections += 1
+                raise TransientNetworkError(
+                    f"link {src!r} -> {dst!r} crosses a network partition"
+                )
             unavailable = plan.unavailable_host(src, dst, self._transfer_ordinal)
             if unavailable is not None:
                 # Connection refused: nothing was put on the wire.

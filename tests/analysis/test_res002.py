@@ -1,0 +1,143 @@
+"""RES002: bootstrap metadata may only be mutated inside the WAL reducer.
+
+The rule's roots are the ``apply`` functions of ``repro.core.metalog``;
+anything reachable from them over *precise* call edges is the reducer.
+A write to a metadata attribute (``state.peers[...] = ...``,
+``state.blacklist.append(...)``, ``del``/augmented forms) anywhere else in
+``src`` means a promoted standby replaying the log would diverge.
+"""
+
+# A miniature metalog whose module path matches the rule's WAL_MODULE.
+METALOG = """\
+def apply(state, entry):
+    _apply_admit(state, entry)
+
+
+def _apply_admit(state, entry):
+    state.peers[entry.peer_id] = entry.record
+    state.serials[entry.serial] = entry.peer_id
+"""
+
+
+class TestPositive:
+    def test_direct_subscript_assignment_fires(self, project):
+        findings = project(
+            "RES002",
+            {
+                "src/repro/core/metalog.py": METALOG,
+                "src/repro/core/rogue.py": """\
+                def sneak_in(state, peer_id, record):
+                    state.peers[peer_id] = record
+                """,
+            },
+        )
+        assert len(findings) == 1
+        assert "rogue.py" in findings[0].path
+        assert "WAL" in findings[0].message
+
+    def test_mutator_method_call_fires(self, project):
+        findings = project(
+            "RES002",
+            {
+                "src/repro/core/metalog.py": METALOG,
+                "src/repro/core/rogue.py": """\
+                def blacklist_directly(state, record):
+                    state.blacklist.append(record)
+                """,
+            },
+        )
+        assert len(findings) == 1
+
+    def test_delete_and_augmented_assign_fire(self, project):
+        findings = project(
+            "RES002",
+            {
+                "src/repro/core/metalog.py": METALOG,
+                "src/repro/core/rogue.py": """\
+                def evict(state, peer_id):
+                    del state.peers[peer_id]
+
+
+                def merge(state, extra):
+                    state.serials += extra
+                """,
+            },
+        )
+        assert len(findings) == 2
+
+    def test_self_state_receiver_fires(self, project):
+        findings = project(
+            "RES002",
+            {
+                "src/repro/core/metalog.py": METALOG,
+                "src/repro/core/node.py": """\
+                class Node:
+                    def admit(self, peer_id, record):
+                        self.state.peers[peer_id] = record
+                """,
+            },
+        )
+        assert len(findings) == 1
+
+
+class TestNegative:
+    def test_reducer_helpers_are_allowed(self, project):
+        assert not project(
+            "RES002",
+            {"src/repro/core/metalog.py": METALOG},
+        )
+
+    def test_function_reachable_from_apply_is_allowed(self, project):
+        assert not project(
+            "RES002",
+            {
+                "src/repro/core/metalog.py": """\
+                def apply(state, entry):
+                    _dispatch(state, entry)
+
+
+                def _dispatch(state, entry):
+                    _fold(state, entry)
+
+
+                def _fold(state, entry):
+                    state.pending_failovers[entry.peer_id] = entry.old
+                """,
+            },
+        )
+
+    def test_non_state_receiver_not_flagged(self, project):
+        assert not project(
+            "RES002",
+            {
+                "src/repro/core/metalog.py": METALOG,
+                "src/repro/core/other.py": """\
+                def track(monitor, peer_id):
+                    monitor.peers[peer_id] = 1
+                """,
+            },
+        )
+
+    def test_non_metadata_attribute_not_flagged(self, project):
+        assert not project(
+            "RES002",
+            {
+                "src/repro/core/metalog.py": METALOG,
+                "src/repro/core/other.py": """\
+                def note(state, key, value):
+                    state.scratch[key] = value
+                """,
+            },
+        )
+
+    def test_tests_category_not_flagged(self, project):
+        assert not project(
+            "RES002",
+            {
+                "src/repro/core/metalog.py": METALOG,
+                "tests/core/test_meta.py": """\
+                def test_fixture(state):
+                    state.peers["a"] = object()
+                """,
+            },
+        )

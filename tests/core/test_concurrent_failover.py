@@ -42,7 +42,7 @@ def assert_no_instance_leaks(net):
     """Every peer runs on exactly one live instance; crashes are reclaimed."""
     assert net.cloud.list_instances(InstanceState.CRASHED) == []
     running = net.cloud.list_instances(InstanceState.RUNNING)
-    assert len(running) == len(net.peers) + 1  # + the bootstrap itself
+    assert len(running) == len(net.peers) + 2  # + the bootstrap HA pair
     hosts = {instance.instance_id for instance in running}
     for peer in net.peers.values():
         assert peer.host in hosts

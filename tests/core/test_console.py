@@ -232,3 +232,35 @@ class TestScriptRunner:
         script.write_text("peer add ghost\n")
         assert main([str(script)]) == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestBootstrapStatus:
+    def test_reports_leader_log_and_standby_lag(self):
+        console = booted_console()
+        output = console.execute("bootstrap status")
+        assert "leader: bootstrap (epoch 1, online=True)" in output
+        assert "entries" in output
+        assert "0 promotion(s)" in output
+        assert "standby bootstrap-standby: 0 entries behind" in output
+
+    def test_reports_promotion_after_crash(self):
+        console = booted_console()
+        net = console.network
+        net.cloud.crash_instance(net.bootstrap_cluster.leader.host)
+        net.bootstrap_cluster.recover()
+        output = console.execute("bootstrap status")
+        assert "leader: bootstrap-standby (epoch 2" in output
+        assert "1 promotion(s)" in output
+        assert "recent events:" in output
+        assert "promotion: bootstrap -> bootstrap-standby" in output
+
+    def test_usage_error_on_other_args(self):
+        console = booted_console()
+        with pytest.raises(ConsoleError, match="usage: bootstrap status"):
+            console.execute("bootstrap")
+        with pytest.raises(ConsoleError):
+            console.execute("bootstrap promote")
+
+    def test_requires_network(self):
+        with pytest.raises(ConsoleError):
+            Console().execute("bootstrap status")

@@ -1,0 +1,231 @@
+"""Unit tests for the bootstrap write-ahead metadata log (repro.core.metalog).
+
+The WAL is the survivability primitive of the HA bootstrap pair: every
+metadata mutation is a typed record folded through the single ``apply``
+reducer, entries are epoch-fenced, and certificate serials are strided by
+epoch.  These tests pin the contract piece by piece.
+"""
+
+import pytest
+
+from repro.core import metalog
+from repro.core.access_control import Role, rule, READ
+from repro.core.certificates import CertificateAuthority
+from repro.core.metalog import (
+    BootstrapState,
+    LogEntry,
+    MetadataLog,
+    SERIAL_STRIDE,
+)
+from repro.errors import (
+    BestPeerError,
+    CertificateError,
+    MembershipError,
+    StaleLeaderError,
+)
+
+
+def cert(serial, peer_id="peer-1"):
+    return CertificateAuthority().issue(peer_id, now=0.0, serial=serial)
+
+
+def admit(peer_id, serial, instance="i-1"):
+    return metalog.PeerAdmitted(peer_id, cert(serial, peer_id), instance)
+
+
+class TestMetadataLog:
+    def test_append_assigns_contiguous_one_based_indices(self):
+        log = MetadataLog()
+        first = log.append(admit("a", 1), epoch=0)
+        second = log.append(admit("b", 2), epoch=0)
+        assert (first.index, second.index) == (1, 2)
+        assert len(log) == 2
+
+    def test_append_carries_writer_epoch(self):
+        log = MetadataLog()
+        entry = log.append(admit("a", SERIAL_STRIDE + 1), epoch=1)
+        assert entry.epoch == 1
+        assert log.last_epoch == 1
+
+    def test_stale_epoch_append_fenced(self):
+        log = MetadataLog()
+        log.append(admit("a", 2 * SERIAL_STRIDE + 1), epoch=2)
+        with pytest.raises(StaleLeaderError):
+            log.append(admit("b", SERIAL_STRIDE + 1), epoch=1)
+
+    def test_same_and_newer_epochs_accepted(self):
+        log = MetadataLog()
+        log.append(admit("a", SERIAL_STRIDE + 1), epoch=1)
+        log.append(admit("b", SERIAL_STRIDE + 2), epoch=1)
+        log.append(admit("c", 3 * SERIAL_STRIDE + 1), epoch=3)
+        assert log.last_epoch == 3
+
+    def test_receive_adopts_in_order(self):
+        leader, follower = MetadataLog(), MetadataLog()
+        for peer_id, serial in (("a", 1), ("b", 2)):
+            entry = leader.append(admit(peer_id, serial), epoch=0)
+            follower.receive(entry)
+        assert follower.fingerprint() == leader.fingerprint()
+
+    def test_receive_refuses_gap(self):
+        leader, follower = MetadataLog(), MetadataLog()
+        leader.append(admit("a", 1), epoch=0)
+        skipped = leader.append(admit("b", 2), epoch=0)
+        with pytest.raises(BestPeerError, match="gap"):
+            follower.receive(skipped)
+
+    def test_receive_refuses_stale_epoch(self):
+        follower = MetadataLog()
+        follower.receive(
+            LogEntry(index=1, epoch=2, record=admit("a", 2 * SERIAL_STRIDE + 1))
+        )
+        with pytest.raises(StaleLeaderError):
+            follower.receive(
+                LogEntry(index=2, epoch=1, record=admit("b", SERIAL_STRIDE + 1))
+            )
+
+    def test_entries_since_returns_missing_suffix(self):
+        log = MetadataLog()
+        entries = [log.append(admit(p, s), epoch=0)
+                   for p, s in (("a", 1), ("b", 2), ("c", 3))]
+        assert log.entries_since(1) == entries[1:]
+        assert log.entries_since(3) == []
+
+    def test_fingerprint_is_describe_based_and_stable(self):
+        log = MetadataLog()
+        log.append(admit("a", 1, instance="i-9"), epoch=0)
+        assert log.fingerprint() == (
+            (1, 0, "admit:a:serial=1:instance=i-9"),
+        )
+
+
+class TestReducer:
+    def entry(self, record, index=1, epoch=0):
+        return LogEntry(index=index, epoch=epoch, record=record)
+
+    def test_admission_populates_all_bookkeeping(self):
+        state = BootstrapState()
+        metalog.apply(state, self.entry(admit("a", 7, "i-a"), epoch=0))
+        assert state.peers["a"].instance_id == "i-a"
+        assert state.serials == {7: "a"}
+        assert state.admission_epochs == {"a": 0}
+
+    def test_double_admission_rejected(self):
+        state = BootstrapState()
+        metalog.apply(state, self.entry(admit("a", 1)))
+        with pytest.raises(MembershipError):
+            metalog.apply(state, self.entry(admit("a", 2), index=2))
+
+    def test_duplicate_serial_rejected(self):
+        state = BootstrapState()
+        metalog.apply(state, self.entry(admit("a", 1)))
+        with pytest.raises(CertificateError, match="duplicate"):
+            metalog.apply(state, self.entry(admit("b", 1), index=2))
+
+    def test_departure_moves_peer_to_blacklist(self):
+        state = BootstrapState()
+        metalog.apply(state, self.entry(admit("a", 1, "i-a")))
+        metalog.apply(state, self.entry(metalog.PeerDeparted("a"), index=2))
+        assert "a" not in state.peers
+        assert [held.instance_id for held in state.blacklist] == ["i-a"]
+
+    def test_blacklisted_peer_cannot_readmit(self):
+        state = BootstrapState()
+        metalog.apply(state, self.entry(admit("a", 1)))
+        metalog.apply(state, self.entry(metalog.PeerDeparted("a"), index=2))
+        # admission_epochs still remembers the first admission too.
+        with pytest.raises(MembershipError):
+            metalog.apply(state, self.entry(admit("a", 2), index=3))
+
+    def test_departure_of_unknown_peer_rejected(self):
+        with pytest.raises(MembershipError):
+            metalog.apply(
+                BootstrapState(), self.entry(metalog.PeerDeparted("ghost"))
+            )
+
+    def test_failover_lifecycle(self):
+        state = BootstrapState()
+        metalog.apply(state, self.entry(admit("a", 1, "i-old")))
+        metalog.apply(
+            state,
+            self.entry(metalog.FailoverStarted("a", "i-old"), index=2),
+        )
+        assert state.pending_failovers == {"a": "i-old"}
+        metalog.apply(
+            state,
+            self.entry(
+                metalog.FailoverCompleted("a", "i-old", "i-new"), index=3
+            ),
+        )
+        assert state.pending_failovers == {}
+        assert state.peers["a"].instance_id == "i-new"
+        assert [held.instance_id for held in state.blacklist] == ["i-old"]
+
+    def test_failover_of_unknown_peer_rejected(self):
+        with pytest.raises(MembershipError):
+            metalog.apply(
+                BootstrapState(),
+                self.entry(metalog.FailoverStarted("ghost", "i-x")),
+            )
+
+    def test_blacklist_release_by_instance(self):
+        state = BootstrapState()
+        metalog.apply(state, self.entry(admit("a", 1, "i-a")))
+        metalog.apply(state, self.entry(metalog.PeerDeparted("a"), index=2))
+        metalog.apply(
+            state,
+            self.entry(metalog.BlacklistReleased(("i-a",)), index=3),
+        )
+        assert state.blacklist == []
+
+    def test_role_and_user_records(self):
+        state = BootstrapState()
+        role = Role("R", (rule("item.price", (READ,)),))
+        metalog.apply(state, self.entry(metalog.RoleDefined(role)))
+        metalog.apply(
+            state,
+            self.entry(metalog.UserRegistered("alice", "a"), index=2),
+        )
+        assert state.roles["R"] is role
+        assert state.user_registry == {"alice": "a"}
+
+    def test_replay_reconstructs_identical_state(self):
+        log = MetadataLog()
+        log.append(admit("a", 1, "i-a"), epoch=0)
+        log.append(admit("b", 2, "i-b"), epoch=0)
+        log.append(metalog.PeerDeparted("a"), epoch=0)
+        log.append(metalog.FailoverStarted("b", "i-b"), epoch=0)
+        replayed = metalog.replay(log.entries)
+        assert sorted(replayed.peers) == ["b"]
+        assert replayed.pending_failovers == {"b": "i-b"}
+        assert replayed.serials == {1: "a", 2: "b"}
+        # Replaying twice is byte-for-byte repeatable.
+        again = metalog.replay(log.entries)
+        assert again.serials == replayed.serials
+        assert sorted(again.peers) == sorted(replayed.peers)
+
+
+class TestSerialStriding:
+    def test_epoch_zero_starts_at_one(self):
+        assert metalog.next_serial(BootstrapState(), epoch=0) == 1
+
+    def test_continues_past_existing_serials_in_epoch(self):
+        state = BootstrapState()
+        state.serials = {1: "a", 3: "b"}
+        assert metalog.next_serial(state, epoch=0) == 4
+
+    def test_epochs_are_disjoint_ranges(self):
+        state = BootstrapState()
+        state.serials = {1: "a", 2: "b"}
+        serial = metalog.next_serial(state, epoch=1)
+        assert serial == SERIAL_STRIDE + 1
+        state.serials[serial] = "c"
+        assert metalog.next_serial(state, epoch=1) == SERIAL_STRIDE + 2
+        # epoch 0 serials never collide with epoch 1 serials.
+        assert metalog.next_serial(state, epoch=0) == 3
+
+    def test_exhausted_epoch_range_raises(self):
+        state = BootstrapState()
+        state.serials = {SERIAL_STRIDE: "a"}
+        with pytest.raises(CertificateError, match="exhausted"):
+            metalog.next_serial(state, epoch=0)

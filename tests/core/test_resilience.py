@@ -218,3 +218,94 @@ class TestResilienceContextFailover:
     def test_ensure_available_without_callbacks(self):
         context, _ = make_context()
         assert context.ensure_available("p") is False
+
+
+class TestHalfOpenRearmThroughCall:
+    def test_failed_probe_recharges_cooldown_inside_call(self):
+        """A probe that fails while the breaker is open re-arms the full
+        cooldown (resilience.py's record_failure-while-open branch), and
+        the context charges both waits to the session."""
+        context, clock = make_context(
+            breaker_failure_threshold=1,
+            breaker_reset_timeout_s=10.0,
+            policy=RetryPolicy(
+                max_attempts=3, base_backoff_s=0.1, jitter_fraction=0.0
+            ),
+        )
+        context.begin_query()
+        peer = FlakyPeer(failures=2)
+        assert context.call("p", peer) == "ok"
+        assert peer.calls == 3
+        breaker = context.breaker("p")
+        # Re-arming is not a second opening; success closed it again.
+        assert breaker.open_count == 1
+        assert not breaker.is_open
+        # Each failed attempt restarts a full 10s cooldown (the wait
+        # tops up to opened_at + reset_timeout, absorbing the backoff):
+        # the second full cooldown proves the failed probe re-armed the
+        # first.
+        assert clock.now == pytest.approx(20.0)
+        assert context.session.waited_s == pytest.approx(20.0)
+
+    def test_rearm_keeps_probe_cadence_at_full_cooldown(self):
+        context, clock = make_context(
+            breaker_failure_threshold=1,
+            breaker_reset_timeout_s=10.0,
+            policy=RetryPolicy(
+                max_attempts=10, base_backoff_s=0.0, jitter_fraction=0.0
+            ),
+        )
+        context.begin_query()
+        probes = []
+        peer = FlakyPeer(failures=3)
+
+        def probed():
+            probes.append(clock.now)
+            return peer()
+
+        assert context.call("p", probed) == "ok"
+        # After the opening failure at t=0, every probe happens exactly
+        # one full cooldown after the previous *failure*.
+        assert probes == [
+            pytest.approx(t) for t in (0.0, 10.0, 20.0, 30.0)
+        ]
+
+
+class TestRetryBudgetExhaustion:
+    def test_budget_raises_out_of_call_with_session_accounting(self):
+        context, clock = make_context(
+            policy=RetryPolicy(
+                max_attempts=50,
+                base_backoff_s=1.0,
+                backoff_multiplier=1.0,
+                jitter_fraction=0.0,
+                budget_s=3.0,
+            ),
+        )
+        context.begin_query()
+        always_failing = FlakyPeer(failures=10**9)
+        with pytest.raises(TransientNetworkError):
+            context.call("p", always_failing)
+        # Three 1s backoffs fit the 3s budget; the fourth failure finds it
+        # exhausted and re-raises instead of backing off again.
+        assert always_failing.calls == 4
+        assert context.session.retries == 3
+        assert context.session.waited_s == pytest.approx(3.0)
+        assert clock.now == pytest.approx(3.0)
+
+    def test_attempt_cap_fires_before_budget_when_lower(self):
+        context, _ = make_context(
+            policy=RetryPolicy(
+                max_attempts=2,
+                base_backoff_s=1.0,
+                backoff_multiplier=1.0,
+                jitter_fraction=0.0,
+                budget_s=100.0,
+            ),
+        )
+        context.begin_query()
+        always_failing = FlakyPeer(failures=10**9)
+        with pytest.raises(TransientNetworkError):
+            context.call("p", always_failing)
+        assert always_failing.calls == 2
+        assert context.session.retries == 1
