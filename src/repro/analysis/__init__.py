@@ -28,6 +28,8 @@ SEC001    rows fetched without access rewriting reaching a cross-peer
 SEC002    peers admitted / credentialed before certificate verification
 RES001    cross-peer call sites not covered by a RetryPolicy/deadline
           context from ``repro.core.resilience``
+PERF001   ``RowLayout.resolve`` called inside a loop over rows (hoist the
+          position lookup or compile via ``repro.sqlengine.compile``)
 ARCH001   imports violating the layering contract (``sim``/``sqlengine``/
           ``baton`` depend only on ``errors``; ``analysis`` is stdlib-only)
 ========  ==================================================================
@@ -70,6 +72,7 @@ from repro.analysis import configrules as _configrules  # noqa: F401
 from repro.analysis import archrules as _archrules  # noqa: F401
 from repro.analysis import securityrules as _securityrules  # noqa: F401
 from repro.analysis import resiliencerules as _resiliencerules  # noqa: F401
+from repro.analysis import perfrules as _perfrules  # noqa: F401
 
 __all__ = [
     "AnalysisReport",

@@ -1,0 +1,127 @@
+"""Performance rules: PERF001 (per-row column re-resolution).
+
+Expression compilation (:mod:`repro.sqlengine.compile`) exists precisely to
+hoist :meth:`RowLayout.resolve` out of per-row code: positions are looked up
+once against the layout and baked into closures.  Calling ``resolve`` inside
+a loop over rows reintroduces the dictionary lookup the compiler removed —
+an O(rows) cost that is invisible in correctness tests and silently erodes
+the measured speedups guarded by ``benchmarks/perf_baseline.json``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import FileContext, Rule, register_rule
+
+#: Climbing stops here: a resolve inside a nested function or lambda runs on
+#: that function's schedule, not once per iteration of the enclosing loop.
+_SCOPE_BOUNDARIES = (
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.Lambda,
+    ast.ClassDef,
+)
+
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+
+
+def _tail_name(node: ast.AST) -> Optional[str]:
+    """The final identifier of a Name or dotted Attribute, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_layout(node: ast.AST) -> bool:
+    name = _tail_name(node)
+    return name is not None and "layout" in name.lower()
+
+
+def _is_row_name(name: str) -> bool:
+    low = name.lower()
+    return low.endswith("row") or low.endswith("record")
+
+
+def _target_names(target: ast.AST) -> Iterable[str]:
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name):
+            yield node.id
+
+
+def _iterates_rows(iter_node: ast.AST) -> bool:
+    """Does any identifier in the iterable expression look like a row set?"""
+    for node in ast.walk(iter_node):
+        name = _tail_name(node)
+        if name is not None:
+            low = name.lower()
+            if "rows" in low or "records" in low:
+                return True
+    return False
+
+
+def _loops_over_rows(target: ast.AST, iter_node: ast.AST) -> bool:
+    if any(_is_row_name(name) for name in _target_names(target)):
+        return True
+    return _iterates_rows(iter_node)
+
+
+@register_rule
+class PerRowResolveRule(Rule):
+    """PERF001: ``layout.resolve(...)`` evaluated once per row.
+
+    Column positions are loop-invariant — the layout does not change while
+    rows are streamed.  Resolve before the loop (bind the position to a
+    local) or lower the whole expression with
+    :func:`repro.sqlengine.compile.compile_evaluator`.
+    """
+
+    id = "PERF001"
+    severity = Severity.WARNING
+    description = (
+        "RowLayout.resolve() inside a loop over rows; resolve once before "
+        "the loop or compile the expression"
+    )
+    categories = ("src", "benchmarks")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "resolve"
+                and _is_layout(node.func.value)
+            ):
+                continue
+            loop = self._row_loop_above(ctx, node)
+            if loop is not None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "layout.resolve() re-resolves a column on every row of "
+                    "this loop; hoist the position lookup above the loop or "
+                    "compile the expression (repro.sqlengine.compile)",
+                )
+
+    def _row_loop_above(
+        self, ctx: FileContext, node: ast.AST
+    ) -> Optional[ast.AST]:
+        """Nearest enclosing rows-loop in the same function scope, if any."""
+        current = ctx.parent(node)
+        while current is not None and not isinstance(
+            current, _SCOPE_BOUNDARIES
+        ):
+            if isinstance(current, ast.For) and _loops_over_rows(
+                current.target, current.iter
+            ):
+                return current
+            if isinstance(current, _COMPREHENSIONS):
+                for comp in current.generators:
+                    if _loops_over_rows(comp.target, comp.iter):
+                        return current
+            current = ctx.parent(current)
+        return None

@@ -305,6 +305,8 @@ class Console:
             + ", ".join(
                 f"{name}={value}" for name, value in faults.as_dict().items()
             ),
+            f"plan cache: hits={net.metrics.plan_cache_hits}, "
+            f"misses={net.metrics.plan_cache_misses}",
         ]
         for peer_id in sorted(net.peers):
             peer = net.peers[peer_id]

@@ -423,15 +423,24 @@ class BasicEngine:
         rows: List[tuple] = []
         durations: List[float] = []
         total_bytes = 0
+        # The same subquery goes to every owner: prepare (parse+plan) it at
+        # the first owner that hosts the table and ship the plan to the rest
+        # — all peers share the global schema by construction (§4.1).
+        prepared_holder: List[object] = []
         for peer_id in lookup.peers:
 
             def fetch_one(peer_id: str = peer_id):
                 # Resolve the owner inside the attempt: a fail-over rebinds
                 # the peer to a fresh instance between retries.
                 owner = context.peer(peer_id)
+                if not prepared_holder:
+                    # May raise SqlCatalogError exactly like executing the
+                    # SQL would, preserving broadcast skip semantics.
+                    prepared_holder.append(owner.prepare_fetch(local_plan.sql))
                 execution = owner.execute_fetch(
                     local_plan.table, local_plan.sql, user=user,
                     query_timestamp=timestamp,
+                    prepared=prepared_holder[0],
                 )
                 shipped = execution.result.rows
                 if row_filter is not None:

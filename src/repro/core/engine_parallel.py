@@ -23,6 +23,7 @@ from repro.hadoopdb.driver import finalize_records
 from repro.hadoopdb.sms import DistributedPlan, SmsPlanner
 from repro.mapreduce.engine import records_byte_size
 from repro.sim.clock import parallel_duration
+from repro.sqlengine.compile import compile_predicate
 from repro.sqlengine.executor import compute_aggregates
 from repro.sqlengine.expr import RowLayout
 from repro.sqlengine.parser import parse
@@ -65,18 +66,24 @@ class ParallelP2PEngine:
         level_seconds: List[float] = []
 
         # Level L: scan the base table at its owners; parts stay local.
+        # The base subquery is identical at every owner: prepare it once at
+        # the first owner and ship the plan to the rest (shared schema, §4.1).
         stream: List[_StreamPart] = []
         scan_durations = []
+        base_prepared: List[object] = []
         for peer_id in lookups[plan.base.binding].peers:
 
             def scan_one(peer_id: str = peer_id):
                 owner = context.peer(peer_id)
+                if not base_prepared:
+                    base_prepared.append(owner.prepare_fetch(plan.base.sql))
                 # The scanned parts *stay on the owner* (that is the point
                 # of the replicated-join strategy); the per-part broadcast
                 # in join_at_owner prices every byte when parts do move.
                 execution = owner.execute_fetch(  # repro: allow[ISO002] parts stay local; the join-level broadcast prices shipping
                     plan.base.table, plan.base.sql, user=user,
                     query_timestamp=timestamp,
+                    prepared=base_prepared[0],
                 )
                 return list(execution.result.rows), execution.seconds
 
@@ -104,9 +111,19 @@ class ParallelP2PEngine:
             right_position = right_layout.resolve(stage.right_key)
             out_columns = columns + stage.right.columns
             out_layout = RowLayout(out_columns)
+            # The residual predicate runs per joined row at every owner:
+            # compile it once per stage instead of tree-walking per row.
+            residual = (
+                None
+                if stage.residual is None
+                else compile_predicate(stage.residual, out_layout)
+            )
 
             join_durations = []
             new_stream: List[_StreamPart] = []
+            # As with the base scan: one prepare for the stage's subquery,
+            # shared by every owner of the joined table.
+            stage_prepared: List[object] = []
             for peer_id in owners:
                 peers_contacted.add(peer_id)
 
@@ -114,6 +131,8 @@ class ParallelP2PEngine:
                     peer_id: str = peer_id,
                     stream: List[_StreamPart] = stream,
                     stage=stage,
+                    residual=residual,
+                    stage_prepared: List[object] = stage_prepared,
                 ):
                     owner = context.peer(peer_id)
                     # Replicate the full intermediate result to this owner:
@@ -127,9 +146,14 @@ class ParallelP2PEngine:
                             part_bytes,
                         )
 
+                    if not stage_prepared:
+                        stage_prepared.append(
+                            owner.prepare_fetch(stage.right.sql)
+                        )
                     execution = owner.execute_fetch(
                         stage.right.table, stage.right.sql, user=user,
                         query_timestamp=timestamp,
+                        prepared=stage_prepared[0],
                     )
                     local_rows = execution.result.rows
 
@@ -143,9 +167,7 @@ class ParallelP2PEngine:
                         key = left_row[left_position]
                         for right_row in buckets.get(key, ()):
                             combined = left_row + right_row
-                            if stage.residual is None or stage.residual.evaluate(
-                                combined, out_layout
-                            ) is True:
+                            if residual is None or residual(combined):
                                 joined.append(combined)
                     join_seconds = context.compute_model.rows_seconds(
                         len(stream_rows) + len(local_rows) + len(joined),

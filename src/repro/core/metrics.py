@@ -82,6 +82,10 @@ class MetricsRegistry:
         self._engines: Dict[str, EngineMetrics] = {}
         self._histogram: List[int] = [0] * (len(self.buckets) + 1)
         self.faults = FaultCounters()
+        # Parse+plan cache effectiveness, summed over every peer's local
+        # database by the network facade after each query.
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
         # Bounded operational event feed: (simulated time, description),
         # oldest first.  Fed by the facade (fail-overs) and the bootstrap
         # cluster (promotions); read by the console's ``bootstrap status``.
@@ -175,10 +179,17 @@ class MetricsRegistry:
                 "  faults: "
                 + " ".join(f"{name}={counters[name]}" for name in counters)
             )
+        if self.plan_cache_hits or self.plan_cache_misses:
+            lines.append(
+                f"  plan cache: hits={self.plan_cache_hits} "
+                f"misses={self.plan_cache_misses}"
+            )
         return "\n".join(lines)
 
     def reset(self) -> None:
         self._engines.clear()
         self._histogram = [0] * (len(self.buckets) + 1)
         self.faults = FaultCounters()
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
         self.events = []

@@ -438,6 +438,7 @@ class BestPeerNetwork:
             self.clock.advance(max(0.0, execution.latency_s - advanced_s))
             self.metrics.record(execution)
             self._sync_fault_counters()
+            self._sync_plan_cache_counters()
             return execution
         raise BestPeerError("unreachable")  # pragma: no cover
 
@@ -570,6 +571,15 @@ class BestPeerNetwork:
         stats = self.network.fault_stats
         self.metrics.faults.dropped_messages = stats.dropped_messages
         self.metrics.faults.timeouts = stats.timeouts
+
+    def _sync_plan_cache_counters(self) -> None:
+        """Mirror every peer's plan-cache tallies into the registry."""
+        self.metrics.plan_cache_hits = sum(
+            peer.database.plan_cache_hits for peer in self.peers.values()
+        )
+        self.metrics.plan_cache_misses = sum(
+            peer.database.plan_cache_misses for peer in self.peers.values()
+        )
 
     # ------------------------------------------------------------------
     # Internals

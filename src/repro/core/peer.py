@@ -31,10 +31,11 @@ from repro.errors import (
     BestPeerError,
     PeerUnavailableError,
     QueryRejectedError,
+    SqlExecutionError,
 )
 from repro.sim.cloud import CloudProvider, Instance, InstanceState
 from repro.sim.compute import ComputeModel, DEFAULT_COMPUTE_MODEL
-from repro.sqlengine.database import Database, QueryResult
+from repro.sqlengine.database import Database, PreparedSelect, QueryResult
 from repro.sqlengine.schema import TableSchema
 
 
@@ -160,16 +161,24 @@ class NormalPeer:
     # Online data flow
     # ------------------------------------------------------------------
     def execute_local(
-        self, sql: str, query_timestamp: Optional[float] = None
+        self,
+        sql: str,
+        query_timestamp: Optional[float] = None,
+        prepared: Optional[PreparedSelect] = None,
     ) -> LocalExecution:
         """Run a statement on the local database (no access rewriting).
 
         Enforces the Definition-2 snapshot check when ``query_timestamp`` is
-        given.
+        given.  When ``prepared`` is given (a plan built once by the
+        query-submitting peer), the local parse+plan passes are skipped —
+        all peers share the global schema by construction (§4.1).
         """
         self._require_online()
         self._check_snapshot(query_timestamp)
-        result = self.database.execute(sql)
+        if prepared is not None:
+            result = self.database.execute_prepared(prepared)
+        else:
+            result = self.database.execute(sql)
         seconds = self.compute_model.seconds(result.stats, self.compute_units)
         self._busy_s_since_epoch += seconds
         return LocalExecution(result=result, seconds=seconds)
@@ -180,6 +189,7 @@ class NormalPeer:
         sql: str,
         user: Optional[str] = None,
         query_timestamp: Optional[float] = None,
+        prepared: Optional[PreparedSelect] = None,
     ) -> LocalExecution:
         """Serve a remote peer's single-table fetch request.
 
@@ -187,13 +197,27 @@ class NormalPeer:
         access role *before* leaving the peer ("The data that cannot be
         accessed by u will not be returned", §4.4).
         """
-        execution = self.execute_local(sql, query_timestamp)
+        execution = self.execute_local(sql, query_timestamp, prepared=prepared)
         if user is not None:
             rewritten = self.access.rewrite_rows(
                 user, table, execution.result.columns, execution.result.rows
             )
             execution.result.rows[:] = rewritten
+            execution.result.invalidate_byte_size()
         return execution
+
+    def prepare_fetch(self, sql: str) -> Optional[PreparedSelect]:
+        """Plan a broadcast subquery once, for reuse at every data owner.
+
+        Returns ``None`` for statements that cannot be shared (e.g. ones
+        containing subqueries), in which case callers fall back to sending
+        plain SQL.  A missing table raises :class:`SqlCatalogError` exactly
+        like executing the SQL would, preserving broadcast skip semantics.
+        """
+        try:
+            return self.database.prepare(sql)
+        except SqlExecutionError:
+            return None
 
     def _check_snapshot(self, query_timestamp: Optional[float]) -> None:
         if query_timestamp is not None and self.last_refresh_at > query_timestamp:

@@ -10,7 +10,14 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import collections
+
 from repro.errors import SqlCatalogError, SqlExecutionError
+from repro.sqlengine.compile import (
+    compile_evaluator,
+    compile_predicate,
+    interpreted_evaluator,
+)
 from repro.sqlengine.subquery import contains_subquery, resolve_subqueries
 from repro.sqlengine.executor import ExecStats, Executor
 from repro.sqlengine.expr import RowLayout
@@ -24,7 +31,7 @@ from repro.sqlengine.parser import (
     UpdateStmt,
     parse,
 )
-from repro.sqlengine.planner import Planner, explain_plan
+from repro.sqlengine.planner import Planner, explain_plan, plan_tables
 from repro.sqlengine.schema import TableSchema
 from repro.sqlengine.stats import TableStats, collect_table_stats
 from repro.sqlengine.table import Table
@@ -47,13 +54,24 @@ class QueryResult:
         self.stats = stats or ExecStats()
         # For INSERT/UPDATE/DELETE: the number of affected rows.
         self.rowcount = rowcount if rowcount else len(rows)
+        self._byte_size: Optional[int] = None
 
     @property
     def byte_size(self) -> int:
-        """Approximate wire size of the result set."""
-        return sum(
-            value_byte_size(value) for row in self.rows for value in row
-        )
+        """Approximate wire size of the result set (computed once, cached).
+
+        Anything mutating ``rows`` in place must call
+        :meth:`invalidate_byte_size`.
+        """
+        if self._byte_size is None:
+            self._byte_size = sum(
+                value_byte_size(value) for row in self.rows for value in row
+            )
+        return self._byte_size
+
+    def invalidate_byte_size(self) -> None:
+        """Drop the cached wire size after an in-place ``rows`` rewrite."""
+        self._byte_size = None
 
     def scalar(self) -> object:
         """The single value of a one-row, one-column result."""
@@ -82,12 +100,50 @@ class QueryResult:
         return f"QueryResult(columns={self.columns}, rows={len(self.rows)})"
 
 
-class Database:
-    """An embedded relational database with a SQL interface."""
+@dataclasses.dataclass(frozen=True)
+class PreparedSelect:
+    """A parsed-and-planned SELECT, shareable across identically-schemed peers.
 
-    def __init__(self, name: str = "db") -> None:
+    BestPeer++ broadcasts the *same* subquery to every data owner; preparing
+    it once and shipping the plan replaces N parse+plan passes with one.
+    ``tables`` lists the base tables the plan reads so the executing peer can
+    pre-check its catalogue (preserving broadcast skip-if-absent semantics).
+    """
+
+    sql: str
+    plan: object
+    tables: Tuple[str, ...]
+
+
+class Database:
+    """An embedded relational database with a SQL interface.
+
+    Repeated statements hit an LRU parse+plan cache keyed by the SQL text
+    and the catalogue version (every table's mutation counter), so any
+    DDL/insert/delete invalidates affected entries without explicit hooks.
+    ``use_compiled`` selects compiled expression evaluation (the default);
+    flipping it to ``False`` runs the interpreted reference path, which must
+    produce identical rows and :class:`ExecStats`.
+    """
+
+    #: Default maximum number of cached plans per database.
+    PLAN_CACHE_SIZE = 128
+
+    def __init__(
+        self,
+        name: str = "db",
+        use_compiled: bool = True,
+        plan_cache_size: int = PLAN_CACHE_SIZE,
+    ) -> None:
         self.name = name
         self._tables: Dict[str, Table] = {}
+        self.use_compiled = use_compiled
+        self._plan_cache: "collections.OrderedDict[str, Tuple[Tuple[Tuple[str, int], ...], object]]" = (
+            collections.OrderedDict()
+        )
+        self._plan_cache_size = plan_cache_size
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
 
     # ------------------------------------------------------------------
     # Catalogue
@@ -133,9 +189,14 @@ class Database:
     # ------------------------------------------------------------------
     def execute(self, sql: str) -> QueryResult:
         """Parse and run one SQL statement."""
+        plan = self._cached_plan(sql)
+        if plan is not None:
+            self.plan_cache_hits += 1
+            return self._run_plan(plan)
         statement = parse(sql)
         if isinstance(statement, SelectStmt):
-            return self.execute_select(statement)
+            self.plan_cache_misses += 1
+            return self.execute_select(statement, cache_key=sql)
         if isinstance(statement, InsertStmt):
             return self._execute_insert(statement)
         if isinstance(statement, CreateTableStmt):
@@ -166,11 +227,91 @@ class Database:
         plan = Planner(self._tables).plan(statement)
         return explain_plan(plan)
 
-    def execute_select(self, statement: SelectStmt) -> QueryResult:
+    def execute_select(
+        self, statement: SelectStmt, cache_key: Optional[str] = None
+    ) -> QueryResult:
         statement = self._resolve_subqueries(statement)
         plan = Planner(self._tables).plan(statement)
-        layout, rows, stats = Executor(self._tables).execute(plan)
+        if cache_key is not None:
+            # Safe even for resolved subqueries: the cache key includes
+            # every table's data version, so new data re-plans.
+            self._store_plan(cache_key, plan)
+        return self._run_plan(plan)
+
+    def _run_plan(self, plan: object) -> QueryResult:
+        layout, rows, stats = Executor(
+            self._tables, use_compiled=self.use_compiled
+        ).execute(plan)
         return QueryResult(layout.columns, rows, stats)
+
+    # ------------------------------------------------------------------
+    # Plan cache & prepared statements
+    # ------------------------------------------------------------------
+    def _catalog_state(self) -> Tuple[Tuple[str, int], ...]:
+        """The cache-keying fingerprint: every table's mutation counter."""
+        return tuple(
+            (name, self._tables[name].version) for name in sorted(self._tables)
+        )
+
+    def _cached_plan(self, sql: str) -> Optional[object]:
+        entry = self._plan_cache.get(sql)
+        if entry is None:
+            return None
+        state, plan = entry
+        if state != self._catalog_state():
+            del self._plan_cache[sql]
+            return None
+        self._plan_cache.move_to_end(sql)
+        return plan
+
+    def _store_plan(self, sql: str, plan: object) -> None:
+        self._plan_cache[sql] = (self._catalog_state(), plan)
+        self._plan_cache.move_to_end(sql)
+        while len(self._plan_cache) > self._plan_cache_size:
+            self._plan_cache.popitem(last=False)
+
+    def clear_plan_cache(self) -> None:
+        self._plan_cache.clear()
+
+    @property
+    def plan_cache_len(self) -> int:
+        return len(self._plan_cache)
+
+    def prepare(self, sql: str) -> PreparedSelect:
+        """Parse and plan a SELECT once, for reuse across identical catalogues.
+
+        Statements with IN-subqueries are rejected: their plans inline
+        locally-resolved results, which are not shareable across peers.
+        """
+        statement = parse(sql)
+        if not isinstance(statement, SelectStmt):
+            raise SqlExecutionError("prepare supports SELECT statements only")
+        if contains_subquery(statement.where) or contains_subquery(
+            statement.having
+        ):
+            raise SqlExecutionError(
+                "cannot prepare a statement containing subqueries"
+            )
+        self.plan_cache_misses += 1
+        plan = Planner(self._tables).plan(statement)
+        return PreparedSelect(sql, plan, plan_tables(plan))
+
+    def execute_prepared(self, prepared: PreparedSelect) -> QueryResult:
+        """Run a plan prepared on an identically-schemed peer.
+
+        Missing tables raise :class:`SqlCatalogError` so broadcast callers
+        keep their skip-if-absent semantics.  Any execution-time mismatch
+        (e.g. the plan probes an index this peer lacks) falls back to a
+        fresh local parse+plan of the original SQL.
+        """
+        for name in prepared.tables:
+            if name not in self._tables:
+                raise SqlCatalogError(f"no such table: {name!r}")
+        self.plan_cache_hits += 1
+        try:
+            return self._run_plan(prepared.plan)
+        except SqlExecutionError:
+            return self.execute(prepared.sql)
 
     def _resolve_subqueries(self, statement: SelectStmt) -> SelectStmt:
         """Execute uncorrelated IN-subqueries and inline their results."""
@@ -221,21 +362,35 @@ class Database:
             [f"{table.schema.name}.{column}" for column in table.schema.column_names]
         )
         assignments = [
-            (table.schema.column_index(column), expr)
+            (table.schema.column_index(column), self._evaluator(expr, layout))
             for column, expr in statement.assignments
         ]
+        matches = (
+            None
+            if statement.where is None
+            else self._predicate(statement.where, layout)
+        )
         updated = 0
         for row_id in list(table.row_ids()):
             row = table.row_by_id(row_id)
-            if statement.where is not None:
-                if statement.where.evaluate(row, layout) is not True:
-                    continue
+            if matches is not None and not matches(row):
+                continue
             values = list(row)
-            for position, expr in assignments:
-                values[position] = expr.evaluate(row, layout)
+            for position, evaluate in assignments:
+                values[position] = evaluate(row)
             table.update_row(row_id, values)
             updated += 1
         return QueryResult([], [], rowcount=updated)
+
+    def _evaluator(self, expr, layout: RowLayout):
+        if self.use_compiled:
+            return compile_evaluator(expr, layout)
+        return interpreted_evaluator(expr, layout)
+
+    def _predicate(self, expr, layout: RowLayout):
+        if self.use_compiled:
+            return compile_predicate(expr, layout)
+        return lambda row: expr.evaluate(row, layout) is True
 
     def _execute_delete(self, statement: DeleteStmt) -> QueryResult:
         table = self.table(statement.table)
@@ -246,8 +401,5 @@ class Database:
             deleted = len(table)
             table.truncate()
         else:
-            where = statement.where
-            deleted = table.delete_where(
-                lambda row: where.evaluate(row, layout) is True
-            )
+            deleted = table.delete_where(self._predicate(statement.where, layout))
         return QueryResult([], [], rowcount=deleted)

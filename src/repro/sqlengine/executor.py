@@ -12,6 +12,11 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import SqlExecutionError
+from repro.sqlengine.compile import (
+    compile_evaluator,
+    compile_predicate,
+    interpreted_evaluator,
+)
 from repro.sqlengine.expr import (
     ColumnRef,
     Expr,
@@ -52,10 +57,30 @@ class ExecStats:
 
 
 class Executor:
-    """Executes plan trees against a table catalogue."""
+    """Executes plan trees against a table catalogue.
 
-    def __init__(self, catalog: Dict[str, Table]) -> None:
+    With ``use_compiled`` (the default) every expression is lowered once
+    per plan node via :mod:`repro.sqlengine.compile`; with it off, the
+    row-at-a-time interpreted ``Expr.evaluate`` reference path runs
+    instead.  Both paths produce identical rows and identical
+    :class:`ExecStats` — the microbench and the equivalence tests assert
+    it — so simulated costs never depend on the switch.
+    """
+
+    def __init__(self, catalog: Dict[str, Table], use_compiled: bool = True) -> None:
         self._catalog = catalog
+        self._use_compiled = use_compiled
+
+    # Expression lowering helpers: one closure per plan node, never per row.
+    def _evaluator(self, expr: Expr, layout: RowLayout):
+        if self._use_compiled:
+            return compile_evaluator(expr, layout)
+        return interpreted_evaluator(expr, layout)
+
+    def _predicate(self, expr: Expr, layout: RowLayout):
+        if self._use_compiled:
+            return compile_predicate(expr, layout)
+        return lambda row: expr.evaluate(row, layout) is True
 
     def execute(self, plan: object, stats: Optional[ExecStats] = None):
         """Run ``plan``; returns ``(layout, rows, stats)``."""
@@ -101,10 +126,8 @@ class Executor:
             rows = list(table.rows())
             stats.rows_scanned += len(table)
         if node.predicate is not None:
-            predicate = node.predicate
-            rows = [
-                row for row in rows if predicate.evaluate(row, layout) is True
-            ]
+            predicate = self._predicate(node.predicate, layout)
+            rows = [row for row in rows if predicate(row)]
         return layout, rows
 
     def _index_rows(
@@ -135,10 +158,8 @@ class Executor:
     # ------------------------------------------------------------------
     def _execute_filter(self, node: FilterNode, stats: ExecStats):
         layout, rows = self._execute(node.child, stats)
-        predicate = node.predicate
-        return layout, [
-            row for row in rows if predicate.evaluate(row, layout) is True
-        ]
+        predicate = self._predicate(node.predicate, layout)
+        return layout, [row for row in rows if predicate(row)]
 
     def _execute_join(self, node: JoinNode, stats: ExecStats):
         left_layout, left_rows = self._execute(node.left, stats)
@@ -176,7 +197,11 @@ class Executor:
             buckets.setdefault(key, []).append(row)
         stats.join_build_rows += len(right_rows)
 
-        condition = node.condition
+        condition = (
+            None
+            if node.condition is None
+            else self._predicate(node.condition, layout)
+        )
         results: List[Tuple[object, ...]] = []
         null_pad = (None,) * len(right_layout)
         for left_row in left_rows:
@@ -186,7 +211,7 @@ class Executor:
             if not any(part is None for part in key):
                 for right_row in buckets.get(key, ()):
                     combined = left_row + right_row
-                    if condition is None or condition.evaluate(combined, layout) is True:
+                    if condition is None or condition(combined):
                         results.append(combined)
                         matched = True
             if not matched and node.kind == "left":
@@ -196,7 +221,11 @@ class Executor:
     def _nested_loop_join(
         self, node, left_rows, right_layout, right_rows, layout, stats
     ):
-        condition = node.condition
+        condition = (
+            None
+            if node.condition is None
+            else self._predicate(node.condition, layout)
+        )
         results: List[Tuple[object, ...]] = []
         null_pad = (None,) * len(right_layout)
         for left_row in left_rows:
@@ -204,7 +233,7 @@ class Executor:
             for right_row in right_rows:
                 stats.join_probe_rows += 1
                 combined = left_row + right_row
-                if condition is None or condition.evaluate(combined, layout) is True:
+                if condition is None or condition(combined):
                     results.append(combined)
                     matched = True
             if not matched and node.kind == "left":
@@ -228,15 +257,27 @@ class Executor:
         agg_names = [aggregate.to_sql().lower() for aggregate in node.aggregates]
         layout = RowLayout(group_names + agg_names)
 
+        key_evaluators = [
+            self._evaluator(expr, child_layout) for expr in node.group_exprs
+        ]
+        arg_getters = [
+            self._aggregate_arg_getter(aggregate, child_layout)
+            for aggregate in node.aggregates
+        ]
+
+        def make_states() -> List[_AggState]:
+            return [
+                _AggState(aggregate, arg_getter)
+                for aggregate, arg_getter in zip(node.aggregates, arg_getters)
+            ]
+
         groups: Dict[Tuple[object, ...], List[_AggState]] = {}
         group_order: List[Tuple[object, ...]] = []
         for row in child_rows:
-            key = tuple(
-                expr.evaluate(row, child_layout) for expr in node.group_exprs
-            )
+            key = tuple(evaluate(row) for evaluate in key_evaluators)
             states = groups.get(key)
             if states is None:
-                states = [_AggState(aggregate) for aggregate in node.aggregates]
+                states = make_states()
                 groups[key] = states
                 group_order.append(key)
             for state in states:
@@ -244,8 +285,7 @@ class Executor:
 
         # A scalar aggregate over an empty input still yields one row.
         if not groups and not node.group_exprs:
-            states = [_AggState(aggregate) for aggregate in node.aggregates]
-            groups[()] = states
+            groups[()] = make_states()
             group_order.append(())
 
         rows = [
@@ -272,11 +312,8 @@ class Executor:
                     output_names.append(column)
                     evaluators.append(_position_getter(position))
                 continue
-            expr = item.expr
             output_names.append(item.output_name().lower())
-            evaluators.append(
-                lambda row, expr=expr: expr.evaluate(row, child_layout)
-            )
+            evaluators.append(self._evaluator(item.expr, child_layout))
 
         layout = RowLayout(output_names)
         rows = [
@@ -286,29 +323,42 @@ class Executor:
 
     def _execute_distinct(self, node: DistinctNode, stats: ExecStats):
         layout, rows = self._execute(node.child, stats)
-        seen = set()
-        unique: List[Tuple[object, ...]] = []
-        for row in rows:
-            if row not in seen:
-                seen.add(row)
-                unique.append(row)
-        return layout, unique
+        # The whole row tuple is the distinct key; dict.fromkeys dedups in
+        # one pass while keeping first-occurrence order.
+        return layout, list(dict.fromkeys(rows))
 
     def _execute_sort(self, node: SortNode, stats: ExecStats):
         layout, rows = self._execute(node.child, stats)
-        # Stable multi-key sort: apply keys last-to-first.
-        for item in reversed(node.order_items):
-            expr = item.expr
-            rows = sorted(
-                rows,
-                key=lambda row: _sort_key(expr.evaluate(row, layout)),
-                reverse=not item.ascending,
+        # One precompiled key tuple per row (each OrderItem expression is
+        # evaluated exactly once), then stable sorts applied last-to-first
+        # exactly as before — composition of stable sorts preserves the
+        # reference ordering for mixed ASC/DESC.
+        items = node.order_items
+        evaluators = [self._evaluator(item.expr, layout) for item in items]
+        decorated = [
+            (tuple(_sort_key(evaluate(row)) for evaluate in evaluators), row)
+            for row in rows
+        ]
+        for index in range(len(items) - 1, -1, -1):
+            decorated.sort(
+                key=lambda pair, index=index: pair[0][index],
+                reverse=not items[index].ascending,
             )
-        return layout, rows
+        return layout, [row for _, row in decorated]
 
     def _execute_limit(self, node: LimitNode, stats: ExecStats):
         layout, rows = self._execute(node.child, stats)
         return layout, rows[: node.limit]
+
+    def _aggregate_arg_getter(self, call: FuncCall, layout: RowLayout):
+        """Precompile an aggregate's single argument, if it has one.
+
+        COUNT(*) and malformed calls return None; :class:`_AggState` keeps
+        its per-row arity error for the latter, matching the reference path.
+        """
+        if call.star or len(call.args) != 1:
+            return None
+        return self._evaluator(call.args[0], layout)
 
 
 def _position_getter(position: int) -> Callable[[Tuple[object, ...]], object]:
@@ -347,9 +397,18 @@ def compute_aggregates(
 
     Exposed for the distributed engines (BestPeer++'s MapReduce engine and
     HadoopDB's SMS-generated reducers), which aggregate outside a local
-    GroupBy plan node.
+    GroupBy plan node.  Argument expressions are compiled once per call —
+    the compiled closures are value-identical to the interpreted path.
     """
-    states = [_AggState(aggregate) for aggregate in aggregates]
+    states = [
+        _AggState(
+            aggregate,
+            None
+            if aggregate.star or len(aggregate.args) != 1
+            else compile_evaluator(aggregate.args[0], layout),
+        )
+        for aggregate in aggregates
+    ]
     for row in rows:
         for state in states:
             state.accumulate(row, layout)
@@ -357,9 +416,13 @@ def compute_aggregates(
 
 
 class _AggState:
-    """Incremental state for one aggregate function."""
+    """Incremental state for one aggregate function.
 
-    def __init__(self, call: FuncCall) -> None:
+    ``arg_getter`` is an optional precompiled evaluator for the aggregate's
+    single argument; without it the argument is interpreted per row.
+    """
+
+    def __init__(self, call: FuncCall, arg_getter=None) -> None:
         self.call = call
         self.name = call.name.lower()
         self.count = 0
@@ -367,6 +430,7 @@ class _AggState:
         self.minimum: object = None
         self.maximum: object = None
         self.distinct_values: Optional[set] = set() if call.distinct else None
+        self._arg_getter = arg_getter
 
     def accumulate(self, row: Tuple[object, ...], layout: RowLayout) -> None:
         if self.call.star:
@@ -376,7 +440,10 @@ class _AggState:
             raise SqlExecutionError(
                 f"{self.call.name.upper()} takes exactly one argument"
             )
-        value = self.call.args[0].evaluate(row, layout)
+        if self._arg_getter is not None:
+            value = self._arg_getter(row)
+        else:
+            value = self.call.args[0].evaluate(row, layout)
         if value is None:
             return
         if self.distinct_values is not None:

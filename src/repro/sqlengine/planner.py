@@ -436,6 +436,27 @@ def _combine_conjuncts(conjuncts: Sequence[Expr]) -> Optional[Expr]:
     return combined
 
 
+def plan_tables(plan: object) -> Tuple[str, ...]:
+    """All base table names a plan reads, in scan order.
+
+    Used by prepared-statement execution to validate that a plan built on
+    one peer is still applicable on another (same catalogue entries).
+    """
+    names: List[str] = []
+
+    def walk(node: object) -> None:
+        if isinstance(node, ScanNode):
+            names.append(node.table)
+        elif isinstance(node, JoinNode):
+            walk(node.left)
+            walk(node.right)
+        elif hasattr(node, "child"):
+            walk(node.child)
+
+    walk(plan)
+    return tuple(names)
+
+
 def explain_plan(plan: object, indent: int = 0) -> str:
     """Render a plan tree as indented text (the engine's EXPLAIN output)."""
     pad = "  " * indent

@@ -28,6 +28,10 @@ class Table:
         self._rows: List[Optional[Tuple[object, ...]]] = []
         self._live_count = 0
         self._byte_size = 0
+        #: Monotonic counter bumped on every mutation (rows or indexes).
+        #: Plan caches key on it, so plans stay valid even when loaders
+        #: mutate the table directly instead of going through SQL.
+        self.version = 0
         self.indexes: Dict[str, OrderedIndex] = {}
         if schema.primary_key is not None:
             self.create_index(
@@ -83,6 +87,7 @@ class Table:
         self._rows.append(row)
         self._live_count += 1
         self._byte_size += self._row_bytes(row)
+        self.version += 1
         for index in self.indexes.values():
             index.insert(row[self.schema.column_index(index.column)], row_id)
         return row_id
@@ -97,6 +102,7 @@ class Table:
         self._rows[row_id] = None
         self._live_count -= 1
         self._byte_size -= self._row_bytes(row)
+        self.version += 1
 
     def delete_where(self, predicate: Callable[[Tuple[object, ...]], bool]) -> int:
         """Delete all rows matching ``predicate``; returns the count."""
@@ -127,11 +133,13 @@ class Table:
                 index.insert(new[position], row_id)
         self._rows[row_id] = new
         self._byte_size += self._row_bytes(new) - self._row_bytes(old)
+        self.version += 1
 
     def truncate(self) -> None:
         self._rows.clear()
         self._live_count = 0
         self._byte_size = 0
+        self.version += 1
         for index in list(self.indexes.values()):
             self.indexes[index.name] = OrderedIndex(
                 index.name, index.column, index.unique
@@ -153,6 +161,7 @@ class Table:
             if row is not None:
                 index.insert(row[position], row_id)
         self.indexes[name] = index
+        self.version += 1
         return index
 
     def index_on(self, column: str) -> Optional[OrderedIndex]:

@@ -1,0 +1,131 @@
+"""PERF001: RowLayout.resolve() re-resolved per row inside a loop."""
+
+
+class TestPositive:
+    def test_resolve_in_for_row_loop_fires(self, reported):
+        findings = reported(
+            "PERF001",
+            """\
+            def project(rows, layout, name):
+                out = []
+                for row in rows:
+                    out.append(row[layout.resolve(name)])
+                return out
+            """,
+        )
+        assert len(findings) == 1
+        assert "hoist" in findings[0].message
+
+    def test_attribute_layout_receiver_fires(self, reported):
+        findings = reported(
+            "PERF001",
+            """\
+            def project(self, records, name):
+                return [r[self.child_layout.resolve(name)] for r in records]
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_rows_iterable_name_detects_loop(self, reported):
+        # Target isn't row-like, but the iterable clearly is a row set.
+        findings = reported(
+            "PERF001",
+            """\
+            def scan(table, layout, name):
+                for item in table.all_rows():
+                    yield item[layout.resolve(name)]
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_row_suffixed_targets_fire(self, reported):
+        findings = reported(
+            "PERF001",
+            """\
+            def merge(pairs, layout, name):
+                for left_row, right_row in pairs:
+                    yield left_row[layout.resolve(name)]
+            """,
+        )
+        assert len(findings) == 1
+
+
+class TestNegative:
+    def test_resolved_once_then_indexed_is_clean(self, reported):
+        # The fix the rule asks for: hoist the lookup above the loop.
+        assert not reported(
+            "PERF001",
+            """\
+            def project(rows, layout, name):
+                position = layout.resolve(name)
+                return [row[position] for row in rows]
+            """,
+        )
+
+    def test_loop_over_non_rows_is_clean(self, reported):
+        # Per-query loops (expressions, stages) resolve a bounded number
+        # of times; only per-row resolution is the hazard.
+        assert not reported(
+            "PERF001",
+            """\
+            def plan(group_exprs, layout):
+                positions = []
+                for expr in group_exprs:
+                    positions.append(layout.resolve(expr.name))
+                return positions
+            """,
+        )
+
+    def test_nested_function_breaks_the_loop_scope(self, reported):
+        # A closure built inside the loop runs on its own schedule; the
+        # resolve is not syntactically per-iteration.
+        assert not reported(
+            "PERF001",
+            """\
+            def build(rows, layout, name):
+                getters = []
+                for row in rows:
+                    def getter():
+                        return layout.resolve(name)
+                    getters.append(getter)
+                return getters
+            """,
+        )
+
+    def test_non_layout_resolve_is_clean(self, reported):
+        # pathlib's Path.resolve() shares the method name, nothing else.
+        assert not reported(
+            "PERF001",
+            """\
+            def realpaths(rows):
+                return [path.resolve() for path in rows]
+            """,
+        )
+
+    def test_tests_category_is_exempt(self, reported):
+        # Correctness tests may spell out the naive per-row form on purpose.
+        assert not reported(
+            "PERF001",
+            """\
+            def check(rows, layout, name):
+                for row in rows:
+                    assert row[layout.resolve(name)] is not None
+            """,
+            path="tests/sqlengine/test_fake.py",
+        )
+
+
+class TestSuppression:
+    def test_allow_comment_suppresses(self, analyze):
+        findings = analyze(
+            "PERF001",
+            """\
+            def project(rows, layout, name):
+                out = []
+                for row in rows:
+                    out.append(row[layout.resolve(name)])  # repro: allow[PERF001] micro-table, bounded rows
+                return out
+            """,
+        )
+        assert len(findings) == 1
+        assert not findings[0].reported

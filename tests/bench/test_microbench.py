@@ -1,0 +1,124 @@
+"""Smoke tests for the perf-regression microbenchmark harness.
+
+Tiny scale, single repeat: these verify the harness's *mechanics* — payload
+shape, equivalence gating, baseline comparison — not performance itself
+(that is the CI ``perf-smoke`` job's contract, and it compares ratios, not
+absolute times).
+"""
+
+import json
+
+from repro.bench.microbench import (
+    KERNELS,
+    build_database,
+    check_against_baseline,
+    main,
+    run_microbench,
+    run_plan_cache_workload,
+)
+
+SMOKE = {"scale": 0.05, "repeat": 1}
+
+
+def small_payload():
+    return run_microbench(scale=SMOKE["scale"], repeat=SMOKE["repeat"])
+
+
+class TestHarness:
+    def test_payload_covers_every_kernel(self):
+        payload = small_payload()
+        assert set(payload["kernels"]) == {name for name, _ in KERNELS}
+        for entry in payload["kernels"].values():
+            assert entry["rows_out"] >= 0
+            assert entry["interpreted_s"] > 0
+            assert entry["compiled_s"] > 0
+            assert entry["speedup"] > 0
+            assert set(entry["stats"]) == {
+                "rows_scanned",
+                "rows_output",
+                "index_probes",
+                "join_build_rows",
+                "join_probe_rows",
+            }
+
+    def test_kernels_produce_rows(self):
+        # Selectivities must not degenerate at small scale — an empty
+        # kernel would time nothing.
+        payload = small_payload()
+        for name, entry in payload["kernels"].items():
+            assert entry["rows_out"] > 0, name
+
+    def test_plan_cache_workload_hits(self):
+        db = build_database(scale=SMOKE["scale"])
+        counters = run_plan_cache_workload(db, rounds=5)
+        assert counters == {"hits": 4, "misses": 1}
+
+    def test_dataset_is_deterministic(self):
+        first = build_database(scale=SMOKE["scale"])
+        second = build_database(scale=SMOKE["scale"])
+        sql = "SELECT * FROM lineitem ORDER BY l_orderkey, l_extendedprice"
+        assert first.execute(sql).rows == second.execute(sql).rows
+
+
+class TestBaselineCheck:
+    def test_passes_against_itself(self):
+        payload = small_payload()
+        assert check_against_baseline(payload, payload) == []
+
+    def test_fails_on_lost_speedup(self):
+        payload = small_payload()
+        greedy = {
+            "kernels": {
+                name: {"speedup": entry["speedup"] * 10}
+                for name, entry in payload["kernels"].items()
+            }
+        }
+        failures = check_against_baseline(payload, greedy)
+        assert failures
+        assert all("fell below" in failure for failure in failures)
+
+    def test_fails_on_missing_kernel(self):
+        payload = small_payload()
+        baseline = {"kernels": {"no_such_kernel": {"speedup": 1.0}}}
+        failures = check_against_baseline(payload, baseline)
+        assert failures == ["no_such_kernel: kernel missing from current run"]
+
+    def test_fails_on_zero_cache_hits(self):
+        payload = small_payload()
+        payload["plan_cache"] = {"hits": 0, "misses": 20}
+        failures = check_against_baseline(payload, payload)
+        assert any("plan_cache" in failure for failure in failures)
+
+    def test_tolerance_absorbs_noise(self):
+        payload = small_payload()
+        # A baseline 20% above the measurement stays inside the 25% band.
+        near = {
+            "kernels": {
+                name: {"speedup": entry["speedup"] * 1.2}
+                for name, entry in payload["kernels"].items()
+            }
+        }
+        assert check_against_baseline(payload, near) == []
+
+
+class TestCli:
+    def test_out_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_perf.json"
+        code = main(
+            ["--scale", "0.05", "--repeat", "1", "--out", str(out)]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert set(payload["kernels"]) == {name for name, _ in KERNELS}
+        assert "plan cache:" in capsys.readouterr().out
+
+    def test_check_failure_sets_exit_code(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps({"kernels": {"scan": {"speedup": 1000.0}}})
+        )
+        code = main(
+            ["--scale", "0.05", "--repeat", "1", "--check", str(baseline)]
+        )
+        assert code == 1
+        assert "PERF REGRESSION" in capsys.readouterr().err
