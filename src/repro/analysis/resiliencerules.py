@@ -1,4 +1,4 @@
-"""RES001/RES002: resilience coverage and WAL confinement.
+"""RES001/RES002/RES003: resilience coverage, WAL confinement, bounded buffers.
 
 RES001 — resilience coverage for cross-peer work (PR 1's machinery).
 
@@ -33,16 +33,30 @@ flags any statement-level mutation (attribute assignment, item write,
 augmented assignment, delete, or a mutator-method call like
 ``state.peers.pop(...)``) of a metadata attribute on a ``state`` receiver
 whose lexical scope chain never enters that set.
+
+RES003 — bounded buffers on serving paths (this PR's machinery).
+The serving front door survives overload precisely because every queue and
+sample window it keeps is bounded; one forgotten ``deque()`` without
+``maxlen`` — or a ``self.pending.append(...)`` onto a plain list — turns
+admission control back into an OOM under sustained 10x load.  The rule
+applies to *serving-enabled* modules (anything under a ``serving`` package
+directory, or importing ``repro.serving``) and flags (a) ``deque``
+construction without a bound and (b) growth calls / augmented appends on
+instance attributes initialized as unbounded lists.  Request-scoped locals
+are exempt: they die with the request, so they cannot accumulate across
+requests the way persistent instance state can.
 """
 
 from __future__ import annotations
 
+import ast
 import re
 from typing import Iterator, Optional, Set
 
+from repro.analysis.asthelpers import is_name
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.projectgraph import CallSite, ProjectGraph
-from repro.analysis.registry import ProjectRule, register_rule
+from repro.analysis.registry import FileContext, ProjectRule, Rule, register_rule
 
 WIRE_METHODS = frozenset({"transfer", "broadcast"})
 REMOTE_EXEC_METHODS = frozenset({"execute_fetch", "execute_local"})
@@ -211,3 +225,144 @@ class WalConfinementRule(ProjectRule):
                 f"outside the WAL reducer — emit a log record and let "
                 f"{WAL_MODULE}.apply fold it in",
             )
+
+
+#: The package whose importers are "serving-enabled" for RES003.
+SERVING_PACKAGE = "repro.serving"
+#: Method calls that grow a sequence in place.
+GROWTH_METHODS = frozenset(
+    {"append", "appendleft", "extend", "extendleft", "insert"}
+)
+
+
+def _imports_serving(tree: ast.Module) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            if any(
+                alias.name == SERVING_PACKAGE
+                or alias.name.startswith(SERVING_PACKAGE + ".")
+                for alias in node.names
+            ):
+                return True
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            module = node.module or ""
+            if module == SERVING_PACKAGE or module.startswith(
+                SERVING_PACKAGE + "."
+            ):
+                return True
+    return False
+
+
+def _is_deque_call(node: ast.Call) -> bool:
+    """``deque(...)`` / ``collections.deque(...)`` by any usual spelling."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "deque"
+    return isinstance(func, ast.Attribute) and func.attr == "deque"
+
+
+def _deque_is_bounded(node: ast.Call) -> bool:
+    """Whether a deque construction carries a real ``maxlen``.
+
+    ``deque(iterable, maxlen)`` positionally, or ``maxlen=<bound>`` by
+    keyword; an explicit ``maxlen=None`` is as unbounded as omitting it.
+    """
+    if len(node.args) >= 2:
+        return not (
+            isinstance(node.args[1], ast.Constant)
+            and node.args[1].value is None
+        )
+    for keyword in node.keywords:
+        if keyword.arg == "maxlen":
+            return not (
+                isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is None
+            )
+    return False
+
+
+def _is_unbounded_list_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.ListComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and is_name(node.func, "list")
+    )
+
+
+@register_rule
+class BoundedBufferRule(Rule):
+    id = "RES003"
+    severity = Severity.ERROR
+    description = (
+        "unbounded buffer on a serving path (deque() without maxlen, or "
+        "growth of a plain-list instance attribute) — overload turns it "
+        "into an OOM; give it a bound"
+    )
+    categories = ("src",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        in_serving_pkg = "serving" in ctx.path.split("/")
+        if not in_serving_pkg and not _imports_serving(ctx.tree):
+            return
+        # Pass 1: instance attributes initialized as unbounded lists, and
+        # unbounded deque constructions (flagged where they are built).
+        unbounded_attrs: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and _is_deque_call(node):
+                if not _deque_is_bounded(node):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "deque() without maxlen on a serving path — a "
+                        "burst fills it without bound; pass "
+                        "maxlen=<config bound>",
+                    )
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                value = node.value
+                if value is None or not _is_unbounded_list_expr(value):
+                    continue
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Attribute) and is_name(
+                        target.value, "self"
+                    ):
+                        unbounded_attrs.add(target.attr)
+        if not unbounded_attrs:
+            return
+        # Pass 2: growth of those attributes is what makes them a leak.
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in GROWTH_METHODS
+                    and isinstance(func.value, ast.Attribute)
+                    and is_name(func.value.value, "self")
+                    and func.value.attr in unbounded_attrs
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"self.{func.value.attr}.{func.attr}(...) grows an "
+                        f"unbounded list across requests — use "
+                        f"deque(maxlen=...) or shed when full",
+                    )
+            elif (
+                isinstance(node, ast.AugAssign)
+                and isinstance(node.op, ast.Add)
+                and isinstance(node.target, ast.Attribute)
+                and is_name(node.target.value, "self")
+                and node.target.attr in unbounded_attrs
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"self.{node.target.attr} += ... grows an unbounded "
+                    f"list across requests — use deque(maxlen=...) or "
+                    f"shed when full",
+                )

@@ -1,0 +1,432 @@
+"""Overload sweep: the serving front door under 1x..10x offered load.
+
+Drives a small BestPeer++ network through :class:`ServingFrontDoor` with
+seeded open-loop arrival streams per tenant and lane, then checks the
+overload SLOs the serving layer exists to uphold:
+
+* exact accounting — per (tenant, lane),
+  ``offered == admitted + shed + deadline_missed`` and
+  ``admitted == completed + failed``,
+* graceful degradation — at 10x offered load the *interactive* lane's
+  admitted p99 end-to-end latency stays within 2x of its 1x value
+  (bounded queues and deadline-aware shedding trade completions for
+  latency, never the reverse),
+* priority — the bulk lane is shed before the interactive lane.
+
+Shed clients retry with :class:`~repro.core.resilience.RetryPolicy`
+honoring the server's retry-after hint, so the sweep also exercises the
+client half of the backpressure loop.  Everything runs on the simulated
+clock from one seed: two runs of the same sweep produce byte-identical
+reports.
+
+Usage::
+
+    python -m repro.bench.overload --out overload.json
+    python -m repro.bench.overload --multipliers 1,3,10 --duration 120
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.harness import SEED, bench_compute_model, bench_network_config
+from repro.core import (
+    LANE_BULK,
+    LANE_INTERACTIVE,
+    BestPeerNetwork,
+    RetryPolicy,
+    ServingConfig,
+)
+from repro.serving import ServingFrontDoor, ServingRequest
+from repro.sim import EventQueue
+from repro.sqlengine import Column, ColumnType, TableSchema
+
+#: Tenants and their fair-share weights.
+TENANTS: Tuple[Tuple[str, float], ...] = (("acme", 2.0), ("globex", 1.0))
+#: Target worker utilization at 1x offered load; 10x is then deep overload.
+BASE_UTILIZATION = 0.5
+#: Fraction of each tenant's load that is bulk/analytics.
+BULK_FRACTION = 0.25
+#: Client-side retry budget for shed requests.
+CLIENT_RETRY = RetryPolicy(
+    max_attempts=3, base_backoff_s=0.5, max_backoff_s=30.0
+)
+
+#: A narrow range scan (~`INTERACTIVE_SPAN` rows) vs a full-table
+#: aggregate: the lanes differ in service time by a small integer factor,
+#: like a dashboard lookup vs an analytics rollup.
+INTERACTIVE_SQL = (
+    "SELECT COUNT(*) FROM item WHERE id BETWEEN {key} AND {upper}"
+)
+BULK_SQL = "SELECT COUNT(*), SUM(price) FROM item"
+INTERACTIVE_SPAN = 300
+
+NUM_PEERS = 3
+ROWS_PER_PEER = 400
+
+
+def build_network() -> BestPeerNetwork:
+    """A small supply network with one shared ``item`` table."""
+    schemas = {
+        "item": TableSchema(
+            "item",
+            [
+                Column("id", ColumnType.INTEGER),
+                Column("label", ColumnType.TEXT),
+                Column("price", ColumnType.FLOAT),
+            ],
+            primary_key="id",
+        )
+    }
+    net = BestPeerNetwork(
+        schemas,
+        compute_model=bench_compute_model(),
+        network_config=bench_network_config(),
+    )
+    for index in range(NUM_PEERS):
+        peer_id = f"corp-{index}"
+        net.add_peer(peer_id)
+        rows = [
+            (
+                index * ROWS_PER_PEER + offset,
+                f"part-{index}-{offset}",
+                float(offset % 97),
+            )
+            for offset in range(ROWS_PER_PEER)
+        ]
+        net.load_peer(peer_id, {"item": rows})
+    return net
+
+
+def interactive_sql(rng: random.Random) -> str:
+    """One interactive-lane query over a random key range."""
+    key = rng.randrange(NUM_PEERS * ROWS_PER_PEER - INTERACTIVE_SPAN)
+    return INTERACTIVE_SQL.format(key=key, upper=key + INTERACTIVE_SPAN - 1)
+
+
+def probe_service_times(net: BestPeerNetwork) -> Tuple[float, float]:
+    """Measured simulated service time of one interactive / bulk query."""
+    interactive = net.execute(
+        INTERACTIVE_SQL.format(key=0, upper=INTERACTIVE_SPAN - 1)
+    ).latency_s
+    bulk = net.execute(BULK_SQL).latency_s
+    net.metrics.reset()
+    return interactive, bulk
+
+
+def overload_config(
+    interactive_service_s: float, bulk_service_s: float, workers: int = 4
+) -> ServingConfig:
+    """Serving tunables calibrated to the measured service times.
+
+    The interactive deadline is what bounds the lane's latency under
+    overload: queued requests that cannot start inside it are shed (or
+    dropped at dispatch), so the admitted tail can never stretch past
+    ``deadline + service`` no matter how much load is offered.  The bulk
+    backpressure threshold sits far below the interactive shed point — one
+    interactive service time of estimated delay — so as saturation grows
+    the analytics lane stops admitting long before the interactive lane
+    starts shedding.
+    """
+    return ServingConfig(
+        workers=workers,
+        queue_depth=8,
+        interactive_deadline_s=1.5 * interactive_service_s,
+        bulk_deadline_s=20.0 * bulk_service_s,
+        bulk_backpressure_s=interactive_service_s,
+        initial_service_estimate_s=interactive_service_s,
+        retry_after_min_s=interactive_service_s,
+    )
+
+
+@dataclass
+class ClientCounters:
+    """Client-side view of one (tenant, lane) stream."""
+
+    unique_requests: int = 0
+    retries: int = 0
+    gave_up: int = 0
+
+
+@dataclass
+class OverloadReport:
+    """One sweep point: the front door's counters plus the client's."""
+
+    multiplier: float
+    duration_s: float
+    drained_at_s: float
+    interactive_rate_qps: float
+    bulk_rate_qps: float
+    lanes: Dict[str, dict] = field(default_factory=dict)
+    clients: Dict[str, dict] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "multiplier": self.multiplier,
+            "duration_s": self.duration_s,
+            "drained_at_s": self.drained_at_s,
+            "interactive_rate_qps": self.interactive_rate_qps,
+            "bulk_rate_qps": self.bulk_rate_qps,
+            "lanes": self.lanes,
+            "clients": self.clients,
+        }
+
+
+@dataclass
+class _Arrival:
+    tenant: str
+    lane: str
+    sql: str
+    attempt: int = 1
+
+
+def run_overload(
+    multiplier: float,
+    duration_s: float = 60.0,
+    seed: int = SEED,
+    workers: int = 4,
+) -> OverloadReport:
+    """Run one sweep point at ``multiplier`` times the base offered load."""
+    net = build_network()
+    interactive_s, bulk_s = probe_service_times(net)
+    config = overload_config(interactive_s, bulk_s, workers=workers)
+    door = net.attach_serving(config)
+    for tenant, weight in TENANTS:
+        door.register_tenant(tenant, weight)
+
+    # Base rates put the pool at BASE_UTILIZATION when multiplier == 1:
+    # sum over streams of rate * service == BASE_UTILIZATION * workers.
+    budget = BASE_UTILIZATION * workers / len(TENANTS)
+    interactive_rate = (1.0 - BULK_FRACTION) * budget / interactive_s
+    bulk_rate = BULK_FRACTION * budget / bulk_s
+
+    rng = random.Random(seed)
+    arrivals = EventQueue()
+    for tenant, _ in TENANTS:
+        for lane, rate in (
+            (LANE_INTERACTIVE, interactive_rate),
+            (LANE_BULK, bulk_rate),
+        ):
+            at = 0.0
+            while True:
+                at += rng.expovariate(rate * multiplier)
+                if at >= duration_s:
+                    break
+                sql = (
+                    interactive_sql(rng)
+                    if lane == LANE_INTERACTIVE
+                    else BULK_SQL
+                )
+                arrivals.push(at, _Arrival(tenant, lane, sql))
+
+    clients: Dict[Tuple[str, str], ClientCounters] = {
+        (tenant, lane): ClientCounters()
+        for tenant, _ in TENANTS
+        for lane in (LANE_INTERACTIVE, LANE_BULK)
+    }
+    base_time = door.now
+    while arrivals:
+        at, arrival = arrivals.pop()
+        counters = clients[(arrival.tenant, arrival.lane)]
+        if arrival.attempt == 1:
+            counters.unique_requests += 1
+        ticket = door.submit(
+            ServingRequest(
+                tenant=arrival.tenant, sql=arrival.sql, lane=arrival.lane
+            ),
+            now=max(door.now, base_time + at),
+        )
+        if ticket.admitted:
+            continue
+        if arrival.attempt >= CLIENT_RETRY.max_attempts:
+            counters.gave_up += 1
+            continue
+        counters.retries += 1
+        backoff = CLIENT_RETRY.backoff_s(
+            arrival.attempt, rng, retry_after_s=ticket.retry_after_s
+        )
+        arrivals.push(
+            at + backoff,
+            _Arrival(
+                arrival.tenant,
+                arrival.lane,
+                arrival.sql,
+                attempt=arrival.attempt + 1,
+            ),
+        )
+    drained_at = door.drain() - base_time
+
+    report = OverloadReport(
+        multiplier=multiplier,
+        duration_s=duration_s,
+        drained_at_s=drained_at,
+        interactive_rate_qps=interactive_rate,
+        bulk_rate_qps=bulk_rate,
+    )
+    for (tenant, lane), stats in sorted(net.metrics.serving.items()):
+        report.lanes[f"{tenant}/{lane}"] = stats.as_dict()
+    for (tenant, lane), counters in sorted(clients.items()):
+        report.clients[f"{tenant}/{lane}"] = {
+            "unique_requests": counters.unique_requests,
+            "retries": counters.retries,
+            "gave_up": counters.gave_up,
+        }
+    return report
+
+
+def run_sweep(
+    multipliers: List[float],
+    duration_s: float = 60.0,
+    seed: int = SEED,
+) -> Dict[float, OverloadReport]:
+    """Run every sweep point from one seed, keyed by multiplier."""
+    return {
+        multiplier: run_overload(multiplier, duration_s=duration_s, seed=seed)
+        for multiplier in multipliers
+    }
+
+
+def check_slo_invariants(
+    reports: Dict[float, OverloadReport]
+) -> List[str]:
+    """The overload acceptance gates; returns human-readable violations."""
+    violations: List[str] = []
+    for multiplier, report in sorted(reports.items()):
+        for name, lane in report.lanes.items():
+            shed = lane["shed_queue_full"] + lane["shed_backpressure"]
+            if lane["offered"] != (
+                lane["admitted"] + shed + lane["deadline_missed"]
+            ):
+                violations.append(
+                    f"{multiplier}x {name}: offered={lane['offered']} != "
+                    f"admitted+shed+deadline_missed"
+                )
+            if lane["admitted"] != lane["completed"] + lane["failed"]:
+                violations.append(
+                    f"{multiplier}x {name}: admitted != completed+failed"
+                )
+    baseline = reports.get(1.0)
+    overload = reports.get(10.0)
+    if baseline is None or overload is None:
+        return violations
+
+    def lane_total(report: OverloadReport, lane: str, fld: str) -> int:
+        return sum(
+            stats[fld]
+            for name, stats in report.lanes.items()
+            if name.endswith("/" + lane)
+        )
+
+    for tenant, _ in TENANTS:
+        key = f"{tenant}/{LANE_INTERACTIVE}"
+        p99_1x = baseline.lanes.get(key, {}).get("latency_p99_s", 0.0)
+        p99_10x = overload.lanes.get(key, {}).get("latency_p99_s", 0.0)
+        if p99_1x <= 0.0 or p99_10x <= 0.0:
+            violations.append(f"{key}: missing latency samples in the sweep")
+        elif p99_10x > 2.0 * p99_1x:
+            violations.append(
+                f"{key}: admitted p99 {p99_10x:.3f}s at 10x exceeds 2x the "
+                f"1x value {p99_1x:.3f}s"
+            )
+    shed_10x = lane_total(overload, LANE_INTERACTIVE, "shed_queue_full") + (
+        lane_total(overload, LANE_INTERACTIVE, "shed_backpressure")
+    ) + lane_total(overload, LANE_BULK, "shed_queue_full") + lane_total(
+        overload, LANE_BULK, "shed_backpressure"
+    )
+    if shed_10x == 0:
+        violations.append("10x load shed nothing — overload never happened")
+
+    def shed_fraction(lane: str) -> float:
+        offered = lane_total(overload, lane, "offered")
+        if offered == 0:
+            return 0.0
+        dropped = (
+            lane_total(overload, lane, "shed_queue_full")
+            + lane_total(overload, lane, "shed_backpressure")
+            + lane_total(overload, lane, "deadline_missed")
+        )
+        return dropped / offered
+
+    if shed_fraction(LANE_BULK) <= shed_fraction(LANE_INTERACTIVE):
+        violations.append(
+            f"bulk shed fraction {shed_fraction(LANE_BULK):.3f} not above "
+            f"interactive {shed_fraction(LANE_INTERACTIVE):.3f} at 10x — "
+            f"priority inversion"
+        )
+    return violations
+
+
+def render(reports: Dict[float, OverloadReport]) -> str:
+    """A terminal summary of the sweep, one block per point."""
+    lines = []
+    for multiplier, report in sorted(reports.items()):
+        lines.append(
+            f"{multiplier:g}x offered load "
+            f"(drained {report.drained_at_s:.1f}s):"
+        )
+        for name, lane in report.lanes.items():
+            shed = lane["shed_queue_full"] + lane["shed_backpressure"]
+            lines.append(
+                f"  {name}: offered={lane['offered']} "
+                f"admitted={lane['admitted']} completed={lane['completed']} "
+                f"shed={shed} missed={lane['deadline_missed']} "
+                f"e2e p99={lane['latency_p99_s']:.3f}s"
+            )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns 1 when any SLO gate is violated."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.overload",
+        description="overload sweep with SLO gates",
+    )
+    parser.add_argument(
+        "--multipliers",
+        default="1,10",
+        help="comma-separated offered-load multipliers (default: 1,10)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=60.0,
+        help="offered-load window in simulated seconds",
+    )
+    parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument(
+        "--out", default=None, help="write the JSON report here"
+    )
+    args = parser.parse_args(argv)
+    multipliers = [float(value) for value in args.multipliers.split(",")]
+
+    reports = run_sweep(
+        multipliers, duration_s=args.duration, seed=args.seed
+    )
+    print(render(reports))
+    violations = check_slo_invariants(reports)
+    if args.out:
+        payload = {
+            "seed": args.seed,
+            "reports": {
+                str(multiplier): report.as_dict()
+                for multiplier, report in sorted(reports.items())
+            },
+            "violations": violations,
+        }
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"report written to {args.out}")
+    if violations:
+        print("SLO violations:", file=sys.stderr)
+        for violation in violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    print("all overload SLOs hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,7 @@ Commands (one per line; ``#`` starts a comment):
     histogram <table> <col> [col...]      build + register a histogram
     maintenance                           run one Algorithm-1 epoch
     bootstrap status                      HA pair: leader, epoch, log, lag
+    serving status                        front door: queues, SLO counters
     metrics | status | billing <hours> | help
 """
 
@@ -55,6 +56,7 @@ class Console:
             "histogram": self._cmd_histogram,
             "maintenance": self._cmd_maintenance,
             "bootstrap": self._cmd_bootstrap,
+            "serving": self._cmd_serving,
             "metrics": self._cmd_metrics,
             "status": self._cmd_status,
             "billing": self._cmd_billing,
@@ -289,6 +291,38 @@ class Console:
             lines.append("recent events:")
             for when, description in events:
                 lines.append(f"  t={when:.1f}s {description}")
+        return "\n".join(lines)
+
+    def _cmd_serving(self, rest: str) -> str:
+        """Report the serving front door's queues and per-tenant SLOs."""
+        if rest != "status":
+            raise ConsoleError("usage: serving status")
+        net = self._require_network()
+        if net.serving is None and not net.metrics.serving:
+            return "serving front door not attached (BestPeerNetwork.attach_serving)"
+        lines = []
+        if net.serving is not None:
+            lines.append(net.serving.status())
+        if net.metrics.serving:
+            lines.append("per-tenant SLOs:")
+            for tenant, lane in sorted(net.metrics.serving):
+                stats = net.metrics.serving[(tenant, lane)]
+                lines.append(
+                    f"  {tenant}/{lane}: offered={stats.offered} "
+                    f"admitted={stats.admitted} "
+                    f"completed={stats.completed} failed={stats.failed} "
+                    f"shed={stats.shed} "
+                    f"(full={stats.shed_queue_full}, "
+                    f"backpressure={stats.shed_backpressure}) "
+                    f"deadline_missed={stats.deadline_missed}"
+                )
+                if stats.e2e_latency.count:
+                    lines.append(
+                        f"    wait p50={stats.queue_wait.percentile(0.5):.3f}s "
+                        f"p99={stats.queue_wait.percentile(0.99):.3f}s | "
+                        f"e2e p50={stats.e2e_latency.percentile(0.5):.3f}s "
+                        f"p99={stats.e2e_latency.percentile(0.99):.3f}s"
+                    )
         return "\n".join(lines)
 
     def _cmd_metrics(self, rest: str) -> str:

@@ -32,8 +32,12 @@ from repro.core.certificates import Certificate, CertificateAuthority
 from repro.core.config import (
     BestPeerConfig,
     DaemonConfig,
+    LANE_BULK,
+    LANE_INTERACTIVE,
     LeaseConfig,
     PricingConfig,
+    SERVING_LANES,
+    ServingConfig,
 )
 from repro.core.leadership import Lease, LeadershipHandle, LeaseService
 from repro.core.metalog import BootstrapState, LogEntry, MetadataLog
@@ -57,7 +61,13 @@ from repro.core.indexer import (
     PeerLookup,
 )
 from repro.core.instance_mapping import InstanceMatcher, InstanceMatchResult
-from repro.core.metrics import EngineMetrics, FaultCounters, MetricsRegistry
+from repro.core.metrics import (
+    BoundedSamples,
+    EngineMetrics,
+    FaultCounters,
+    LaneServingStats,
+    MetricsRegistry,
+)
 from repro.core.loader import DataLoader, SnapshotDelta, snapshot_diff
 from repro.core.online_aggregation import (
     OnlineEstimate,
@@ -120,6 +130,12 @@ __all__ = [
     "MetricsRegistry",
     "EngineMetrics",
     "FaultCounters",
+    "BoundedSamples",
+    "LaneServingStats",
+    "ServingConfig",
+    "SERVING_LANES",
+    "LANE_INTERACTIVE",
+    "LANE_BULK",
     "RetryPolicy",
     "CircuitBreaker",
     "Deadline",

@@ -21,6 +21,13 @@ from repro.errors import BestPeerError
 DEFAULT_INSTANCE_TYPE = "m1.small"
 #: Query engine used when the caller doesn't pick one.
 DEFAULT_ENGINE = "basic"
+#: Priority lanes of the serving front door.  Interactive traffic is
+#: dispatched (and protected under overload) ahead of bulk/analytics.
+LANE_INTERACTIVE = "interactive"
+LANE_BULK = "bulk"
+SERVING_LANES = (LANE_INTERACTIVE, LANE_BULK)
+#: Tenant weight used when a tenant was never explicitly registered.
+DEFAULT_TENANT_WEIGHT = 1.0
 
 
 @dataclass(frozen=True)
@@ -92,6 +99,79 @@ class BestPeerConfig:
             raise BestPeerError("breaker cooldown must be non-negative")
         if self.query_deadline_s is not None and self.query_deadline_s <= 0:
             raise BestPeerError("query deadline must be positive")
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """The serving front door's admission/scheduling tunables.
+
+    Every query enters the platform through a bounded per-tenant admission
+    queue (one per priority lane) feeding a weighted-fair scheduler and a
+    bounded worker pool.  ``queue_depth`` bounds each (tenant, lane) queue;
+    a request arriving at a full queue is shed immediately with a
+    retry-after hint instead of queueing forever.
+
+    Backpressure: when the estimated queue delay (backlog drained by
+    ``workers`` at the smoothed service rate) exceeds
+    ``bulk_backpressure_s``, new *bulk* requests are shed while interactive
+    ones still queue — the bulk lane degrades first, by design.  A request
+    whose estimated start would already blow its deadline is rejected up
+    front (counted as deadline-missed), and admitted requests whose
+    deadline expires while queued are dropped at dispatch time rather than
+    wasting a worker.
+    """
+
+    #: Size of the worker pool dispatching admitted requests to engines.
+    workers: int = 4
+    #: Per-(tenant, lane) admission queue bound.
+    queue_depth: int = 16
+    #: Default deadlines (relative, simulated seconds) per lane when the
+    #: request does not carry its own.
+    interactive_deadline_s: float = 30.0
+    bulk_deadline_s: float = 600.0
+    #: Estimated queue delay above which new bulk requests are shed.  Kept
+    #: below the interactive deadline so the bulk lane degrades first: as
+    #: saturation grows, bulk backpressure trips before the estimated
+    #: delay can render interactive deadlines unmeetable.
+    bulk_backpressure_s: float = 15.0
+    #: Smoothing factor for the service-time EWMA feeding the delay
+    #: estimate (1.0 = only the latest sample).
+    service_ewma_alpha: float = 0.2
+    #: Initial service-time estimate before any request completed.
+    initial_service_estimate_s: float = 1.0
+    #: Floor for the retry-after hint attached to shed requests.
+    retry_after_min_s: float = 0.5
+    #: How many queue-wait / end-to-end latency samples each (tenant,
+    #: lane) keeps for percentile reporting (bounded by construction).
+    latency_sample_cap: int = 512
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise BestPeerError(f"need at least one worker: {self.workers}")
+        if self.queue_depth < 1:
+            raise BestPeerError(
+                f"queue depth must be positive: {self.queue_depth}"
+            )
+        if self.interactive_deadline_s <= 0 or self.bulk_deadline_s <= 0:
+            raise BestPeerError("lane deadlines must be positive")
+        if self.bulk_backpressure_s <= 0:
+            raise BestPeerError("backpressure threshold must be positive")
+        if not 0.0 < self.service_ewma_alpha <= 1.0:
+            raise BestPeerError("EWMA alpha must be in (0, 1]")
+        if self.initial_service_estimate_s <= 0:
+            raise BestPeerError("initial service estimate must be positive")
+        if self.retry_after_min_s < 0:
+            raise BestPeerError("retry-after floor must be non-negative")
+        if self.latency_sample_cap < 1:
+            raise BestPeerError("latency sample cap must be positive")
+
+    def lane_deadline_s(self, lane: str) -> float:
+        """The default relative deadline for ``lane``."""
+        if lane == LANE_INTERACTIVE:
+            return self.interactive_deadline_s
+        if lane == LANE_BULK:
+            return self.bulk_deadline_s
+        raise BestPeerError(f"unknown serving lane: {lane!r}")
 
 
 @dataclass(frozen=True)

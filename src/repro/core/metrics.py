@@ -10,8 +10,9 @@ latency histogram.
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import BestPeerError
 
@@ -72,6 +73,94 @@ class FaultCounters:
         return sum(self.as_dict().values())
 
 
+#: Default cap on per-(tenant, lane) latency samples kept for percentiles.
+#: Mirrored by ServingConfig.latency_sample_cap; the registry needs its own
+#: default because lane stats can be created before any front door exists.
+SAMPLE_CAPACITY = 512
+
+
+class BoundedSamples:
+    """A sliding window of measurements with exact percentiles.
+
+    Keeps the most recent ``capacity`` values (older ones roll off), so
+    memory stays bounded no matter how many requests the front door serves
+    — the same discipline RES003 enforces on the serving queues themselves.
+    """
+
+    def __init__(self, capacity: int = SAMPLE_CAPACITY) -> None:
+        if capacity < 1:
+            raise BestPeerError(f"sample capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self._window: Deque[float] = deque(maxlen=capacity)
+        self.count = 0  # all-time observations, not just the window
+
+    def record(self, value: float) -> None:
+        self._window.append(value)
+        self.count += 1
+
+    def __len__(self) -> int:
+        return len(self._window)
+
+    @property
+    def mean(self) -> float:
+        if not self._window:
+            return 0.0
+        return sum(self._window) / len(self._window)
+
+    def percentile(self, fraction: float) -> float:
+        """Exact percentile over the retained window (0 when empty)."""
+        if not 0 < fraction <= 1:
+            raise BestPeerError(f"fraction must be in (0, 1]: {fraction}")
+        if not self._window:
+            return 0.0
+        ordered = sorted(self._window)
+        rank = max(0, math.ceil(fraction * len(ordered)) - 1)
+        return ordered[rank]
+
+
+@dataclass
+class LaneServingStats:
+    """Per-(tenant, lane) SLO accounting for the serving front door.
+
+    Every offered request lands in exactly one of ``admitted``,
+    ``shed_queue_full``, ``shed_backpressure`` or ``deadline_missed``
+    (deadline-missed covers both admission-time-unmeetable rejections and
+    requests whose deadline expired while queued); every admitted request
+    ends as ``completed`` or ``failed`` — nothing is silently lost.
+    """
+
+    offered: int = 0
+    admitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    shed_queue_full: int = 0
+    shed_backpressure: int = 0
+    deadline_missed: int = 0
+    queue_wait: BoundedSamples = field(default_factory=BoundedSamples)
+    e2e_latency: BoundedSamples = field(default_factory=BoundedSamples)
+
+    @property
+    def shed(self) -> int:
+        """Requests rejected at admission for load reasons."""
+        return self.shed_queue_full + self.shed_backpressure
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "shed": self.shed,
+            "shed_queue_full": self.shed_queue_full,
+            "shed_backpressure": self.shed_backpressure,
+            "deadline_missed": self.deadline_missed,
+            "queue_wait_p50_s": self.queue_wait.percentile(0.50),
+            "queue_wait_p99_s": self.queue_wait.percentile(0.99),
+            "latency_p50_s": self.e2e_latency.percentile(0.50),
+            "latency_p99_s": self.e2e_latency.percentile(0.99),
+        }
+
+
 class MetricsRegistry:
     """Collects per-query measurements, grouped by engine/strategy."""
 
@@ -90,6 +179,9 @@ class MetricsRegistry:
         # oldest first.  Fed by the facade (fail-overs) and the bootstrap
         # cluster (promotions); read by the console's ``bootstrap status``.
         self.events: List[Tuple[float, str]] = []
+        # Serving front-door SLO accounting, keyed (tenant, lane); written
+        # by repro.serving, read by the console's ``serving status``.
+        self.serving: Dict[Tuple[str, str], LaneServingStats] = {}
 
     # ------------------------------------------------------------------
     # Recording
@@ -116,6 +208,24 @@ class MetricsRegistry:
         if limit <= 0:
             raise BestPeerError(f"event limit must be positive: {limit}")
         return self.events[-limit:]
+
+    def serving_lane(
+        self, tenant: str, lane: str, sample_capacity: int = SAMPLE_CAPACITY
+    ) -> LaneServingStats:
+        """The (auto-created) SLO counters for one tenant's lane."""
+        key = (tenant, lane)
+        stats = self.serving.get(key)
+        if stats is None:
+            stats = LaneServingStats(
+                queue_wait=BoundedSamples(sample_capacity),
+                e2e_latency=BoundedSamples(sample_capacity),
+            )
+            self.serving[key] = stats
+        return stats
+
+    def serving_tenants(self) -> List[str]:
+        """Tenants with serving stats, in stable order."""
+        return sorted({tenant for tenant, _ in self.serving})
 
     def _bucket_of(self, latency_s: float) -> int:
         for index, bound in enumerate(self.buckets):
@@ -184,6 +294,14 @@ class MetricsRegistry:
                 f"  plan cache: hits={self.plan_cache_hits} "
                 f"misses={self.plan_cache_misses}"
             )
+        for tenant, lane in sorted(self.serving):
+            stats = self.serving[(tenant, lane)]
+            lines.append(
+                f"  serving {tenant}/{lane}: offered={stats.offered} "
+                f"admitted={stats.admitted} shed={stats.shed} "
+                f"deadline_missed={stats.deadline_missed} "
+                f"p99={stats.e2e_latency.percentile(0.99):.3f}s"
+            )
         return "\n".join(lines)
 
     def reset(self) -> None:
@@ -193,3 +311,4 @@ class MetricsRegistry:
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
         self.events = []
+        self.serving = {}

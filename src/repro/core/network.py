@@ -34,6 +34,7 @@ from repro.core.config import (
     DEFAULT_ENGINE,
     DEFAULT_INSTANCE_TYPE,
     LeaseConfig,
+    ServingConfig,
 )
 from repro.core.costmodel import CostParams
 from repro.core.engine_basic import BasicEngine
@@ -132,6 +133,8 @@ class BestPeerNetwork:
         # _bootstrap_attempt (the retried callable) can re-resolve the
         # leader on every attempt.
         self._bootstrap_fn = None
+        # The serving front door, once attached (attach_serving).
+        self.serving = None
 
     # ------------------------------------------------------------------
     # Bootstrap access (leader discovery with retry)
@@ -441,6 +444,32 @@ class BestPeerNetwork:
             self._sync_plan_cache_counters()
             return execution
         raise BestPeerError("unreachable")  # pragma: no cover
+
+    def attach_serving(self, config: Optional[ServingConfig] = None):
+        """Put the serving front door in front of every engine.
+
+        Returns a :class:`repro.serving.frontdoor.ServingFrontDoor` whose
+        executor is this network's :meth:`execute` — admitted requests run
+        through whichever engine the request names (``basic``,
+        ``parallel``, ``mapreduce`` or ``adaptive``) and the per-tenant
+        SLO counters land in this network's metrics registry.
+        """
+        # Imported lazily: repro.serving builds on repro.core, so a
+        # module-level import here would be circular.
+        from repro.serving.frontdoor import ServingFrontDoor
+
+        def run(request) -> QueryExecution:
+            return self.execute(
+                request.sql,
+                peer_id=request.peer_id,
+                engine=request.engine,
+                user=request.user,
+            )
+
+        self.serving = ServingFrontDoor(
+            self.clock, run, config=config, metrics=self.metrics
+        )
+        return self.serving
 
     def _engine(self, peer_id: str, engine: str):
         context = self._context(peer_id)

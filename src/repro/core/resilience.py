@@ -75,11 +75,28 @@ class RetryPolicy:
             raise BestPeerError(f"budget must be non-negative: {self.budget_s}")
 
     def backoff_s(
-        self, retry_number: int, rng: Optional[random.Random] = None
+        self,
+        retry_number: int,
+        rng: Optional[random.Random] = None,
+        retry_after_s: Optional[float] = None,
     ) -> float:
-        """Backoff before retry ``retry_number`` (1-based), jittered."""
+        """Backoff before retry ``retry_number`` (1-based), jittered.
+
+        ``retry_after_s`` is a server-supplied hint (an overloaded front
+        door's shed response): the wait is clamped to
+        ``max(backoff, retry_after)`` so rejected clients never probe
+        earlier than the server asked — even past ``max_backoff_s``, which
+        caps only the *client-chosen* exponential term.  When the hint
+        binds, jitter is applied upward only: retrying early would defeat
+        the hint, but spreading retries out past it avoids every shed
+        client reconverging on the same instant.
+        """
         if retry_number < 1:
             raise BestPeerError(f"retry numbers start at 1: {retry_number}")
+        if retry_after_s is not None and retry_after_s < 0:
+            raise BestPeerError(
+                f"retry-after hint must be non-negative: {retry_after_s}"
+            )
         backoff = min(
             self.max_backoff_s,
             self.base_backoff_s
@@ -87,6 +104,10 @@ class RetryPolicy:
         )
         if rng is not None and self.jitter_fraction > 0 and backoff > 0:
             backoff *= 1.0 + self.jitter_fraction * (2.0 * rng.random() - 1.0)
+        if retry_after_s is not None and backoff < retry_after_s:
+            backoff = retry_after_s
+            if rng is not None and self.jitter_fraction > 0 and backoff > 0:
+                backoff *= 1.0 + self.jitter_fraction * rng.random()
         return backoff
 
 

@@ -122,5 +122,33 @@ class StaleLeaderError(LeadershipError):
     """A fenced ex-leader tried to act after losing (or outliving) its lease."""
 
 
+class ServingError(BestPeerError):
+    """Base class for serving front-door errors."""
+
+
+class AdmissionRejectedError(ServingError):
+    """The front door shed a request instead of admitting it.
+
+    ``reason`` is one of the :mod:`repro.serving.admission` shed reasons;
+    ``retry_after_s`` is the server-supplied hint a well-behaved client
+    feeds into :meth:`repro.core.resilience.RetryPolicy.backoff_s` so shed
+    traffic backs off instead of hammering the front door.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        tenant: str,
+        lane: str,
+        reason: str,
+        retry_after_s: float,
+    ) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.lane = lane
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+
+
 class ChaosEquivalenceError(ReproError):
     """A chaos run diverged from the fault-free baseline (or is misconfigured)."""

@@ -1,0 +1,46 @@
+"""The serving front door: admission control, fairness, backpressure.
+
+BestPeer++ is pitched as a pay-as-you-go *service* shared by many corporate
+tenants; between "millions of users" and the query engines there must be a
+layer that keeps the platform responsive when demand outstrips capacity.
+This package is that layer, entirely on the simulated clock:
+
+* :mod:`~repro.serving.admission` — bounded per-tenant, per-lane queues
+  with deadline-aware shedding and retry-after hints,
+* :mod:`~repro.serving.scheduler` — a weighted-fair (stride) scheduler
+  across tenants with strict interactive-over-bulk lane priority,
+* :mod:`~repro.serving.frontdoor` — the event-driven dispatch loop tying
+  admission to a bounded worker pool wrapping the existing engines, with
+  backpressure propagating from worker saturation back to admission.
+
+Per-tenant SLO counters (admitted/shed/deadline-missed, queue-wait and
+end-to-end latency percentiles) land in
+:class:`repro.core.metrics.MetricsRegistry` and surface through the
+console's ``serving status`` view.
+"""
+
+from repro.serving.admission import (
+    AdmissionController,
+    AdmissionTicket,
+    QueuedRequest,
+    REASON_BACKPRESSURE,
+    REASON_DEADLINE,
+    REASON_QUEUE_FULL,
+    SHED_REASONS,
+    ServingRequest,
+)
+from repro.serving.frontdoor import ServingFrontDoor
+from repro.serving.scheduler import WeightedFairScheduler
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionTicket",
+    "QueuedRequest",
+    "ServingRequest",
+    "ServingFrontDoor",
+    "WeightedFairScheduler",
+    "REASON_QUEUE_FULL",
+    "REASON_BACKPRESSURE",
+    "REASON_DEADLINE",
+    "SHED_REASONS",
+]

@@ -1,0 +1,282 @@
+"""The serving front door: clock-driven dispatch over a worker pool.
+
+:class:`ServingFrontDoor` is the one gate every query passes on its way to
+an engine.  It runs a discrete-event loop on the simulated clock:
+
+* **submit** — callers hand in :class:`~repro.serving.admission.ServingRequest`
+  objects in nondecreasing time order (an open-loop arrival stream).  Each
+  submission first advances the serving timeline to the arrival instant —
+  completing any worker that finished in the meantime — then faces the
+  admission gates with the *current* saturation estimate, so backpressure
+  genuinely propagates from the worker pool to the front door.
+* **dispatch** — whenever a worker is idle, the weighted-fair scheduler
+  picks the next (tenant, lane); a queued request whose deadline already
+  passed is dropped (``deadline_missed``) instead of wasting the worker.
+  The executor — typically :meth:`BestPeerNetwork.execute` — runs the
+  query; its simulated latency becomes the worker's busy time, and the
+  completion is scheduled on an :class:`~repro.sim.events.EventQueue`.
+* **drain** — processes events until every queue is empty, returning the
+  simulated time at which the last admitted request completed.
+
+Engine failures are never swallowed silently: a request whose execution
+raises a library error is counted ``failed``, the typed error is kept in a
+bounded error feed, and an operational event is recorded in the metrics
+registry.  After a drain, per (tenant, lane):
+``offered == admitted + shed + deadline_missed`` and
+``admitted == completed + failed`` — the property suite holds the front
+door to exactly this accounting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional, Tuple
+
+from repro.core.config import SERVING_LANES, ServingConfig
+from repro.core.metrics import LaneServingStats, MetricsRegistry
+from repro.errors import ReproError, ServingError
+from repro.serving.admission import (
+    AdmissionController,
+    AdmissionTicket,
+    QueuedRequest,
+    REASON_BACKPRESSURE,
+    REASON_DEADLINE,
+    REASON_QUEUE_FULL,
+    ServingRequest,
+)
+from repro.serving.scheduler import WeightedFairScheduler
+from repro.sim.clock import SimClock
+from repro.sim.events import EventQueue
+
+#: How many recent execution failures the front door keeps inspectable.
+ERROR_FEED_CAPACITY = 64
+
+
+class ServingFrontDoor:
+    """Admission + weighted-fair scheduling + a bounded worker pool.
+
+    ``executor`` is any callable taking a :class:`ServingRequest` and
+    returning an execution whose ``latency_s`` is the simulated service
+    time (``BestPeerNetwork.execute`` adapted, or a stub in tests).  The
+    front door keeps its own monotone serving timeline ``now``: the shared
+    :class:`SimClock` advances with each engine call (engine calls are
+    serialized in-process), while queue waits and end-to-end latencies are
+    computed on the logical timeline where up to ``workers`` requests
+    overlap.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        executor: Callable[[ServingRequest], object],
+        config: Optional[ServingConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.clock = clock
+        self.executor = executor
+        self.config = config or ServingConfig()
+        self.metrics = metrics or MetricsRegistry()
+        self.admission = AdmissionController(self.config)
+        self.scheduler = WeightedFairScheduler()
+        self.now = clock.now
+        self.idle_workers = self.config.workers
+        self.service_estimate_s = self.config.initial_service_estimate_s
+        self.errors: Deque[Tuple[float, str, str]] = deque(
+            maxlen=ERROR_FEED_CAPACITY
+        )
+        self._completions = EventQueue()
+
+    # ------------------------------------------------------------------
+    # Tenants
+    # ------------------------------------------------------------------
+    def register_tenant(self, tenant: str, weight: float = 1.0) -> None:
+        """Declare a tenant's fair-share weight (optional; default 1)."""
+        self.scheduler.set_weight(tenant, weight)
+
+    # ------------------------------------------------------------------
+    # The front of the front door
+    # ------------------------------------------------------------------
+    def submit(
+        self, request: ServingRequest, now: Optional[float] = None
+    ) -> AdmissionTicket:
+        """Offer one request at time ``now`` (default: the current time).
+
+        Returns the admission ticket; shed requests carry the reason and a
+        retry-after hint.  Submissions must arrive in nondecreasing time
+        order — the front door is an event loop, not a time machine.
+        """
+        when = self.now if now is None else now
+        if when < self.now:
+            raise ServingError(
+                f"submissions must arrive in time order: {when} < {self.now}"
+            )
+        self._advance(when)
+        stats = self._stats(request.tenant, request.lane)
+        stats.offered += 1
+        estimated = self.estimated_queue_delay_s()
+        ticket, _ = self.admission.offer(
+            request, self.now, estimated, self.retry_after_s(estimated)
+        )
+        if not ticket.admitted:
+            if ticket.reason == REASON_QUEUE_FULL:
+                stats.shed_queue_full += 1
+            elif ticket.reason == REASON_BACKPRESSURE:
+                stats.shed_backpressure += 1
+            elif ticket.reason == REASON_DEADLINE:
+                stats.deadline_missed += 1
+            else:  # pragma: no cover - admission emits only known reasons
+                raise ServingError(f"unknown shed reason: {ticket.reason!r}")
+        self._pump()
+        return ticket
+
+    def advance_to(self, when: float) -> None:
+        """Move the serving timeline forward without submitting anything."""
+        if when < self.now:
+            raise ServingError(
+                f"cannot move the front door backwards: {when} < {self.now}"
+            )
+        self._advance(when)
+        self._pump()
+
+    def drain(self) -> float:
+        """Run until every queue is empty and every worker is idle."""
+        self._pump()
+        while self._completions:
+            when = self._completions.peek_time()
+            self._advance(when)
+            self._pump()
+        if self.admission.backlog():  # pragma: no cover - defensive
+            raise ServingError("drain left requests queued with idle workers")
+        return self.now
+
+    # ------------------------------------------------------------------
+    # Backpressure signal
+    # ------------------------------------------------------------------
+    def estimated_queue_delay_s(self) -> float:
+        """Expected wait for a newly queued request, from saturation.
+
+        Work ahead of a newcomer is everything queued plus everything on
+        a worker, drained by ``workers`` at the smoothed service time.
+        """
+        busy = self.config.workers - self.idle_workers
+        ahead = self.admission.backlog() + busy
+        if ahead < self.config.workers:
+            return 0.0
+        return ahead * self.service_estimate_s / self.config.workers
+
+    def retry_after_s(self, estimated_delay_s: Optional[float] = None) -> float:
+        """The hint attached to shed requests: come back once drained."""
+        if estimated_delay_s is None:
+            estimated_delay_s = self.estimated_queue_delay_s()
+        return max(self.config.retry_after_min_s, estimated_delay_s)
+
+    # ------------------------------------------------------------------
+    # Event loop internals
+    # ------------------------------------------------------------------
+    def _advance(self, when: float) -> None:
+        """Process completions up to ``when``, dispatching as workers free."""
+        while True:
+            next_completion = self._completions.peek_time()
+            if next_completion is None or next_completion > when:
+                break
+            finished_at, _tenant = self._completions.pop()
+            self.now = max(self.now, finished_at)
+            self.idle_workers += 1
+            self._pump()
+        self.now = max(self.now, when)
+
+    def _pump(self) -> None:
+        """Dispatch queued requests while workers are idle."""
+        while self.idle_workers > 0:
+            queued = self._next_queued()
+            if queued is None:
+                return
+            if queued.deadline_at < self.now:
+                # Expired while waiting: drop it at dispatch time so the
+                # worker goes to a request that can still meet its SLO.
+                stats = self._stats(
+                    queued.request.tenant, queued.request.lane
+                )
+                stats.deadline_missed += 1
+                continue
+            self._dispatch(queued)
+
+    def _next_queued(self) -> Optional[QueuedRequest]:
+        """Weighted-fair pick: interactive lane first, then bulk."""
+        for lane in SERVING_LANES:
+            candidates = self.admission.tenants_with_backlog(lane)
+            if not candidates:
+                continue
+            tenant = self.scheduler.next_tenant(lane, candidates)
+            if tenant is None:  # pragma: no cover - candidates is non-empty
+                continue
+            queued = self.admission.pop(tenant, lane)
+            if queued is not None:
+                self.scheduler.charge(tenant, lane)
+                return queued
+        return None
+
+    def _dispatch(self, queued: QueuedRequest) -> None:
+        request = queued.request
+        stats = self._stats(request.tenant, request.lane)
+        stats.admitted += 1
+        wait_s = self.now - queued.submitted_at
+        stats.queue_wait.record(wait_s)
+        self.idle_workers -= 1
+        clock_before = self.clock.now
+        try:
+            result = self.executor(request)
+        except ReproError as error:
+            # Surfaced, not swallowed: counted, kept in the error feed and
+            # recorded as an operational event.
+            service_s = max(0.0, self.clock.now - clock_before)
+            stats.failed += 1
+            self.errors.append(
+                (self.now, request.tenant, f"{type(error).__name__}: {error}")
+            )
+            self.metrics.record_event(
+                self.now,
+                f"serving: {request.tenant}/{request.lane} query failed "
+                f"({type(error).__name__})",
+            )
+        else:
+            latency = getattr(result, "latency_s", 0.0) or 0.0
+            service_s = max(0.0, self.clock.now - clock_before, latency)
+            stats.completed += 1
+            stats.e2e_latency.record(wait_s + service_s)
+        if service_s > 0:
+            alpha = self.config.service_ewma_alpha
+            self.service_estimate_s = (
+                1.0 - alpha
+            ) * self.service_estimate_s + alpha * service_s
+        self._completions.push(self.now + service_s, request.tenant)
+
+    def _stats(self, tenant: str, lane: str) -> LaneServingStats:
+        return self.metrics.serving_lane(
+            tenant, lane, sample_capacity=self.config.latency_sample_cap
+        )
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def status(self) -> str:
+        """A human-readable snapshot for the console."""
+        lines = [
+            f"workers: {self.config.workers - self.idle_workers} busy / "
+            f"{self.config.workers} total",
+            f"backlog: {self.admission.backlog()} queued, "
+            f"estimated delay {self.estimated_queue_delay_s():.3f}s, "
+            f"service estimate {self.service_estimate_s:.3f}s",
+        ]
+        for (tenant, lane) in sorted(self.metrics.serving):
+            depth = self.admission.depth(tenant, lane)
+            weight = self.scheduler.weight(tenant)
+            lines.append(
+                f"  {tenant}/{lane}: queued={depth}/"
+                f"{self.config.queue_depth} weight={weight:g}"
+            )
+        if self.errors:
+            lines.append(f"recent failures: {len(self.errors)}")
+            for when, tenant, description in list(self.errors)[-3:]:
+                lines.append(f"  t={when:.1f}s {tenant}: {description}")
+        return "\n".join(lines)

@@ -14,6 +14,7 @@ reproducible bit-for-bit.
 """
 
 from repro.sim.clock import SimClock, parallel_duration, serial_duration
+from repro.sim.events import EventQueue
 from repro.sim.network import (
     FaultStats,
     NetworkConfig,
@@ -48,6 +49,7 @@ __all__ = [
     "SimClock",
     "serial_duration",
     "parallel_duration",
+    "EventQueue",
     "NetworkConfig",
     "SimNetwork",
     "TransferStats",

@@ -1,0 +1,57 @@
+"""A deterministic timestamped event queue for clock-driven components.
+
+The serving front door (and any future discrete-event machinery) needs to
+interleave "something becomes ready at time T" events with externally
+driven arrivals.  :class:`EventQueue` is the minimal substrate for that:
+a priority queue of ``(time, payload)`` pairs popped in nondecreasing time
+order, with insertion order breaking ties so two runs of the same workload
+replay the exact same event sequence — no hash-order or id() leaks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+class EventQueue:
+    """Timestamped events, popped in (time, insertion-order) order."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Any]] = []
+        self._sequence = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, when: float, payload: Any) -> None:
+        """Schedule ``payload`` at time ``when`` (simulated seconds)."""
+        if when < 0:
+            raise SimulationError(f"event time cannot be negative: {when}")
+        heapq.heappush(self._heap, (when, self._sequence, payload))
+        self._sequence += 1
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next event, or None when empty."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def pop(self) -> Tuple[float, Any]:
+        """Remove and return the earliest ``(time, payload)`` pair."""
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        when, _, payload = heapq.heappop(self._heap)
+        return when, payload
+
+    def pop_until(self, cutoff: float) -> List[Tuple[float, Any]]:
+        """Drain every event with ``time <= cutoff``, in order."""
+        drained: List[Tuple[float, Any]] = []
+        while self._heap and self._heap[0][0] <= cutoff:
+            drained.append(self.pop())
+        return drained

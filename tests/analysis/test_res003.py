@@ -1,0 +1,151 @@
+"""RES003: unbounded buffers on serving paths."""
+
+SERVING_PATH = "src/repro/serving/fake.py"
+
+
+def test_unbounded_deque_in_serving_package_flagged(reported):
+    findings = reported(
+        "RES003",
+        """
+        from collections import deque
+
+        class FrontDoor:
+            def __init__(self):
+                self.pending = deque()
+        """,
+        path=SERVING_PATH,
+    )
+    assert len(findings) == 1
+    assert "maxlen" in findings[0].message
+
+
+def test_bounded_deque_is_clean(reported):
+    assert not reported(
+        "RES003",
+        """
+        from collections import deque
+
+        class FrontDoor:
+            def __init__(self, depth):
+                self.pending = deque(maxlen=depth)
+                self.recent = deque([], depth)
+        """,
+        path=SERVING_PATH,
+    )
+
+
+def test_explicit_maxlen_none_counts_as_unbounded(reported):
+    findings = reported(
+        "RES003",
+        """
+        import collections
+
+        class FrontDoor:
+            def __init__(self):
+                self.pending = collections.deque(maxlen=None)
+        """,
+        path=SERVING_PATH,
+    )
+    assert len(findings) == 1
+
+
+def test_growth_of_plain_list_attribute_flagged(reported):
+    findings = reported(
+        "RES003",
+        """
+        class FrontDoor:
+            def __init__(self):
+                self.backlog = []
+
+            def submit(self, request):
+                self.backlog.append(request)
+
+            def merge(self, more):
+                self.backlog += more
+        """,
+        path=SERVING_PATH,
+    )
+    assert len(findings) == 2
+    assert any("append" in finding.message for finding in findings)
+    assert any("+=" in finding.message for finding in findings)
+
+
+def test_list_attribute_without_growth_is_clean(reported):
+    # Replaced wholesale each cycle, never grown in place: not a leak.
+    assert not reported(
+        "RES003",
+        """
+        class FrontDoor:
+            def __init__(self):
+                self.snapshot = []
+
+            def refresh(self, rows):
+                self.snapshot = sorted(rows)
+        """,
+        path=SERVING_PATH,
+    )
+
+
+def test_request_scoped_locals_exempt(reported):
+    assert not reported(
+        "RES003",
+        """
+        class FrontDoor:
+            def status(self):
+                lines = []
+                for name in ("a", "b"):
+                    lines.append(name)
+                return lines
+        """,
+        path=SERVING_PATH,
+    )
+
+
+def test_importers_of_serving_are_in_scope(reported):
+    findings = reported(
+        "RES003",
+        """
+        from collections import deque
+
+        from repro.serving import ServingFrontDoor
+
+        class Facade:
+            def __init__(self):
+                self.feed = deque()
+        """,
+        path="src/repro/core/fake.py",
+    )
+    assert len(findings) == 1
+
+
+def test_modules_outside_serving_scope_exempt(reported):
+    assert not reported(
+        "RES003",
+        """
+        from collections import deque
+
+        class Journal:
+            def __init__(self):
+                self.entries = deque()
+
+            def add(self, entry):
+                self.entries.append(entry)
+        """,
+        path="src/repro/core/fake.py",
+    )
+
+
+def test_tests_category_exempt(reported):
+    assert not reported(
+        "RES003",
+        """
+        from collections import deque
+
+        from repro.serving import ServingFrontDoor
+
+        class Harness:
+            def __init__(self):
+                self.seen = deque()
+        """,
+        path="tests/serving/fake.py",
+    )

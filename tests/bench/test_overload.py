@@ -1,0 +1,122 @@
+"""Tests for the overload sweep and its SLO gates."""
+
+import json
+
+from repro.bench.overload import (
+    OverloadReport,
+    check_slo_invariants,
+    main,
+    run_overload,
+    run_sweep,
+)
+
+DURATION = 12.0
+
+
+class TestRunOverload:
+    def test_accounting_is_exact(self):
+        report = run_overload(10.0, duration_s=DURATION)
+        assert report.lanes
+        for lane in report.lanes.values():
+            shed = lane["shed_queue_full"] + lane["shed_backpressure"]
+            assert lane["offered"] == (
+                lane["admitted"] + shed + lane["deadline_missed"]
+            )
+            assert lane["admitted"] == lane["completed"] + lane["failed"]
+
+    def test_overload_sheds_and_baseline_mostly_does_not(self):
+        baseline = run_overload(1.0, duration_s=DURATION)
+        overload = run_overload(10.0, duration_s=DURATION)
+
+        def total(report, field):
+            return sum(lane[field] for lane in report.lanes.values())
+
+        dropped_1x = (
+            total(baseline, "shed_queue_full")
+            + total(baseline, "shed_backpressure")
+            + total(baseline, "deadline_missed")
+        )
+        dropped_10x = (
+            total(overload, "shed_queue_full")
+            + total(overload, "shed_backpressure")
+            + total(overload, "deadline_missed")
+        )
+        assert dropped_10x > dropped_1x
+        assert total(overload, "completed") > 0
+
+    def test_clients_retry_on_shed(self):
+        report = run_overload(10.0, duration_s=DURATION)
+        retries = sum(
+            client["retries"] for client in report.clients.values()
+        )
+        assert retries > 0
+
+    def test_deterministic_under_fixed_seed(self):
+        first = run_overload(10.0, duration_s=DURATION, seed=7)
+        second = run_overload(10.0, duration_s=DURATION, seed=7)
+        assert first.as_dict() == second.as_dict()
+
+    def test_seed_changes_the_run(self):
+        first = run_overload(1.0, duration_s=DURATION, seed=1)
+        second = run_overload(1.0, duration_s=DURATION, seed=2)
+        assert first.as_dict() != second.as_dict()
+
+
+class TestSloGates:
+    def test_full_sweep_holds_the_slos(self):
+        reports = run_sweep([1.0, 10.0], duration_s=20.0)
+        assert check_slo_invariants(reports) == []
+
+    def test_broken_accounting_is_flagged(self):
+        reports = run_sweep([1.0], duration_s=DURATION)
+        lane = next(iter(reports[1.0].lanes.values()))
+        lane["offered"] += 1
+        violations = check_slo_invariants(reports)
+        assert any("offered" in violation for violation in violations)
+
+    def test_latency_regression_is_flagged(self):
+        def fake(multiplier, p99):
+            report = OverloadReport(
+                multiplier=multiplier,
+                duration_s=10.0,
+                drained_at_s=10.0,
+                interactive_rate_qps=1.0,
+                bulk_rate_qps=0.1,
+            )
+            for tenant in ("acme", "globex"):
+                report.lanes[f"{tenant}/interactive"] = {
+                    "offered": 10, "admitted": 9, "completed": 9,
+                    "failed": 0, "shed_queue_full": 1,
+                    "shed_backpressure": 0, "deadline_missed": 0,
+                    "shed": 1, "latency_p99_s": p99,
+                    "latency_p50_s": p99, "queue_wait_p50_s": 0.0,
+                    "queue_wait_p99_s": 0.0,
+                }
+                report.lanes[f"{tenant}/bulk"] = {
+                    "offered": 10, "admitted": 5, "completed": 5,
+                    "failed": 0, "shed_queue_full": 0,
+                    "shed_backpressure": 5, "deadline_missed": 0,
+                    "shed": 5, "latency_p99_s": p99,
+                    "latency_p50_s": p99, "queue_wait_p50_s": 0.0,
+                    "queue_wait_p99_s": 0.0,
+                }
+            return report
+
+        reports = {1.0: fake(1.0, p99=0.1), 10.0: fake(10.0, p99=0.5)}
+        violations = check_slo_invariants(reports)
+        assert any("exceeds 2x" in violation for violation in violations)
+
+
+class TestCli:
+    def test_writes_json_artifact_and_passes(self, tmp_path, capsys):
+        out = tmp_path / "overload.json"
+        code = main(
+            ["--duration", "20", "--multipliers", "1,10", "--out", str(out)]
+        )
+        assert code == 0
+        assert "all overload SLOs hold" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["violations"] == []
+        assert set(payload["reports"]) == {"1.0", "10.0"}
+        lanes = payload["reports"]["10.0"]["lanes"]
+        assert "acme/interactive" in lanes

@@ -209,6 +209,37 @@ class TestOperationalCommands:
             booted_console().execute("explain peer=ghost SELECT 1 FROM item")
 
 
+class TestServingStatus:
+    def test_reports_not_attached(self):
+        console = booted_console()
+        output = console.execute("serving status")
+        assert "not attached" in output
+
+    def test_reports_queues_and_slo_counters(self):
+        console = booted_console()
+        net = console.network
+        door = net.attach_serving()
+        from repro.serving import ServingRequest
+
+        door.register_tenant("acme", 2.0)
+        door.submit(ServingRequest(tenant="acme", sql="SELECT COUNT(*) FROM item"))
+        door.drain()
+        output = console.execute("serving status")
+        assert "workers: 0 busy / 4 total" in output
+        assert "per-tenant SLOs:" in output
+        assert "acme/interactive: offered=1 admitted=1 completed=1" in output
+        assert "wait p50=" in output
+
+    def test_usage_error(self):
+        console = booted_console()
+        with pytest.raises(ConsoleError, match="usage: serving status"):
+            console.execute("serving")
+
+    def test_requires_network(self):
+        with pytest.raises(ConsoleError):
+            Console().execute("serving status")
+
+
 class TestScriptRunner:
     def test_main_runs_script_file(self, tmp_path, capsys):
         from repro.console.__main__ import main

@@ -5,7 +5,7 @@ import math
 import pytest
 
 from repro.core.execution import QueryExecution
-from repro.core.metrics import MetricsRegistry
+from repro.core.metrics import BoundedSamples, MetricsRegistry
 from repro.errors import BestPeerError
 
 
@@ -89,6 +89,72 @@ class TestSummary:
         text = registry.summary()
         assert "single-peer" in text
         assert "queries: 1" in text
+
+
+class TestBoundedSamples:
+    def test_window_is_bounded_but_count_is_not(self):
+        samples = BoundedSamples(capacity=4)
+        for value in range(10):
+            samples.record(float(value))
+        assert len(samples) == 4
+        assert samples.count == 10
+        # Only the newest four survive: 6, 7, 8, 9.
+        assert samples.mean == pytest.approx(7.5)
+
+    def test_exact_percentiles(self):
+        samples = BoundedSamples(capacity=100)
+        for value in range(1, 101):
+            samples.record(float(value))
+        assert samples.percentile(0.5) == 50.0
+        assert samples.percentile(0.99) == 99.0
+        assert samples.percentile(1.0) == 100.0
+
+    def test_empty_percentile_is_zero(self):
+        assert BoundedSamples(capacity=4).percentile(0.5) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(BestPeerError):
+            BoundedSamples(capacity=0)
+        with pytest.raises(BestPeerError):
+            BoundedSamples(capacity=4).percentile(0.0)
+
+
+class TestServingStats:
+    def test_lanes_created_on_demand_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.serving_lane("zeta", "bulk").offered += 1
+        registry.serving_lane("acme", "interactive").offered += 2
+        assert registry.serving_tenants() == ["acme", "zeta"]
+        assert sorted(registry.serving) == [
+            ("acme", "interactive"),
+            ("zeta", "bulk"),
+        ]
+        assert registry.serving_lane("acme", "interactive").offered == 2
+
+    def test_shed_sums_both_reasons(self):
+        stats = MetricsRegistry().serving_lane("acme", "interactive")
+        stats.shed_queue_full = 2
+        stats.shed_backpressure = 3
+        assert stats.shed == 5
+
+    def test_as_dict_exposes_slo_fields(self):
+        stats = MetricsRegistry().serving_lane("acme", "interactive")
+        stats.offered = 3
+        stats.admitted = 2
+        stats.completed = 2
+        stats.queue_wait.record(0.5)
+        stats.e2e_latency.record(1.5)
+        as_dict = stats.as_dict()
+        assert as_dict["offered"] == 3
+        assert as_dict["queue_wait_p99_s"] == pytest.approx(0.5)
+        assert as_dict["latency_p50_s"] == pytest.approx(1.5)
+
+    def test_summary_and_reset_cover_serving(self):
+        registry = MetricsRegistry()
+        registry.serving_lane("acme", "interactive").offered = 1
+        assert "acme/interactive" in registry.summary()
+        registry.reset()
+        assert not registry.serving
 
 
 class TestNetworkIntegration:

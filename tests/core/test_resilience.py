@@ -47,6 +47,34 @@ class TestRetryPolicy:
             RetryPolicy(backoff_multiplier=0.5)
         with pytest.raises(BestPeerError):
             RetryPolicy(jitter_fraction=1.0)
+        with pytest.raises(BestPeerError):
+            RetryPolicy().backoff_s(0)
+        with pytest.raises(BestPeerError):
+            RetryPolicy().backoff_s(1, retry_after_s=-1.0)
+
+    def test_retry_after_hint_raises_short_backoffs(self):
+        policy = RetryPolicy(
+            base_backoff_s=1.0, backoff_multiplier=2.0,
+            max_backoff_s=100.0, jitter_fraction=0.0,
+        )
+        assert policy.backoff_s(1, retry_after_s=7.5) == 7.5
+        # A hint below the computed backoff changes nothing.
+        assert policy.backoff_s(4, retry_after_s=2.0) == 8.0
+
+    def test_retry_after_hint_beats_the_backoff_cap(self):
+        # The cap bounds the client's own choice, not the server's ask:
+        # retrying before the server said "come back" just gets shed again.
+        policy = RetryPolicy(
+            base_backoff_s=1.0, max_backoff_s=3.0, jitter_fraction=0.0
+        )
+        assert policy.backoff_s(10, retry_after_s=12.0) == 12.0
+
+    def test_jitter_on_retry_after_is_upward_only(self):
+        policy = RetryPolicy(base_backoff_s=0.1, jitter_fraction=0.2)
+        rng = random.Random(7)
+        for _ in range(100):
+            backoff = policy.backoff_s(1, rng, retry_after_s=5.0)
+            assert 5.0 <= backoff <= 6.0
 
 
 class TestCircuitBreaker:

@@ -1,0 +1,130 @@
+"""Property-based tests for the serving front door.
+
+Three invariants, each over arbitrary arrival patterns:
+
+* no (tenant, lane) queue ever exceeds the configured bound,
+* after a drain the shed/missed counters account for every rejection
+  exactly — ``offered == admitted + shed + deadline_missed`` and
+  ``admitted == completed + failed``,
+* over a continuously backlogged interval, dispatch shares converge to
+  the tenants' weights (stride scheduling's defining property).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import LANE_BULK, LANE_INTERACTIVE, MetricsRegistry, ServingConfig
+from repro.serving import ServingFrontDoor, ServingRequest, WeightedFairScheduler
+from repro.sim import SimClock
+
+
+class StubExecution:
+    def __init__(self, latency_s):
+        self.latency_s = latency_s
+
+
+def build_front_door(config, latency_s):
+    clock = SimClock()
+
+    def run(request):
+        clock.advance(latency_s)
+        return StubExecution(latency_s)
+
+    return ServingFrontDoor(
+        clock, run, config=config, metrics=MetricsRegistry()
+    )
+
+
+arrivals = st.lists(
+    st.tuples(
+        st.sampled_from(["a", "b", "c"]),                   # tenant
+        st.sampled_from([LANE_INTERACTIVE, LANE_BULK]),     # lane
+        st.floats(min_value=0.0, max_value=2.0),            # inter-arrival gap
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+configs = st.builds(
+    ServingConfig,
+    workers=st.integers(min_value=1, max_value=4),
+    queue_depth=st.integers(min_value=1, max_value=8),
+    initial_service_estimate_s=st.floats(min_value=0.1, max_value=5.0),
+)
+
+
+class TestFrontDoorProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(arrivals=arrivals, config=configs, latency=st.floats(0.1, 5.0))
+    def test_queues_never_exceed_bound(self, arrivals, config, latency):
+        door = build_front_door(config, latency)
+        now = 0.0
+        for tenant, lane, gap in arrivals:
+            now += gap
+            ticket = door.submit(
+                ServingRequest(tenant=tenant, sql="SELECT 1", lane=lane),
+                now=now,
+            )
+            assert ticket.queue_depth <= config.queue_depth
+            for (t, l) in list(door.metrics.serving):
+                assert door.admission.depth(t, l) <= config.queue_depth
+
+    @settings(max_examples=60, deadline=None)
+    @given(arrivals=arrivals, config=configs, latency=st.floats(0.1, 5.0))
+    def test_shed_counters_account_exactly(self, arrivals, config, latency):
+        door = build_front_door(config, latency)
+        now = 0.0
+        offered = {}
+        rejected = {}
+        for tenant, lane, gap in arrivals:
+            now += gap
+            key = (tenant, lane)
+            offered[key] = offered.get(key, 0) + 1
+            ticket = door.submit(
+                ServingRequest(tenant=tenant, sql="SELECT 1", lane=lane),
+                now=now,
+            )
+            if not ticket.admitted:
+                rejected[key] = rejected.get(key, 0) + 1
+        door.drain()
+        assert door.admission.backlog() == 0
+        for key, count in offered.items():
+            stats = door.metrics.serving[key]
+            assert stats.offered == count
+            assert stats.offered == (
+                stats.admitted + stats.shed + stats.deadline_missed
+            )
+            assert stats.admitted == stats.completed + stats.failed
+            # Every up-front rejection is visible in shed/missed; queued
+            # requests that expired add to deadline_missed on top.
+            up_front = stats.shed + stats.deadline_missed
+            assert up_front >= rejected.get(key, 0)
+            assert stats.shed <= rejected.get(key, 0) + stats.deadline_missed
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        weights=st.dictionaries(
+            st.sampled_from(["a", "b", "c"]),
+            st.floats(min_value=0.25, max_value=8.0),
+            min_size=2,
+            max_size=3,
+        ),
+        rounds=st.integers(min_value=200, max_value=600),
+    )
+    def test_weighted_shares_converge(self, weights, rounds):
+        scheduler = WeightedFairScheduler()
+        for tenant, weight in weights.items():
+            scheduler.set_weight(tenant, weight)
+        candidates = sorted(weights)
+        counts = {tenant: 0 for tenant in candidates}
+        for _ in range(rounds):
+            tenant = scheduler.next_tenant(LANE_INTERACTIVE, candidates)
+            scheduler.charge(tenant, LANE_INTERACTIVE)
+            counts[tenant] += 1
+        total_weight = sum(weights.values())
+        for tenant in candidates:
+            expected = rounds * weights[tenant] / total_weight
+            # Stride scheduling bounds each tenant's lag behind its ideal
+            # share by one stride; give a little slack on top.
+            assert abs(counts[tenant] - expected) <= (
+                1.0 + total_weight / min(weights.values())
+            )

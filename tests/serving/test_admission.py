@@ -1,0 +1,147 @@
+"""Admission gates: deadline feasibility, backpressure, queue bound."""
+
+import pytest
+
+from repro.core import LANE_BULK, LANE_INTERACTIVE, ServingConfig
+from repro.errors import AdmissionRejectedError, ServingError
+from repro.serving import (
+    AdmissionController,
+    REASON_BACKPRESSURE,
+    REASON_DEADLINE,
+    REASON_QUEUE_FULL,
+    ServingRequest,
+)
+
+
+def make_controller(**overrides):
+    return AdmissionController(ServingConfig(**overrides))
+
+
+class TestServingRequest:
+    def test_defaults(self):
+        request = ServingRequest(tenant="acme", sql="SELECT 1")
+        assert request.lane == LANE_INTERACTIVE
+        assert request.deadline_s is None
+
+    def test_rejects_empty_tenant(self):
+        with pytest.raises(ServingError):
+            ServingRequest(tenant="", sql="SELECT 1")
+
+    def test_rejects_unknown_lane(self):
+        with pytest.raises(ServingError, match="lane"):
+            ServingRequest(tenant="acme", sql="SELECT 1", lane="batch")
+
+    def test_rejects_nonpositive_deadline(self):
+        with pytest.raises(ServingError):
+            ServingRequest(tenant="acme", sql="SELECT 1", deadline_s=0.0)
+
+
+class TestGates:
+    def test_admits_when_all_gates_pass(self):
+        controller = make_controller()
+        ticket, queued = controller.offer(
+            ServingRequest(tenant="acme", sql="SELECT 1"),
+            now=0.0,
+            estimated_delay_s=0.0,
+            retry_after_s=0.5,
+        )
+        assert ticket.admitted
+        assert ticket.queue_depth == 1
+        assert queued is not None
+        assert queued.deadline_at == pytest.approx(30.0)
+
+    def test_deadline_gate_rejects_unmeetable_request(self):
+        controller = make_controller()
+        ticket, queued = controller.offer(
+            ServingRequest(tenant="acme", sql="SELECT 1", deadline_s=5.0),
+            now=100.0,
+            estimated_delay_s=6.0,
+            retry_after_s=6.0,
+        )
+        assert not ticket.admitted
+        assert ticket.reason == REASON_DEADLINE
+        assert ticket.retry_after_s == pytest.approx(6.0)
+        assert queued is None
+
+    def test_backpressure_sheds_bulk_not_interactive(self):
+        controller = make_controller(bulk_backpressure_s=10.0)
+        bulk, _ = controller.offer(
+            ServingRequest(tenant="acme", sql="SELECT 1", lane=LANE_BULK),
+            now=0.0,
+            estimated_delay_s=11.0,
+            retry_after_s=11.0,
+        )
+        interactive, _ = controller.offer(
+            ServingRequest(tenant="acme", sql="SELECT 1"),
+            now=0.0,
+            estimated_delay_s=11.0,
+            retry_after_s=11.0,
+        )
+        assert not bulk.admitted
+        assert bulk.reason == REASON_BACKPRESSURE
+        assert interactive.admitted
+
+    def test_full_queue_sheds_with_hint(self):
+        controller = make_controller(queue_depth=2)
+        request = ServingRequest(tenant="acme", sql="SELECT 1")
+        for _ in range(2):
+            ticket, _ = controller.offer(request, 0.0, 0.0, 0.5)
+            assert ticket.admitted
+        ticket, _ = controller.offer(request, 0.0, 0.0, 0.5)
+        assert not ticket.admitted
+        assert ticket.reason == REASON_QUEUE_FULL
+        assert ticket.retry_after_s == pytest.approx(0.5)
+
+    def test_queues_are_per_tenant_and_lane(self):
+        controller = make_controller(queue_depth=1)
+        a = ServingRequest(tenant="a", sql="SELECT 1")
+        assert controller.offer(a, 0.0, 0.0, 0.5)[0].admitted
+        assert not controller.offer(a, 0.0, 0.0, 0.5)[0].admitted
+        # A full queue for tenant a does not touch tenant b or a's bulk lane.
+        b = ServingRequest(tenant="b", sql="SELECT 1")
+        a_bulk = ServingRequest(tenant="a", sql="SELECT 1", lane=LANE_BULK)
+        assert controller.offer(b, 0.0, 0.0, 0.5)[0].admitted
+        assert controller.offer(a_bulk, 0.0, 0.0, 0.5)[0].admitted
+
+    def test_pop_is_fifo(self):
+        controller = make_controller()
+        for sql in ("SELECT 1", "SELECT 2"):
+            controller.offer(
+                ServingRequest(tenant="acme", sql=sql), 0.0, 0.0, 0.5
+            )
+        assert controller.pop("acme", LANE_INTERACTIVE).request.sql == "SELECT 1"
+        assert controller.pop("acme", LANE_INTERACTIVE).request.sql == "SELECT 2"
+        assert controller.pop("acme", LANE_INTERACTIVE) is None
+
+    def test_backlog_and_tenants_with_backlog(self):
+        controller = make_controller()
+        for tenant in ("zeta", "acme"):
+            controller.offer(
+                ServingRequest(tenant=tenant, sql="SELECT 1"), 0.0, 0.0, 0.5
+            )
+        assert controller.backlog() == 2
+        assert controller.tenants_with_backlog(LANE_INTERACTIVE) == [
+            "acme",
+            "zeta",
+        ]
+        assert controller.tenants_with_backlog(LANE_BULK) == []
+
+
+class TestTicket:
+    def test_raise_if_shed_passes_through_admissions(self):
+        controller = make_controller()
+        ticket, _ = controller.offer(
+            ServingRequest(tenant="acme", sql="SELECT 1"), 0.0, 0.0, 0.5
+        )
+        assert ticket.raise_if_shed() is ticket
+
+    def test_raise_if_shed_carries_reason_and_hint(self):
+        controller = make_controller(queue_depth=1)
+        request = ServingRequest(tenant="acme", sql="SELECT 1")
+        controller.offer(request, 0.0, 0.0, 0.5)
+        ticket, _ = controller.offer(request, 0.0, 0.0, 2.5)
+        with pytest.raises(AdmissionRejectedError) as excinfo:
+            ticket.raise_if_shed()
+        assert excinfo.value.reason == REASON_QUEUE_FULL
+        assert excinfo.value.retry_after_s == pytest.approx(2.5)
+        assert excinfo.value.tenant == "acme"

@@ -1,0 +1,290 @@
+"""The front door's event loop: dispatch, backpressure, SLO accounting."""
+
+import pytest
+
+from repro.core import (
+    BestPeerNetwork,
+    LANE_BULK,
+    LANE_INTERACTIVE,
+    MetricsRegistry,
+    ServingConfig,
+)
+from repro.errors import QueryRejectedError, ServingError
+from repro.serving import (
+    REASON_BACKPRESSURE,
+    REASON_DEADLINE,
+    REASON_QUEUE_FULL,
+    ServingFrontDoor,
+    ServingRequest,
+)
+from repro.sim import SimClock
+from repro.sqlengine import Column, ColumnType, TableSchema
+
+
+class StubExecution:
+    def __init__(self, latency_s):
+        self.latency_s = latency_s
+
+
+def stub_executor(clock, latency_s=1.0):
+    """An engine stand-in that burns ``latency_s`` simulated seconds."""
+
+    def run(request):
+        clock.advance(latency_s)
+        return StubExecution(latency_s)
+
+    return run
+
+
+def make_front_door(clock=None, latency_s=1.0, executor=None, **overrides):
+    clock = clock or SimClock()
+    config = ServingConfig(**overrides)
+    return ServingFrontDoor(
+        clock,
+        executor or stub_executor(clock, latency_s),
+        config=config,
+        metrics=MetricsRegistry(),
+    )
+
+
+def interactive(tenant="acme", sql="SELECT 1", **kwargs):
+    return ServingRequest(tenant=tenant, sql=sql, **kwargs)
+
+
+class TestDispatch:
+    def test_single_request_completes_with_no_wait(self):
+        door = make_front_door(workers=1, latency_s=2.0)
+        ticket = door.submit(interactive(), now=0.0)
+        assert ticket.admitted
+        assert door.drain() == pytest.approx(2.0)
+        stats = door.metrics.serving[("acme", LANE_INTERACTIVE)]
+        assert stats.completed == 1
+        assert stats.queue_wait.percentile(0.5) == pytest.approx(0.0)
+        assert stats.e2e_latency.percentile(0.5) == pytest.approx(2.0)
+
+    def test_queued_requests_wait_for_a_worker(self):
+        door = make_front_door(workers=1, latency_s=2.0)
+        for _ in range(3):
+            door.submit(interactive(), now=0.0)
+        assert door.drain() == pytest.approx(6.0)
+        stats = door.metrics.serving[("acme", LANE_INTERACTIVE)]
+        assert stats.completed == 3
+        # Waits are 0, 2 and 4 simulated seconds on the logical timeline.
+        assert stats.queue_wait.percentile(0.99) == pytest.approx(4.0)
+        assert stats.e2e_latency.percentile(0.99) == pytest.approx(6.0)
+
+    def test_workers_overlap_on_the_logical_timeline(self):
+        door = make_front_door(workers=2, latency_s=2.0)
+        for _ in range(2):
+            door.submit(interactive(), now=0.0)
+        # Two workers, two requests: both run at t=0 and finish at t=2.
+        assert door.drain() == pytest.approx(2.0)
+
+    def test_interactive_dispatches_before_bulk(self):
+        clock = SimClock()
+        order = []
+
+        def recording(request):
+            clock.advance(1.0)
+            order.append(request.lane)
+            return StubExecution(1.0)
+
+        door = make_front_door(clock=clock, executor=recording, workers=1)
+        # Fill while the only worker is busy, bulk submitted first.
+        door.submit(interactive(lane=LANE_BULK, sql="SELECT 'warm'"), now=0.0)
+        door.submit(interactive(lane=LANE_BULK), now=0.0)
+        door.submit(interactive(), now=0.0)
+        door.drain()
+        assert order == [LANE_BULK, LANE_INTERACTIVE, LANE_BULK]
+
+    def test_submissions_must_be_time_ordered(self):
+        door = make_front_door()
+        door.submit(interactive(), now=5.0)
+        with pytest.raises(ServingError, match="time order"):
+            door.submit(interactive(), now=4.0)
+
+    def test_advance_to_cannot_go_backwards(self):
+        door = make_front_door()
+        door.advance_to(10.0)
+        with pytest.raises(ServingError):
+            door.advance_to(9.0)
+
+
+class TestShedding:
+    def test_queue_full_sheds_with_retry_after(self):
+        door = make_front_door(workers=1, queue_depth=2, latency_s=10.0)
+        tickets = [door.submit(interactive(), now=0.0) for _ in range(5)]
+        # One on the worker, two queued, the rest shed.
+        assert [t.admitted for t in tickets] == [
+            True,
+            True,
+            True,
+            False,
+            False,
+        ]
+        shed = tickets[-1]
+        assert shed.reason == REASON_QUEUE_FULL
+        assert shed.retry_after_s >= door.config.retry_after_min_s
+        stats = door.metrics.serving[("acme", LANE_INTERACTIVE)]
+        assert stats.shed_queue_full == 2
+        door.drain()
+        assert stats.offered == stats.admitted + stats.shed
+
+    def test_saturation_sheds_bulk_before_interactive(self):
+        door = make_front_door(
+            workers=1,
+            latency_s=10.0,
+            queue_depth=32,
+            bulk_backpressure_s=15.0,
+            initial_service_estimate_s=10.0,
+            interactive_deadline_s=1000.0,
+            bulk_deadline_s=1000.0,
+        )
+        # Build a backlog: estimated delay grows past the bulk threshold.
+        for _ in range(4):
+            assert door.submit(interactive(), now=0.0).admitted
+        bulk = door.submit(interactive(lane=LANE_BULK), now=0.0)
+        inter = door.submit(interactive(), now=0.0)
+        assert not bulk.admitted
+        assert bulk.reason == REASON_BACKPRESSURE
+        assert inter.admitted
+
+    def test_unmeetable_deadline_rejected_up_front(self):
+        door = make_front_door(workers=1, latency_s=10.0, queue_depth=32)
+        for _ in range(4):
+            door.submit(interactive(), now=0.0)
+        ticket = door.submit(interactive(deadline_s=5.0), now=0.0)
+        assert not ticket.admitted
+        assert ticket.reason == REASON_DEADLINE
+        stats = door.metrics.serving[("acme", LANE_INTERACTIVE)]
+        assert stats.deadline_missed == 1
+
+    def test_expired_in_queue_dropped_at_dispatch(self):
+        door = make_front_door(workers=1, latency_s=10.0)
+        door.submit(interactive(), now=0.0)
+        # Queues behind a 10s execution with a 3s deadline; the delay
+        # estimate at submit time (1 ahead / 1 worker, fresh estimate
+        # 1s) still looks feasible, so it is admitted — then expires.
+        doomed = door.submit(interactive(deadline_s=3.0), now=0.0)
+        assert doomed.admitted
+        door.drain()
+        stats = door.metrics.serving[("acme", LANE_INTERACTIVE)]
+        # The drop at dispatch time moves it from the admitted column to
+        # deadline_missed, keeping offered == admitted + shed + missed.
+        assert stats.deadline_missed == 1
+        assert stats.completed == 1
+        assert stats.admitted == 1
+        assert stats.offered == 2
+
+    def test_accounting_sums_to_offered_after_drain(self):
+        door = make_front_door(workers=2, queue_depth=3, latency_s=4.0)
+        for i in range(20):
+            lane = LANE_BULK if i % 3 == 0 else LANE_INTERACTIVE
+            door.submit(
+                interactive(tenant="t%d" % (i % 2), lane=lane),
+                now=0.25 * i,
+            )
+        door.drain()
+        for stats in door.metrics.serving.values():
+            assert stats.offered == (
+                stats.admitted + stats.shed + stats.deadline_missed
+            )
+            assert stats.admitted == stats.completed + stats.failed
+
+
+class TestFailures:
+    def test_engine_failure_counted_and_surfaced(self):
+        clock = SimClock()
+
+        def failing(request):
+            clock.advance(0.5)
+            raise QueryRejectedError("snapshot rejected")
+
+        door = make_front_door(clock=clock, executor=failing, workers=1)
+        assert door.submit(interactive(), now=0.0).admitted
+        door.drain()
+        stats = door.metrics.serving[("acme", LANE_INTERACTIVE)]
+        assert stats.failed == 1
+        assert stats.completed == 0
+        assert stats.admitted == 1
+        assert len(door.errors) == 1
+        assert "QueryRejectedError" in door.errors[0][2]
+
+    def test_non_library_errors_propagate(self):
+        def broken(request):
+            raise RuntimeError("a genuine bug")
+
+        door = make_front_door(executor=broken, workers=1)
+        with pytest.raises(RuntimeError):
+            door.submit(interactive(), now=0.0)
+
+
+class TestBackpressureSignal:
+    def test_estimate_zero_when_workers_idle(self):
+        door = make_front_door(workers=4)
+        assert door.estimated_queue_delay_s() == 0.0
+
+    def test_estimate_tracks_service_ewma(self):
+        door = make_front_door(
+            workers=1, latency_s=4.0, service_ewma_alpha=1.0
+        )
+        door.submit(interactive(), now=0.0)
+        door.drain()
+        assert door.service_estimate_s == pytest.approx(4.0)
+
+    def test_retry_after_has_a_floor(self):
+        door = make_front_door(retry_after_min_s=0.75)
+        assert door.retry_after_s(0.0) == pytest.approx(0.75)
+        assert door.retry_after_s(3.0) == pytest.approx(3.0)
+
+
+class TestStatus:
+    def test_status_snapshot(self):
+        door = make_front_door(workers=1, latency_s=5.0)
+        door.register_tenant("acme", 2.0)
+        door.submit(interactive(), now=0.0)
+        door.submit(interactive(), now=0.0)
+        text = door.status()
+        assert "workers: 1 busy / 1 total" in text
+        assert "acme/interactive: queued=1/16 weight=2" in text
+        door.drain()
+        assert "0 busy" in door.status()
+
+
+class TestNetworkIntegration:
+    def make_network(self):
+        schemas = {
+            "item": TableSchema(
+                "item",
+                [
+                    Column("id", ColumnType.INTEGER),
+                    Column("label", ColumnType.TEXT),
+                ],
+                primary_key="id",
+            )
+        }
+        net = BestPeerNetwork(schemas)
+        net.add_peer("acme")
+        net.load_peer("acme", {"item": [(1, "anvil"), (2, "rope")]})
+        return net
+
+    def test_attach_serving_executes_real_queries(self):
+        net = self.make_network()
+        door = net.attach_serving()
+        assert net.serving is door
+        ticket = door.submit(
+            ServingRequest(tenant="acme", sql="SELECT COUNT(*) FROM item")
+        )
+        assert ticket.admitted
+        door.drain()
+        stats = net.metrics.serving[("acme", LANE_INTERACTIVE)]
+        assert stats.completed == 1
+        assert stats.e2e_latency.count == 1
+        assert stats.e2e_latency.percentile(0.5) > 0.0
+
+    def test_serving_shares_the_network_metrics_registry(self):
+        net = self.make_network()
+        door = net.attach_serving(ServingConfig(workers=2))
+        door.submit(ServingRequest(tenant="acme", sql="SELECT id FROM item"))
+        door.drain()
+        assert ("acme", LANE_INTERACTIVE) in net.metrics.serving

@@ -1,0 +1,55 @@
+"""Tests for the deterministic event queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import EventQueue
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        queue.push(3.0, "c")
+        queue.push(1.0, "a")
+        queue.push(2.0, "b")
+        assert [queue.pop() for _ in range(3)] == [
+            (1.0, "a"),
+            (2.0, "b"),
+            (3.0, "c"),
+        ]
+
+    def test_ties_break_on_insertion_order(self):
+        queue = EventQueue()
+        for payload in ("first", "second", "third"):
+            queue.push(5.0, payload)
+        assert [queue.pop()[1] for _ in range(3)] == [
+            "first",
+            "second",
+            "third",
+        ]
+
+    def test_pop_until_drains_inclusive(self):
+        queue = EventQueue()
+        for when in (1.0, 2.0, 3.0, 4.0):
+            queue.push(when, when)
+        assert [when for when, _ in queue.pop_until(3.0)] == [1.0, 2.0, 3.0]
+        assert len(queue) == 1
+
+
+class TestEdges:
+    def test_peek_and_len(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        assert not queue
+        queue.push(2.5, "x")
+        assert queue.peek_time() == 2.5
+        assert len(queue) == 1
+        assert queue
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(-1.0, "x")
