@@ -23,11 +23,18 @@ ISO001    cross-object reach into another component's private state
 ISO002    row-moving peer calls that bypass ``SimNetwork`` byte accounting
 CFG001    config keys read with inline literal defaults that can drift
           from ``repro.core.config``
+SIM005    wall-clock / global-random *values* flowing into EventQueue
+          timestamps or FaultPlan/RNG seeds (dataflow)
 SEC001    rows fetched without access rewriting reaching a cross-peer
           transfer with no role check on the path (§4.4 taint)
 SEC002    peers admitted / credentialed before certificate verification
+SEC003    tenant-controlled values (rows, request payloads, certificates)
+          flowing into privileged sinks unsanitized (§4.4 dataflow, with
+          source→sink traces)
 RES001    cross-peer call sites not covered by a RetryPolicy/deadline
           context from ``repro.core.resilience``
+RES004    call sites through which NetworkError-family exceptions escape
+          to an entry point with no coverage on the propagation path
 PERF001   ``RowLayout.resolve`` called inside a loop over rows (hoist the
           position lookup or compile via ``repro.sqlengine.compile``)
 ARCH001   imports violating the layering contract (``sim``/``sqlengine``/
@@ -73,6 +80,8 @@ from repro.analysis import archrules as _archrules  # noqa: F401
 from repro.analysis import securityrules as _securityrules  # noqa: F401
 from repro.analysis import resiliencerules as _resiliencerules  # noqa: F401
 from repro.analysis import perfrules as _perfrules  # noqa: F401
+from repro.analysis import dataflowrules as _dataflowrules  # noqa: F401
+from repro.analysis import exceptionflow as _exceptionflow  # noqa: F401
 
 __all__ = [
     "AnalysisReport",

@@ -20,9 +20,10 @@ from typing import List, Optional
 
 from repro.analysis.astcache import AstCache
 from repro.analysis.baseline import Baseline, DEFAULT_BASELINE_NAME
-from repro.analysis.engine import Analyzer
-from repro.analysis.registry import AnalysisError, all_rules
+from repro.analysis.engine import Analyzer, analyze_source
+from repro.analysis.registry import AnalysisError, all_rules, get_rule
 from repro.analysis.report import to_json, to_text
+from repro.analysis.sarif import to_sarif
 
 DEFAULT_PATHS = ["src", "tests", "benchmarks"]
 DEFAULT_GRAPH_PATHS = ["src"]
@@ -86,7 +87,28 @@ def _build_parser() -> argparse.ArgumentParser:
         help="directory caching parsed ASTs across runs (lint + graph share it)",
     )
     parser.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help=(
+            "after the run, drop baseline entries that matched nothing "
+            "(fixed code) and rewrite the baseline file"
+        ),
+    )
+    parser.add_argument(
+        "--sarif",
+        metavar="FILE",
+        help="also write a SARIF 2.1.0 report to FILE (for code scanning)",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="list rules and exit"
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="RULE",
+        help=(
+            "print one rule's rationale plus a minimal violating and a "
+            "clean example (both are run through the analyzer), then exit"
+        ),
     )
     return parser
 
@@ -153,6 +175,48 @@ def _select_rules(selector: str) -> List:
     return selected
 
 
+def _indent(text: str, prefix: str = "    ") -> str:
+    return "\n".join(
+        f"{prefix}{line}" if line else "" for line in text.splitlines()
+    )
+
+
+def explain_main(rule_id: str) -> int:
+    """``--explain RULE``: rationale plus a verified example pair.
+
+    Both examples are actually run through the analyzer with just this
+    rule: the violating one must fire and the clean one must not, so the
+    printed documentation can never silently rot.
+    """
+    rule = get_rule(rule_id.strip().upper())
+    print(f"{rule.id} [{rule.severity}] — {rule.description}")
+    print()
+    if rule.rationale:
+        print("Why this matters:")
+        print(_indent(rule.rationale, "  "))
+        print()
+    if not rule.example_violation or not rule.example_clean:
+        print("(no worked examples recorded for this rule)")
+        return 0
+
+    def fires(source: str) -> bool:
+        findings = analyze_source(source, category="src", rules=[rule])
+        return any(f.rule == rule.id for f in findings)
+
+    bad_fires = fires(rule.example_violation)
+    clean_fires = fires(rule.example_clean)
+    print(f"Violation ({'fires' if bad_fires else 'DOES NOT FIRE — stale example!'}):")
+    print(_indent(rule.example_violation))
+    print()
+    print(f"Clean ({'quiet' if not clean_fires else 'FIRES — stale example!'}):")
+    print(_indent(rule.example_clean))
+    if not bad_fires or clean_fires:
+        print()
+        print(f"error: {rule.id}'s examples are out of date", file=sys.stderr)
+        return 2
+    return 0
+
+
 def graph_main(argv: List[str]) -> int:
     parser = _build_graph_parser()
     args = parser.parse_args(argv)
@@ -194,6 +258,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     try:
+        if args.explain:
+            return explain_main(args.explain)
+
         rules = None
         if args.select:
             rules = _select_rules(args.select)
@@ -220,6 +287,31 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"{baseline_path}; add a justification to each"
             )
             return 0
+
+        if args.prune_baseline:
+            if baseline is None:
+                raise AnalysisError(
+                    "--prune-baseline needs a baseline file "
+                    f"(none found at {baseline_path!r})"
+                )
+            stale = baseline.prune()
+            if stale:
+                baseline.save(baseline_path)
+                print(
+                    f"pruned {len(stale)} stale entr"
+                    f"{'y' if len(stale) == 1 else 'ies'} from "
+                    f"{baseline_path}:"
+                )
+                for entry in stale:
+                    print(f"  - {entry.rule} {entry.path}: {entry.match!r}")
+            else:
+                print(f"{baseline_path}: no stale entries")
+
+        if args.sarif:
+            sarif_rules = rules if rules is not None else all_rules()
+            with open(args.sarif, "w", encoding="utf-8") as handle:
+                handle.write(to_sarif(report, sarif_rules))
+                handle.write("\n")
 
         if args.json:
             print(to_json(report, include_clean=args.verbose))

@@ -40,8 +40,8 @@ class AstCache:
         self.misses = 0
         os.makedirs(directory, exist_ok=True)
 
-    def _entry_path(self, key: str) -> str:
-        return os.path.join(self.directory, f"{key}.ast.pkl")
+    def _entry_path(self, key: str, tag: str = "ast") -> str:
+        return os.path.join(self.directory, f"{key}.{tag}.pkl")
 
     def load(self, source: str) -> Optional[ast.Module]:
         try:
@@ -57,18 +57,43 @@ class AstCache:
 
     def store(self, source: str, tree: ast.Module) -> None:
         """Persist one parse; failures are ignored (cache is best-effort)."""
-        path = self._entry_path(cache_key(source))
+        self._write(self._entry_path(cache_key(source)), tree)
+
+    def _write(self, path: str, payload: object) -> None:
         try:
             fd, tmp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(tree, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                    pickle.dump(
+                        payload, handle, protocol=pickle.HIGHEST_PROTOCOL
+                    )
                 os.replace(tmp_path, path)
             except BaseException:
                 os.unlink(tmp_path)
                 raise
         except (OSError, pickle.PickleError, RecursionError):
             pass
+
+    def load_aux(self, source: str, tag: str) -> Optional[object]:
+        """Load a derived artifact keyed by the same source content.
+
+        ``tag`` namespaces the artifact (e.g. the dataflow summaries use
+        ``flow1``), so a format bump invalidates by renaming, never by
+        clashing.  Any failure returns None — aux entries are as
+        best-effort as the parse trees.
+        """
+        try:
+            with open(
+                self._entry_path(cache_key(source), tag), "rb"
+            ) as handle:
+                return pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return None
+
+    def store_aux(self, source: str, tag: str, payload: object) -> None:
+        """Persist a derived artifact next to the source's parse tree."""
+        self._write(self._entry_path(cache_key(source), tag), payload)
 
     def parse(self, source: str, filename: str = "<unknown>") -> ast.Module:
         """Parse ``source``, reusing a cached tree when one matches.

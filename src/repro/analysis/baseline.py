@@ -129,6 +129,18 @@ class Baseline:
         """Entries that matched nothing — fixed code whose entry can go."""
         return [e for e in self.entries if e.key() not in self._hits]
 
+    def prune(self) -> List[BaselineEntry]:
+        """Drop (and return) the stale entries.
+
+        Only meaningful after a run has called :meth:`apply` for every
+        finding — staleness is defined against that run's hits.
+        """
+        stale = self.stale_entries()
+        if stale:
+            self.entries = [e for e in self.entries if e.key() in self._hits]
+            self._index = {e.key(): e for e in self.entries}
+        return stale
+
     def save(self, path: str) -> None:
         payload = {
             "version": BASELINE_VERSION,

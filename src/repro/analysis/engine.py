@@ -116,15 +116,19 @@ def _run_project_rules(
     contexts: Sequence[FileContext],
     rules: Sequence[ProjectRule],
     suppressions: Dict[str, SuppressionIndex],
+    ast_cache: Optional[AstCache] = None,
 ) -> List[Finding]:
     """Build one graph from every parsed file and run the project rules.
 
     The graph always covers everything scanned; a rule's ``categories``
-    only filter which files' findings are *emitted*.
+    only filter which files' findings are *emitted*.  The AST cache rides
+    along on the graph so derived artifacts (the per-function dataflow
+    summaries) persist beside the parse trees.
     """
     if not rules or not contexts:
         return []
     graph = ProjectGraph.build(contexts)
+    graph.ast_cache = ast_cache
     categories = {ctx.path: ctx.category for ctx in contexts}
     findings: List[Finding] = []
     for rule in rules:
@@ -260,7 +264,9 @@ class Analyzer:
                 _run_file_rules(ctx, file_rules, suppressions[relpath])
             )
         report.findings.extend(
-            _run_project_rules(contexts, project_rules, suppressions)
+            _run_project_rules(
+                contexts, project_rules, suppressions, self.ast_cache
+            )
         )
         if self.baseline is not None:
             for finding in report.findings:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 
 class Severity(enum.Enum):
@@ -40,6 +40,9 @@ class Finding:
     suppressed: bool = False
     baselined: bool = False
     justification: Optional[str] = None
+    #: For dataflow findings: the source-to-sink hop list, each hop a
+    #: ``(path, line, note)`` triple with the source first.
+    trace: Tuple[Tuple[str, int, str], ...] = ()
 
     @property
     def reported(self) -> bool:
@@ -63,6 +66,11 @@ class Finding:
         }
         if self.justification is not None:
             payload["justification"] = self.justification
+        if self.trace:
+            payload["trace"] = [
+                {"path": path, "line": line, "note": note}
+                for path, line, note in self.trace
+            ]
         return payload
 
     def render(self) -> str:
@@ -72,7 +80,10 @@ class Finding:
         if self.baselined:
             tags.append("baselined")
         suffix = f"  [{', '.join(tags)}]" if tags else ""
-        return (
+        text = (
             f"{self.path}:{self.line}:{self.col}: "
             f"{self.rule} {self.severity.value}: {self.message}{suffix}"
         )
+        for path, line, note in self.trace:
+            text += f"\n    flow: {path}:{line}: {note}"
+        return text

@@ -129,6 +129,10 @@ class CallSite:
     node: ast.Call
     resolved: Tuple[str, ...] = ()
     func_ref_args: Tuple[str, ...] = ()
+    #: Whether ``resolved`` came from a reliable resolution (lexical
+    #: scope, imports, same-class self-call, or a project-unique method
+    #: name) rather than the any-method-of-this-name fallback.
+    precise: bool = False
 
 
 @dataclass
@@ -197,6 +201,11 @@ class ProjectGraph:
         self._classes: Dict[str, Dict[str, Dict[str, str]]] = {}
         self._methods_by_name: Dict[str, Set[str]] = {}
         self._import_maps: Dict[str, ImportMap] = {}
+        #: Optional AstCache the engine attaches so downstream analyses
+        #: (the dataflow summaries) can persist per-module artifacts.
+        self.ast_cache = None
+        #: Per-run scratch space for analyses memoized on this graph.
+        self.memo: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -523,6 +532,7 @@ class ProjectGraph:
             node=node,
             resolved=tuple(resolved),
             func_ref_args=tuple(refs),
+            precise=precise,
         )
         self.call_sites.append(site)
         for callee in resolved:

@@ -77,6 +77,18 @@ class Rule:
     description: str = ""
     #: Which file categories the rule runs on.
     categories: Iterable[str] = CATEGORIES
+    #: ``--explain`` metadata.  ``rationale`` says *why* the invariant is
+    #: load-bearing; the examples are minimal self-contained sources, the
+    #: first of which must trip the rule and the second must not (the
+    #: explain command runs both through the analyzer to prove it).
+    rationale: str = ""
+    example_violation: str = ""
+    example_clean: str = ""
+
+    @property
+    def family(self) -> str:
+        """Rule family from the id prefix (``SEC003`` → ``SEC``)."""
+        return self.id.rstrip("0123456789") or self.id
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         raise NotImplementedError

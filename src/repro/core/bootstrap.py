@@ -740,7 +740,14 @@ class BootstrapCluster:
         entries = leader.log.entries_since(0)
         base = self.lease_config.entry_base_bytes
         nbytes = sum(entry.nbytes(base) for entry in entries)
-        self._priced_send(leader.host, follower.host, max(1, nbytes))
+        try:
+            self._priced_send(leader.host, follower.host, max(1, nbytes))
+        except NetworkError:
+            # Follower unreachable mid-resync: leave its log and the
+            # backlog untouched.  The next flush hits the index gap again
+            # and retries the resync; _replicate_entry still refuses the
+            # commit if the follower looks live to everyone else.
+            return
         follower.rebuild(entries)
         self._backlog[follower.node_id] = []
 

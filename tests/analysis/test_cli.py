@@ -163,3 +163,46 @@ class TestBaselineFlow:
     def test_explicit_missing_baseline_exits_two(self, tree, capsys):
         assert main(["--baseline", "nope.json", "src"]) == 2
         assert "cannot read baseline" in capsys.readouterr().err
+
+
+class TestPruneBaseline:
+    def test_prune_rewrites_the_file_and_lists_entries(self, tree, capsys):
+        main(["--write-baseline", "src"])
+        capsys.readouterr()
+        # Fix the grandfathered finding, then prune its stale entry.
+        (tree / "src" / "repro" / "dirty.py").write_text("x = 1\n")
+        assert main(["--prune-baseline", "src"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 1" in out
+        assert "SIM001" in out
+        assert not Baseline.load("analysis-baseline.json").entries
+        # A pruned baseline satisfies the strict check again.
+        assert main(["--strict-baseline", "src"]) == 0
+
+    def test_prune_on_clean_baseline_is_a_no_op(self, tree, capsys):
+        main(["--write-baseline", "src"])
+        before = (tree / "analysis-baseline.json").read_text()
+        capsys.readouterr()
+        assert main(["--prune-baseline", "src"]) == 0
+        assert "no stale entries" in capsys.readouterr().out
+        assert (tree / "analysis-baseline.json").read_text() == before
+
+    def test_prune_without_a_baseline_exits_two(self, tree, capsys):
+        assert main(["--prune-baseline", "src"]) == 2
+        assert "needs a baseline file" in capsys.readouterr().err
+
+
+class TestSarifOutput:
+    def test_sarif_writes_a_parseable_log(self, tree, capsys):
+        assert main(["--sarif", "out.sarif", "src"]) == 1
+        doc = json.loads((tree / "out.sarif").read_text())
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro.analysis"
+        assert any(r["ruleId"] == "SIM001" for r in run["results"])
+
+    def test_sarif_composes_with_json_stdout(self, tree, capsys):
+        assert main(["--sarif", "out.sarif", "--json", "src"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"][0]["rule"] == "SIM001"
+        assert (tree / "out.sarif").exists()

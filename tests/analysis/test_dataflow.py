@@ -1,0 +1,239 @@
+"""Corner cases of the Phase-A flow extractor, driven through SIM005.
+
+Each scenario routes a wall-clock value toward ``queue.push`` so the
+assertion is simply "does the taint survive this construct" — the rule is
+the oscilloscope, the construct under test is the dataflow semantics.
+"""
+
+import random
+
+from repro.analysis import analyze_project, get_rule
+from repro.analysis.dataflow import receiver_tokens
+
+
+class TestConstructs:
+    def test_plain_assignment_flows(self, reported):
+        assert reported(
+            "SIM005",
+            """\
+            import time
+
+            def go(queue):
+                t = time.time()
+                queue.push(t, 'tick')
+            """,
+        )
+
+    def test_reassignment_kills_taint(self, reported):
+        assert not reported(
+            "SIM005",
+            """\
+            import time
+
+            def go(queue, clock):
+                t = time.time()
+                t = clock.now_s()
+                queue.push(t, 'tick')
+            """,
+        )
+
+    def test_aug_assign_is_a_weak_update(self, reported):
+        # ``t += time.time()`` mixes taint into whatever t held.
+        assert reported(
+            "SIM005",
+            """\
+            import time
+
+            def go(queue):
+                t = 1.0
+                t += time.time()
+                queue.push(t, 'tick')
+            """,
+        )
+
+    def test_tuple_unpack_is_element_wise(self, reported):
+        findings = reported(
+            "SIM005",
+            """\
+            import time
+
+            def go(queue):
+                a, b = time.time(), 1.0
+                queue.push(b, 'clean')
+                queue.push(a, 'dirty')
+            """,
+        )
+        assert len(findings) == 1
+        assert findings[0].line == 6  # only the push of ``a``
+
+    def test_comprehension_taints_the_container(self, reported):
+        assert reported(
+            "SIM005",
+            """\
+            import time
+
+            def go(queue):
+                stamps = [time.time() for _ in range(3)]
+                queue.push(stamps[0], 'tick')
+            """,
+        )
+
+    def test_walrus_binds_and_flows(self, reported):
+        assert reported(
+            "SIM005",
+            """\
+            import time
+
+            def go(queue):
+                queue.push((t := time.time()) + 1.0, 'tick')
+            """,
+        )
+
+    def test_except_rebinding_on_every_path_kills_taint(self, reported):
+        # Both the try body and the handler overwrite ``t`` with a clean
+        # value, so the pre-try taint cannot reach the push.
+        assert not reported(
+            "SIM005",
+            """\
+            import time
+
+            def go(queue, clock):
+                t = time.time()
+                try:
+                    t = clock.now_s()
+                except ValueError:
+                    t = 0.0
+                queue.push(t, 'tick')
+            """,
+        )
+
+    def test_handler_sees_mid_body_taint(self, reported):
+        # The handler runs with the body partially executed: the tainted
+        # binding from before the raise point must merge in.
+        assert reported(
+            "SIM005",
+            """\
+            import time
+
+            def go(queue, risky):
+                t = 0.0
+                try:
+                    t = time.time()
+                    risky()
+                except ValueError:
+                    queue.push(t, 'tick')
+            """,
+        )
+
+    def test_branch_merge_unions_both_arms(self, reported):
+        assert reported(
+            "SIM005",
+            """\
+            import time
+
+            def go(queue, flag, clock):
+                if flag:
+                    t = time.time()
+                else:
+                    t = clock.now_s()
+                queue.push(t, 'tick')
+            """,
+        )
+
+    def test_loop_carried_flow_is_seen(self, reported):
+        # ``t`` is tainted only on the second trip around the loop.
+        assert reported(
+            "SIM005",
+            """\
+            import time
+
+            def go(queue, items):
+                t = 0.0
+                for _ in items:
+                    queue.push(t, 'tick')
+                    t = time.time()
+            """,
+        )
+
+    def test_taint_through_self_attribute_across_methods(self, reported):
+        assert reported(
+            "SIM005",
+            """\
+            import time
+
+            class Driver:
+                def grab(self):
+                    self.t0 = time.time()
+
+                def go(self, queue):
+                    queue.push(self.t0, 'tick')
+            """,
+        )
+
+    def test_mutator_pushes_taint_into_container(self, reported):
+        assert reported(
+            "SIM005",
+            """\
+            import time
+
+            def go(queue):
+                acc = []
+                acc.append(time.time())
+                queue.push(acc[0], 'tick')
+            """,
+        )
+
+    def test_helper_return_launders_nothing(self, reported):
+        # Interprocedural: taint survives a helper's return value.
+        assert reported(
+            "SIM005",
+            """\
+            import time
+
+            def stamp():
+                return time.time() + 0.5
+
+            def go(queue):
+                queue.push(stamp(), 'tick')
+            """,
+        )
+
+
+class TestDeterminism:
+    FILES = {
+        "src/repro/fake/clocks.py": (
+            "import time\n"
+            "def stamp():\n"
+            "    return time.time()\n"
+        ),
+        "src/repro/fake/kernel.py": (
+            "from repro.fake.clocks import stamp\n"
+            "def go(queue):\n"
+            "    queue.push(stamp(), 'tick')\n"
+        ),
+        "src/repro/fake/other.py": (
+            "def noop():\n"
+            "    return 1\n"
+        ),
+    }
+
+    def test_shuffled_file_orders_render_identically(self):
+        rule = [get_rule("SIM005")]
+        rendered = []
+        paths = list(self.FILES)
+        rng = random.Random(7)
+        for _ in range(4):
+            rng.shuffle(paths)
+            files = {path: self.FILES[path] for path in paths}
+            findings = analyze_project(files, rules=rule)
+            rendered.append([f.render() for f in findings])
+        assert rendered[0]  # the flow is found at all
+        assert all(r == rendered[0] for r in rendered[1:])
+
+
+class TestReceiverTokens:
+    def test_tokens_split_on_identifier_boundaries(self):
+        assert receiver_tokens("self._backlog") == {"self", "_backlog"}
+        assert "log" not in receiver_tokens("self._backlog")
+        assert "wal" in receiver_tokens("node.wal")
+        assert receiver_tokens(None) == frozenset()

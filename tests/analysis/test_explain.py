@@ -1,0 +1,41 @@
+"""--explain: rationale plus worked examples, verified live."""
+
+import pytest
+
+from repro.analysis import all_rules
+from repro.analysis.__main__ import main
+
+
+class TestExplain:
+    def test_explain_sec003_shows_rationale_and_examples(self, capsys):
+        assert main(["--explain", "SEC003"]) == 0
+        out = capsys.readouterr().out
+        assert "SEC003" in out
+        assert "Why this matters:" in out
+        assert "Violation (fires):" in out
+        assert "Clean (quiet):" in out
+        # The violating example is actually run and actually fires.
+        assert "DOES NOT FIRE" not in out
+        assert "stale example" not in out
+
+    @pytest.mark.parametrize(
+        "rule_id", [rule.id for rule in all_rules()]
+    )
+    def test_every_rule_explains_cleanly(self, rule_id, capsys):
+        # Exit 2 would mean a rule's recorded example no longer matches
+        # its implementation -- the docs drifted from the analyzer.
+        assert main(["--explain", rule_id]) == 0
+        capsys.readouterr()
+
+    def test_unknown_rule_exits_nonzero(self, capsys):
+        assert main(["--explain", "NOPE999"]) == 2
+        err = capsys.readouterr().err
+        assert "NOPE999" in err
+
+    def test_explain_ignores_path_arguments(self, tmp_path, capsys):
+        # ``--explain`` is a lookup mode: it must not scan the tree.
+        bad = tmp_path / "dirty.py"
+        bad.write_text("import random\nx = random.random()\n")
+        assert main(["--explain", "SIM001", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "dirty.py" not in out

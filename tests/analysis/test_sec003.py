@@ -1,0 +1,201 @@
+"""SEC003: tenant-controlled values must not reach privileged sinks."""
+
+
+class TestRowsFlow:
+    def test_unrewritten_remote_rows_reach_transfer(self, reported):
+        findings = reported(
+            "SEC003",
+            """\
+            def relay(peer, net, dst):
+                rows = peer.execute_local('select * from t')
+                net.transfer('here', dst, rows)
+            """,
+        )
+        assert len(findings) == 1
+        assert "cross-peer transfer" in findings[0].message
+
+    def test_finding_carries_source_to_sink_trace(self, reported):
+        findings = reported(
+            "SEC003",
+            """\
+            def fetch(peer):
+                return peer.execute_local('select * from t')
+
+            def relay(peer, net, dst):
+                rows = fetch(peer)
+                net.transfer('here', dst, rows)
+            """,
+        )
+        assert len(findings) == 1
+        trace = findings[0].trace
+        assert len(trace) >= 2
+        # Source first, sink last, every hop locatable.
+        assert trace[0][2].startswith("source:")
+        assert trace[0][1] == 2  # the execute_local call inside fetch()
+        assert trace[-1][1] == 6  # the transfer argument
+        assert all(path and line >= 1 for path, line, _ in trace)
+
+    def test_trace_survives_into_json(self, reported):
+        findings = reported(
+            "SEC003",
+            """\
+            def relay(peer, net, dst):
+                rows = peer.execute_local('q')
+                net.transfer('here', dst, rows)
+            """,
+        )
+        payload = findings[0].to_dict()
+        assert payload["trace"][0]["note"].startswith("source:")
+        assert {"path", "line", "note"} <= set(payload["trace"][0])
+
+    def test_rewrite_rows_sanitizes(self, reported):
+        assert not reported(
+            "SEC003",
+            """\
+            def relay(peer, controller, net, dst):
+                rows = controller.rewrite_rows(peer.execute_local('q'))
+                net.transfer('here', dst, rows)
+            """,
+        )
+
+    def test_must_executed_access_check_clears(self, reported):
+        assert not reported(
+            "SEC003",
+            """\
+            def relay(peer, controller, net, dst, user):
+                controller.check_readable(user)
+                rows = peer.execute_local('q')
+                net.transfer('here', dst, rows)
+            """,
+        )
+
+    def test_check_on_one_branch_only_does_not_clear(self, reported):
+        assert reported(
+            "SEC003",
+            """\
+            def relay(peer, controller, net, dst, user, audited):
+                if audited:
+                    controller.check_readable(user)
+                rows = peer.execute_local('q')
+                net.transfer('here', dst, rows)
+            """,
+        )
+
+    def test_self_receiver_is_not_a_remote_source(self, reported):
+        assert not reported(
+            "SEC003",
+            """\
+            class Peer:
+                def execute_local(self, sql):
+                    return []
+
+                def export(self, net, dst):
+                    rows = self.execute_local('q')
+                    net.transfer('here', dst, rows)
+            """,
+        )
+
+    def test_chained_call_does_not_taint_the_callee_receiver(self, project):
+        # Regression: in ``peer.execute_local('q').tally()`` both Call
+        # nodes share one anchor position.  With a position-keyed call
+        # table the chained call's receiver (the tainted result) was
+        # spliced into ``execute_local``'s *self*, tainting its return for
+        # every caller — including ``self.execute_local`` uses that are no
+        # source at all.
+        assert not project(
+            "SEC003",
+            {
+                "src/repro/fake/peer.py": """\
+                class Peer:
+                    def __init__(self, net):
+                        self.rows = []
+                        self.net = net
+
+                    def execute_local(self, sql):
+                        return Result(self.rows)
+
+                    def replicate(self, dst):
+                        rows = self.execute_local('q')
+                        self.net.transfer('here', dst, rows)
+
+                class Result:
+                    def __init__(self, rows):
+                        self.rows = rows
+
+                    def tally(self):
+                        return len(self.rows)
+                """,
+                "src/repro/fake/probe.py": """\
+                def probe(peer):
+                    return peer.execute_local('q').tally()
+                """,
+            },
+        )
+
+
+class TestOriginScope:
+    def test_source_in_test_code_does_not_taint_src_sinks(self, project):
+        # A test calling execute_local directly exercises the local
+        # executor; it is not a tenant-controlled product flow even when
+        # the value reaches a src-side transfer.
+        files = {
+            "src/repro/fake/relay.py": """\
+            def ship(net, dst, rows):
+                net.transfer('here', dst, rows)
+            """,
+            "tests/fake/test_relay.py": """\
+            from repro.fake.relay import ship
+
+            def test_ship(peer, net):
+                rows = peer.execute_local('q')
+                ship(net, 'dst', rows)
+            """,
+        }
+        assert not project("SEC003", files)
+        # Sanity: the same flow entirely inside src does fire.
+        src_only = {
+            "src/repro/fake/relay.py": files["src/repro/fake/relay.py"],
+            "src/repro/fake/driver.py": """\
+            from repro.fake.relay import ship
+
+            def drive(peer, net):
+                rows = peer.execute_local('q')
+                ship(net, 'dst', rows)
+            """,
+        }
+        assert project("SEC003", src_only)
+
+
+class TestRequestAndCredentialFlows:
+    def test_request_payload_reaching_metalog_fires(self, reported):
+        findings = reported(
+            "SEC003",
+            """\
+            def record(request, meta_log):
+                entry = request.payload
+                meta_log.append(entry)
+            """,
+        )
+        assert len(findings) == 1
+        assert "metalog append" in findings[0].message
+
+    def test_unverified_certificate_install_fires(self, reported):
+        assert reported(
+            "SEC003",
+            """\
+            def admit(peer, registry):
+                cert = peer.certificate
+                registry.install(cert)
+            """,
+        )
+
+    def test_verify_before_install_clears(self, reported):
+        assert not reported(
+            "SEC003",
+            """\
+            def admit(peer, registry, ca):
+                ca.verify_certificate(peer.certificate)
+                cert = peer.certificate
+                registry.install(cert)
+            """,
+        )
