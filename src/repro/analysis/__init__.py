@@ -39,7 +39,19 @@ PERF001   ``RowLayout.resolve`` called inside a loop over rows (hoist the
           position lookup or compile via ``repro.sqlengine.compile``)
 ARCH001   imports violating the layering contract (``sim``/``sqlengine``/
           ``baton`` depend only on ``errors``; ``analysis`` is stdlib-only)
+PURE001   effects (clock, randomness, I/O, network, shared mutation)
+          reachable from compiled evaluators / executor kernels (effects)
+DET003    wall-clock / real-I/O / global-random effects reachable from
+          EventQueue handlers and ``repro.sim`` callbacks (effects)
+ATOM001   bootstrap-metadata mutation paired with a network send that
+          bypasses the ``metalog`` WAL reducer (effects)
 ========  ==================================================================
+
+The ``effects`` rows run on the fourth tier — interprocedural effect
+inference (:mod:`repro.analysis.effects`), which assigns every function a
+``{wallclock, global_random, real_io, network_send, mutates, raises}``
+signature by SCC fixpoint over the call graph; query it directly with
+``python -m repro.analysis effects --who-touches clock``.
 
 Usage::
 
@@ -47,6 +59,7 @@ Usage::
     python -m repro.analysis --json src
     python -m repro.analysis --list-rules
     python -m repro.analysis graph --format dot src
+    python -m repro.analysis effects --who-touches clock src
 
 Deliberate exceptions are either annotated in the source with
 ``# repro: allow[RULE] reason`` or grandfathered in the committed
@@ -82,6 +95,7 @@ from repro.analysis import resiliencerules as _resiliencerules  # noqa: F401
 from repro.analysis import perfrules as _perfrules  # noqa: F401
 from repro.analysis import dataflowrules as _dataflowrules  # noqa: F401
 from repro.analysis import exceptionflow as _exceptionflow  # noqa: F401
+from repro.analysis import effectrules as _effectrules  # noqa: F401
 
 __all__ = [
     "AnalysisReport",

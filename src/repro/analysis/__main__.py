@@ -1,10 +1,13 @@
 """Command-line entry point: ``python -m repro.analysis [paths]``.
 
-Two modes:
+Three modes:
 
 * lint (default) — run the rule set over the paths;
 * ``graph`` — build the whole-program import/call graph only and export it
-  (``python -m repro.analysis graph --format json|dot [paths]``).
+  (``python -m repro.analysis graph --format json|dot [paths]``);
+* ``effects`` — run tier-4 effect inference and query the signatures
+  (``python -m repro.analysis effects --who-touches clock``,
+  ``... effects --signature repro.sim.events.EventQueue.run``).
 
 Exit codes: 0 clean, 1 findings (or stale baseline entries under
 ``--strict-baseline``), 2 usage/internal error.
@@ -148,6 +151,73 @@ def _build_graph_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: Friendly aliases for ``effects --who-touches``.
+WHO_TOUCHES_ALIASES = {
+    "clock": "wallclock",
+    "wallclock": "wallclock",
+    "random": "global_random",
+    "global_random": "global_random",
+    "io": "real_io",
+    "real_io": "real_io",
+    "network": "network_send",
+    "network_send": "network_send",
+}
+
+
+def _build_effects_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis effects",
+        description=(
+            "Infer every function's effect signature (tier 4) and query "
+            "the result: who can touch the clock, what may this function "
+            "do, and through which call chain."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=(
+            "files or directories to analyze "
+            f"(default: {' '.join(DEFAULT_GRAPH_PATHS)})"
+        ),
+    )
+    parser.add_argument(
+        "--who-touches",
+        metavar="EFFECT",
+        choices=sorted(WHO_TOUCHES_ALIASES),
+        help=(
+            "list functions whose signature contains the effect "
+            f"({', '.join(sorted(set(WHO_TOUCHES_ALIASES)))}) with a "
+            "witness call chain each"
+        ),
+    )
+    parser.add_argument(
+        "--signature",
+        metavar="FUNCTION",
+        help=(
+            "print one function's inferred signature (dotted form, e.g. "
+            "repro.sim.events.EventQueue.run)"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        help="write to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--ast-cache",
+        metavar="DIR",
+        help="directory caching parsed ASTs across runs (all modes share it)",
+    )
+    return parser
+
+
 def _make_cache(directory: Optional[str]) -> Optional[AstCache]:
     if directory is None:
         return None
@@ -200,7 +270,9 @@ def explain_main(rule_id: str) -> int:
         return 0
 
     def fires(source: str) -> bool:
-        findings = analyze_source(source, category="src", rules=[rule])
+        findings = analyze_source(
+            source, path=rule.example_path, category="src", rules=[rule]
+        )
         return any(f.rule == rule.id for f in findings)
 
     bad_fires = fires(rule.example_violation)
@@ -242,11 +314,125 @@ def graph_main(argv: List[str]) -> int:
         return 2
 
 
+def _witness_dicts(inference, hops) -> List[dict]:
+    from repro.analysis.effects import short_qual
+
+    rendered = []
+    for i, (qual, lineno, note) in enumerate(hops):
+        module = inference.graph.module_of_function(qual)
+        text = (
+            f"{short_qual(qual)} {note}"
+            if i + 1 < len(hops)
+            else f"{short_qual(qual)}: {note}"
+        )
+        rendered.append(
+            {
+                "path": module.path if module is not None else "<unknown>",
+                "line": lineno,
+                "note": text,
+            }
+        )
+    return rendered
+
+
+def effects_main(argv: List[str]) -> int:
+    from repro.analysis.effects import (
+        EFFECT_TAG,
+        EffectInference,
+        dotted_qual,
+        parse_dotted_qual,
+    )
+
+    parser = _build_effects_parser()
+    args = parser.parse_args(argv)
+    try:
+        analyzer = Analyzer(rules=[], ast_cache=_make_cache(args.ast_cache))
+        graph = analyzer.build_graph(args.paths or DEFAULT_GRAPH_PATHS)
+        graph.ast_cache = analyzer.ast_cache
+        inference = EffectInference.for_graph(graph)
+
+        lines: List[str] = []
+        payload: dict = {"version": EFFECT_TAG}
+        if args.signature:
+            qual = parse_dotted_qual(args.signature, inference.bases)
+            if qual is None:
+                raise AnalysisError(
+                    f"unknown function: {args.signature!r} (use the dotted "
+                    "form, e.g. repro.sim.events.EventQueue.run)"
+                )
+            signature = inference.signature(qual)
+            payload["function"] = dotted_qual(qual)
+            payload["signature"] = signature.to_dict()
+            lines.append(f"{dotted_qual(qual)}  {signature.render()}")
+        elif args.who_touches:
+            kind = WHO_TOUCHES_ALIASES[args.who_touches]
+            matches = []
+            for qual in sorted(inference.bases):
+                if not inference.has_effect(qual, lambda a: a[0] == kind):
+                    continue
+                hops = inference.witness(qual, lambda a: a[0] == kind)
+                matches.append(
+                    {
+                        "function": dotted_qual(qual),
+                        "signature": inference.signature(qual).to_dict(),
+                        "witness": _witness_dicts(inference, hops or []),
+                    }
+                )
+                lines.append(
+                    f"{dotted_qual(qual)}  "
+                    f"{inference.signature(qual).render()}"
+                )
+                for hop in _witness_dicts(inference, hops or []):
+                    lines.append(
+                        f"    via: {hop['path']}:{hop['line']}: {hop['note']}"
+                    )
+            payload["effect"] = kind
+            payload["functions"] = matches
+            lines.append(
+                f"{len(matches)} function(s) can touch {kind} "
+                f"(of {len(inference.bases)})"
+            )
+        else:
+            impure = {}
+            pure_count = 0
+            for qual in sorted(inference.bases):
+                signature = inference.signature(qual)
+                if signature.pure and not signature.raises:
+                    pure_count += 1
+                    continue
+                impure[dotted_qual(qual)] = signature.to_dict()
+                lines.append(f"{dotted_qual(qual)}  {signature.render()}")
+            payload["functions"] = impure
+            payload["pure"] = pure_count
+            payload["total"] = len(inference.bases)
+            lines.append(
+                f"{len(impure)} function(s) with effects, {pure_count} pure, "
+                f"{len(inference.bases)} total"
+            )
+
+        if args.format == "json":
+            rendered = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        else:
+            rendered = "\n".join(lines) + "\n"
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(rendered)
+            print(f"wrote effect signatures to {args.out}")
+        else:
+            sys.stdout.write(rendered)
+        return 0
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "graph":
         return graph_main(argv[1:])
+    if argv and argv[0] == "effects":
+        return effects_main(argv[1:])
 
     parser = _build_parser()
     args = parser.parse_args(argv)

@@ -43,6 +43,10 @@ class Finding:
     #: For dataflow findings: the source-to-sink hop list, each hop a
     #: ``(path, line, note)`` triple with the source first.
     trace: Tuple[Tuple[str, int, str], ...] = ()
+    #: Rule-specific structured extras (the effect rules attach the
+    #: offending function's inferred signature here); carried verbatim
+    #: into the JSON report and each SARIF result's ``properties``.
+    properties: Dict[str, object] = field(default_factory=dict)
 
     @property
     def reported(self) -> bool:
@@ -71,6 +75,8 @@ class Finding:
                 {"path": path, "line": line, "note": note}
                 for path, line, note in self.trace
             ]
+        if self.properties:
+            payload["properties"] = dict(self.properties)
         return payload
 
     def render(self) -> str:

@@ -133,6 +133,13 @@ class CallSite:
     #: scope, imports, same-class self-call, or a project-unique method
     #: name) rather than the any-method-of-this-name fallback.
     precise: bool = False
+    #: Whether ``resolved`` came from the any-method-of-this-name fallback
+    #: at all — a *unique* fallback match is still ``precise`` for the
+    #: reachability rules, but effect inference refuses to propagate
+    #: through it unless the receiver text names the candidate's class
+    #: (``pending.append(...)`` must not inherit ``MetadataLog.append``'s
+    #: replication effects just because the method name is unique).
+    via_fallback: bool = False
 
 
 @dataclass
@@ -387,13 +394,13 @@ class ProjectGraph:
         attr: str,
         enclosing_cls: Optional[str],
         module: str,
-    ) -> Tuple[List[str], bool]:
-        """Resolve ``recv.attr(...)``; returns (callees, precise)."""
+    ) -> Tuple[List[str], bool, bool]:
+        """Resolve ``recv.attr(...)``; returns (callees, precise, fallback)."""
         if isinstance(receiver, ast.Name):
             if receiver.id in ("self", "cls") and enclosing_cls is not None:
                 methods = self._classes.get(module, {}).get(enclosing_cls, {})
                 if attr in methods:
-                    return [methods[attr]], True
+                    return [methods[attr]], True, False
             origin = self._import_maps[module].member_origin(receiver.id)
             if origin is not None:
                 candidate = f"{origin[0]}.{origin[1]}"
@@ -403,16 +410,16 @@ class ProjectGraph:
                         self._module_scope(target), {}
                     ).get(attr)
                     if found is not None:
-                        return [found], True
+                        return [found], True, False
                     target_classes = self._classes.get(target, {})
                     if attr in target_classes:
                         init = target_classes[attr].get("__init__")
-                        return ([init] if init else []), True
+                        return ([init] if init else []), True, False
         # Conservative fallback: every method of this name, project-wide.
         # A name exactly one class defines is still a reliable resolution;
         # an ambiguous one (``execute``, ``run``) over-approximates only.
         candidates = sorted(self._methods_by_name.get(attr, ()))
-        return candidates, len(candidates) == 1
+        return candidates, len(candidates) == 1, True
 
     def _add_edge(self, caller: str, callee: str, precise: bool) -> None:
         self.edges.setdefault(caller, set()).add(callee)
@@ -501,6 +508,7 @@ class ProjectGraph:
         receiver_text: Optional[str] = None
         resolved: List[str] = []
         precise = True
+        via_fallback = False
         if isinstance(func, ast.Name):
             callee_name = func.id
             found = self._resolve_bare_name(callee_name, scope, mod.name)
@@ -512,7 +520,7 @@ class ProjectGraph:
                 receiver_text = ast.unparse(func.value)
             except Exception:
                 receiver_text = "<expr>"
-            resolved, precise = self._resolve_attr_call(
+            resolved, precise, via_fallback = self._resolve_attr_call(
                 func.value, callee_name, method_cls, mod.name
             )
         else:
@@ -533,6 +541,7 @@ class ProjectGraph:
             resolved=tuple(resolved),
             func_ref_args=tuple(refs),
             precise=precise,
+            via_fallback=via_fallback,
         )
         self.call_sites.append(site)
         for callee in resolved:

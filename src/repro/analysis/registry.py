@@ -84,6 +84,10 @@ class Rule:
     rationale: str = ""
     example_violation: str = ""
     example_clean: str = ""
+    #: Path the worked examples are analyzed under.  Rules whose domain is
+    #: module-name-based (the effect contracts) need the example to live
+    #: at a path that puts it inside the contract boundary.
+    example_path: str = "<string>"
 
     @property
     def family(self) -> str:

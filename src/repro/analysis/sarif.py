@@ -84,6 +84,10 @@ def _result(finding: Finding, rule_index: Dict[str, int]) -> Dict[str, object]:
         }
     if finding.trace:
         result["codeFlows"] = [_code_flow(finding)]
+    if finding.properties:
+        # The effect rules attach the offending function's inferred
+        # signature here; code-scanning UIs render it beside the message.
+        result["properties"] = dict(finding.properties)
     suppressions: List[Dict[str, object]] = []
     if finding.suppressed:
         suppressions.append(

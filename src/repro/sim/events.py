@@ -55,3 +55,28 @@ class EventQueue:
         while self._heap and self._heap[0][0] <= cutoff:
             drained.append(self.pop())
         return drained
+
+    def run(self, until: Optional[float] = None) -> int:
+        """Dispatch events in order until the queue empties.
+
+        A callable payload is invoked as ``payload(when)`` and may push
+        further events (the discrete-event loop); any other payload is
+        dropped — draining data events without a consumer is a no-op, not
+        an error, so mixed queues can still be wound down.  With
+        ``until``, events strictly after it stay queued.  Returns the
+        number of events dispatched.
+
+        Handlers run under the DET003 contract: reachable code must not
+        touch the wall clock, real I/O, or the global RNG — simulated
+        time arrives as the ``when`` argument.
+        """
+        dispatched = 0
+        while self._heap:
+            when = self._heap[0][0]
+            if until is not None and when > until:
+                break
+            when, payload = self.pop()
+            if callable(payload):
+                payload(when)
+            dispatched += 1
+        return dispatched

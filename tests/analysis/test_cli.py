@@ -206,3 +206,61 @@ class TestSarifOutput:
         payload = json.loads(capsys.readouterr().out)
         assert payload["findings"][0]["rule"] == "SIM001"
         assert (tree / "out.sarif").exists()
+
+
+class TestEffectsSubcommand:
+    def test_default_dump_lists_impure_functions(self, tree, capsys):
+        assert main(["effects", "src"]) == 0
+        out = capsys.readouterr().out
+        assert "repro.dirty" in out
+        assert "global_random" in out
+        assert "pure" in out  # the summary line
+
+    def test_json_dump_parses_and_is_versioned(self, tree, capsys):
+        assert main(["effects", "--format", "json", "src"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"].startswith("effects")
+        assert payload["total"] >= payload["pure"]
+        impure = payload["functions"]
+        assert any("repro.dirty" in qual for qual in impure)
+
+    def test_who_touches_reports_witnessed_matches(self, tree, capsys):
+        assert main(["effects", "--who-touches", "random", "src"]) == 0
+        out = capsys.readouterr().out
+        assert "repro.dirty" in out
+        assert "via:" in out
+        assert "random.random(...)" in out
+
+    def test_who_touches_clock_on_a_clean_tree(self, tree, capsys):
+        assert main(["effects", "--who-touches", "clock", "src"]) == 0
+        out = capsys.readouterr().out
+        assert "0 function(s)" in out
+
+    def test_signature_query(self, tree, capsys):
+        assert main(["effects", "--signature", "repro.dirty", "src"]) == 0
+        out = capsys.readouterr().out
+        assert "global_random" in out
+
+    def test_unknown_signature_exits_two(self, tree, capsys):
+        assert main(
+            ["effects", "--signature", "repro.nope.f", "src"]
+        ) == 2
+        assert "unknown function" in capsys.readouterr().err
+
+    def test_out_writes_the_report_file(self, tree, capsys):
+        assert main([
+            "effects", "--format", "json", "--out",
+            "effect-signatures.json", "src",
+        ]) == 0
+        payload = json.loads((tree / "effect-signatures.json").read_text())
+        assert payload["version"].startswith("effects")
+
+    def test_effects_reuses_the_shared_ast_cache(self, tree, capsys):
+        assert main(["--ast-cache", ".ast-cache", "src"]) == 1
+        capsys.readouterr()
+        before = set((tree / ".ast-cache").iterdir())
+        assert main(["effects", "--ast-cache", ".ast-cache", "src"]) == 0
+        # parse entries are shared; the effects pass adds only its own
+        # aux payloads, never re-parses
+        after = set((tree / ".ast-cache").iterdir())
+        assert before <= after

@@ -1,0 +1,136 @@
+"""DET003: event handlers stay on the simulated clock."""
+
+
+HANDLERS = "proj/sim/handlers.py"
+
+
+class TestFires:
+    def test_sleep_inside_a_sim_module_function(self, project):
+        findings = project("DET003", {
+            HANDLERS: """
+                import time
+
+                def on_transfer_done(now):
+                    time.sleep(0.01)
+                    return now + 1.0
+            """,
+        })
+        assert len(findings) == 1
+        assert "time.sleep(...)" in findings[0].message
+        assert "wallclock" in findings[0].properties["offendingEffects"]
+
+    def test_callback_pushed_onto_a_queue_is_a_handler(self, project):
+        # ``retry`` lives outside repro.sim, but handing it to push()
+        # makes it handler code all the same.
+        findings = project("DET003", {
+            "proj/serving/retry.py": """
+                import random
+
+                def retry(now):
+                    return now + random.random()
+
+                def schedule_retry(queue, now):
+                    queue.push(now + 1.0, retry)
+            """,
+        })
+        assert len(findings) == 1
+        assert "'retry'" in findings[0].message
+        assert "global_random" in findings[0].properties["offendingEffects"]
+
+    def test_queue_drainer_runs_handler_code_inline(self, project):
+        findings = project("DET003", {
+            "proj/serving/loop.py": """
+                import os
+
+                def drain(completions, cutoff):
+                    for when, payload in completions.pop_until(cutoff):
+                        audit(when)
+
+                def audit(when):
+                    os.listdir('.')
+            """,
+        })
+        assert len(findings) == 1
+        assert "'drain'" in findings[0].message
+        assert "real_io" in findings[0].properties["offendingEffects"]
+        # the witness descends into the helper that actually does the I/O
+        assert "audit" in " ".join(step[2] for step in findings[0].trace)
+
+    def test_helper_module_reached_from_a_handler(self, project):
+        findings = project("DET003", {
+            "proj/util.py": """
+                import time
+
+                def backoff():
+                    time.sleep(0.5)
+            """,
+            HANDLERS: """
+                from proj.util import backoff
+
+                def on_timeout(now):
+                    backoff()
+                    return now
+            """,
+        })
+        assert len(findings) == 1
+        # reported at the handler (the contract root); the trace walks
+        # down into the helper module that really sleeps
+        assert "'on_timeout'" in findings[0].message
+        paths = [step[0] for step in findings[0].trace]
+        assert paths[0] == "proj/sim/handlers.py"
+        assert paths[-1] == "proj/util.py"
+
+
+class TestQuiet:
+    def test_rescheduling_on_the_simulated_timeline(self, project):
+        assert project("DET003", {
+            HANDLERS: """
+                def on_transfer_done(now, queue):
+                    queue.push(now + 1.0, retry)
+
+                def retry(now):
+                    return now
+            """,
+        }) == []
+
+    def test_simulated_network_send_is_fine(self, project):
+        # DET003 polices the real world, not the simulated one.
+        assert project("DET003", {
+            HANDLERS: """
+                def on_replicate(now, network, payload):
+                    network.transfer(0, 1, payload)
+                    return now
+            """,
+        }) == []
+
+    def test_seeded_rng_is_fine(self, project):
+        assert project("DET003", {
+            HANDLERS: """
+                def on_jitter(now, rng):
+                    return now + rng.random()
+            """,
+        }) == []
+
+    def test_non_sim_code_without_queue_contact_is_not_a_root(self, project):
+        assert project("DET003", {
+            "proj/bench/timing.py": """
+                import time
+
+                def measure():
+                    return time.perf_counter()
+            """,
+        }) == []
+
+    def test_plain_list_pop_is_not_a_drain_site(self, project):
+        assert project("DET003", {
+            "proj/serving/stack.py": """
+                import time
+
+                def last_item(items):
+                    note_wallclock()
+                    return items.pop()
+
+                def note_wallclock():
+                    return time.time()
+            """,
+        }) == []

@@ -109,3 +109,34 @@ class TestSuppressions:
         )
         result = run["results"][0]
         assert result["suppressions"][0]["kind"] == "inSource"
+
+
+class TestEffectProperties:
+    def test_effect_findings_embed_their_signature(self, tmp_path,
+                                                   monkeypatch):
+        # PURE001 is scoped to the engine modules, so build the tree at
+        # the real kernel path instead of the shared mod.py fixture.
+        kernel = tmp_path / "src" / "repro" / "sqlengine"
+        kernel.mkdir(parents=True)
+        (kernel / "compile.py").write_text(
+            "import time\n"
+            "\n"
+            "def lower_probe():\n"
+            "    def run_probe(rows):\n"
+            "        return time.perf_counter(), rows\n"
+            "    return run_probe\n"
+        )
+        monkeypatch.chdir(tmp_path)
+        rules = [get_rule("PURE001")]
+        report = Analyzer(rules=rules).run(["src"])
+        run = json.loads(to_sarif(report, rules))["runs"][0]
+        result = next(r for r in run["results"] if r["ruleId"] == "PURE001")
+        props = result["properties"]
+        assert props["effectSignature"]["wallclock"] is True
+        assert "wallclock" in props["offendingEffects"]
+        # the call-chain witness rides along as a code flow
+        steps = result["codeFlows"][0]["threadFlows"][0]["locations"]
+        assert any(
+            "time.perf_counter" in s["location"]["message"]["text"]
+            for s in steps
+        )

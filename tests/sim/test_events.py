@@ -53,3 +53,46 @@ class TestEdges:
     def test_negative_time_rejected(self):
         with pytest.raises(SimulationError):
             EventQueue().push(-1.0, "x")
+
+
+class TestRun:
+    def test_dispatches_callables_in_order(self):
+        queue = EventQueue()
+        seen = []
+        queue.push(2.0, lambda when: seen.append(("b", when)))
+        queue.push(1.0, lambda when: seen.append(("a", when)))
+        assert queue.run() == 2
+        assert seen == [("a", 1.0), ("b", 2.0)]
+        assert not queue
+
+    def test_handlers_can_push_further_events(self):
+        queue = EventQueue()
+        ticks = []
+
+        def tick(when):
+            ticks.append(when)
+            if when < 3.0:
+                queue.push(when + 1.0, tick)
+
+        queue.push(1.0, tick)
+        assert queue.run() == 3
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_until_leaves_later_events_queued(self):
+        queue = EventQueue()
+        seen = []
+        for when in (1.0, 2.0, 3.0):
+            queue.push(when, lambda when: seen.append(when))
+        assert queue.run(until=2.0) == 2
+        assert seen == [1.0, 2.0]
+        assert queue.peek_time() == 3.0
+
+    def test_non_callable_payloads_are_dropped_but_counted(self):
+        queue = EventQueue()
+        queue.push(1.0, "data")
+        queue.push(2.0, ("more", "data"))
+        assert queue.run() == 2
+        assert not queue
+
+    def test_run_on_empty_queue_is_a_no_op(self):
+        assert EventQueue().run() == 0
