@@ -10,7 +10,10 @@ Three modes:
   ``... effects --signature repro.sim.events.EventQueue.run``).
 
 Exit codes: 0 clean, 1 findings (or stale baseline entries under
-``--strict-baseline``), 2 usage/internal error.
+``--strict-baseline``), 2 usage/internal error — including, under
+``--strict-baseline``, baseline entries whose justification is still the
+``--write-baseline`` placeholder: an unreviewed suppression is a
+configuration error, not a finding.
 """
 
 from __future__ import annotations
@@ -82,7 +85,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--strict-baseline",
         action="store_true",
-        help="fail (exit 1) when baseline entries no longer match anything",
+        help=(
+            "fail when the baseline needs attention: exit 1 when entries "
+            "no longer match anything, exit 2 when any entry still "
+            "carries the --write-baseline placeholder justification"
+        ),
     )
     parser.add_argument(
         "--ast-cache",
@@ -504,6 +511,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             print(to_text(report, verbose=args.verbose))
 
+        placeholders = (
+            baseline.placeholder_entries() if baseline is not None else []
+        )
+        if placeholders:
+            print(
+                f"{len(placeholders)} baseline entr"
+                f"{'y' if len(placeholders) == 1 else 'ies'} still "
+                "unjustified (placeholder from --write-baseline):",
+                file=sys.stderr,
+            )
+            for entry in placeholders:
+                print(
+                    f"  - {entry.rule} {entry.path}: {entry.match!r}",
+                    file=sys.stderr,
+                )
+        if args.strict_baseline and placeholders:
+            return 2
         if not report.ok:
             return 1
         if (

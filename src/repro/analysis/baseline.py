@@ -34,6 +34,10 @@ from repro.analysis.registry import AnalysisError
 
 BASELINE_VERSION = 1
 DEFAULT_BASELINE_NAME = "analysis-baseline.json"
+#: What ``--write-baseline`` stamps on fresh entries.  An entry still
+#: carrying it was never reviewed: the CLI reports such entries, and
+#: ``--strict-baseline`` (CI) treats them as a configuration error.
+PLACEHOLDER_JUSTIFICATION = "TODO: justify or fix"
 
 
 @dataclass(frozen=True)
@@ -107,7 +111,7 @@ class Baseline:
                 rule=finding.rule,
                 path=finding.path,
                 match=finding.snippet,
-                justification="TODO: justify or fix",
+                justification=PLACEHOLDER_JUSTIFICATION,
             )
             if entry.key() not in seen:
                 seen.add(entry.key())
@@ -128,6 +132,18 @@ class Baseline:
     def stale_entries(self) -> List[BaselineEntry]:
         """Entries that matched nothing — fixed code whose entry can go."""
         return [e for e in self.entries if e.key() not in self._hits]
+
+    def placeholder_entries(self) -> List[BaselineEntry]:
+        """Entries whose justification is still the write-time placeholder.
+
+        These are suppressions nobody has reviewed; ``--strict-baseline``
+        refuses to accept them.
+        """
+        return [
+            e
+            for e in self.entries
+            if e.justification == PLACEHOLDER_JUSTIFICATION
+        ]
 
     def prune(self) -> List[BaselineEntry]:
         """Drop (and return) the stale entries.

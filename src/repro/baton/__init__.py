@@ -17,15 +17,36 @@ Keys are floats in a configurable domain; callers hash strings into the
 domain with :func:`~repro.baton.tree.string_to_key`.
 """
 
-from repro.baton.node import BatonNode, Range
+from repro.baton.node import BatonNode, NodeLoad, Range
 from repro.baton.tree import BatonOverlay, SearchResult, string_to_key
 from repro.baton.replication import ReplicatedOverlay
+from repro.baton.loadbalance import (
+    LeastLoadedChoice,
+    LoadBalancer,
+    LoadBalancerConfig,
+    POLICY_NAMES,
+    PowerOfKChoice,
+    RandomChoice,
+    RebalanceReport,
+    ReplicaChoicePolicy,
+    make_policy,
+)
 
 __all__ = [
     "BatonNode",
+    "NodeLoad",
     "Range",
     "BatonOverlay",
     "SearchResult",
     "string_to_key",
     "ReplicatedOverlay",
+    "LoadBalancer",
+    "LoadBalancerConfig",
+    "RebalanceReport",
+    "ReplicaChoicePolicy",
+    "RandomChoice",
+    "LeastLoadedChoice",
+    "PowerOfKChoice",
+    "make_policy",
+    "POLICY_NAMES",
 ]

@@ -1,0 +1,307 @@
+"""Measured-load balancing for the BATON overlay.
+
+The paper's load-balancing schemes (§4.3) move index entries when a node
+holds too many of them — but a Zipf-skewed workload or a flash crowd on
+one supplier concentrates *traffic*, not entries: a node with a handful of
+hot keys melts while its neighbours idle.  This module drives the tree's
+existing primitives (``balance_with_adjacent`` / ``global_rebalance``)
+from *measured* load instead of entry counts:
+
+* every node accounts routing hits, entry reads and writes with decayed
+  EWMAs (:class:`~repro.baton.node.NodeLoad`) plus per-key access heat,
+* :class:`LoadBalancer` declares a node *hot* when its load score exceeds
+  a configurable multiple of the overlay mean and migrates entries away
+  from it, splitting the node's sub-domain at the measured heat boundary,
+* every migration is gated by a key-space census: the multiset of stored
+  entries before and after must match exactly, or
+  :class:`~repro.errors.MigrationCensusError` is raised — migration must
+  never lose or duplicate an index entry,
+* pluggable :class:`ReplicaChoicePolicy` implementations (random /
+  least-loaded / power-of-k choices, the classic dispatcher menu) pick
+  which replica holder serves a read when
+  :class:`~repro.baton.replication.ReplicatedOverlay` fans hot-range
+  lookups out across copies.
+
+Single hot *keys* cannot be migrated (a sub-domain cannot be split below
+one key); replica read fan-out is the mitigation for that shape of skew,
+which is why the two mechanisms ship together.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.errors import BatonError
+from repro.baton.node import BatonNode
+from repro.baton.replication import ReplicatedOverlay
+from repro.baton.tree import BatonOverlay
+
+#: Weight of stored-entry count inside the heat-driven migration weight:
+#: keeps cold entries spreading (the paper's original behaviour) while
+#: measured heat dominates wherever traffic is concentrated.
+HEAT_ENTRY_WEIGHT = 0.01
+
+
+# ----------------------------------------------------------------------
+# Replica-choice policies (random / least-loaded / power-of-k)
+# ----------------------------------------------------------------------
+class ReplicaChoicePolicy:
+    """Chooses which of several candidate nodes serves a read."""
+
+    name = "base"
+
+    def choose(self, candidates: Sequence[BatonNode]) -> BatonNode:
+        raise NotImplementedError
+
+    @staticmethod
+    def _require(candidates: Sequence[BatonNode]) -> None:
+        if not candidates:
+            raise BatonError("no candidate nodes to choose from")
+
+
+class RandomChoice(ReplicaChoicePolicy):
+    """Uniformly random candidate (seeded; ignores load entirely)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def choose(self, candidates: Sequence[BatonNode]) -> BatonNode:
+        self._require(candidates)
+        return candidates[self._rng.randrange(len(candidates))]
+
+
+class LeastLoadedChoice(ReplicaChoicePolicy):
+    """The candidate with the lowest load score (node id breaks ties).
+
+    Perfect information, maximal cost: every choice inspects every
+    candidate.  The baseline the sampling policies are measured against.
+    """
+
+    name = "least-loaded"
+
+    def choose(self, candidates: Sequence[BatonNode]) -> BatonNode:
+        self._require(candidates)
+        return min(candidates, key=lambda n: (n.load.score(), n.node_id))
+
+
+class PowerOfKChoice(ReplicaChoicePolicy):
+    """Best of ``k`` random samples — the power-of-d-choices classic.
+
+    Sampling two candidates and taking the less loaded one gets
+    exponentially close to least-loaded at a fraction of the probing
+    cost, which is why dispatchers default to it.
+    """
+
+    name = "power-of-k"
+
+    def __init__(self, k: int = 2, seed: int = 0) -> None:
+        if k < 1:
+            raise BatonError(f"power-of-k needs k >= 1: {k}")
+        self.k = k
+        self._rng = random.Random(seed)
+
+    def choose(self, candidates: Sequence[BatonNode]) -> BatonNode:
+        self._require(candidates)
+        pool = list(candidates)
+        if len(pool) > self.k:
+            pool = self._rng.sample(pool, self.k)
+        return min(pool, key=lambda n: (n.load.score(), n.node_id))
+
+
+#: Policy registry for CLIs and scenario knobs.
+POLICY_NAMES = ("random", "least-loaded", "power-of-k")
+
+
+def make_policy(
+    name: str, seed: int = 0, k: int = 2
+) -> ReplicaChoicePolicy:
+    """Build a policy by name (``random``/``least-loaded``/``power-of-k``)."""
+    if name == "random":
+        return RandomChoice(seed)
+    if name == "least-loaded":
+        return LeastLoadedChoice()
+    if name == "power-of-k":
+        return PowerOfKChoice(k=k, seed=seed)
+    raise BatonError(
+        f"unknown balancing policy {name!r} (valid: {', '.join(POLICY_NAMES)})"
+    )
+
+
+# ----------------------------------------------------------------------
+# The balancer
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LoadBalancerConfig:
+    """Knobs for hot-node detection and migration."""
+
+    #: A node is hot when its score exceeds this multiple of the mean.
+    hot_multiple: float = 2.0
+    #: EWMA/heat decay folded in after every rebalance round.
+    decay_alpha: float = 0.5
+    #: Overlays colder than this (mean score) never migrate: a quiet
+    #: network with one request is "skewed" but not worth touching.
+    min_mean_score: float = 1.0
+    #: Fall back to a network-wide diffusion pass when adjacent balancing
+    #: alone leaves the overlay above ``hot_multiple``.
+    allow_global: bool = True
+
+    def __post_init__(self) -> None:
+        if self.hot_multiple <= 1.0:
+            raise BatonError(
+                f"hot_multiple must exceed 1.0: {self.hot_multiple}"
+            )
+        if not 0.0 < self.decay_alpha <= 1.0:
+            raise BatonError(
+                f"decay_alpha must be in (0, 1]: {self.decay_alpha}"
+            )
+
+
+@dataclass
+class RebalanceReport:
+    """What one :meth:`LoadBalancer.rebalance` round did."""
+
+    hot_nodes: List[str] = field(default_factory=list)
+    adjacent_migrations: int = 0
+    global_migrations: int = 0
+    entries_moved: int = 0
+    ratio_before: float = 0.0
+    ratio_after: float = 0.0
+
+    @property
+    def migrations(self) -> int:
+        return self.adjacent_migrations + self.global_migrations
+
+
+class LoadBalancer:
+    """Hot-range migration driven by measured load, census-gated.
+
+    Wraps a :class:`BatonOverlay` (or a :class:`ReplicatedOverlay`, whose
+    replicas are repaired after entries move).  Call :meth:`rebalance`
+    periodically — e.g. once per simulated maintenance epoch; each call
+    is one round: detect hot nodes, migrate, verify the census, decay.
+    """
+
+    def __init__(
+        self,
+        overlay: Union[BatonOverlay, ReplicatedOverlay],
+        config: Optional[LoadBalancerConfig] = None,
+    ) -> None:
+        if isinstance(overlay, ReplicatedOverlay):
+            self.replicated: Optional[ReplicatedOverlay] = overlay
+            self.tree = overlay.overlay
+        else:
+            self.replicated = None
+            self.tree = overlay
+        self.config = config or LoadBalancerConfig()
+        # Cumulative counters (observability; mirrored into core metrics).
+        self.rounds = 0
+        self.total_migrations = 0
+        self.total_entries_moved = 0
+        self.census_checks = 0
+
+    # ------------------------------------------------------------------
+    # Load inspection
+    # ------------------------------------------------------------------
+    def scores(self) -> List[float]:
+        return [node.load.score() for node in self.tree.nodes()]
+
+    def mean_score(self) -> float:
+        scores = self.scores()
+        return sum(scores) / len(scores) if scores else 0.0
+
+    def max_mean_ratio(self) -> float:
+        """Max/mean load score: 1.0 is perfectly even, higher is skewed."""
+        scores = self.scores()
+        if not scores:
+            return 1.0
+        mean = sum(scores) / len(scores)
+        return max(scores) / mean if mean > 0 else 1.0
+
+    def hot_nodes(self) -> List[BatonNode]:
+        """Nodes above ``hot_multiple`` times the mean, hottest first."""
+        mean = self.mean_score()
+        if mean < self.config.min_mean_score:
+            return []
+        threshold = self.config.hot_multiple * mean
+        hot = [
+            node
+            for node in self.tree.nodes()
+            if node.load.score() > threshold
+        ]
+        return sorted(
+            hot, key=lambda n: (-n.load.score(), n.node_id)
+        )
+
+    # ------------------------------------------------------------------
+    # Migration
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _heat_weight(node: BatonNode, key: float) -> float:
+        """Per-key migration weight: measured heat plus a whiff of size."""
+        return node.key_heat.get(key, 0.0) + HEAT_ENTRY_WEIGHT * len(
+            node.items[key]
+        )
+
+    def _owner_snapshot(self) -> dict:
+        return {
+            key: (node.node_id, len(values))
+            for node in self.tree.nodes()
+            for key, values in node.items.items()
+        }
+
+    def rebalance(self) -> RebalanceReport:
+        """One balancing round; returns what happened.
+
+        Every migration is wrapped in a key-space census — the full
+        multiset of stored entries before must equal the one after, or
+        :class:`~repro.errors.MigrationCensusError` propagates and the
+        round is aborted (the census check runs *before* replica repair,
+        so a corrupted migration never gets copied anywhere).
+        """
+        report = RebalanceReport(ratio_before=self.max_mean_ratio())
+        hot = self.hot_nodes()
+        report.hot_nodes = [node.node_id for node in hot]
+        moved_anything = False
+        if hot:
+            census = self.tree.census()
+            owners_before = self._owner_snapshot()
+            for node in hot:
+                if self.tree.balance_with_adjacent(
+                    node.node_id, weight=self._heat_weight
+                ):
+                    report.adjacent_migrations += 1
+                    moved_anything = True
+            # Adjacent moves only reach in-order neighbours; when the
+            # overlay is still skewed past the threshold, diffuse
+            # network-wide (the paper's global adjustment).
+            if (
+                self.config.allow_global
+                and self.max_mean_ratio() > self.config.hot_multiple
+                and self.tree.global_rebalance(weight=self._heat_weight)
+            ):
+                report.global_migrations += 1
+                moved_anything = True
+            self.tree.check_invariants(expected_census=census)
+            self.census_checks += 1
+            owners_after = self._owner_snapshot()
+            report.entries_moved = sum(
+                count
+                for key, (owner, count) in owners_after.items()
+                if owners_before.get(key, (owner, count))[0] != owner
+            )
+        if moved_anything and self.replicated is not None:
+            # Entries moved between primaries, so replica copies must
+            # follow — the range diff re-copies exactly the dirty nodes.
+            self.replicated.repair()
+        for node in self.tree.nodes():
+            node.load.decay(self.config.decay_alpha)
+            node.decay_heat(self.config.decay_alpha)
+        report.ratio_after = self.max_mean_ratio()
+        self.rounds += 1
+        self.total_migrations += report.migrations
+        self.total_entries_moved += report.entries_moved
+        return report

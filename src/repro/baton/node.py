@@ -51,6 +51,66 @@ class Range:
         return f"[{self.low:.6g}, {self.high:.6g})"
 
 
+@dataclass
+class NodeLoad:
+    """Per-node load accounting: what the node actually *did*.
+
+    Cumulative counters track lifetime totals; the ``*_window`` fields
+    accumulate since the last :meth:`decay` call, which folds them into
+    decayed EWMAs.  The balancer reads :meth:`score` — a single hotness
+    figure — so "load" means measured traffic, not stored-entry counts.
+    """
+
+    routing_hits: int = 0  # times this node forwarded or received a route
+    reads: int = 0  # index entries served (exact + range lookups)
+    writes: int = 0  # index entry inserts/deletes applied here
+    routing_window: int = 0
+    read_window: int = 0
+    write_window: int = 0
+    routing_ewma: float = 0.0
+    read_ewma: float = 0.0
+    write_ewma: float = 0.0
+
+    def record_routing(self, count: int = 1) -> None:
+        self.routing_hits += count
+        self.routing_window += count
+
+    def record_read(self, count: int = 1) -> None:
+        self.reads += count
+        self.read_window += count
+
+    def record_write(self, count: int = 1) -> None:
+        self.writes += count
+        self.write_window += count
+
+    def decay(self, alpha: float = 0.5) -> None:
+        """Fold the current window into the EWMAs and reset the window."""
+        self.routing_ewma = (1 - alpha) * self.routing_ewma + alpha * self.routing_window
+        self.read_ewma = (1 - alpha) * self.read_ewma + alpha * self.read_window
+        self.write_ewma = (1 - alpha) * self.write_ewma + alpha * self.write_window
+        self.routing_window = 0
+        self.read_window = 0
+        self.write_window = 0
+
+    def score(
+        self,
+        routing_weight: float = 0.5,
+        read_weight: float = 1.0,
+        write_weight: float = 1.0,
+    ) -> float:
+        """One hotness number; includes the not-yet-decayed window so a
+        flash crowd registers before the first decay tick."""
+        return (
+            routing_weight * (self.routing_ewma + self.routing_window)
+            + read_weight * (self.read_ewma + self.read_window)
+            + write_weight * (self.write_ewma + self.write_window)
+        )
+
+    @property
+    def total_ops(self) -> int:
+        return self.routing_hits + self.reads + self.writes
+
+
 class BatonNode:
     """One overlay participant.
 
@@ -76,6 +136,12 @@ class BatonNode:
         # Index entries this node is responsible for: key -> list of values.
         self.items: Dict[float, list] = {}
         self.online = True
+        # Measured load (routing hits, entry reads/writes + EWMAs).
+        self.load = NodeLoad()
+        # Per-key access heat: how often each stored key was touched.
+        # Migration moves a key's heat along with its values, so the
+        # balancer can split a hot *range* at the right boundary.
+        self.key_heat: Dict[float, float] = {}
 
     # ------------------------------------------------------------------
     # Ranges
@@ -129,6 +195,19 @@ class BatonNode:
         if not values:
             del self.items[key]
         return True
+
+    def touch_key(self, key: float, heat: float = 1.0) -> None:
+        """Record one access against ``key``'s heat (hot-range detection)."""
+        self.key_heat[key] = self.key_heat.get(key, 0.0) + heat
+
+    def decay_heat(self, alpha: float = 0.5) -> None:
+        """Cool every key's heat; forget keys that have gone cold."""
+        cooled = {
+            key: value * (1 - alpha)
+            for key, value in self.key_heat.items()
+            if value * (1 - alpha) > 1e-9
+        }
+        self.key_heat = cooled
 
     def items_in_range(self, low: float, high: float) -> List[tuple]:
         """(key, value) pairs with ``low <= key < high``."""

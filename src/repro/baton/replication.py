@@ -11,6 +11,13 @@ tier).  When the primary is offline the lookup is served from a replica;
 when a node permanently departs, re-replication restores the redundancy
 level.
 
+Replicas also carry read traffic when the primary is *hot*, not just when
+it is dead: pass a read policy (``read_policy=`` or per call) and exact
+and range lookups fan out across the primary plus its online replica
+holders, chosen by the policy (random / least-loaded / power-of-k, see
+:mod:`repro.baton.loadbalance`).  This is the mitigation for a flash crowd
+on a single key, which no amount of sub-domain migration can split.
+
 Replica maintenance on membership changes is *incremental*: a join or leave
 only touches the in-order neighbourhood whose holder assignment (or item
 range) actually changed, not the whole network.  :meth:`rebuild_replicas`
@@ -27,13 +34,29 @@ from repro.baton.tree import BatonOverlay, SearchResult
 
 
 class ReplicatedOverlay:
-    """A BATON overlay with neighbour replication and fail-over reads."""
+    """A BATON overlay with neighbour replication and fail-over reads.
 
-    def __init__(self, overlay: BatonOverlay, replica_factor: int = 2) -> None:
+    ``read_policy`` is any object with a ``choose(candidates)`` method
+    (see :class:`repro.baton.loadbalance.ReplicaChoicePolicy`); when set,
+    reads fan out across the primary and its online replica holders
+    instead of always hammering the primary.
+    """
+
+    def __init__(
+        self,
+        overlay: BatonOverlay,
+        replica_factor: int = 2,
+        read_policy=None,
+    ) -> None:
         if replica_factor < 1:
             raise BatonError(f"replica factor must be >= 1: {replica_factor}")
         self.overlay = overlay
         self.replica_factor = replica_factor
+        self.read_policy = read_policy
+        # Reads served by a replica holder while the primary was online
+        # (fan-out working), vs served because the primary was offline.
+        self.fanout_reads = 0
+        self.failover_reads = 0
         # replica copies: holder id -> {primary id -> {key -> values}}.
         # Keying by primary is what makes incremental repair possible: one
         # primary's contribution can be dropped without touching the copies
@@ -84,16 +107,20 @@ class ReplicatedOverlay:
     def insert(self, key: float, value: object) -> int:
         node, hops = self.overlay.find_responsible(key)
         node.add_item(key, value)
+        node.load.record_write()
+        node.touch_key(key)
         for holder_id in self._assignment.get(node.node_id, []):
             self._store.setdefault(holder_id, {}).setdefault(
                 node.node_id, {}
             ).setdefault(key, []).append(value)
+            self.overlay.node(holder_id).load.record_write()
             hops += 1  # one message per replica copy
         return hops
 
     def delete(self, key: float, value: object) -> Tuple[bool, int]:
         node, hops = self.overlay.find_responsible(key)
         removed = node.remove_item(key, value)
+        node.load.record_write()
         for holder_id in self._assignment.get(node.node_id, []):
             copies = (
                 self._store.get(holder_id, {})
@@ -107,29 +134,120 @@ class ReplicatedOverlay:
             hops += 1
         return removed, hops
 
-    def search(self, key: float) -> SearchResult:
-        """Exact lookup, served from a replica when the primary is offline."""
-        node, hops = self.overlay.find_responsible(key)
-        if node.online:
+    def search(
+        self,
+        key: float,
+        policy=None,
+        start_id: Optional[str] = None,
+    ) -> SearchResult:
+        """Exact lookup, fanned out across replicas when a policy says so.
+
+        Without a policy (constructor or per-call) the primary serves
+        every read it is online for, and a replica only steps in on
+        fail-over — the original behaviour.  With a policy, the serving
+        node is chosen among the online primary + replica holders, so a
+        flash crowd on one key spreads over ``replica_factor + 1`` nodes.
+        """
+        policy = policy if policy is not None else self.read_policy
+        node, hops = self.overlay.find_responsible(key, start_id)
+        # Heat accrues at the primary regardless of who serves: migration
+        # decisions are about key popularity, not about which copy
+        # happened to answer.
+        node.touch_key(key)
+        chosen = self._choose_server(node, policy)
+        if chosen is node:
+            node.load.record_read()
             return SearchResult(
                 values=list(node.items.get(key, [])),
                 hops=hops,
                 node_ids=[node.node_id],
             )
-        for holder_id in self._assignment.get(node.node_id, []):
+        values = list(
+            self._store.get(chosen.node_id, {})
+            .get(node.node_id, {})
+            .get(key, [])
+        )
+        chosen.load.record_read()
+        if node.online:
+            self.fanout_reads += 1
+        else:
+            self.failover_reads += 1
+        return SearchResult(
+            values=values, hops=hops + 1, node_ids=[chosen.node_id]
+        )
+
+    def range_search(
+        self,
+        low: float,
+        high: float,
+        policy=None,
+        start_id: Optional[str] = None,
+    ) -> SearchResult:
+        """Range scan with per-segment replica fan-out.
+
+        Routes to the owner of ``low`` and walks right-adjacent links
+        (BATON's range strategy), but each segment is *served* by the
+        node the policy picks among the segment's primary and its online
+        replica holders — so a hot range's read load spreads across the
+        whole replica neighbourhood instead of serializing on the
+        primaries.
+        """
+        policy = policy if policy is not None else self.read_policy
+        if low >= high:
+            return SearchResult(values=[], hops=0)
+        domain = self.overlay.domain
+        low = max(low, domain.low)
+        if low >= domain.high:
+            return SearchResult(values=[], hops=0)
+        node, hops = self.overlay.find_responsible(low, start_id)
+        values: List[Tuple[float, object]] = []
+        node_ids: List[str] = []
+        while node is not None and node.r0.low < high:
+            chosen = self._choose_server(node, policy)
+            if chosen is node:
+                matched = node.items_in_range(low, high)
+            else:
+                copies = self._store.get(chosen.node_id, {}).get(
+                    node.node_id, {}
+                )
+                matched = [
+                    (key, value)
+                    for key in sorted(copies)
+                    if low <= key < high
+                    for value in copies[key]
+                ]
+                hops += 1  # redirect from the primary to the holder
+                if node.online:
+                    self.fanout_reads += 1
+                else:
+                    self.failover_reads += 1
+            chosen.load.record_read()
+            for key in sorted({key for key, _ in matched}):
+                node.touch_key(key)
+            values.extend(matched)
+            node_ids.append(chosen.node_id)
+            node = node.adjacent_right
+            if node is not None:
+                hops += 1
+        return SearchResult(values=values, hops=hops, node_ids=node_ids)
+
+    def _choose_server(self, primary: BatonNode, policy) -> BatonNode:
+        """The node that serves a read against ``primary``'s range."""
+        candidates: List[BatonNode] = [primary] if primary.online else []
+        for holder_id in self._assignment.get(primary.node_id, []):
             holder = self.overlay.node(holder_id)
             if holder.online:
-                values = list(
-                    self._store.get(holder_id, {})
-                    .get(node.node_id, {})
-                    .get(key, [])
-                )
-                return SearchResult(
-                    values=values, hops=hops + 1, node_ids=[holder_id]
-                )
-        raise ReplicaUnavailableError(
-            f"no online replica for key {key} (primary {node.node_id!r} down)"
-        )
+                candidates.append(holder)
+        if not candidates:
+            raise ReplicaUnavailableError(
+                f"no online copy of {primary.node_id!r}'s range "
+                "(primary and every replica holder down)"
+            )
+        if policy is None or len(candidates) == 1:
+            # No policy: primary when online, first online holder else —
+            # the original fail-over-only behaviour.
+            return candidates[0]
+        return policy.choose(candidates)
 
     # ------------------------------------------------------------------
     # Re-replication
@@ -143,6 +261,28 @@ class ReplicatedOverlay:
         self._assignment = assignment
         self._ranges = self._current_ranges()
         self.last_repair_count = len(assignment)
+
+    def repair(self) -> int:
+        """Re-copy replicas after primaries' ranges moved (migration).
+
+        Load-balancing migrations shift sub-domain boundaries exactly
+        like joins and leaves do, so the same incremental range-diff
+        repair applies.  Returns the number of primaries re-copied.
+        """
+        self._repair_membership()
+        return self.last_repair_count
+
+    # ------------------------------------------------------------------
+    # Invariants (delegated to the underlying overlay)
+    # ------------------------------------------------------------------
+    def census(self) -> Dict[float, int]:
+        """Key-space census over the *primary* copies."""
+        return self.overlay.census()
+
+    def check_invariants(
+        self, expected_census: Optional[Dict[float, int]] = None
+    ) -> None:
+        self.overlay.check_invariants(expected_census=expected_census)
 
     def replica_count(self, node_id: str) -> int:
         """Number of replica values held *for other nodes* at ``node_id``."""

@@ -21,7 +21,7 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
-from repro.errors import BatonError, BatonRangeError
+from repro.errors import BatonError, BatonRangeError, MigrationCensusError
 from repro.baton.node import BatonNode, Range
 
 
@@ -90,8 +90,45 @@ class BatonOverlay:
 
         yield from walk(self.root)
 
-    def check_invariants(self) -> None:
-        """Raise if structural invariants are violated (used by tests)."""
+    def census(self) -> Dict[float, int]:
+        """Key-space census: key -> number of stored values, network-wide.
+
+        Migration moves entries between nodes but must never lose or
+        duplicate one, so the census taken before a migration must equal
+        the census after it — that equality is the safety invariant
+        :meth:`check_invariants` verifies when given ``expected_census``.
+        """
+        counts: Dict[float, int] = {}
+        for node in self.nodes():
+            for key, values in node.items.items():
+                counts[key] = counts.get(key, 0) + len(values)
+        return counts
+
+    def check_invariants(
+        self, expected_census: Optional[Dict[float, int]] = None
+    ) -> None:
+        """Raise if structural invariants are violated (used by tests).
+
+        With ``expected_census`` (a prior :meth:`census` snapshot), also
+        verify that no index entry was lost or duplicated since: every key
+        still carries exactly as many values as before.
+        """
+        if expected_census is not None:
+            current = self.census()
+            if current != expected_census:
+                missing = {
+                    key: count - current.get(key, 0)
+                    for key, count in expected_census.items()
+                    if current.get(key, 0) != count
+                }
+                extra = {
+                    key: count - expected_census.get(key, 0)
+                    for key, count in current.items()
+                    if expected_census.get(key, 0) != count
+                }
+                raise MigrationCensusError(
+                    f"key-space census changed: lost={missing} gained={extra}"
+                )
         nodes = self.nodes()
         if not nodes:
             return
@@ -182,6 +219,9 @@ class BatonOverlay:
         for key in moved:
             for value in parent.items.pop(key):
                 child.items.setdefault(key, []).append(value)
+            heat = parent.key_heat.pop(key, 0.0)
+            if heat:
+                child.key_heat[key] = child.key_heat.get(key, 0.0) + heat
 
     # ------------------------------------------------------------------
     # Membership: leave
@@ -237,7 +277,10 @@ class BatonOverlay:
         for key, values in leaf.items.items():
             for value in values:
                 heir.items.setdefault(key, []).append(value)
+        for key in sorted(leaf.key_heat):
+            heir.key_heat[key] = heir.key_heat.get(key, 0.0) + leaf.key_heat[key]
         leaf.items.clear()
+        leaf.key_heat.clear()
         parent = leaf.parent
         if parent is None:
             raise BatonError("cannot detach the root as a leaf")
@@ -251,6 +294,7 @@ class BatonOverlay:
         """Install ``replacement`` at ``old``'s position, range and items."""
         replacement.r0 = old.r0
         replacement.items = dict(old.items)
+        replacement.key_heat = dict(old.key_heat)
         replacement.level = old.level
         replacement.position = old.position
         replacement.parent = old.parent
@@ -269,6 +313,7 @@ class BatonOverlay:
             self.root = replacement
         old.parent = old.left_child = old.right_child = None
         old.items = {}
+        old.key_heat = {}
 
     # ------------------------------------------------------------------
     # Links: adjacency and routing tables
@@ -313,11 +358,13 @@ class BatonOverlay:
         if not self.domain.contains(key):
             raise BatonRangeError(f"key {key} outside domain {self.domain}")
         current = self.node(start_id) if start_id is not None else self.root
+        current.load.record_routing()
         hops = 0
         safety = 4 * (len(self._nodes) + 2)
         while not current.r0.contains(key):
             nxt = self._next_hop(current, key)
             current = nxt
+            current.load.record_routing()
             hops += 1
             safety -= 1
             if safety <= 0:  # pragma: no cover - defensive
@@ -364,6 +411,8 @@ class BatonOverlay:
         """Store ``value`` under ``key``; returns routing hops."""
         node, hops = self.find_responsible(key, start_id)
         node.add_item(key, value)
+        node.load.record_write()
+        node.touch_key(key)
         return hops
 
     def delete(
@@ -371,11 +420,14 @@ class BatonOverlay:
     ) -> Tuple[bool, int]:
         """Remove one matching item; returns (removed, hops)."""
         node, hops = self.find_responsible(key, start_id)
+        node.load.record_write()
         return node.remove_item(key, value), hops
 
     def search(self, key: float, start_id: Optional[str] = None) -> SearchResult:
         """Exact lookup of all values stored under ``key``."""
         node, hops = self.find_responsible(key, start_id)
+        node.load.record_read()
+        node.touch_key(key)
         return SearchResult(
             values=list(node.items.get(key, [])),
             hops=hops,
@@ -400,6 +452,9 @@ class BatonOverlay:
         node_ids: List[str] = []
         while node is not None and node.r0.low < high:
             matched = node.items_in_range(low, high)
+            node.load.record_read()
+            for matched_key in sorted({key for key, _ in matched}):
+                node.touch_key(matched_key)
             if matched:
                 values.extend(matched)
             node_ids.append(node.node_id)
@@ -411,15 +466,29 @@ class BatonOverlay:
     # ------------------------------------------------------------------
     # Load balancing
     # ------------------------------------------------------------------
-    def balance_with_adjacent(self, node_id: str) -> bool:
-        """Even out item load between a node and its lighter adjacent node.
+    def balance_with_adjacent(
+        self,
+        node_id: str,
+        weight: Optional[Callable[[BatonNode, float], float]] = None,
+    ) -> bool:
+        """Even out load between a node and its lighter adjacent node.
 
         Implements the paper's first load-balancing scheme ("a node can
-        balance its load with adjacent nodes"): the boundary between the two
-        sub-domains moves so each side holds about half the items.  Returns
-        True if a transfer happened.
+        balance its load with adjacent nodes"): the boundary between the
+        two sub-domains moves so each side holds about half the load.
+        Returns True if a transfer happened.
+
+        ``weight`` maps ``(node, key)`` to that key's share of the load;
+        the default weighs every stored value equally (the original
+        entry-count balancing).  The load balancer passes measured per-key
+        heat instead, so a hot *range* splits at the access boundary
+        rather than the entry-count midpoint.  The node always keeps at
+        least one key: a lone hot key cannot be migrated away (replica
+        read fan-out is the mitigation for that shape of skew).
         """
         node = self.node(node_id)
+        if weight is None:
+            weight = lambda n, key: float(len(n.items[key]))
         candidates = [
             neighbor
             for neighbor in (node.adjacent_left, node.adjacent_right)
@@ -427,45 +496,46 @@ class BatonOverlay:
         ]
         if not candidates:
             return False
-        lightest = min(candidates, key=lambda n: n.item_count)
-        if node.item_count <= lightest.item_count + 1:
+
+        def total(n: BatonNode) -> float:
+            return sum(weight(n, key) for key in n.items)
+
+        lightest = min(candidates, key=total)
+        node_total = total(node)
+        light_total = total(lightest)
+        # Mirror the original guard: the gap must exceed one unit of
+        # weight, so tiny imbalances don't cause migration ping-pong.
+        if not node.items or node_total <= light_total + 1.0:
             return False
 
         keys = sorted(node.items)
-        target = (node.item_count + lightest.item_count) // 2
+        target = (node_total + light_total) / 2.0
+        ordered = keys if lightest is node.adjacent_left else list(reversed(keys))
+        moved: List[float] = []
+        remaining = node_total
+        for key in ordered:
+            if remaining <= target or len(moved) + 1 == len(keys):
+                break
+            moved.append(key)
+            remaining -= weight(node, key)
+        if not moved:
+            return False
+
         if lightest is node.adjacent_left:
             # Shift low keys to the left neighbour: move the boundary up.
-            moved: List[float] = []
-            count = 0
-            for key in keys:
-                if node.item_count - count <= target:
-                    break
-                moved.append(key)
-                count += len(node.items[key])
-            if not moved:
-                return False
             boundary = self._boundary_after(node, moved)
             lightest.r0 = Range(lightest.r0.low, boundary)
             node.r0 = Range(boundary, node.r0.high)
-            for key in moved:
-                for value in node.items.pop(key):
-                    lightest.items.setdefault(key, []).append(value)
         else:
-            moved = []
-            count = 0
-            for key in reversed(keys):
-                if node.item_count - count <= target:
-                    break
-                moved.append(key)
-                count += len(node.items[key])
-            if not moved:
-                return False
             boundary = min(moved)
             lightest.r0 = Range(boundary, lightest.r0.high)
             node.r0 = Range(node.r0.low, boundary)
-            for key in moved:
-                for value in node.items.pop(key):
-                    lightest.items.setdefault(key, []).append(value)
+        for key in moved:
+            for value in node.items.pop(key):
+                lightest.items.setdefault(key, []).append(value)
+            heat = node.key_heat.pop(key, 0.0)
+            if heat:
+                lightest.key_heat[key] = lightest.key_heat.get(key, 0.0) + heat
         return True
 
     def _boundary_after(self, node: BatonNode, moved_keys: List[float]) -> float:
@@ -475,7 +545,10 @@ class BatonOverlay:
         floor = min(kept) if kept else node.r0.high
         return (top_moved + floor) / 2.0 if kept else floor
 
-    def global_rebalance(self) -> bool:
+    def global_rebalance(
+        self,
+        weight: Optional[Callable[[BatonNode, float], float]] = None,
+    ) -> bool:
         """The paper's second load-balancing scheme (§4.3), network-wide.
 
         When adjacent balancing alone cannot fix a hot spot ("there is no
@@ -497,7 +570,7 @@ class BatonOverlay:
         for _ in range(8 * max(1, len(self._nodes))):
             moved_this_pass = False
             for node in self.nodes():
-                if self.balance_with_adjacent(node.node_id):
+                if self.balance_with_adjacent(node.node_id, weight=weight):
                     moved_this_pass = True
                     changed = True
             if not moved_this_pass:

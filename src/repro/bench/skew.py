@@ -1,0 +1,462 @@
+"""Skew and flash-crowd sweep over the BATON overlay.
+
+Runs three chaos scenarios against a replicated overlay — a Zipf-skewed
+steady workload, a flash crowd concentrated on one supplier's sub-domain,
+and the same flash crowd with churn (joins, a leave, a crash) in the
+middle of the hot spell — once without mitigation and once per balancing
+policy (random / least-loaded / power-of-k replica read fan-out plus
+measured-load hot-range migration).
+
+Every variant of every scenario runs the *same* seeded operation script
+through :class:`repro.sim.chaos.OverlayChaosHarness`, so the only thing
+that differs is the mitigation; and every run is census-gated — the
+overlay must hold exactly the entries the script inserted after every
+operation, so a migration that loses or duplicates an index entry fails
+the sweep outright.
+
+The acceptance gates:
+
+* least-loaded or power-of-k cuts the final max/mean load ratio at least
+  2x vs. no balancing in the flash-crowd scenarios (and strictly improves
+  it under plain Zipf skew),
+* the hot-range p99 latency proxy (routing hops + serving-node backlog)
+  improves under mitigation,
+* no mitigated variant ends more skewed than the unmitigated control,
+* zero census violations anywhere, churn included.
+
+Usage::
+
+    python -m repro.bench.skew --out BENCH_skew.json
+    python -m repro.bench.skew --searches 600 --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import random
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baton import (
+    BatonOverlay,
+    LoadBalancer,
+    LoadBalancerConfig,
+    ReplicatedOverlay,
+    make_policy,
+)
+from repro.bench.harness import SEED
+from repro.bench.workloads import ZipfWorkload
+from repro.errors import MigrationCensusError
+from repro.sim.chaos import OverlayChaosHarness
+
+NUM_NODES = 8
+NUM_KEYS = 192
+#: Zipf exponent: a hot head without being a single-key workload.
+THETA = 1.2
+#: A node is hot past 1.5x the overlay's mean load score.
+HOT_MULTIPLE = 1.5
+#: The unmitigated control still decays its load windows on the same
+#: cadence (a real server drains its queue over time) but its hot
+#: threshold is unreachable, so it never migrates.
+NO_BALANCE_MULTIPLE = 1.0e9
+#: One decay/rebalance round every this many operations.
+REBALANCE_EVERY = 150
+#: How many of the hottest keys count as "the hot range" for p99.
+HOT_KEY_COUNT = 12
+
+SCENARIOS = ("zipf", "flash-crowd", "churn-hot-spell")
+VARIANTS = ("none", "random", "least-loaded", "power-of-k")
+#: The policies the ratio-cut gate accepts (random fan-out spreads reads
+#: but ignores load, so it is reported, not gated).
+GATED_POLICIES = ("least-loaded", "power-of-k")
+
+
+def node_ids() -> List[str]:
+    """The overlay's member ids (also the workload's tenant names)."""
+    return [f"n{index}" for index in range(NUM_NODES)]
+
+
+def overlay_factory(policy_name: str, seed: int):
+    """A fresh replicated overlay with the variant's read policy."""
+
+    def build() -> ReplicatedOverlay:
+        policy = (
+            None
+            if policy_name == "none"
+            else make_policy(policy_name, seed=seed)
+        )
+        overlay = ReplicatedOverlay(BatonOverlay(), read_policy=policy)
+        for node_id in node_ids():
+            overlay.join(node_id)
+        return overlay
+
+    return build
+
+
+def balancer_factory(mitigate: bool):
+    """A balancer that migrates, or a decay-only control."""
+
+    def build(overlay) -> LoadBalancer:
+        multiple = HOT_MULTIPLE if mitigate else NO_BALANCE_MULTIPLE
+        return LoadBalancer(
+            overlay, LoadBalancerConfig(hot_multiple=multiple)
+        )
+
+    return build
+
+
+# ----------------------------------------------------------------------
+# Scenario scripts
+# ----------------------------------------------------------------------
+def _search_step(
+    key: float, tenant: str, members: List[str]
+) -> Tuple[str, float, str]:
+    """A search issued by ``tenant``'s peer, or a surviving peer."""
+    start = tenant if tenant in members else members[0]
+    return ("search", key, start)
+
+
+def build_script(
+    scenario: str, searches: int, seed: int
+) -> Tuple[List[tuple], List[int]]:
+    """The operation script plus the indices of its hot-range searches.
+
+    The script is a pure function of ``(scenario, searches, seed)`` —
+    every mitigation variant replays exactly the same operations.
+    """
+    if scenario not in SCENARIOS:
+        raise ValueError(
+            f"unknown scenario {scenario!r} (valid: {', '.join(SCENARIOS)})"
+        )
+    keys = [(index + 0.5) / NUM_KEYS for index in range(NUM_KEYS)]
+    workload = ZipfWorkload(keys, node_ids(), theta=THETA, seed=seed)
+    if scenario == "zipf":
+        hot_keys = set(workload.hot_keys(HOT_KEY_COUNT))
+    else:
+        # The flash crowd slams one supplier's entire sub-domain: the
+        # contiguous keys owned by the hottest key's responsible node.
+        # Join order is deterministic, so a probe overlay finds the same
+        # ranges every variant will see.
+        probe = overlay_factory("none", seed)()
+        owner, _ = probe.overlay.find_responsible(workload.hottest_key)
+        hot_keys = {
+            key for key in keys if owner.r0.low <= key < owner.r0.high
+        }
+    rng = random.Random(seed)
+    members = list(node_ids())
+
+    script: List[tuple] = [
+        ("insert", key, f"item-{index}") for index, key in enumerate(keys)
+    ]
+    hot_indices: List[int] = []
+    search_count = 0
+
+    def add_search(key: float, tenant: str, hot: bool) -> None:
+        nonlocal search_count
+        script.append(_search_step(key, tenant, members))
+        if hot:
+            hot_indices.append(search_count)
+        search_count += 1
+
+    def maybe_rebalance() -> None:
+        if (len(script) + 1) % REBALANCE_EVERY == 0:
+            script.append(("rebalance",))
+
+    if scenario == "zipf":
+        for _ in range(searches):
+            access = workload.next_access()
+            add_search(access.key, access.tenant, access.key in hot_keys)
+            maybe_rebalance()
+        script.append(("rebalance",))
+        return script, hot_indices
+
+    # Flash crowd: a uniform warm-up, then most traffic slams the hottest
+    # keys — one supplier's sub-domain — while a Zipf trickle continues.
+    warmup = searches // 4
+    hot_list = sorted(hot_keys)
+    churn_points: Dict[int, List[tuple]] = {}
+    if scenario == "churn-hot-spell":
+        spell = searches - warmup
+        survivors = [
+            node_id for node_id in node_ids()
+            if node_id not in ("n0", "n1")
+        ]
+        crash_target = survivors[0]
+        churn_points = {
+            warmup + spell // 5: [("join", f"n{NUM_NODES}")],
+            warmup + 2 * spell // 5: [("crash", crash_target)],
+            warmup + 3 * spell // 5: [("restore", crash_target)],
+            warmup + 4 * spell // 5: [
+                ("leave", survivors[1]),
+                ("join", f"n{NUM_NODES + 1}"),
+            ],
+        }
+    for position in range(searches):
+        for step in churn_points.get(position, ()):
+            script.append(step)
+            if step[0] == "join":
+                members.append(step[1])
+            elif step[0] == "leave":
+                members.remove(step[1])
+            elif step[0] == "crash":
+                members.remove(step[1])
+            elif step[0] == "restore":
+                members.append(step[1])
+        access = workload.next_access()
+        if position < warmup or rng.random() >= 0.8:
+            add_search(access.key, access.tenant, access.key in hot_keys)
+        else:
+            key = hot_list[rng.randrange(len(hot_list))]
+            add_search(key, access.tenant, True)
+        maybe_rebalance()
+    script.append(("rebalance",))
+    return script, hot_indices
+
+
+# ----------------------------------------------------------------------
+# Running and gating
+# ----------------------------------------------------------------------
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Exact percentile (0 for an empty sample)."""
+    if not 0 < fraction <= 1:
+        raise ValueError(f"fraction must be in (0, 1]: {fraction}")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, math.ceil(fraction * len(ordered)) - 1)
+    return ordered[rank]
+
+
+@dataclass
+class ScenarioResult:
+    """One (scenario, policy) run's measurements."""
+
+    scenario: str
+    policy: str
+    searches: int
+    ratio_final: float
+    ratio_peak: float
+    migrations: int
+    entries_moved: int
+    census_checks: int
+    fanout_reads: int
+    failover_reads: int
+    hot_p50: float
+    hot_p99: float
+    overall_p99: float
+    census_violation: Optional[str] = None
+
+    def as_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "policy": self.policy,
+            "searches": self.searches,
+            "ratio_final": self.ratio_final,
+            "ratio_peak": self.ratio_peak,
+            "migrations": self.migrations,
+            "entries_moved": self.entries_moved,
+            "census_checks": self.census_checks,
+            "fanout_reads": self.fanout_reads,
+            "failover_reads": self.failover_reads,
+            "hot_p50": self.hot_p50,
+            "hot_p99": self.hot_p99,
+            "overall_p99": self.overall_p99,
+            "census_violation": self.census_violation,
+        }
+
+
+def run_variant(
+    scenario: str, policy: str, searches: int, seed: int
+) -> ScenarioResult:
+    """One scenario under one mitigation variant, census-gated."""
+    script, hot_indices = build_script(scenario, searches, seed)
+    harness = OverlayChaosHarness(
+        overlay_factory(policy, seed),
+        balancer_factory(mitigate=policy != "none"),
+        check_every=10,
+    )
+    try:
+        report = harness.run(script)
+    except MigrationCensusError as error:
+        return ScenarioResult(
+            scenario=scenario,
+            policy=policy,
+            searches=0,
+            ratio_final=0.0,
+            ratio_peak=0.0,
+            migrations=0,
+            entries_moved=0,
+            census_checks=0,
+            fanout_reads=0,
+            failover_reads=0,
+            hot_p50=0.0,
+            hot_p99=0.0,
+            overall_p99=0.0,
+            census_violation=str(error),
+        )
+    latencies = report.search_latencies()
+    hot = [latencies[index] for index in hot_indices]
+    return ScenarioResult(
+        scenario=scenario,
+        policy=policy,
+        searches=report.searches,
+        ratio_final=report.final_ratio,
+        ratio_peak=report.peak_ratio,
+        migrations=report.migrations,
+        entries_moved=report.entries_moved,
+        census_checks=report.census_checks,
+        fanout_reads=report.fanout_reads,
+        failover_reads=report.failover_reads,
+        hot_p50=percentile(hot, 0.50),
+        hot_p99=percentile(hot, 0.99),
+        overall_p99=percentile(latencies, 0.99),
+    )
+
+
+def run_sweep(
+    searches: int = 1200, seed: int = SEED
+) -> Dict[str, Dict[str, ScenarioResult]]:
+    """Every scenario under every variant: {scenario: {policy: result}}."""
+    return {
+        scenario: {
+            policy: run_variant(scenario, policy, searches, seed)
+            for policy in VARIANTS
+        }
+        for scenario in SCENARIOS
+    }
+
+
+def check_gates(
+    results: Dict[str, Dict[str, ScenarioResult]]
+) -> List[str]:
+    """The skew acceptance gates; returns human-readable violations."""
+    violations: List[str] = []
+    for scenario, variants in sorted(results.items()):
+        for policy, result in sorted(variants.items()):
+            if result.census_violation is not None:
+                violations.append(
+                    f"{scenario}/{policy}: census violated — "
+                    f"{result.census_violation}"
+                )
+        if any(
+            result.census_violation is not None
+            for result in variants.values()
+        ):
+            continue
+        control = variants["none"]
+        # Balanced must never end more skewed than unbalanced.
+        for policy in GATED_POLICIES:
+            if variants[policy].ratio_final > control.ratio_final:
+                violations.append(
+                    f"{scenario}/{policy}: balanced ratio "
+                    f"{variants[policy].ratio_final:.2f} exceeds "
+                    f"unbalanced {control.ratio_final:.2f}"
+                )
+        # One gated policy must deliver the headline result: under the
+        # flash-crowd scenarios, a >=2x cut in max/mean load ratio AND a
+        # better hot-range p99 than no mitigation; under plain Zipf skew
+        # (hot keys scattered across the domain), a strict ratio
+        # improvement.
+        required_cut = 2.0 if scenario != "zipf" else 1.0
+        passed = [
+            variants[policy]
+            for policy in GATED_POLICIES
+            if variants[policy].ratio_final * required_cut
+            <= control.ratio_final
+            and (
+                scenario == "zipf"
+                or variants[policy].hot_p99 < control.hot_p99
+            )
+            and (
+                scenario != "zipf"
+                or variants[policy].ratio_final < control.ratio_final
+            )
+        ]
+        if not passed:
+            violations.append(
+                f"{scenario}: no gated policy cut the unbalanced "
+                f"max/mean {control.ratio_final:.2f} by "
+                f"{required_cut:g}x while improving the hot-range p99 "
+                f"{control.hot_p99:.1f}"
+            )
+        elif all(result.migrations == 0 for result in passed):
+            violations.append(
+                f"{scenario}: mitigation never migrated — the scenario "
+                f"did not exercise hot-range migration"
+            )
+    return violations
+
+
+def render(results: Dict[str, Dict[str, ScenarioResult]]) -> str:
+    """A terminal summary, one block per scenario."""
+    lines: List[str] = []
+    for scenario in SCENARIOS:
+        lines.append(f"{scenario}:")
+        for policy in VARIANTS:
+            result = results[scenario][policy]
+            if result.census_violation is not None:
+                lines.append(
+                    f"  {policy}: CENSUS VIOLATION — "
+                    f"{result.census_violation}"
+                )
+                continue
+            lines.append(
+                f"  {policy}: max/mean={result.ratio_final:.2f} "
+                f"(peak {result.ratio_peak:.2f}) "
+                f"hot p99={result.hot_p99:.1f} "
+                f"migrations={result.migrations} "
+                f"moved={result.entries_moved} "
+                f"fanout={result.fanout_reads}"
+            )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns 1 when any skew gate is violated."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.skew",
+        description="Zipf / flash-crowd / churn sweep with balancing gates",
+    )
+    parser.add_argument(
+        "--searches", type=int, default=1200,
+        help="searches per scenario (default: 1200)",
+    )
+    parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument(
+        "--out", default=None, help="write the JSON report here"
+    )
+    args = parser.parse_args(argv)
+
+    results = run_sweep(searches=args.searches, seed=args.seed)
+    print(render(results))
+    violations = check_gates(results)
+    if args.out:
+        payload = {
+            "seed": args.seed,
+            "searches": args.searches,
+            "scenarios": {
+                scenario: {
+                    policy: result.as_dict()
+                    for policy, result in sorted(variants.items())
+                }
+                for scenario, variants in sorted(results.items())
+            },
+            "violations": violations,
+        }
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"report written to {args.out}")
+    if violations:
+        print("skew gate violations:", file=sys.stderr)
+        for violation in violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    print("all skew gates hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

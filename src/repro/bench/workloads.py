@@ -15,6 +15,8 @@ range indexes on the nation key — and drives it two ways:
 
 from __future__ import annotations
 
+import bisect
+import random
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -206,3 +208,102 @@ def open_loop_sweep(
 @lru_cache(maxsize=None)
 def get_supply_chain(num_peers: int) -> SupplyChainBench:
     return SupplyChainBench(num_peers)
+
+
+# ----------------------------------------------------------------------
+# Skewed access streams (Zipf keys and tenants)
+# ----------------------------------------------------------------------
+class ZipfGenerator:
+    """Seeded Zipf(``theta``) sampler over ranks ``0..n-1`` (0 hottest).
+
+    Rank ``i`` (1-based) carries weight ``1 / i**theta``; at the classic
+    ``theta = 0.99`` roughly a third of all samples land on the hottest
+    few percent of ranks, which is the shape real key popularity takes.
+    Two generators built from the same ``(n, theta, seed)`` produce the
+    same sample stream — the determinism every bench artifact rests on.
+    """
+
+    def __init__(self, n: int, theta: float = 0.99, seed: int = SEED) -> None:
+        if n < 1:
+            raise ValueError(f"a Zipf generator needs n >= 1 ranks: {n}")
+        if theta <= 0.0:
+            raise ValueError(f"theta must be positive: {theta}")
+        self.n = n
+        self.theta = theta
+        self._rng = random.Random(seed)
+        self._cumulative: List[float] = []
+        total = 0.0
+        for rank in range(1, n + 1):
+            total += 1.0 / rank ** theta
+            self._cumulative.append(total)
+
+    def sample(self) -> int:
+        """One rank, 0-based; 0 is the hottest."""
+        point = self._rng.random() * self._cumulative[-1]
+        return bisect.bisect_left(self._cumulative, point)
+
+    def sample_many(self, count: int) -> List[int]:
+        if count < 0:
+            raise ValueError(f"count must be non-negative: {count}")
+        return [self.sample() for _ in range(count)]
+
+
+@dataclass(frozen=True)
+class SkewedAccess:
+    """One access in a skewed stream: which key, on whose behalf."""
+
+    key: float
+    tenant: str
+
+
+class ZipfWorkload:
+    """A seeded stream of Zipf-skewed ``(key, tenant)`` accesses.
+
+    Key *ranks* are Zipf-distributed but the rank-to-key mapping is a
+    seeded shuffle, so the hot keys scatter across the key domain instead
+    of always clustering at its low end — a skewed workload should melt
+    whichever node happens to own the hot keys, not structurally the
+    leftmost one.  Tenants draw from an independent Zipf stream (offset
+    seed), modelling one noisy tenant dominating traffic.
+    """
+
+    def __init__(
+        self,
+        keys: Sequence[float],
+        tenants: Sequence[str],
+        theta: float = 0.99,
+        seed: int = SEED,
+    ) -> None:
+        if not keys:
+            raise ValueError("a skewed workload needs at least one key")
+        if not tenants:
+            raise ValueError("a skewed workload needs at least one tenant")
+        self._keys = list(keys)
+        random.Random(seed).shuffle(self._keys)
+        self._tenants = list(tenants)
+        self._key_ranks = ZipfGenerator(len(self._keys), theta, seed + 1)
+        self._tenant_ranks = ZipfGenerator(
+            len(self._tenants), theta, seed + 2
+        )
+
+    @property
+    def hottest_key(self) -> float:
+        """The key rank 0 maps to — where the flash crowd will land."""
+        return self._keys[0]
+
+    def hot_keys(self, count: int) -> List[float]:
+        """The ``count`` hottest keys, hottest first."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative: {count}")
+        return self._keys[:count]
+
+    def next_access(self) -> SkewedAccess:
+        return SkewedAccess(
+            key=self._keys[self._key_ranks.sample()],
+            tenant=self._tenants[self._tenant_ranks.sample()],
+        )
+
+    def take(self, count: int) -> List[SkewedAccess]:
+        if count < 0:
+            raise ValueError(f"count must be non-negative: {count}")
+        return [self.next_access() for _ in range(count)]

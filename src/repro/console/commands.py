@@ -16,6 +16,8 @@ Commands (one per line; ``#`` starts a comment):
     maintenance                           run one Algorithm-1 epoch
     bootstrap status                      HA pair: leader, epoch, log, lag
     serving status                        front door: queues, SLO counters
+    baton status                          overlay: per-node load, balancing
+    baton rebalance                       one measured-load balancing round
     metrics | status | billing <hours> | help
 """
 
@@ -57,6 +59,7 @@ class Console:
             "maintenance": self._cmd_maintenance,
             "bootstrap": self._cmd_bootstrap,
             "serving": self._cmd_serving,
+            "baton": self._cmd_baton,
             "metrics": self._cmd_metrics,
             "status": self._cmd_status,
             "billing": self._cmd_billing,
@@ -323,6 +326,51 @@ class Console:
                         f"e2e p50={stats.e2e_latency.percentile(0.5):.3f}s "
                         f"p99={stats.e2e_latency.percentile(0.99):.3f}s"
                     )
+        return "\n".join(lines)
+
+    def _cmd_baton(self, rest: str) -> str:
+        """Report or drive the BATON overlay's load balancing."""
+        net = self._require_network()
+        if rest == "rebalance":
+            report = net.rebalance_overlay()
+            return (
+                f"rebalance: hot={len(report.hot_nodes)} "
+                f"migrations={report.migrations} "
+                f"entries_moved={report.entries_moved} "
+                f"max/mean {report.ratio_before:.2f} -> "
+                f"{report.ratio_after:.2f}"
+            )
+        if rest != "status":
+            raise ConsoleError("usage: baton status | baton rebalance")
+        balancer = net.load_balancer
+        tree = balancer.tree
+        nodes = tree.nodes()
+        if not nodes:
+            return "overlay is empty"
+        mean = balancer.mean_score()
+        hot_ids = {node.node_id for node in balancer.hot_nodes()}
+        lines = [
+            f"overlay: {len(nodes)} node(s), "
+            f"mean load={mean:.2f}, "
+            f"max/mean={balancer.max_mean_ratio():.2f}, "
+            f"hot(>{net.load_balancer.config.hot_multiple:g}x mean)="
+            f"{len(hot_ids)}",
+            f"balancing: rounds={balancer.rounds} "
+            f"migrations={balancer.total_migrations} "
+            f"entries_moved={balancer.total_entries_moved} "
+            f"census_checks={balancer.census_checks}",
+            f"replica reads: fanout={net.overlay.fanout_reads} "
+            f"failover={net.overlay.failover_reads}",
+        ]
+        for node in sorted(nodes, key=lambda n: n.node_id):
+            load = node.load
+            marker = " HOT" if node.node_id in hot_ids else ""
+            lines.append(
+                f"  {node.node_id}: score={load.score():.2f} "
+                f"routing={load.routing_hits} reads={load.reads} "
+                f"writes={load.writes} entries={len(node.items)}"
+                f"{marker}"
+            )
         return "\n".join(lines)
 
     def _cmd_metrics(self, rest: str) -> str:

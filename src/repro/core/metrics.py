@@ -161,6 +161,37 @@ class LaneServingStats:
         }
 
 
+@dataclass
+class OverlayLoadStats:
+    """BATON overlay load-balancing observability.
+
+    Written by :meth:`~repro.core.network.BestPeerNetwork.rebalance_overlay`
+    (and anything else driving a :class:`repro.baton.loadbalance.LoadBalancer`),
+    read by the console's ``baton status``.
+    """
+
+    rebalance_rounds: int = 0
+    migrations: int = 0
+    entries_migrated: int = 0
+    census_checks: int = 0
+    fanout_reads: int = 0
+    failover_reads: int = 0
+    #: Max/mean load-score ratio observed at the last rebalance round
+    #: (1.0 = perfectly even load, higher = skew).
+    last_max_mean_ratio: float = 1.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "rebalance_rounds": self.rebalance_rounds,
+            "migrations": self.migrations,
+            "entries_migrated": self.entries_migrated,
+            "census_checks": self.census_checks,
+            "fanout_reads": self.fanout_reads,
+            "failover_reads": self.failover_reads,
+            "last_max_mean_ratio": self.last_max_mean_ratio,
+        }
+
+
 class MetricsRegistry:
     """Collects per-query measurements, grouped by engine/strategy."""
 
@@ -182,6 +213,9 @@ class MetricsRegistry:
         # Serving front-door SLO accounting, keyed (tenant, lane); written
         # by repro.serving, read by the console's ``serving status``.
         self.serving: Dict[Tuple[str, str], LaneServingStats] = {}
+        # BATON overlay load-balancing counters; written by the network
+        # facade's rebalance hook, read by the console's ``baton status``.
+        self.overlay_load = OverlayLoadStats()
 
     # ------------------------------------------------------------------
     # Recording
@@ -302,6 +336,16 @@ class MetricsRegistry:
                 f"deadline_missed={stats.deadline_missed} "
                 f"p99={stats.e2e_latency.percentile(0.99):.3f}s"
             )
+        load = self.overlay_load
+        if load.rebalance_rounds or load.fanout_reads or load.failover_reads:
+            lines.append(
+                f"  overlay load: rounds={load.rebalance_rounds} "
+                f"migrations={load.migrations} "
+                f"entries_moved={load.entries_migrated} "
+                f"fanout_reads={load.fanout_reads} "
+                f"failover_reads={load.failover_reads} "
+                f"max/mean={load.last_max_mean_ratio:.2f}"
+            )
         return "\n".join(lines)
 
     def reset(self) -> None:
@@ -312,3 +356,4 @@ class MetricsRegistry:
         self.plan_cache_misses = 0
         self.events = []
         self.serving = {}
+        self.overlay_load = OverlayLoadStats()

@@ -19,6 +19,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.baton.loadbalance import (
+    LoadBalancer,
+    LoadBalancerConfig,
+    RebalanceReport,
+)
 from repro.baton.replication import ReplicatedOverlay
 from repro.baton.tree import BatonOverlay
 from repro.core.access_control import Role, full_access_role
@@ -135,6 +140,9 @@ class BestPeerNetwork:
         self._bootstrap_fn = None
         # The serving front door, once attached (attach_serving).
         self.serving = None
+        # Measured-load balancer over the overlay (hot-range migration,
+        # census-gated); its counters mirror into metrics.overlay_load.
+        self.load_balancer = LoadBalancer(self.overlay)
 
     # ------------------------------------------------------------------
     # Bootstrap access (leader discovery with retry)
@@ -594,6 +602,53 @@ class BestPeerNetwork:
             if not self._peer_crashed(peer_id):
                 break
         return blocked
+
+    def configure_load_balancer(
+        self, config: LoadBalancerConfig
+    ) -> LoadBalancer:
+        """Replace the overlay load balancer's knobs (keeps its counters)."""
+        self.load_balancer = LoadBalancer(self.overlay, config)
+        return self.load_balancer
+
+    def rebalance_overlay(self) -> RebalanceReport:
+        """One measured-load balancing round over the BATON overlay.
+
+        Detects nodes whose traffic exceeds ``hot_multiple`` times the
+        overlay mean, migrates index entries off them (census-gated: a
+        lost or duplicated entry raises
+        :class:`~repro.errors.MigrationCensusError`), repairs replicas,
+        and mirrors the balancer's counters into the metrics registry.
+        Call it from maintenance loops alongside :meth:`run_maintenance`.
+        """
+        report = self.load_balancer.rebalance()
+        if report.migrations:
+            self.metrics.record_event(
+                self.clock.now,
+                f"overlay rebalance: moved {report.entries_moved} entries "
+                f"off {len(report.hot_nodes)} hot node(s), "
+                f"max/mean {report.ratio_before:.2f} -> "
+                f"{report.ratio_after:.2f}",
+            )
+        self._sync_overlay_load_stats(last_ratio=report.ratio_after)
+        return report
+
+    def _sync_overlay_load_stats(
+        self, last_ratio: Optional[float] = None
+    ) -> None:
+        """Mirror balancer + fan-out tallies into the metrics registry."""
+        stats = self.metrics.overlay_load
+        balancer = self.load_balancer
+        stats.rebalance_rounds = balancer.rounds
+        stats.migrations = balancer.total_migrations
+        stats.entries_migrated = balancer.total_entries_moved
+        stats.census_checks = balancer.census_checks
+        stats.fanout_reads = self.overlay.fanout_reads
+        stats.failover_reads = self.overlay.failover_reads
+        stats.last_max_mean_ratio = (
+            last_ratio
+            if last_ratio is not None
+            else balancer.max_mean_ratio()
+        )
 
     def _sync_fault_counters(self) -> None:
         """Mirror the network's injected-fault tallies into the registry."""

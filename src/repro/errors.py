@@ -74,6 +74,10 @@ class ReplicaUnavailableError(BatonError):
     """An item's primary is offline and no online replica holds a copy."""
 
 
+class MigrationCensusError(BatonError):
+    """A load-balancing migration lost or duplicated an index entry."""
+
+
 class MapReduceError(ReproError):
     """Base class for MapReduce engine errors."""
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import ChaosEquivalenceError
+from repro.errors import ChaosEquivalenceError, MigrationCensusError
 from repro.sim.failure import FaultPlan
 
 
@@ -251,6 +251,202 @@ def verify_bootstrap_invariants(network) -> None:
                 f"peer {peer_id!r} was admitted but vanished without a "
                 f"departure record"
             )
+
+
+@dataclass
+class OverlayChaosReport:
+    """What one scripted overlay scenario did, and what it proved.
+
+    ``search_hops``, ``search_served`` and ``search_queue_depths`` hold,
+    for every search in script order, its routing-hop count, the node
+    that served it, and how many earlier searches that node had served
+    since the last rebalance — a queue-depth proxy for the latency a
+    request sees behind a hot node's backlog (the bench layer turns
+    ``hops + depth`` into p50/p99).  ``ratio_samples`` holds the max/mean
+    load ratio observed after each rebalance.
+    """
+
+    operations: int = 0
+    inserts: int = 0
+    deletes: int = 0
+    searches: int = 0
+    joins: int = 0
+    leaves: int = 0
+    crashes: int = 0
+    restores: int = 0
+    rebalances: int = 0
+    migrations: int = 0
+    entries_moved: int = 0
+    census_checks: int = 0
+    fanout_reads: int = 0
+    failover_reads: int = 0
+    search_hops: List[int] = field(default_factory=list)
+    search_served: List[str] = field(default_factory=list)
+    search_queue_depths: List[int] = field(default_factory=list)
+    ratio_samples: List[float] = field(default_factory=list)
+
+    def search_latencies(self) -> List[float]:
+        """Per-search latency proxy: routing hops + serving-node backlog."""
+        return [
+            float(hops + depth)
+            for hops, depth in zip(self.search_hops, self.search_queue_depths)
+        ]
+
+    @property
+    def peak_ratio(self) -> float:
+        return max(self.ratio_samples) if self.ratio_samples else 1.0
+
+    @property
+    def final_ratio(self) -> float:
+        return self.ratio_samples[-1] if self.ratio_samples else 1.0
+
+
+class OverlayChaosHarness:
+    """Drives skew / flash-crowd / churn scripts against an overlay.
+
+    Like :class:`ChaosHarness`, this is duck-typed so the sim layer never
+    imports ``repro.baton``: ``overlay_factory`` builds any object with
+    the replicated-overlay surface (``insert``/``delete``/``search``/
+    ``join``/``leave``/``mark_offline``/``mark_online``/``census``/
+    ``check_invariants``), and the optional ``balancer_factory`` wraps it
+    with a ``rebalance()`` driver (``repro.baton.loadbalance.LoadBalancer``
+    in practice).
+
+    The harness maintains its *own* expected key-space census — counts
+    updated only by the inserts and deletes it issues — and after every
+    ``check_every`` operations asserts the overlay's census matches it
+    exactly.  Join, leave, crash and migration therefore cannot lose or
+    duplicate an index entry without the scenario failing, which is the
+    invariant every chaos scenario is gated on.
+    """
+
+    #: Script opcodes the interpreter understands.
+    OPS = (
+        "insert", "delete", "search", "join", "leave",
+        "crash", "restore", "rebalance",
+    )
+
+    def __init__(
+        self,
+        overlay_factory: Callable[[], object],
+        balancer_factory: Optional[Callable[[object], object]] = None,
+        check_every: int = 1,
+    ) -> None:
+        if check_every < 1:
+            raise ChaosEquivalenceError(
+                f"check_every must be positive: {check_every}"
+            )
+        self.overlay_factory = overlay_factory
+        self.balancer_factory = balancer_factory
+        self.check_every = check_every
+
+    def run(self, script: Sequence[tuple]) -> OverlayChaosReport:
+        """Interpret one script on a fresh overlay; census-gate throughout.
+
+        Script steps are tuples: ``("insert", key, value)``,
+        ``("delete", key, value)``, ``("search", key[, start_id])``,
+        ``("join", node_id)``, ``("leave", node_id)``,
+        ``("crash", node_id)``, ``("restore", node_id)`` and
+        ``("rebalance",)``.  Raises
+        :class:`~repro.errors.MigrationCensusError` when the overlay's
+        stored entries diverge from the harness's independent census.
+        """
+        if not script:
+            raise ChaosEquivalenceError("an overlay scenario needs steps")
+        overlay = self.overlay_factory()
+        balancer = (
+            self.balancer_factory(overlay)
+            if self.balancer_factory is not None
+            else None
+        )
+        report = OverlayChaosReport()
+        expected: Dict[float, int] = {}
+        serve_counts: Dict[str, int] = {}
+        for step in script:
+            op = step[0]
+            if op == "insert":
+                _, key, value = step
+                overlay.insert(key, value)
+                expected[key] = expected.get(key, 0) + 1
+                report.inserts += 1
+            elif op == "delete":
+                _, key, value = step
+                overlay.delete(key, value)
+                remaining = expected.get(key, 0) - 1
+                if remaining > 0:
+                    expected[key] = remaining
+                else:
+                    expected.pop(key, None)
+                report.deletes += 1
+            elif op == "search":
+                result = (
+                    overlay.search(step[1], start_id=step[2])
+                    if len(step) > 2
+                    else overlay.search(step[1])
+                )
+                report.searches += 1
+                report.search_hops.append(result.hops)
+                served = result.node_ids[0] if result.node_ids else ""
+                depth = serve_counts.get(served, 0)
+                report.search_served.append(served)
+                report.search_queue_depths.append(depth)
+                serve_counts[served] = depth + 1
+            elif op == "join":
+                overlay.join(step[1])
+                report.joins += 1
+            elif op == "leave":
+                overlay.leave(step[1])
+                report.leaves += 1
+            elif op == "crash":
+                overlay.mark_offline(step[1])
+                report.crashes += 1
+            elif op == "restore":
+                overlay.mark_online(step[1])
+                report.restores += 1
+            elif op == "rebalance":
+                if balancer is None:
+                    raise ChaosEquivalenceError(
+                        "script rebalances but no balancer_factory was given"
+                    )
+                round_report = balancer.rebalance()
+                report.rebalances += 1
+                report.migrations += round_report.migrations
+                report.entries_moved += round_report.entries_moved
+                report.ratio_samples.append(round_report.ratio_after)
+                # The balancer decayed every node's load window; the
+                # serving backlog drains with it.
+                serve_counts.clear()
+            else:
+                raise ChaosEquivalenceError(f"unknown overlay op: {op!r}")
+            report.operations += 1
+            if report.operations % self.check_every == 0:
+                self._verify_census(overlay, expected)
+                report.census_checks += 1
+        self._verify_census(overlay, expected)
+        report.census_checks += 1
+        report.fanout_reads = getattr(overlay, "fanout_reads", 0)
+        report.failover_reads = getattr(overlay, "failover_reads", 0)
+        return report
+
+    @staticmethod
+    def _verify_census(overlay, expected: Dict[float, int]) -> None:
+        """The overlay must hold exactly what the script put into it."""
+        actual = overlay.census()
+        if actual != expected:
+            lost = sorted(
+                key for key in expected
+                if actual.get(key, 0) < expected[key]
+            )
+            gained = sorted(
+                key for key in actual
+                if actual[key] > expected.get(key, 0)
+            )
+            raise MigrationCensusError(
+                f"overlay census diverged from the script's: "
+                f"{len(lost)} key(s) lost entries {lost[:5]}, "
+                f"{len(gained)} key(s) gained entries {gained[:5]}"
+            )
+        overlay.check_invariants(expected_census=expected)
 
 
 class ChaosHarness:

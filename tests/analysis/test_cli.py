@@ -21,6 +21,15 @@ def tree(tmp_path, monkeypatch):
     return tmp_path
 
 
+def justify_baseline(tree, reason="deliberate: test fixture noise"):
+    """Replace the write-time TODO placeholder with a real justification."""
+    path = tree / "analysis-baseline.json"
+    payload = json.loads(path.read_text())
+    for entry in payload["entries"]:
+        entry["justification"] = reason
+    path.write_text(json.dumps(payload))
+
+
 class TestExitCodes:
     def test_clean_tree_exits_zero(self, tree, capsys):
         (tree / "src" / "repro" / "dirty.py").unlink()
@@ -154,6 +163,7 @@ class TestBaselineFlow:
 
     def test_strict_baseline_fails_on_stale_entries(self, tree, capsys):
         main(["--write-baseline", "src"])
+        justify_baseline(tree)  # isolate staleness from the TODO gate
         capsys.readouterr()
         (tree / "src" / "repro" / "dirty.py").write_text("x = 1\n")
         assert main(["src"]) == 0
@@ -190,6 +200,49 @@ class TestPruneBaseline:
     def test_prune_without_a_baseline_exits_two(self, tree, capsys):
         assert main(["--prune-baseline", "src"]) == 2
         assert "needs a baseline file" in capsys.readouterr().err
+
+
+class TestStrictBaselinePlaceholders:
+    def test_placeholder_entry_fails_strict_with_exit_two(self, tree, capsys):
+        main(["--write-baseline", "src"])
+        capsys.readouterr()
+        # The entry still carries the write-time TODO: a suppression
+        # nobody reviewed is a configuration error under --strict-baseline.
+        assert main(["--strict-baseline", "src"]) == 2
+        err = capsys.readouterr().err
+        assert "unjustified" in err
+        assert "SIM001" in err
+        assert "dirty.py" in err
+
+    def test_placeholders_reported_but_tolerated_without_strict(
+        self, tree, capsys
+    ):
+        main(["--write-baseline", "src"])
+        capsys.readouterr()
+        assert main(["src"]) == 0
+        assert "unjustified" in capsys.readouterr().err
+
+    def test_justified_baseline_passes_strict(self, tree, capsys):
+        main(["--write-baseline", "src"])
+        justify_baseline(tree)
+        capsys.readouterr()
+        assert main(["--strict-baseline", "src"]) == 0
+        assert "unjustified" not in capsys.readouterr().err
+
+    def test_mixed_baseline_lists_only_the_placeholders(self, tree, capsys):
+        (tree / "src" / "repro" / "dirty2.py").write_text(
+            "import random\ny = random.random()\n"
+        )
+        main(["--write-baseline", "src"])
+        # Justify one of the two entries; the other keeps its TODO.
+        path = tree / "analysis-baseline.json"
+        payload = json.loads(path.read_text())
+        payload["entries"][0]["justification"] = "deliberate: fixture"
+        path.write_text(json.dumps(payload))
+        capsys.readouterr()
+        assert main(["--strict-baseline", "src"]) == 2
+        err = capsys.readouterr().err
+        assert "1 baseline entry still unjustified" in err
 
 
 class TestSarifOutput:

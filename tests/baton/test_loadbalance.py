@@ -1,0 +1,267 @@
+"""Measured-load balancing: policies, hot-range migration, census gates."""
+
+import pytest
+
+from repro.baton import (
+    BatonOverlay,
+    LeastLoadedChoice,
+    LoadBalancer,
+    LoadBalancerConfig,
+    NodeLoad,
+    POLICY_NAMES,
+    PowerOfKChoice,
+    RandomChoice,
+    ReplicatedOverlay,
+    make_policy,
+)
+from repro.errors import BatonError, MigrationCensusError
+
+NUM_KEYS = 120
+#: An actually-inserted key (index 60) that lands mid-domain.
+KEY = (60 + 0.5) / NUM_KEYS
+
+
+def built_overlay(num_nodes=6, quiet=False):
+    overlay = BatonOverlay()
+    for index in range(num_nodes):
+        overlay.join(f"n{index}")
+    for index in range(NUM_KEYS):
+        overlay.insert((index + 0.5) / NUM_KEYS, f"item-{index}")
+    if quiet:
+        # Loading the overlay itself records writes/routing; forget that
+        # so tests start from a load-silent network.
+        for node in overlay.nodes():
+            node.load = NodeLoad()
+    return overlay
+
+
+class TestNodeLoad:
+    def test_operations_accumulate_in_window_and_score(self):
+        overlay = built_overlay()
+        node, _ = overlay.find_responsible(0.5)
+        before = node.load.score()
+        overlay.search(0.5)
+        assert node.load.reads == 1
+        assert node.load.score() > before
+
+    def test_decay_folds_window_into_ewma(self):
+        overlay = built_overlay()
+        node, _ = overlay.find_responsible(0.5)
+        overlay.search(0.5)
+        window_score = node.load.score()
+        node.load.decay(0.5)
+        assert node.load.read_window == 0
+        assert 0 < node.load.score() < window_score
+        # Totals survive the decay: they are all-time counters.
+        assert node.load.reads == 1
+
+    def test_flash_crowd_registers_before_any_decay(self):
+        # The un-decayed window is part of the score, so a burst shows up
+        # immediately instead of one epoch late.
+        overlay = built_overlay()
+        node, _ = overlay.find_responsible(0.5)
+        for _ in range(50):
+            overlay.search(0.5)
+        assert node.load.score() >= 50.0
+
+
+class TestChoicePolicies:
+    def test_registry_builds_every_policy(self):
+        for name in POLICY_NAMES:
+            assert make_policy(name).name == name
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(BatonError):
+            make_policy("round-robin")
+
+    def test_least_loaded_picks_the_coldest(self):
+        overlay = built_overlay(3, quiet=True)
+        nodes = overlay.nodes()
+        nodes[0].load.record_read(10)
+        nodes[1].load.record_read(2)
+        nodes[2].load.record_read(5)
+        assert LeastLoadedChoice().choose(nodes) is nodes[1]
+
+    def test_least_loaded_breaks_ties_by_node_id(self):
+        overlay = built_overlay(3, quiet=True)
+        nodes = sorted(overlay.nodes(), key=lambda n: n.node_id)
+        assert LeastLoadedChoice().choose(nodes) is nodes[0]
+
+    def test_random_choice_is_seeded(self):
+        overlay = built_overlay(4)
+        nodes = overlay.nodes()
+        picks_a = [RandomChoice(seed=9).choose(nodes).node_id for _ in [0]]
+        picks_b = [RandomChoice(seed=9).choose(nodes).node_id for _ in [0]]
+        assert picks_a == picks_b
+
+    def test_power_of_k_samples_then_takes_the_coldest(self):
+        overlay = built_overlay(4, quiet=True)
+        nodes = overlay.nodes()
+        hot = nodes[0]
+        hot.load.record_read(100)
+        policy = PowerOfKChoice(k=len(nodes), seed=1)
+        # k == population: identical to least-loaded.
+        assert policy.choose(nodes) is not hot
+
+    def test_power_of_k_requires_positive_k(self):
+        with pytest.raises(BatonError):
+            PowerOfKChoice(k=0)
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(BatonError):
+            LeastLoadedChoice().choose([])
+
+
+class TestConfig:
+    def test_hot_multiple_must_exceed_one(self):
+        with pytest.raises(BatonError):
+            LoadBalancerConfig(hot_multiple=1.0)
+
+    def test_decay_alpha_bounds(self):
+        with pytest.raises(BatonError):
+            LoadBalancerConfig(decay_alpha=0.0)
+        with pytest.raises(BatonError):
+            LoadBalancerConfig(decay_alpha=1.5)
+
+
+class TestRebalance:
+    def test_quiet_overlay_never_migrates(self):
+        overlay = built_overlay(quiet=True)
+        balancer = LoadBalancer(overlay)
+        report = balancer.rebalance()
+        assert report.migrations == 0
+        assert report.hot_nodes == []
+
+    def test_hot_range_migrates_and_spreads_subsequent_traffic(self):
+        overlay = built_overlay(quiet=True)
+        balancer = LoadBalancer(
+            overlay, LoadBalancerConfig(hot_multiple=1.5)
+        )
+        hot_node, _ = overlay.find_responsible(KEY)
+        hot_keys = sorted(hot_node.items)
+        for key in hot_keys:
+            for _ in range(30):
+                overlay.search(key)
+        census = overlay.census()
+        report = balancer.rebalance()
+        assert report.migrations >= 1
+        assert report.entries_moved > 0
+        assert report.hot_nodes == [hot_node.node_id]
+        # Migration moved entries but the key space is intact.
+        overlay.check_invariants(expected_census=census)
+        # The payoff shows up in the *next* traffic epoch: the same hot
+        # keys now land on several owners, so the ratio drops.
+        for key in hot_keys:
+            for _ in range(30):
+                overlay.search(key)
+        assert balancer.max_mean_ratio() < report.ratio_before
+
+    def test_counters_accumulate_across_rounds(self):
+        overlay = built_overlay()
+        balancer = LoadBalancer(overlay)
+        balancer.rebalance()
+        balancer.rebalance()
+        assert balancer.rounds == 2
+
+    def test_census_mismatch_raises(self):
+        overlay = built_overlay()
+        census = overlay.census()
+        node, _ = overlay.find_responsible(0.5)
+        key = sorted(node.items)[0]
+        node.items.pop(key)
+        with pytest.raises(MigrationCensusError):
+            overlay.check_invariants(expected_census=census)
+
+    def test_duplicated_entry_raises(self):
+        overlay = built_overlay()
+        census = overlay.census()
+        node, _ = overlay.find_responsible(0.5)
+        key = sorted(node.items)[0]
+        node.items[key].append("duplicate")
+        with pytest.raises(MigrationCensusError):
+            overlay.check_invariants(expected_census=census)
+
+    def test_replicated_overlay_repairs_after_migration(self):
+        replicated = ReplicatedOverlay(BatonOverlay())
+        for index in range(6):
+            replicated.join(f"n{index}")
+        for index in range(NUM_KEYS):
+            replicated.insert((index + 0.5) / NUM_KEYS, f"item-{index}")
+        balancer = LoadBalancer(
+            replicated, LoadBalancerConfig(hot_multiple=1.5)
+        )
+        hot_node, _ = replicated.overlay.find_responsible(KEY)
+        for key in sorted(hot_node.items):
+            for _ in range(30):
+                replicated.search(key)
+        report = balancer.rebalance()
+        assert report.migrations >= 1
+        # Replica copies track the new owners: kill every new owner of a
+        # moved key and the value must still be readable.
+        for node in replicated.overlay.nodes():
+            replicated.mark_offline(node.node_id)
+            for key in sorted(node.items):
+                result = replicated.search(key)
+                assert result.values, f"key {key} lost with {node.node_id} down"
+            replicated.mark_online(node.node_id)
+
+
+class TestReadFanout:
+    def _replicated(self, policy=None):
+        replicated = ReplicatedOverlay(BatonOverlay(), read_policy=policy)
+        for index in range(6):
+            replicated.join(f"n{index}")
+        for index in range(NUM_KEYS):
+            replicated.insert((index + 0.5) / NUM_KEYS, f"item-{index}")
+        return replicated
+
+    def test_no_policy_always_serves_from_primary(self):
+        replicated = self._replicated()
+        primary, _ = replicated.overlay.find_responsible(KEY)
+        for _ in range(20):
+            result = replicated.search(KEY)
+            assert result.node_ids == [primary.node_id]
+        assert replicated.fanout_reads == 0
+
+    def test_policy_spreads_a_hot_key_across_replica_holders(self):
+        replicated = self._replicated(policy=make_policy("power-of-k"))
+        servers = set()
+        for _ in range(60):
+            result = replicated.search(KEY)
+            servers.update(result.node_ids)
+        assert len(servers) > 1
+        assert replicated.fanout_reads > 0
+        assert replicated.failover_reads == 0
+
+    def test_replica_reads_return_the_same_values(self):
+        replicated = self._replicated(policy=make_policy("least-loaded"))
+        expected = replicated.overlay.search(KEY).values
+        for _ in range(10):
+            assert replicated.search(KEY).values == expected
+
+    def test_offline_primary_counts_as_failover_not_fanout(self):
+        replicated = self._replicated()
+        primary, _ = replicated.overlay.find_responsible(KEY)
+        replicated.mark_offline(primary.node_id)
+        result = replicated.search(KEY)
+        assert result.values
+        assert replicated.failover_reads == 1
+        assert replicated.fanout_reads == 0
+
+    def test_range_search_fans_out_per_segment(self):
+        replicated = self._replicated(policy=make_policy("least-loaded"))
+        plain = self._replicated()
+        fanned = replicated.range_search(0.1, 0.9)
+        baseline = plain.range_search(0.1, 0.9)
+        assert sorted(map(repr, fanned.values)) == sorted(
+            map(repr, baseline.values)
+        )
+
+    def test_per_call_policy_overrides_constructor(self):
+        replicated = self._replicated()
+        policy = make_policy("random", seed=3)
+        servers = set()
+        for _ in range(40):
+            result = replicated.search(KEY, policy=policy)
+            servers.update(result.node_ids)
+        assert len(servers) > 1

@@ -1,0 +1,190 @@
+"""Skew bench: Zipf determinism, script purity, gates, and a small run."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import SEED
+from repro.bench.skew import (
+    GATED_POLICIES,
+    SCENARIOS,
+    VARIANTS,
+    build_script,
+    check_gates,
+    main,
+    percentile,
+    run_variant,
+)
+from repro.bench.workloads import SkewedAccess, ZipfGenerator, ZipfWorkload
+
+
+class TestZipfGenerator:
+    def test_same_seed_same_stream(self):
+        first = ZipfGenerator(100, seed=7).sample_many(200)
+        second = ZipfGenerator(100, seed=7).sample_many(200)
+        assert first == second
+
+    def test_different_seed_different_stream(self):
+        first = ZipfGenerator(100, seed=7).sample_many(200)
+        second = ZipfGenerator(100, seed=8).sample_many(200)
+        assert first != second
+
+    def test_samples_stay_in_range(self):
+        ranks = ZipfGenerator(10, seed=1).sample_many(500)
+        assert all(0 <= rank < 10 for rank in ranks)
+
+    def test_rank_zero_is_hottest(self):
+        ranks = ZipfGenerator(50, theta=0.99, seed=3).sample_many(2000)
+        counts = [ranks.count(rank) for rank in range(3)]
+        assert counts[0] > counts[1] > ranks.count(49)
+
+    def test_higher_theta_is_more_skewed(self):
+        mild = ZipfGenerator(50, theta=0.5, seed=5).sample_many(2000)
+        sharp = ZipfGenerator(50, theta=1.5, seed=5).sample_many(2000)
+        assert sharp.count(0) > mild.count(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfGenerator(10, theta=0.0)
+        with pytest.raises(ValueError):
+            ZipfGenerator(10).sample_many(-1)
+
+
+class TestZipfWorkload:
+    KEYS = [(index + 0.5) / 64 for index in range(64)]
+    TENANTS = [f"tenant-{index}" for index in range(8)]
+
+    def test_same_seed_same_accesses(self):
+        first = ZipfWorkload(self.KEYS, self.TENANTS, seed=9).take(100)
+        second = ZipfWorkload(self.KEYS, self.TENANTS, seed=9).take(100)
+        assert first == second
+
+    def test_accesses_are_typed_and_in_domain(self):
+        workload = ZipfWorkload(self.KEYS, self.TENANTS, seed=2)
+        for access in workload.take(50):
+            assert isinstance(access, SkewedAccess)
+            assert access.key in self.KEYS
+            assert access.tenant in self.TENANTS
+
+    def test_hot_keys_are_shuffled_not_lowest(self):
+        # The rank-to-key mapping is a seeded shuffle: the hottest key
+        # should not structurally be the smallest one.
+        hot = ZipfWorkload(self.KEYS, self.TENANTS, seed=SEED).hot_keys(8)
+        assert sorted(hot) != hot
+
+    def test_hottest_key_dominates_the_stream(self):
+        workload = ZipfWorkload(self.KEYS, self.TENANTS, theta=1.2, seed=4)
+        hottest = workload.hottest_key
+        accesses = workload.take(2000)
+        hottest_count = sum(1 for a in accesses if a.key == hottest)
+        assert hottest_count > 2000 // 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfWorkload([], self.TENANTS)
+        with pytest.raises(ValueError):
+            ZipfWorkload(self.KEYS, [])
+
+
+class TestPercentile:
+    def test_empty_sample_is_zero(self):
+        assert percentile([], 0.99) == 0.0
+
+    def test_exact_ranks(self):
+        values = list(range(1, 101))
+        assert percentile(values, 0.50) == 50
+        assert percentile(values, 0.99) == 99
+        assert percentile(values, 1.0) == 100
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 0.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestBuildScript:
+    def test_script_is_a_pure_function_of_its_inputs(self):
+        for scenario in SCENARIOS:
+            first = build_script(scenario, 200, SEED)
+            second = build_script(scenario, 200, SEED)
+            assert first == second, scenario
+
+    def test_different_seed_changes_the_script(self):
+        first, _ = build_script("zipf", 200, SEED)
+        second, _ = build_script("zipf", 200, SEED + 1)
+        assert first != second
+
+    def test_hot_indices_point_at_search_ops(self):
+        script, hot_indices = build_script("flash-crowd", 200, SEED)
+        searches = [op for op in script if op[0] == "search"]
+        assert hot_indices
+        assert all(0 <= index < len(searches) for index in hot_indices)
+
+    def test_script_interleaves_rebalance_ops(self):
+        script, _ = build_script("zipf", 400, SEED)
+        assert any(op[0] == "rebalance" for op in script)
+
+    def test_churn_scenario_includes_membership_ops(self):
+        script, _ = build_script("churn-hot-spell", 400, SEED)
+        kinds = {op[0] for op in script}
+        assert {"join", "crash", "restore", "leave"} <= kinds
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            build_script("tsunami", 200, SEED)
+
+
+class TestRunVariant:
+    def test_small_flash_crowd_run_is_census_clean(self):
+        result = run_variant("flash-crowd", "power-of-k", 300, SEED)
+        assert result.census_violation is None
+        assert result.searches > 0
+        assert result.census_checks > 0
+        assert result.hot_p99 >= result.hot_p50
+
+    def test_mitigated_beats_unbalanced_on_a_small_run(self):
+        control = run_variant("flash-crowd", "none", 300, SEED)
+        treated = run_variant("flash-crowd", "power-of-k", 300, SEED)
+        assert control.census_violation is None
+        assert treated.census_violation is None
+        assert treated.migrations > 0
+        assert treated.ratio_final < control.ratio_final
+
+    def test_control_never_migrates(self):
+        control = run_variant("zipf", "none", 300, SEED)
+        assert control.migrations == 0
+        assert control.fanout_reads == 0
+
+
+class TestGates:
+    def test_violation_strings_name_the_scenario(self):
+        results = {
+            scenario: {
+                policy: run_variant(scenario, policy, 120, SEED)
+                for policy in VARIANTS
+            }
+            for scenario in ["zipf"]
+        }
+        # Tamper: pretend a gated policy lost an entry.
+        broken = results["zipf"][GATED_POLICIES[0]]
+        broken.census_violation = "lost key 0.5"
+        violations = check_gates(results)
+        assert any("zipf" in violation for violation in violations)
+        assert any("lost key" in violation for violation in violations)
+
+
+class TestCli:
+    def test_main_writes_the_artifact(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_skew.json"
+        # Default search count: the gates are calibrated for it.
+        code = main(["--out", str(out)])
+        captured = capsys.readouterr()
+        assert code == 0, captured.out + captured.err
+        payload = json.loads(out.read_text())
+        assert payload["violations"] == []
+        assert set(payload["scenarios"]) == set(SCENARIOS)
+        for scenario in SCENARIOS:
+            assert set(payload["scenarios"][scenario]) == set(VARIANTS)

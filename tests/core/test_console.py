@@ -295,3 +295,48 @@ class TestBootstrapStatus:
     def test_requires_network(self):
         with pytest.raises(ConsoleError):
             Console().execute("bootstrap status")
+
+
+class TestBatonCommands:
+    def test_status_reports_overlay_and_per_node_load(self):
+        console = booted_console()
+        console.execute("sql SELECT id, label FROM item")
+        output = console.execute("baton status")
+        assert "overlay:" in output
+        assert "mean load=" in output
+        assert "max/mean=" in output
+        assert "balancing: rounds=0 migrations=0" in output
+        assert "replica reads: fanout=" in output
+        # One indented line per overlay node, sorted by id.
+        node_lines = [
+            line for line in output.splitlines() if line.startswith("  ")
+        ]
+        assert node_lines == sorted(node_lines)
+        assert all("score=" in line for line in node_lines)
+
+    def test_rebalance_reports_a_round(self):
+        console = booted_console()
+        output = console.execute("baton rebalance")
+        assert output.startswith("rebalance: hot=")
+        assert "max/mean" in output
+        assert console.network.load_balancer.rounds == 1
+
+    def test_rebalance_shows_up_in_status_counters(self):
+        console = booted_console()
+        console.execute("baton rebalance")
+        console.execute("baton rebalance")
+        assert "rounds=2" in console.execute("baton status")
+
+    def test_usage_error(self):
+        console = booted_console()
+        with pytest.raises(ConsoleError, match="usage: baton status"):
+            console.execute("baton")
+        with pytest.raises(ConsoleError):
+            console.execute("baton explode")
+
+    def test_requires_network(self):
+        with pytest.raises(ConsoleError):
+            Console().execute("baton status")
+
+    def test_help_mentions_baton(self):
+        assert "baton" in booted_console().execute("help")

@@ -1,0 +1,121 @@
+"""Property tests: census survives churn, migration, and replication.
+
+The migration invariant — no index entry is ever lost or duplicated —
+must hold not just for the scripted bench scenarios but for *any*
+interleaving of joins, leaves, inserts, deletes, searches, and
+load-driven rebalances.  Hypothesis drives random interleavings against
+a :class:`ReplicatedOverlay` wrapped by a :class:`LoadBalancer`, with a
+full key-space census (maintained independently from the tree) checked
+after every single operation.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baton import (
+    BatonOverlay,
+    LoadBalancer,
+    LoadBalancerConfig,
+    ReplicatedOverlay,
+    make_policy,
+)
+
+KEYS = [(index + 0.5) / 32 for index in range(32)]
+
+# A churn script over a fixed key alphabet so deletes can hit inserted
+# keys.  Leaves/searches pick by index into the live membership.
+churn_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("join"), st.integers(0, 10**6)),
+        st.tuples(st.just("leave"), st.integers(0, 10**6)),
+        st.tuples(st.just("insert"), st.integers(0, len(KEYS) - 1)),
+        st.tuples(st.just("delete"), st.integers(0, len(KEYS) - 1)),
+        st.tuples(st.just("search"), st.integers(0, len(KEYS) - 1)),
+        st.tuples(st.just("rebalance"), st.integers(0, 10**6)),
+    ),
+    max_size=50,
+)
+
+
+def run_script(ops, read_policy=None):
+    """Apply ``ops``, checking the census after every operation."""
+    replicated = ReplicatedOverlay(
+        BatonOverlay(), read_policy=read_policy
+    )
+    replicated.join("seed-node")
+    balancer = LoadBalancer(
+        replicated,
+        LoadBalancerConfig(hot_multiple=1.2, min_mean_score=0.5),
+    )
+    expected = Counter()
+    counters = {"inserted": 0, "deleted": 0, "migrated": 0}
+    joined = 0
+    for action, argument in ops:
+        if action == "join":
+            replicated.join(f"node-{joined}")
+            joined += 1
+        elif action == "leave" and len(replicated) > 1:
+            nodes = replicated.overlay.nodes()
+            replicated.leave(nodes[argument % len(nodes)].node_id)
+        elif action == "insert":
+            key = KEYS[argument]
+            replicated.insert(key, f"item-{counters['inserted']}")
+            expected[key] += 1
+            counters["inserted"] += 1
+        elif action == "delete":
+            key = KEYS[argument]
+            values = replicated.overlay.search(key).values
+            if values:
+                removed, _ = replicated.delete(key, values[0])
+                assert removed
+                expected[key] -= 1
+                if not expected[key]:
+                    del expected[key]
+                counters["deleted"] += 1
+        elif action == "search":
+            key = KEYS[argument]
+            result = replicated.search(key)
+            assert len(result.values) == expected.get(key, 0)
+        elif action == "rebalance":
+            report = balancer.rebalance()
+            counters["migrated"] += report.entries_moved
+        assert replicated.census() == dict(expected), (
+            f"census diverged after {action}"
+        )
+        replicated.check_invariants(expected_census=dict(expected))
+    return replicated, expected, counters
+
+
+class TestChurnCensus:
+    @settings(deadline=None, max_examples=50)
+    @given(churn_ops)
+    def test_census_intact_after_every_op(self, ops):
+        run_script(ops)
+
+    @settings(deadline=None, max_examples=30)
+    @given(churn_ops)
+    def test_census_intact_with_read_fanout(self, ops):
+        # Fan-out reads must be pure: serving from a replica holder can
+        # never perturb the primary key space.
+        run_script(ops, read_policy=make_policy("power-of-k", seed=11))
+
+    @settings(deadline=None, max_examples=30)
+    @given(churn_ops)
+    def test_replicas_survive_any_single_failure(self, ops):
+        replicated, expected, _ = run_script(ops)
+        if len(replicated) < 2:
+            return
+        # With every node down one at a time, every stored key must
+        # still be fully readable from some online copy.
+        for node in replicated.overlay.nodes():
+            replicated.mark_offline(node.node_id)
+            for key, count in sorted(expected.items()):
+                assert len(replicated.search(key).values) == count
+            replicated.mark_online(node.node_id)
+
+    @settings(deadline=None, max_examples=30)
+    @given(churn_ops)
+    def test_balancer_counters_match_reports(self, ops):
+        _, _, counters = run_script(ops)
+        assert counters["inserted"] >= counters["deleted"]

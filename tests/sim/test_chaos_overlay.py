@@ -1,0 +1,188 @@
+"""OverlayChaosHarness: script interpretation and census gating.
+
+The harness is duck-typed (the sim layer never imports ``repro.baton``),
+so these tests drive it with a minimal in-test fake overlay — which also
+makes it easy to *misbehave* on demand and prove the census gate fires.
+"""
+
+import pytest
+
+from repro.errors import ChaosEquivalenceError, MigrationCensusError
+from repro.sim.chaos import OverlayChaosHarness, OverlayChaosReport
+
+
+class FakeResult:
+    def __init__(self, values, hops, node_ids):
+        self.values = values
+        self.hops = hops
+        self.node_ids = node_ids
+
+
+class FakeOverlay:
+    """One-node 'overlay' storing a flat multiset; optionally buggy."""
+
+    def __init__(self, lose_key=None, duplicate_key=None):
+        self.entries = {}
+        self.members = set()
+        self.offline = set()
+        self.lose_key = lose_key
+        self.duplicate_key = duplicate_key
+        self.fanout_reads = 0
+        self.failover_reads = 0
+
+    def insert(self, key, value):
+        self.entries.setdefault(key, []).append(value)
+        if key == self.lose_key:
+            self.entries[key].pop()  # silently drops the entry
+        if key == self.duplicate_key:
+            self.entries[key].append(value)  # silently doubles it
+
+    def delete(self, key, value):
+        values = self.entries.get(key, [])
+        if value in values:
+            values.remove(value)
+            if not values:
+                del self.entries[key]
+
+    def search(self, key, start_id=None):
+        return FakeResult(
+            values=list(self.entries.get(key, [])), hops=1, node_ids=["n0"]
+        )
+
+    def join(self, node_id):
+        self.members.add(node_id)
+
+    def leave(self, node_id):
+        self.members.discard(node_id)
+
+    def mark_offline(self, node_id):
+        self.offline.add(node_id)
+
+    def mark_online(self, node_id):
+        self.offline.discard(node_id)
+
+    def census(self):
+        return {key: len(values) for key, values in self.entries.items()}
+
+    def check_invariants(self, expected_census=None):
+        pass
+
+
+class FakeBalancer:
+    def __init__(self):
+        self.calls = 0
+
+    def rebalance(self):
+        self.calls += 1
+
+        class Round:
+            migrations = 1
+            entries_moved = 3
+            ratio_after = 1.5
+
+        return Round()
+
+
+class TestValidation:
+    def test_check_every_must_be_positive(self):
+        with pytest.raises(ChaosEquivalenceError):
+            OverlayChaosHarness(FakeOverlay, check_every=0)
+
+    def test_empty_script_rejected(self):
+        with pytest.raises(ChaosEquivalenceError):
+            OverlayChaosHarness(FakeOverlay).run([])
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ChaosEquivalenceError):
+            OverlayChaosHarness(FakeOverlay).run([("teleport", 0.5)])
+
+    def test_rebalance_without_balancer_rejected(self):
+        with pytest.raises(ChaosEquivalenceError):
+            OverlayChaosHarness(FakeOverlay).run([("rebalance",)])
+
+
+class TestCensusGate:
+    def test_lost_entry_trips_the_gate(self):
+        harness = OverlayChaosHarness(lambda: FakeOverlay(lose_key=0.5))
+        with pytest.raises(MigrationCensusError, match="lost"):
+            harness.run([("insert", 0.5, "v")])
+
+    def test_duplicated_entry_trips_the_gate(self):
+        harness = OverlayChaosHarness(
+            lambda: FakeOverlay(duplicate_key=0.5)
+        )
+        with pytest.raises(MigrationCensusError, match="gained"):
+            harness.run([("insert", 0.5, "v")])
+
+    def test_check_every_defers_but_final_check_still_fires(self):
+        harness = OverlayChaosHarness(
+            lambda: FakeOverlay(lose_key=0.25), check_every=1000
+        )
+        with pytest.raises(MigrationCensusError):
+            harness.run([("insert", 0.25, "v"), ("search", 0.25)])
+
+    def test_census_counts_multiplicity(self):
+        harness = OverlayChaosHarness(FakeOverlay)
+        report = harness.run(
+            [
+                ("insert", 0.5, "a"),
+                ("insert", 0.5, "b"),
+                ("delete", 0.5, "a"),
+            ]
+        )
+        assert report.census_checks == 4  # one per op + the final sweep
+
+
+class TestBookkeeping:
+    def test_report_counts_every_op_kind(self):
+        harness = OverlayChaosHarness(
+            FakeOverlay, balancer_factory=lambda overlay: FakeBalancer()
+        )
+        report = harness.run(
+            [
+                ("join", "n1"),
+                ("insert", 0.5, "v"),
+                ("search", 0.5),
+                ("crash", "n1"),
+                ("restore", "n1"),
+                ("rebalance",),
+                ("delete", 0.5, "v"),
+                ("leave", "n1"),
+            ]
+        )
+        assert report.operations == 8
+        assert (report.joins, report.leaves) == (1, 1)
+        assert (report.crashes, report.restores) == (1, 1)
+        assert (report.inserts, report.deletes, report.searches) == (1, 1, 1)
+        assert report.rebalances == 1
+        assert report.migrations == 1
+        assert report.entries_moved == 3
+        assert report.ratio_samples == [1.5]
+
+    def test_queue_depth_grows_then_drains_at_rebalance(self):
+        harness = OverlayChaosHarness(
+            FakeOverlay, balancer_factory=lambda overlay: FakeBalancer()
+        )
+        report = harness.run(
+            [
+                ("insert", 0.5, "v"),
+                ("search", 0.5),
+                ("search", 0.5),
+                ("search", 0.5),
+                ("rebalance",),
+                ("search", 0.5),
+            ]
+        )
+        # Everything is served by the fake's single node: the backlog
+        # climbs 0, 1, 2 and resets to 0 after the rebalance drains it.
+        assert report.search_queue_depths == [0, 1, 2, 0]
+        latencies = report.search_latencies()
+        assert latencies == [1.0, 2.0, 3.0, 1.0]
+
+    def test_report_ratio_properties(self):
+        report = OverlayChaosReport()
+        assert report.peak_ratio == 1.0
+        assert report.final_ratio == 1.0
+        report.ratio_samples.extend([2.0, 1.2])
+        assert report.peak_ratio == 2.0
+        assert report.final_ratio == 1.2
