@@ -37,6 +37,8 @@ RES004    call sites through which NetworkError-family exceptions escape
           to an entry point with no coverage on the propagation path
 PERF001   ``RowLayout.resolve`` called inside a loop over rows (hoist the
           position lookup or compile via ``repro.sqlengine.compile``)
+PERF002   per-row evaluator call inside a rows-loop of a module that
+          declares vectorized kernels (batch via ``sqlengine.vectorize``)
 ARCH001   imports violating the layering contract (``sim``/``sqlengine``/
           ``baton`` depend only on ``errors``; ``analysis`` is stdlib-only)
 PURE001   effects (clock, randomness, I/O, network, shared mutation)

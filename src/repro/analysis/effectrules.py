@@ -154,9 +154,10 @@ class Pure001(_EffectContractRule):
         "identical queries disagree, a network send hides unpriced\n"
         "traffic from the cost model, and mutation of state owned\n"
         "outside the engine turns a scan into a side channel.  The\n"
-        "coming columnar refactor will reorder and batch kernel calls,\n"
-        "which is only sound when this contract holds — so it is\n"
-        "enforced now, while the kernels are still scalar."
+        "vectorized executor leans on this harder still: batch kernels\n"
+        "evaluate rows past the one whose error the reference path would\n"
+        "raise first, and defer errors to operator boundaries — which is\n"
+        "only unobservable because kernels are pure."
     )
     example_violation = (
         "import time\n"
@@ -181,8 +182,11 @@ class Pure001(_EffectContractRule):
         selected = []
         for qual in sorted(inference.bases):
             module = inference.bases[qual].module
-            if module.endswith("sqlengine.compile") or module.endswith(
-                "sqlengine.executor"
+            if (
+                module.endswith("sqlengine.compile")
+                or module.endswith("sqlengine.executor")
+                or module.endswith("sqlengine.vectorize")
+                or module.endswith("sqlengine.vexecutor")
             ):
                 selected.append(qual)
         return selected

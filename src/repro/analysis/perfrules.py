@@ -1,11 +1,15 @@
-"""Performance rules: PERF001 (per-row column re-resolution).
+"""Performance rules: PERF001 and PERF002 (per-row work in hot loops).
 
 Expression compilation (:mod:`repro.sqlengine.compile`) exists precisely to
 hoist :meth:`RowLayout.resolve` out of per-row code: positions are looked up
 once against the layout and baked into closures.  Calling ``resolve`` inside
 a loop over rows reintroduces the dictionary lookup the compiler removed —
 an O(rows) cost that is invisible in correctness tests and silently erodes
-the measured speedups guarded by ``benchmarks/perf_baseline.json``.
+the measured speedups guarded by ``benchmarks/perf_baseline.json``
+(PERF001).  Vectorization (:mod:`repro.sqlengine.vectorize`) raises the bar
+again: a module that declares batch kernels has already paid for
+whole-column evaluation, so dropping back to a per-row ``evaluate()`` loop
+in that module forfeits the batch speedup one tuple at a time (PERF002).
 """
 
 from __future__ import annotations
@@ -70,6 +74,22 @@ def _loops_over_rows(target: ast.AST, iter_node: ast.AST) -> bool:
     return _iterates_rows(iter_node)
 
 
+def _enclosing_row_loop(ctx: FileContext, node: ast.AST) -> Optional[ast.AST]:
+    """Nearest enclosing rows-loop in the same function scope, if any."""
+    current = ctx.parent(node)
+    while current is not None and not isinstance(current, _SCOPE_BOUNDARIES):
+        if isinstance(current, ast.For) and _loops_over_rows(
+            current.target, current.iter
+        ):
+            return current
+        if isinstance(current, _COMPREHENSIONS):
+            for comp in current.generators:
+                if _loops_over_rows(comp.target, comp.iter):
+                    return current
+        current = ctx.parent(current)
+    return None
+
+
 @register_rule
 class PerRowResolveRule(Rule):
     """PERF001: ``layout.resolve(...)`` evaluated once per row.
@@ -97,7 +117,7 @@ class PerRowResolveRule(Rule):
                 and _is_layout(node.func.value)
             ):
                 continue
-            loop = self._row_loop_above(ctx, node)
+            loop = _enclosing_row_loop(ctx, node)
             if loop is not None:
                 yield self.finding(
                     ctx,
@@ -107,21 +127,55 @@ class PerRowResolveRule(Rule):
                     "compile the expression (repro.sqlengine.compile)",
                 )
 
-    def _row_loop_above(
-        self, ctx: FileContext, node: ast.AST
-    ) -> Optional[ast.AST]:
-        """Nearest enclosing rows-loop in the same function scope, if any."""
-        current = ctx.parent(node)
-        while current is not None and not isinstance(
-            current, _SCOPE_BOUNDARIES
-        ):
-            if isinstance(current, ast.For) and _loops_over_rows(
-                current.target, current.iter
-            ):
-                return current
-            if isinstance(current, _COMPREHENSIONS):
-                for comp in current.generators:
-                    if _loops_over_rows(comp.target, comp.iter):
-                        return current
-            current = ctx.parent(current)
-        return None
+
+def _declares_vector_kernel(tree: ast.AST) -> bool:
+    """Does this module define any vector-named function or class?"""
+    for node in ast.walk(tree):
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ) and "vector" in node.name.lower():
+            return True
+    return False
+
+
+@register_rule
+class PerRowEvaluatorInVectorModuleRule(Rule):
+    """PERF002: per-row ``evaluate()`` loop in a module with batch kernels.
+
+    A module that declares vectorized kernels (any def or class whose name
+    mentions ``vector``) has a batch path for expression evaluation.
+    Calling an evaluator once per row of a rows-loop in such a module pays
+    interpreter dispatch per tuple — exactly the cost the kernels exist to
+    amortize — and typically marks a leftover scalar path that should lower
+    through :func:`repro.sqlengine.vectorize.compile_vector_evaluator` (or
+    delegate to the reference executor, whose module makes the trade-off
+    explicit).
+    """
+
+    id = "PERF002"
+    severity = Severity.WARNING
+    description = (
+        "per-row evaluator call inside a loop over rows in a module that "
+        "declares vectorized kernels; evaluate the whole batch instead"
+    )
+    categories = ("src", "benchmarks")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not _declares_vector_kernel(ctx.tree):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _tail_name(node.func)
+            if name is None or "evaluat" not in name.lower():
+                continue
+            loop = _enclosing_row_loop(ctx, node)
+            if loop is not None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{name}() runs once per row of this loop, but this "
+                    "module declares vectorized kernels; lower the "
+                    "expression once and evaluate the column batch "
+                    "(repro.sqlengine.vectorize)",
+                )

@@ -1,18 +1,21 @@
 """Perf-regression microbenchmarks for the local SQL engine.
 
-Each kernel times the *same* query in both execution modes of
+Each kernel times the *same* query in all three execution modes of
 :class:`~repro.sqlengine.database.Database` — interpreted ``Expr.evaluate``
-tree-walks vs. the compiled closures of :mod:`repro.sqlengine.compile` —
-and asserts the modes produce identical rows *and* identical
-:class:`~repro.sqlengine.executor.ExecStats` before any timing counts.
-Because simulated latencies are derived purely from those counters,
-compilation cannot change a single figure in the paper reproduction; it only
-changes how fast the figures are produced.
+tree-walks, the compiled closures of :mod:`repro.sqlengine.compile`, and
+the batch kernels of :mod:`repro.sqlengine.vectorize` running over
+column-major storage — and asserts the modes produce identical rows *and*
+identical :class:`~repro.sqlengine.executor.ExecStats` before any timing
+counts.  Because simulated latencies are derived purely from those
+counters, neither compilation nor vectorization can change a single figure
+in the paper reproduction; they only change how fast the figures are
+produced.
 
 The emitted ``BENCH_perf.json`` records a median-of-k wall-clock per mode
-plus the speedup ratio.  The CI gate compares *ratios* (measured within one
+plus speedup ratios (compiled/interpreted, vectorized/interpreted, and
+vectorized/compiled).  The CI gate compares *ratios* (measured within one
 run, on one machine) against the checked-in baseline, so the check is
-machine-independent: a kernel fails only if compilation lost a significant
+machine-independent: a kernel fails only if a mode lost a significant
 fraction of its relative advantage.
 
 Usage::
@@ -44,20 +47,30 @@ DEFAULT_REPEAT = 5
 DEFAULT_SCALE = 1.0
 SEED = 1729
 
+#: Timed execution modes, slowest first (ratios are relative to the first).
+MODES = ("interpreted", "compiled", "vectorized")
+
 _SHIP_DATES = ("1995-01-10", "1995-03-15", "1995-06-01", "1995-09-20")
 _ORDER_DATES = ("1995-02-01", "1995-03-01", "1995-04-01", "1995-08-01")
 
 
 @dataclass
 class KernelResult:
-    """One kernel's measurement: both modes, their ratio, and the work done."""
+    """One kernel's measurement: all modes, their ratios, the work done."""
 
     name: str
     sql: str
     rows_out: int
     interpreted_s: float
     compiled_s: float
+    vectorized_s: float
+    #: compiled over interpreted (the historical ratio name).
     speedup: float
+    #: vectorized over interpreted.
+    vectorized_speedup: float
+    #: vectorized over compiled — the batch path must not lose to the
+    #: row-at-a-time compiled path on any kernel.
+    vectorized_vs_compiled: float
     stats: Dict[str, int]
 
 
@@ -153,68 +166,84 @@ def _median(samples: List[float]) -> float:
     return (ordered[middle - 1] + ordered[middle]) / 2.0
 
 
-def _time_once(db: Database, sql: str, use_compiled: bool) -> float:
-    db.use_compiled = use_compiled
+def _time_once(db: Database, sql: str, mode: str) -> float:
+    db.execution_mode = mode
     started = time.perf_counter()  # repro: allow[SIM002] driver wall-time, not simulated time
     db.execute(sql)
     return time.perf_counter() - started  # repro: allow[SIM002] driver wall-time, not simulated time
 
 
-def _time_modes(db: Database, sql: str, repeat: int) -> Tuple[float, float]:
+def _time_modes(db: Database, sql: str, repeat: int) -> Dict[str, float]:
     """Median wall-clock of ``repeat`` runs per mode, sampled interleaved.
 
-    Alternating interpreted/compiled within each round keeps slow host
-    drift (thermal throttling, background load) out of the speedup ratio.
-    Untimed warm-up runs populate the plan cache first, so every timed run
-    measures execution — the exact per-row work compilation targets — with
-    parse+plan amortized identically in both modes.
+    Alternating all three modes within each round keeps slow host drift
+    (thermal throttling, background load) out of the speedup ratios.
+    Untimed warm-up runs populate the per-mode plan cache first, so every
+    timed run measures execution — the exact per-row and per-batch work the
+    fast paths target — with parse+plan amortized identically in all modes.
     """
-    _time_once(db, sql, use_compiled=False)
-    _time_once(db, sql, use_compiled=True)
-    interpreted: List[float] = []
-    compiled: List[float] = []
+    for mode in MODES:
+        _time_once(db, sql, mode)
+    samples: Dict[str, List[float]] = {mode: [] for mode in MODES}
     for _ in range(repeat):
-        interpreted.append(_time_once(db, sql, use_compiled=False))
-        compiled.append(_time_once(db, sql, use_compiled=True))
-    return _median(interpreted), _median(compiled)
+        for mode in MODES:
+            samples[mode].append(_time_once(db, sql, mode))
+    return {mode: _median(samples[mode]) for mode in MODES}
 
 
 def _assert_equivalent(db: Database, sql: str) -> Tuple[int, Dict[str, int]]:
-    """Both modes must yield identical rows and identical ExecStats."""
+    """All modes must yield identical rows and identical ExecStats."""
     db.clear_plan_cache()
-    db.use_compiled = False
-    interpreted = db.execute(sql)
-    db.clear_plan_cache()
-    db.use_compiled = True
-    compiled = db.execute(sql)
-    if interpreted.rows != compiled.rows:
-        raise AssertionError(f"row mismatch between modes for: {sql}")
-    if asdict(interpreted.stats) != asdict(compiled.stats):
-        raise AssertionError(f"ExecStats mismatch between modes for: {sql}")
-    return len(compiled.rows), asdict(compiled.stats)
+    db.execution_mode = "interpreted"
+    reference = db.execute(sql)
+    for mode in MODES[1:]:
+        db.clear_plan_cache()
+        db.execution_mode = mode
+        result = db.execute(sql)
+        if reference.rows != result.rows:
+            raise AssertionError(f"row mismatch ({mode} mode) for: {sql}")
+        if asdict(reference.stats) != asdict(result.stats):
+            raise AssertionError(
+                f"ExecStats mismatch ({mode} mode) for: {sql}"
+            )
+    return len(reference.rows), asdict(reference.stats)
 
 
 def run_kernel(db: Database, name: str, sql: str, repeat: int) -> KernelResult:
-    """Verify mode equivalence for one kernel, then time both modes."""
+    """Verify mode equivalence for one kernel, then time every mode."""
     rows_out, stats = _assert_equivalent(db, sql)
-    interpreted_s, compiled_s = _time_modes(db, sql, repeat)
+    medians = _time_modes(db, sql, repeat)
+    interpreted_s = medians["interpreted"]
+    compiled_s = medians["compiled"]
+    vectorized_s = medians["vectorized"]
+
+    def ratio(slow: float, fast: float) -> float:
+        return slow / fast if fast > 0 else float("inf")
+
     return KernelResult(
         name=name,
         sql=sql,
         rows_out=rows_out,
         interpreted_s=interpreted_s,
         compiled_s=compiled_s,
-        speedup=interpreted_s / compiled_s if compiled_s > 0 else float("inf"),
+        vectorized_s=vectorized_s,
+        speedup=ratio(interpreted_s, compiled_s),
+        vectorized_speedup=ratio(interpreted_s, vectorized_s),
+        vectorized_vs_compiled=ratio(compiled_s, vectorized_s),
         stats=stats,
     )
 
 
 def run_plan_cache_workload(db: Database, rounds: int = 20) -> Dict[str, int]:
-    """A repeated-query workload: every round after the first should hit."""
+    """A repeated-query workload: every round after the first should hit.
+
+    Runs in vectorized mode (the default), so the check also proves the
+    batch path reuses cached plans under its ``(mode, sql)`` cache key.
+    """
     db.clear_plan_cache()
     db.plan_cache_hits = 0
     db.plan_cache_misses = 0
-    db.use_compiled = True
+    db.execution_mode = "vectorized"
     sql = KERNELS[1][1]
     for _ in range(rounds):
         db.execute(sql)
@@ -250,22 +279,29 @@ def check_against_baseline(
     """Failures (empty = pass) comparing speedup ratios with a tolerance.
 
     Ratios are measured within one run on one machine, so absolute host
-    speed cancels out; only a genuine loss of compiled advantage fails.
+    speed cancels out; only a genuine loss of a mode's advantage fails.
+    Every ratio field present in a baseline kernel entry is checked, so a
+    baseline can gate compiled/interpreted, vectorized/interpreted, and
+    vectorized/compiled independently.
     """
     failures: List[str] = []
+    ratio_fields = ("speedup", "vectorized_speedup", "vectorized_vs_compiled")
     current_kernels = current["kernels"]
     for name, entry in baseline["kernels"].items():
         measured = current_kernels.get(name)
         if measured is None:
             failures.append(f"{name}: kernel missing from current run")
             continue
-        floor = entry["speedup"] * (1.0 - tolerance)
-        if measured["speedup"] < floor:
-            failures.append(
-                f"{name}: speedup {measured['speedup']:.2f}x fell below "
-                f"{floor:.2f}x (baseline {entry['speedup']:.2f}x "
-                f"- {tolerance:.0%} tolerance)"
-            )
+        for field in ratio_fields:
+            if field not in entry:
+                continue
+            floor = entry[field] * (1.0 - tolerance)
+            if measured[field] < floor:
+                failures.append(
+                    f"{name}: {field} {measured[field]:.2f}x fell below "
+                    f"{floor:.2f}x (baseline {entry[field]:.2f}x "
+                    f"- {tolerance:.0%} tolerance)"
+                )
     hits = current.get("plan_cache", {}).get("hits", 0)
     if not hits:
         failures.append("plan_cache: repeated-query workload recorded no hits")
@@ -276,7 +312,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code (1 on regression)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench.microbench",
-        description="SQL-engine microbenchmarks: interpreted vs compiled.",
+        description=(
+            "SQL-engine microbenchmarks: interpreted vs compiled vs "
+            "vectorized."
+        ),
     )
     parser.add_argument("--out", help="write BENCH_perf.json here")
     parser.add_argument(
@@ -291,7 +330,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             f"{name:>14}: interpreted {entry['interpreted_s'] * 1e3:8.2f} ms  "
             f"compiled {entry['compiled_s'] * 1e3:8.2f} ms  "
-            f"speedup {entry['speedup']:.2f}x  ({entry['rows_out']} rows)"
+            f"vectorized {entry['vectorized_s'] * 1e3:8.2f} ms  "
+            f"({entry['speedup']:.2f}x / {entry['vectorized_speedup']:.2f}x "
+            f"/ vs-compiled {entry['vectorized_vs_compiled']:.2f}x, "
+            f"{entry['rows_out']} rows)"
         )
     cache = payload["plan_cache"]
     print(f"    plan cache: hits={cache['hits']} misses={cache['misses']}")

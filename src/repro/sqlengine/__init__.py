@@ -12,7 +12,9 @@ reproduction's stand-in for both: a small but real relational engine with
   (:mod:`~repro.sqlengine.parser`),
 * a rule-based planner with index selection (:mod:`~repro.sqlengine.planner`),
 * a pull-based executor with hash joins, aggregation, sorting
-  (:mod:`~repro.sqlengine.executor`), and
+  (:mod:`~repro.sqlengine.executor`),
+* a vectorized executor running batch kernels over column-major storage
+  (:mod:`~repro.sqlengine.vectorize`, :mod:`~repro.sqlengine.vexecutor`), and
 * per-table statistics feeding histograms and the cost model
   (:mod:`~repro.sqlengine.stats`).
 
@@ -22,9 +24,10 @@ The public entry point is :class:`~repro.sqlengine.database.Database`.
 from repro.sqlengine.types import ColumnType
 from repro.sqlengine.schema import Column, TableSchema
 from repro.sqlengine.table import MemTable, Table
-from repro.sqlengine.database import Database, QueryResult
+from repro.sqlengine.database import EXECUTION_MODES, Database, QueryResult
 from repro.sqlengine.parser import parse
 from repro.sqlengine.stats import ColumnStats, TableStats
+from repro.sqlengine.vexecutor import VectorizedExecutor
 
 __all__ = [
     "ColumnType",
@@ -33,7 +36,9 @@ __all__ = [
     "Table",
     "MemTable",
     "Database",
+    "EXECUTION_MODES",
     "QueryResult",
+    "VectorizedExecutor",
     "parse",
     "ColumnStats",
     "TableStats",

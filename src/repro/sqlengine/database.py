@@ -36,6 +36,10 @@ from repro.sqlengine.schema import TableSchema
 from repro.sqlengine.stats import TableStats, collect_table_stats
 from repro.sqlengine.table import Table
 from repro.sqlengine.types import value_byte_size
+from repro.sqlengine.vexecutor import VectorizedExecutor
+
+#: Supported expression-evaluation strategies, slowest to fastest.
+EXECUTION_MODES = ("interpreted", "compiled", "vectorized")
 
 
 class QueryResult:
@@ -118,12 +122,16 @@ class PreparedSelect:
 class Database:
     """An embedded relational database with a SQL interface.
 
-    Repeated statements hit an LRU parse+plan cache keyed by the SQL text
-    and the catalogue version (every table's mutation counter), so any
-    DDL/insert/delete invalidates affected entries without explicit hooks.
-    ``use_compiled`` selects compiled expression evaluation (the default);
-    flipping it to ``False`` runs the interpreted reference path, which must
-    produce identical rows and :class:`ExecStats`.
+    Repeated statements hit an LRU parse+plan cache keyed by the execution
+    mode, the SQL text, and the catalogue version (every table's mutation
+    counter), so any DDL/insert/delete invalidates affected entries without
+    explicit hooks.  ``execution_mode`` selects one of
+    :data:`EXECUTION_MODES`: ``"interpreted"`` walks expression trees per
+    row (the reference), ``"compiled"`` runs closure-compiled evaluators per
+    row, and ``"vectorized"`` (the default) runs batch kernels over
+    column-major storage.  All three must produce identical rows, stats, and
+    errors.  ``use_compiled`` survives as a compatibility alias covering the
+    two row-at-a-time modes.
     """
 
     #: Default maximum number of cached plans per database.
@@ -132,18 +140,52 @@ class Database:
     def __init__(
         self,
         name: str = "db",
-        use_compiled: bool = True,
+        use_compiled: Optional[bool] = None,
         plan_cache_size: int = PLAN_CACHE_SIZE,
+        execution_mode: Optional[str] = None,
+        batch_size: int = VectorizedExecutor.DEFAULT_BATCH_SIZE,
     ) -> None:
         self.name = name
         self._tables: Dict[str, Table] = {}
-        self.use_compiled = use_compiled
-        self._plan_cache: "collections.OrderedDict[str, Tuple[Tuple[Tuple[str, int], ...], object]]" = (
+        if use_compiled is not None and execution_mode is not None:
+            raise SqlExecutionError(
+                "pass either use_compiled or execution_mode, not both"
+            )
+        if execution_mode is not None:
+            self.execution_mode = execution_mode
+        elif use_compiled is not None:
+            self._execution_mode = "compiled" if use_compiled else "interpreted"
+        else:
+            self._execution_mode = "vectorized"
+        self._batch_size = batch_size
+        self._plan_cache: "collections.OrderedDict[Tuple[str, str], Tuple[Tuple[Tuple[str, int], ...], object]]" = (
             collections.OrderedDict()
         )
         self._plan_cache_size = plan_cache_size
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
+
+    @property
+    def execution_mode(self) -> str:
+        return self._execution_mode
+
+    @execution_mode.setter
+    def execution_mode(self, mode: str) -> None:
+        if mode not in EXECUTION_MODES:
+            raise SqlExecutionError(
+                f"unknown execution mode {mode!r}; expected one of "
+                f"{', '.join(EXECUTION_MODES)}"
+            )
+        self._execution_mode = mode
+
+    @property
+    def use_compiled(self) -> bool:
+        """Compatibility view: is any compiled evaluation strategy active?"""
+        return self._execution_mode != "interpreted"
+
+    @use_compiled.setter
+    def use_compiled(self, value: bool) -> None:
+        self._execution_mode = "compiled" if value else "interpreted"
 
     # ------------------------------------------------------------------
     # Catalogue
@@ -239,9 +281,14 @@ class Database:
         return self._run_plan(plan)
 
     def _run_plan(self, plan: object) -> QueryResult:
-        layout, rows, stats = Executor(
-            self._tables, use_compiled=self.use_compiled
-        ).execute(plan)
+        if self._execution_mode == "vectorized":
+            layout, rows, stats = VectorizedExecutor(
+                self._tables, batch_size=self._batch_size
+            ).execute(plan)
+        else:
+            layout, rows, stats = Executor(
+                self._tables, use_compiled=self._execution_mode == "compiled"
+            ).execute(plan)
         return QueryResult(layout.columns, rows, stats)
 
     # ------------------------------------------------------------------
@@ -254,19 +301,24 @@ class Database:
         )
 
     def _cached_plan(self, sql: str) -> Optional[object]:
-        entry = self._plan_cache.get(sql)
+        # Plans themselves are mode-independent, but keying on the mode
+        # keeps per-mode hit/miss accounting honest when a benchmark flips
+        # modes between runs of the same statement.
+        cache_key = (self._execution_mode, sql)
+        entry = self._plan_cache.get(cache_key)
         if entry is None:
             return None
         state, plan = entry
         if state != self._catalog_state():
-            del self._plan_cache[sql]
+            del self._plan_cache[cache_key]
             return None
-        self._plan_cache.move_to_end(sql)
+        self._plan_cache.move_to_end(cache_key)
         return plan
 
     def _store_plan(self, sql: str, plan: object) -> None:
-        self._plan_cache[sql] = (self._catalog_state(), plan)
-        self._plan_cache.move_to_end(sql)
+        cache_key = (self._execution_mode, sql)
+        self._plan_cache[cache_key] = (self._catalog_state(), plan)
+        self._plan_cache.move_to_end(cache_key)
         while len(self._plan_cache) > self._plan_cache_size:
             self._plan_cache.popitem(last=False)
 

@@ -133,24 +133,7 @@ class Executor:
     def _index_rows(
         self, table: Table, access: IndexAccess, stats: ExecStats
     ) -> List[Tuple[object, ...]]:
-        index = table.index_on(access.column)
-        if index is None:
-            raise SqlExecutionError(
-                f"planner chose a missing index on {access.column!r}"
-            )
-        if access.is_equality:
-            row_ids = index.lookup(access.eq_value)
-        else:
-            row_ids = list(
-                index.range_scan(
-                    access.low,
-                    access.high,
-                    access.low_inclusive,
-                    access.high_inclusive,
-                )
-            )
-        stats.index_probes += 1
-        stats.rows_scanned += len(row_ids)
+        row_ids = index_row_ids(table, access, stats)
         return [table.row_by_id(row_id) for row_id in row_ids]
 
     # ------------------------------------------------------------------
@@ -245,54 +228,7 @@ class Executor:
     # ------------------------------------------------------------------
     def _execute_group_by(self, node: GroupByNode, stats: ExecStats):
         child_layout, child_rows = self._execute(node.child, stats)
-
-        group_names = []
-        for expr in node.group_exprs:
-            if isinstance(expr, ColumnRef):
-                group_names.append(
-                    child_layout.columns[child_layout.resolve(expr.name)]
-                )
-            else:
-                group_names.append(expr.to_sql().lower())
-        agg_names = [aggregate.to_sql().lower() for aggregate in node.aggregates]
-        layout = RowLayout(group_names + agg_names)
-
-        key_evaluators = [
-            self._evaluator(expr, child_layout) for expr in node.group_exprs
-        ]
-        arg_getters = [
-            self._aggregate_arg_getter(aggregate, child_layout)
-            for aggregate in node.aggregates
-        ]
-
-        def make_states() -> List[_AggState]:
-            return [
-                _AggState(aggregate, arg_getter)
-                for aggregate, arg_getter in zip(node.aggregates, arg_getters)
-            ]
-
-        groups: Dict[Tuple[object, ...], List[_AggState]] = {}
-        group_order: List[Tuple[object, ...]] = []
-        for row in child_rows:
-            key = tuple(evaluate(row) for evaluate in key_evaluators)
-            states = groups.get(key)
-            if states is None:
-                states = make_states()
-                groups[key] = states
-                group_order.append(key)
-            for state in states:
-                state.accumulate(row, child_layout)
-
-        # A scalar aggregate over an empty input still yields one row.
-        if not groups and not node.group_exprs:
-            groups[()] = make_states()
-            group_order.append(())
-
-        rows = [
-            key + tuple(state.result() for state in groups[key])
-            for key in group_order
-        ]
-        return layout, rows
+        return group_rows_reference(node, child_layout, child_rows, self._evaluator)
 
     # ------------------------------------------------------------------
     # Project / distinct / sort / limit
@@ -350,19 +286,107 @@ class Executor:
         layout, rows = self._execute(node.child, stats)
         return layout, rows[: node.limit]
 
-    def _aggregate_arg_getter(self, call: FuncCall, layout: RowLayout):
-        """Precompile an aggregate's single argument, if it has one.
-
-        COUNT(*) and malformed calls return None; :class:`_AggState` keeps
-        its per-row arity error for the latter, matching the reference path.
-        """
-        if call.star or len(call.args) != 1:
-            return None
-        return self._evaluator(call.args[0], layout)
-
 
 def _position_getter(position: int) -> Callable[[Tuple[object, ...]], object]:
     return lambda row: row[position]
+
+
+def index_row_ids(table: Table, access: IndexAccess, stats: ExecStats) -> List[int]:
+    """Resolve an :class:`IndexAccess` to row ids, charging ``stats``.
+
+    Shared by the row executor and the vectorized executor so both charge
+    identical probe/scan counts for identical plans.
+    """
+    index = table.index_on(access.column)
+    if index is None:
+        raise SqlExecutionError(
+            f"planner chose a missing index on {access.column!r}"
+        )
+    if access.is_equality:
+        row_ids = index.lookup(access.eq_value)
+    else:
+        row_ids = list(
+            index.range_scan(
+                access.low,
+                access.high,
+                access.low_inclusive,
+                access.high_inclusive,
+            )
+        )
+    stats.index_probes += 1
+    stats.rows_scanned += len(row_ids)
+    return row_ids
+
+
+def group_output_layout(node: GroupByNode, child_layout: RowLayout) -> RowLayout:
+    """The output layout of a GROUP BY: group columns then aggregate columns."""
+    group_names = []
+    for expr in node.group_exprs:
+        if isinstance(expr, ColumnRef):
+            group_names.append(
+                child_layout.columns[child_layout.resolve(expr.name)]
+            )
+        else:
+            group_names.append(expr.to_sql().lower())
+    agg_names = [aggregate.to_sql().lower() for aggregate in node.aggregates]
+    return RowLayout(group_names + agg_names)
+
+
+def group_rows_reference(
+    node: GroupByNode,
+    child_layout: RowLayout,
+    child_rows: Sequence[Tuple[object, ...]],
+    evaluator_factory: Callable[[Expr, RowLayout], Callable],
+):
+    """The reference row-at-a-time GROUP BY loop.
+
+    Shared by :class:`Executor` (its only group-by implementation) and the
+    vectorized executor, whose columnar fast path falls back here whenever
+    any evaluation errors so the surfaced exception matches the reference
+    row-visit order exactly.
+    """
+    layout = group_output_layout(node, child_layout)
+    key_evaluators = [
+        evaluator_factory(expr, child_layout) for expr in node.group_exprs
+    ]
+    # Precompile each aggregate's single argument, if it has one. COUNT(*)
+    # and malformed calls get None; _AggState keeps its per-row arity error
+    # for the latter, matching the reference path.
+    arg_getters = [
+        None
+        if aggregate.star or len(aggregate.args) != 1
+        else evaluator_factory(aggregate.args[0], child_layout)
+        for aggregate in node.aggregates
+    ]
+
+    def make_states() -> List[_AggState]:
+        return [
+            _AggState(aggregate, arg_getter)
+            for aggregate, arg_getter in zip(node.aggregates, arg_getters)
+        ]
+
+    groups: Dict[Tuple[object, ...], List[_AggState]] = {}
+    group_order: List[Tuple[object, ...]] = []
+    for row in child_rows:
+        key = tuple(evaluate(row) for evaluate in key_evaluators)
+        states = groups.get(key)
+        if states is None:
+            states = make_states()
+            groups[key] = states
+            group_order.append(key)
+        for state in states:
+            state.accumulate(row, child_layout)
+
+    # A scalar aggregate over an empty input still yields one row.
+    if not groups and not node.group_exprs:
+        groups[()] = make_states()
+        group_order.append(())
+
+    rows = [
+        key + tuple(state.result() for state in groups[key])
+        for key in group_order
+    ]
+    return layout, rows
 
 
 class _MinType:

@@ -32,6 +32,12 @@ class Table:
         #: Plan caches key on it, so plans stay valid even when loaders
         #: mutate the table directly instead of going through SQL.
         self.version = 0
+        #: Lazily materialized column-major mirror of the live rows, used by
+        #: the vectorized executor.  Valid only while
+        #: ``_column_store_version == version``; insert paths append to it
+        #: incrementally, destructive mutations drop it.
+        self._column_store: Optional[List[List[object]]] = None
+        self._column_store_version = -1
         self.indexes: Dict[str, OrderedIndex] = {}
         if schema.primary_key is not None:
             self.create_index(
@@ -68,6 +74,24 @@ class Table:
             if row is not None:
                 yield row_id
 
+    def column_data(self) -> List[List[object]]:
+        """Column-major view of the live rows, cached per table version.
+
+        ``column_data()[k][i]`` is the ``k``-th attribute of the ``i``-th
+        live row in insertion order (tombstones compacted away, so positions
+        are *not* row ids).  The cache rebuilds lazily after destructive
+        mutations; the insert paths extend it incrementally so repeated
+        scans of an append-mostly table never re-transpose.
+        """
+        if self._column_store_version != self.version:
+            if self._live_count:
+                self._column_store = [list(col) for col in zip(*self.rows())]
+            else:
+                self._column_store = [[] for _ in self.schema.columns]
+            self._column_store_version = self.version
+        assert self._column_store is not None
+        return self._column_store
+
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
@@ -87,13 +111,56 @@ class Table:
         self._rows.append(row)
         self._live_count += 1
         self._byte_size += self._row_bytes(row)
+        if self._column_store is not None and self._column_store_version == self.version:
+            for column_values, value in zip(self._column_store, row):
+                column_values.append(value)
+            self._column_store_version = self.version + 1
         self.version += 1
         for index in self.indexes.values():
             index.insert(row[self.schema.column_index(index.column)], row_id)
         return row_id
 
     def insert_many(self, rows: Sequence[Sequence[object]]) -> List[int]:
-        return [self.insert(row) for row in rows]
+        """Bulk-append ``rows`` atomically; returns their row ids.
+
+        One coercion pass, one unique-key validation pass (a violation
+        anywhere in the batch leaves the table unchanged, where per-row
+        insertion would have kept the earlier rows), one mutation-version
+        bump, and one merge per index — instead of per-row work for each.
+        """
+        coerced = [self.schema.coerce_row(row) for row in rows]
+        if not coerced:
+            return []
+        for index in self.indexes.values():
+            if not index.unique:
+                continue
+            position = self.schema.column_index(index.column)
+            seen = set()
+            for row in coerced:
+                key = row[position]
+                if key is None:
+                    continue
+                if key in seen or index.lookup(key):
+                    raise SqlExecutionError(
+                        f"duplicate key {key!r} for unique index {index.name!r}"
+                    )
+                seen.add(key)
+        first_id = len(self._rows)
+        row_ids = list(range(first_id, first_id + len(coerced)))
+        self._rows.extend(coerced)
+        self._live_count += len(coerced)
+        self._byte_size += sum(self._row_bytes(row) for row in coerced)
+        if self._column_store is not None and self._column_store_version == self.version:
+            for position, column_values in enumerate(self._column_store):
+                column_values.extend(row[position] for row in coerced)
+            self._column_store_version = self.version + 1
+        self.version += 1
+        for index in self.indexes.values():
+            position = self.schema.column_index(index.column)
+            index.insert_many(
+                (row[position], row_id) for row, row_id in zip(coerced, row_ids)
+            )
+        return row_ids
 
     def delete_row(self, row_id: int) -> None:
         row = self.row_by_id(row_id)
@@ -102,6 +169,7 @@ class Table:
         self._rows[row_id] = None
         self._live_count -= 1
         self._byte_size -= self._row_bytes(row)
+        self._drop_column_store()
         self.version += 1
 
     def delete_where(self, predicate: Callable[[Tuple[object, ...]], bool]) -> int:
@@ -133,12 +201,14 @@ class Table:
                 index.insert(new[position], row_id)
         self._rows[row_id] = new
         self._byte_size += self._row_bytes(new) - self._row_bytes(old)
+        self._drop_column_store()
         self.version += 1
 
     def truncate(self) -> None:
         self._rows.clear()
         self._live_count = 0
         self._byte_size = 0
+        self._drop_column_store()
         self.version += 1
         for index in list(self.indexes.values()):
             self.indexes[index.name] = OrderedIndex(
@@ -161,6 +231,10 @@ class Table:
             if row is not None:
                 index.insert(row[position], row_id)
         self.indexes[name] = index
+        # Index creation bumps the version without changing row content, so
+        # a current column store stays current.
+        if self._column_store_version == self.version:
+            self._column_store_version += 1
         self.version += 1
         return index
 
@@ -178,6 +252,10 @@ class Table:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _drop_column_store(self) -> None:
+        self._column_store = None
+        self._column_store_version = -1
+
     def _row_bytes(self, row: Tuple[object, ...]) -> int:
         return sum(
             column.column_type.byte_size(value)

@@ -1,0 +1,136 @@
+"""PERF002: per-row evaluator loop in a module declaring vector kernels."""
+
+
+class TestPositive:
+    def test_evaluate_per_row_next_to_kernels_fires(self, reported):
+        findings = reported(
+            "PERF002",
+            """\
+            def compile_vector_filter(expr, layout):
+                def kernel(cols, sel):
+                    return sel, []
+                return kernel
+
+            def slow_filter(expr, layout, rows):
+                return [row for row in rows if expr.evaluate(row, layout)]
+            """,
+        )
+        assert len(findings) == 1
+        assert "vectorized kernels" in findings[0].message
+
+    def test_evaluator_closure_call_fires(self, reported):
+        findings = reported(
+            "PERF002",
+            """\
+            class VectorizedExecutor:
+                def project(self, evaluator, rows):
+                    out = []
+                    for row in rows:
+                        out.append(evaluator(row))
+                    return out
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_method_evaluator_on_rows_iterable_fires(self, reported):
+        # Target isn't row-like, but the iterable clearly is a row set.
+        findings = reported(
+            "PERF002",
+            """\
+            def vector_scan(table, expr, layout):
+                for item in table.all_rows():
+                    yield expr.evaluate(item, layout)
+            """,
+        )
+        assert len(findings) == 1
+
+
+class TestNegative:
+    def test_module_without_kernels_is_exempt(self, reported):
+        # The reference executor is deliberately row-at-a-time; only
+        # modules that claim a batch path are held to it.
+        assert not reported(
+            "PERF002",
+            """\
+            def slow_filter(expr, layout, rows):
+                return [row for row in rows if expr.evaluate(row, layout)]
+            """,
+        )
+
+    def test_batch_kernel_call_is_clean(self, reported):
+        # The fix the rule asks for: one kernel call per batch, with the
+        # loop running over selection indices rather than rows.
+        assert not reported(
+            "PERF002",
+            """\
+            def compile_vector_filter(expr, layout):
+                def kernel(cols, sel):
+                    return sel, []
+                return kernel
+
+            def fast_filter(expr, layout, cols, n):
+                kernel = compile_vector_filter(expr, layout)
+                kept = []
+                for start in range(0, n, 1024):
+                    passing, errs = kernel(cols, range(start, min(start + 1024, n)))
+                    kept.extend(passing)
+                return kept
+            """,
+        )
+
+    def test_per_expression_loop_is_clean(self, reported):
+        # Compiling an evaluator per SELECT item is per-query work, not
+        # per-row work.
+        assert not reported(
+            "PERF002",
+            """\
+            def vector_project(items, layout):
+                kernels = []
+                for item in items:
+                    kernels.append(compile_vector_evaluator(item.expr, layout))
+                return kernels
+            """,
+        )
+
+    def test_nested_function_breaks_the_loop_scope(self, reported):
+        # A closure built inside the loop evaluates on its own schedule.
+        assert not reported(
+            "PERF002",
+            """\
+            def build_vector_thunks(rows, expr, layout):
+                thunks = []
+                for row in rows:
+                    def thunk():
+                        return expr.evaluate(row, layout)
+                    thunks.append(thunk)
+                return thunks
+            """,
+        )
+
+    def test_tests_category_is_exempt(self, reported):
+        # Equivalence tests compare against the per-row form on purpose.
+        assert not reported(
+            "PERF002",
+            """\
+            def check_vectorized(rows, expr, layout, got):
+                for row in rows:
+                    assert expr.evaluate(row, layout) in got
+            """,
+            path="tests/sqlengine/test_fake.py",
+        )
+
+
+class TestSuppression:
+    def test_allow_comment_suppresses(self, analyze):
+        findings = analyze(
+            "PERF002",
+            """\
+            def vector_fallback(expr, layout, rows):
+                out = []
+                for row in rows:
+                    out.append(expr.evaluate(row, layout))  # repro: allow[PERF002] reference fallback, exact error order
+                return out
+            """,
+        )
+        assert len(findings) == 1
+        assert not findings[0].reported

@@ -32,7 +32,10 @@ class TestHarness:
             assert entry["rows_out"] >= 0
             assert entry["interpreted_s"] > 0
             assert entry["compiled_s"] > 0
+            assert entry["vectorized_s"] > 0
             assert entry["speedup"] > 0
+            assert entry["vectorized_speedup"] > 0
+            assert entry["vectorized_vs_compiled"] > 0
             assert set(entry["stats"]) == {
                 "rows_scanned",
                 "rows_output",
@@ -76,6 +79,20 @@ class TestBaselineCheck:
         failures = check_against_baseline(payload, greedy)
         assert failures
         assert all("fell below" in failure for failure in failures)
+
+    def test_fails_on_lost_vectorized_ratio(self):
+        # Every ratio field present in a baseline entry is gated, so a
+        # regression of the batch path against either reference fails even
+        # when compiled-vs-interpreted is unchanged.
+        payload = small_payload()
+        for field in ("vectorized_speedup", "vectorized_vs_compiled"):
+            greedy = {
+                "kernels": {
+                    "scan": {field: payload["kernels"]["scan"][field] * 10}
+                }
+            }
+            failures = check_against_baseline(payload, greedy)
+            assert failures and field in failures[0]
 
     def test_fails_on_missing_kernel(self):
         payload = small_payload()

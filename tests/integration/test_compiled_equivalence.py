@@ -1,10 +1,11 @@
-"""Compiled execution must be observationally identical to interpreted.
+"""Fast execution modes must be observationally identical to interpreted.
 
-The acceptance bar for expression compilation (and the reason it is safe to
-enable by default): over the full TPC-H benchmark suite, both modes return
-byte-identical rows and identical :class:`ExecStats` — and therefore, at the
-network level, identical simulated bytes and latency.  Compilation may only
-change how fast the reproduction runs, never a figure it produces.
+The acceptance bar for expression compilation and vectorization (and the
+reason the batch path is safe to enable by default): over the full TPC-H
+benchmark suite, all three execution modes return byte-identical rows and
+identical :class:`ExecStats` — and therefore, at the network level,
+identical simulated bytes and latency.  A fast path may only change how
+fast the reproduction runs, never a figure it produces.
 """
 
 from dataclasses import asdict
@@ -12,7 +13,7 @@ from dataclasses import asdict
 import pytest
 
 from repro.core import BestPeerNetwork
-from repro.sqlengine import Database
+from repro.sqlengine import Database, EXECUTION_MODES
 from repro.tpch import (
     Q1,
     Q2,
@@ -26,6 +27,7 @@ from repro.tpch import (
 )
 
 NUM_PEERS = 3
+FAST_MODES = tuple(mode for mode in EXECUTION_MODES if mode != "interpreted")
 SUITE = (
     ("q1", Q1()),
     ("q2", Q2()),
@@ -35,9 +37,9 @@ SUITE = (
 )
 
 
-def build_oracle(use_compiled: bool) -> Database:
+def build_oracle(execution_mode: str) -> Database:
     """One local database holding the union of every peer's partition."""
-    db = Database("oracle", use_compiled=use_compiled)
+    db = Database("oracle", execution_mode=execution_mode)
     create_tpch_tables(db)
     generator = TpchGenerator(seed=11, scale=0.4)
     for index in range(NUM_PEERS):
@@ -48,46 +50,49 @@ def build_oracle(use_compiled: bool) -> Database:
     return db
 
 
-def build_network(use_compiled: bool) -> BestPeerNetwork:
+def build_network(execution_mode: str) -> BestPeerNetwork:
     net = BestPeerNetwork(TPCH_SCHEMAS, SECONDARY_INDICES)
     generator = TpchGenerator(seed=11, scale=0.4)
     for index in range(NUM_PEERS):
         peer_id = f"corp-{index}"
         net.add_peer(peer_id)
         net.load_peer(peer_id, generator.generate_peer(index))
-        net.peers[peer_id].database.use_compiled = use_compiled
+        net.peers[peer_id].database.execution_mode = execution_mode
     return net
 
 
 class TestLocalSuite:
+    @pytest.mark.parametrize("mode", FAST_MODES)
     @pytest.mark.parametrize("name,sql", SUITE)
-    def test_rows_and_stats_identical(self, name, sql):
-        interpreted = build_oracle(use_compiled=False).execute(sql)
-        compiled = build_oracle(use_compiled=True).execute(sql)
-        assert interpreted.rows == compiled.rows
-        assert asdict(interpreted.stats) == asdict(compiled.stats)
+    def test_rows_and_stats_identical(self, mode, name, sql):
+        interpreted = build_oracle("interpreted").execute(sql)
+        fast = build_oracle(mode).execute(sql)
+        assert interpreted.rows == fast.rows
+        assert asdict(interpreted.stats) == asdict(fast.stats)
         # Guard against a vacuous pass: the suite's selectivities are tuned
         # to return data.
-        assert len(compiled.rows) > 0
+        assert len(fast.rows) > 0
 
 
 class TestDistributedSuite:
+    @pytest.mark.parametrize("mode", FAST_MODES)
     @pytest.mark.parametrize("engine", ["basic", "parallel"])
-    def test_records_and_simulated_costs_identical(self, engine):
-        interpreted_net = build_network(use_compiled=False)
-        compiled_net = build_network(use_compiled=True)
+    def test_records_and_simulated_costs_identical(self, mode, engine):
+        interpreted_net = build_network("interpreted")
+        fast_net = build_network(mode)
         for name, sql in SUITE:
             interpreted = interpreted_net.execute(sql, engine=engine)
-            compiled = compiled_net.execute(sql, engine=engine)
-            assert interpreted.records == compiled.records, name
+            fast = fast_net.execute(sql, engine=engine)
+            assert interpreted.records == fast.records, name
             # ExecStats invariance propagates: every simulated figure the
             # paper reproduction reports is mode-independent.
-            assert interpreted.bytes_transferred == compiled.bytes_transferred
-            assert interpreted.latency_s == compiled.latency_s
-            assert interpreted.strategy == compiled.strategy
+            assert interpreted.bytes_transferred == fast.bytes_transferred
+            assert interpreted.latency_s == fast.latency_s
+            assert interpreted.strategy == fast.strategy
 
-    def test_repeated_queries_hit_the_plan_cache(self):
-        net = build_network(use_compiled=True)
+    @pytest.mark.parametrize("mode", FAST_MODES)
+    def test_repeated_queries_hit_the_plan_cache(self, mode):
+        net = build_network(mode)
         sql = Q3()
         first = net.execute(sql, engine="basic")
         second = net.execute(sql, engine="basic")

@@ -212,3 +212,103 @@ class TestMemTable:
     def test_nonpositive_capacity_rejected(self):
         with pytest.raises(SqlExecutionError):
             MemTable(make_table(), capacity_bytes=0)
+
+
+class TestColumnStore:
+    def test_column_data_transposes_live_rows(self):
+        table = make_table()
+        table.insert([1, 9.5, "a"])
+        table.insert([2, 3.0, "b"])
+        assert table.column_data() == [[1, 2], [9.5, 3.0], ["a", "b"]]
+
+    def test_empty_table_yields_empty_columns(self):
+        assert make_table().column_data() == [[], [], []]
+
+    def test_cached_between_reads(self):
+        table = make_table()
+        table.insert([1, 1.0, "x"])
+        assert table.column_data() is table.column_data()
+
+    def test_insert_extends_store_in_place(self):
+        table = make_table()
+        table.insert([1, 1.0, "x"])
+        store = table.column_data()
+        table.insert([2, 2.0, "y"])
+        # The same lists grow; no re-transpose of the whole table.
+        assert table.column_data() is store
+        assert store[0] == [1, 2]
+
+    def test_insert_many_extends_store_in_place(self):
+        table = make_table()
+        table.insert([1, 1.0, "x"])
+        store = table.column_data()
+        table.insert_many([[2, 2.0, "y"], [3, 3.0, "z"]])
+        assert table.column_data() is store
+        assert store[2] == ["x", "y", "z"]
+
+    def test_delete_invalidates_and_compacts(self):
+        table = make_table()
+        table.insert([1, 1.0, "x"])
+        row_id = table.insert([2, 2.0, "y"])
+        table.insert([3, 3.0, "z"])
+        table.column_data()
+        table.delete_row(row_id)
+        # Tombstones are compacted away: positions are not row ids.
+        assert table.column_data() == [[1, 3], [1.0, 3.0], ["x", "z"]]
+
+    def test_update_invalidates(self):
+        table = make_table()
+        row_id = table.insert([1, 1.0, "x"])
+        table.column_data()
+        table.update_row(row_id, [1, 7.5, "w"])
+        assert table.column_data() == [[1], [7.5], ["w"]]
+
+    def test_create_index_keeps_store_current(self):
+        table = make_table()
+        table.insert([1, 1.0, "x"])
+        store = table.column_data()
+        table.create_index("idx_label", "label")
+        assert table.column_data() is store
+
+
+class TestInsertManyAtomicity:
+    def test_intra_batch_duplicate_leaves_table_unchanged(self):
+        table = make_table()
+        version = table.version
+        with pytest.raises(SqlExecutionError):
+            table.insert_many([[1, 1.0, "x"], [1, 2.0, "y"]])
+        assert len(table) == 0
+        assert table.version == version
+        assert table.index_on("id").lookup(1) == []
+
+    def test_conflict_with_existing_row_keeps_batch_out(self):
+        table = make_table()
+        table.insert([1, 1.0, "x"])
+        with pytest.raises(SqlExecutionError):
+            table.insert_many([[2, 2.0, "y"], [1, 3.0, "z"]])
+        # Per-row insertion would have kept row 2; the bulk path must not.
+        assert list(table.rows()) == [(1, 1.0, "x")]
+        assert table.index_on("id").lookup(2) == []
+
+    def test_single_version_bump_per_batch(self):
+        table = make_table()
+        version = table.version
+        table.insert_many([[1, 1.0, "x"], [2, 2.0, "y"], [3, 3.0, "z"]])
+        assert table.version == version + 1
+
+    def test_indexes_consistent_after_bulk_load(self):
+        table = make_table(primary_key=None)
+        table.create_index("idx_label", "label")
+        table.insert_many(
+            [[1, 1.0, "x"], [2, 2.0, "y"], [3, 3.0, "x"], [4, 4.0, None]]
+        )
+        index = table.index_on("label")
+        assert index.lookup("x") == [0, 2]
+        assert index.lookup("y") == [1]
+        assert len(index) == 3  # None keys are never indexed
+
+    def test_empty_batch_is_a_no_op(self):
+        table = make_table()
+        version = table.version
+        assert table.insert_many([]) == []
+        assert table.version == version
